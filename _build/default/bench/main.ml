@@ -1,0 +1,169 @@
+(* The benchmark harness: regenerates every figure and claim of the paper
+   (see DESIGN.md's per-experiment index) and finishes with Bechamel
+   micro-benchmarks of the per-scheme core operations.
+
+   Usage: dune exec bench/main.exe            (everything)
+          dune exec bench/main.exe -- figures (one section)
+          sections: figures, matrix, claims, micro *)
+
+open Repro_xml
+open Repro_workload
+
+let section title =
+  Printf.printf "\n============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "============================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-6                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures () =
+  section "Figures 1-6 — the paper's worked examples";
+  List.iter
+    (fun f -> print_endline (Repro_framework.Figures.render f))
+    (Repro_framework.Figures.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_matrix () =
+  section "Figure 7 — the evaluation framework (computed by assays)";
+  let t = Repro_framework.Matrix.compute () in
+  print_endline (Repro_framework.Matrix.render t);
+  print_newline ();
+  print_string (Repro_framework.Matrix.render_agreement t);
+  print_newline ();
+  print_endline "Evidence per cell:";
+  print_string (Repro_framework.Matrix.render_evidence t);
+  section "Figure 7 extension rows (schemes beyond the paper's matrix)";
+  let ext =
+    Repro_framework.Matrix.compute ~schemes:Repro_schemes.Registry.extensions ()
+  in
+  print_endline (Repro_framework.Matrix.render ext)
+
+(* ------------------------------------------------------------------ *)
+(* Claims CL1-CL8                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_claims () =
+  section "Claims CL1-CL11 — the survey's qualitative claims, quantified";
+  List.iter
+    (fun r -> print_endline (Repro_framework.Claims.render r))
+    (Repro_framework.Claims.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_doc =
+  lazy (Docgen.generate_frag ~seed:4 { Docgen.default_shape with target_nodes = 150 })
+
+let micro_tests () =
+  let open Bechamel in
+  let schemes =
+    [ "XPath Accelerator"; "DeweyID"; "ORDPATH"; "ImprovedBinary"; "QED"; "CDQS"; "Vector";
+      "Prime"; "DDE" ]
+  in
+  let per_scheme name =
+    let pack = Option.get (Repro_schemes.Registry.find name) in
+    let initial =
+      Test.make
+        ~name:(Printf.sprintf "initial-labelling/%s" name)
+        (Staged.stage (fun () ->
+             let doc = Tree.create (Lazy.force bench_doc) in
+             ignore (Core.Session.make pack doc)))
+    in
+    (* One prepared session per measurement family; the insertion bench
+       appends under a rotating parent so list costs stay stable. *)
+    let session =
+      let doc = Tree.create (Lazy.force bench_doc) in
+      Core.Session.make pack doc
+    in
+    let parents =
+      Array.of_list
+        (List.filter
+           (fun (n : Tree.node) -> n.Tree.kind = Tree.Element)
+           (Tree.preorder session.Core.Session.doc))
+    in
+    let cursor = ref 0 in
+    let insertion =
+      Test.make
+        ~name:(Printf.sprintf "insert-last/%s" name)
+        (Staged.stage (fun () ->
+             let parent = parents.(!cursor mod Array.length parents) in
+             incr cursor;
+             ignore (session.Core.Session.insert_last parent (Tree.elt "b" []))))
+    in
+    (* Read benches get their own untouched session: the insertion bench
+       above grows its document by tens of thousands of nodes. *)
+    let session =
+      let doc = Tree.create (Lazy.force bench_doc) in
+      Core.Session.make pack doc
+    in
+    let nodes = Array.of_list (Tree.preorder session.Core.Session.doc) in
+    let i = ref 0 in
+    let order =
+      Test.make
+        ~name:(Printf.sprintf "order-compare/%s" name)
+        (Staged.stage (fun () ->
+             let a = nodes.(!i mod Array.length nodes)
+             and b = nodes.(!i * 7 mod Array.length nodes) in
+             incr i;
+             ignore (session.Core.Session.order a b)))
+    in
+    let ancestor =
+      match session.Core.Session.is_ancestor with
+      | None -> []
+      | Some anc ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "ancestor-test/%s" name)
+            (Staged.stage (fun () ->
+                 let a = nodes.(!i mod Array.length nodes)
+                 and b = nodes.(!i * 11 mod Array.length nodes) in
+                 incr i;
+                 ignore (anc a b)));
+        ]
+    in
+    [ initial; insertion; order ] @ ancestor
+  in
+  List.concat_map per_scheme schemes
+
+let run_micro () =
+  section "TIME — Bechamel micro-benchmarks (ns per operation)";
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let b = Benchmark.run cfg [ instance ] elt in
+          Hashtbl.replace results (Test.Elt.name elt) b)
+        (Test.elements test))
+    (micro_tests ());
+  let analyzed = Analyze.all ols instance results in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) analyzed [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find analyzed name) with
+      | Some (ns :: _) -> Printf.printf "%-40s %12.1f ns/op\n" name ns
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort String.compare names)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let want s = Array.length Sys.argv < 2 || Array.exists (String.equal s) Sys.argv in
+  Printf.printf
+    "Reproduction harness for \"Desirable Properties for XML Update Mechanisms\"\n\
+     (O'Connor & Roantree, EDBT 2010 workshops). All workloads are seeded and\n\
+     deterministic; see DESIGN.md for the experiment index.\n";
+  if want "figures" then run_figures ();
+  if want "matrix" then run_matrix ();
+  if want "claims" then run_claims ();
+  if want "micro" then run_micro ()

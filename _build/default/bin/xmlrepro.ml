@@ -1,0 +1,349 @@
+(* xmlrepro — command-line front end for the reproduction.
+
+   Subcommands:
+     label     label an XML document (file or stdin) under a chosen scheme
+     matrix    print the computed Figure 7 and its agreement with the paper
+     figures   print Figures 1-6
+     workload  run an update workload against a scheme and print metrics
+     query     evaluate an XPath expression over a document
+     schemes   list every registered labelling scheme *)
+
+open Cmdliner
+open Repro_xml
+
+let read_input = function
+  | None | Some "-" -> In_channel.input_all In_channel.stdin
+  | Some path -> In_channel.with_open_text path In_channel.input_all
+
+let parse_doc input =
+  match Parser.parse_result (read_input input) with
+  | Ok doc -> doc
+  | Error e ->
+    Format.eprintf "%a@." Parser.pp_error e;
+    exit 1
+
+let find_scheme name =
+  match Repro_schemes.Registry.find name with
+  | Some pack -> pack
+  | None ->
+    Format.eprintf "unknown scheme %S; try 'xmlrepro schemes'@." name;
+    exit 1
+
+(* ---- common arguments -------------------------------------------- *)
+
+let input_arg =
+  let doc = "Input XML document (defaults to the paper's sample; '-' reads stdin)." in
+  Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+
+let scheme_arg default =
+  let doc = "Labelling scheme name (see 'xmlrepro schemes')." in
+  Arg.(value & opt string default & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (workloads are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let doc_or_sample input =
+  match input with None -> Samples.book () | some -> parse_doc some
+
+(* ---- label ------------------------------------------------------- *)
+
+let label_cmd =
+  let run scheme input show_bits =
+    let pack = find_scheme scheme in
+    let doc = doc_or_sample input in
+    let session = Core.Session.make pack doc in
+    Printf.printf "%s labelling (%s order, %s representation)\n\n"
+      session.Core.Session.scheme_name
+      (Core.Info.order_to_string session.Core.Session.info.Core.Info.order)
+      (Core.Info.representation_to_string
+         session.Core.Session.info.Core.Info.representation);
+    List.iter
+      (fun (n : Tree.node) ->
+        let indent = String.make (2 * Tree.level n) ' ' in
+        if show_bits then
+          Printf.printf "%s%-20s %s  (%d bits)\n" indent n.Tree.name
+            (session.Core.Session.label_string n) (session.Core.Session.label_bits n)
+        else
+          Printf.printf "%s%-20s %s\n" indent n.Tree.name
+            (session.Core.Session.label_string n))
+      (Tree.preorder doc)
+  in
+  let bits =
+    Arg.(value & flag & info [ "bits" ] ~doc:"Also print each label's storage cost in bits.")
+  in
+  Cmd.v
+    (Cmd.info "label" ~doc:"Label a document under a scheme.")
+    Term.(const run $ scheme_arg "QED" $ input_arg $ bits)
+
+(* ---- matrix ------------------------------------------------------ *)
+
+let matrix_cmd =
+  let run evidence extensions =
+    let t = Repro_framework.Matrix.compute () in
+    print_endline (Repro_framework.Matrix.render t);
+    print_newline ();
+    print_string (Repro_framework.Matrix.render_agreement t);
+    if evidence then begin
+      print_newline ();
+      print_string (Repro_framework.Matrix.render_evidence t)
+    end;
+    if extensions then begin
+      print_endline "\nExtension rows:";
+      print_endline
+        (Repro_framework.Matrix.render
+           (Repro_framework.Matrix.compute ~schemes:Repro_schemes.Registry.extensions ()))
+    end
+  in
+  let evidence =
+    Arg.(value & flag & info [ "evidence" ] ~doc:"Print the per-cell measurement evidence.")
+  in
+  let extensions =
+    Arg.(value & flag & info [ "extensions" ] ~doc:"Also grade the non-Figure-7 schemes.")
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Recompute the paper's Figure 7 evaluation matrix.")
+    Term.(const run $ evidence $ extensions)
+
+(* ---- figures ----------------------------------------------------- *)
+
+let figures_cmd =
+  let run () =
+    List.iter
+      (fun f -> print_endline (Repro_framework.Figures.render f))
+      (Repro_framework.Figures.all ())
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate Figures 1-6.") Term.(const run $ const ())
+
+(* ---- workload ---------------------------------------------------- *)
+
+let pattern_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun p -> Repro_workload.Updates.pattern_name p = s)
+        Repro_workload.Updates.all_patterns
+    with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown pattern %S (one of: %s)" s
+             (String.concat ", "
+                (List.map Repro_workload.Updates.pattern_name
+                   Repro_workload.Updates.all_patterns))))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Repro_workload.Updates.pattern_name p))
+
+let workload_cmd =
+  let run scheme pattern ops seed nodes sample_every =
+    let pack = find_scheme scheme in
+    let samples =
+      Repro_workload.Runner.series pack
+        ~make_doc:(fun () ->
+          Repro_workload.Docgen.generate ~seed
+            { Repro_workload.Docgen.default_shape with target_nodes = nodes })
+        ~pattern ~seed ~ops ~sample_every
+    in
+    Printf.printf "%s under %s (%d ops, seed %d, %d-node base document)\n" scheme
+      (Repro_workload.Updates.pattern_name pattern) ops seed nodes;
+    List.iter (fun s -> Format.printf "%a@." Repro_workload.Runner.pp_sample s) samples
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt pattern_conv Repro_workload.Updates.Uniform_random
+      & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc:"Update pattern.")
+  in
+  let ops = Arg.(value & opt int 500 & info [ "n"; "ops" ] ~doc:"Number of update operations.") in
+  let nodes = Arg.(value & opt int 200 & info [ "nodes" ] ~doc:"Base document size.") in
+  let sample_every =
+    Arg.(value & opt int 100 & info [ "sample-every" ] ~doc:"Sampling interval in operations.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run an update workload and print label metrics.")
+    Term.(const run $ scheme_arg "QED" $ pattern $ ops $ seed_arg $ nodes $ sample_every)
+
+(* ---- query ------------------------------------------------------- *)
+
+let query_cmd =
+  let run input path show_xml =
+    let doc = doc_or_sample input in
+    let enc = Repro_encoding.Encoding.of_doc doc in
+    match Repro_encoding.Xpath.eval enc path with
+    | rows ->
+      Printf.printf "%d result(s) for %s\n" (List.length rows)
+        (Repro_encoding.Xpath.to_string (Repro_encoding.Xpath.parse path));
+      List.iter
+        (fun (r : Repro_encoding.Encoding.row) ->
+          if show_xml then
+            print_endline
+              (Serializer.node_to_string ~indent:2
+                 (Repro_encoding.Encoding.node_of_row enc r))
+          else
+            Printf.printf "pre=%-4d %-12s %s\n" r.Repro_encoding.Encoding.pre r.name
+              (Option.value r.value ~default:""))
+        rows
+    | exception Repro_encoding.Xpath.Parse_error e ->
+      Format.eprintf "%a@." Repro_encoding.Xpath.pp_error e;
+      exit 1
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH") in
+  let xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Print matched subtrees as XML instead of rows.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath expression over a document.")
+    Term.(const run $ input_arg $ path $ xml)
+
+(* ---- update ------------------------------------------------------ *)
+
+let update_cmd =
+  let run scheme input script script_file =
+    let pack = find_scheme scheme in
+    let doc = doc_or_sample input in
+    let session = Core.Session.make pack doc in
+    let script =
+      match (script, script_file) with
+      | Some s, _ -> s
+      | None, Some path -> In_channel.with_open_text path In_channel.input_all
+      | None, None ->
+        Format.eprintf "provide a script (positional) or --file@.";
+        exit 1
+    in
+    match Repro_encoding.Update_lang.run session script with
+    | report ->
+      let stats = session.Core.Session.stats () in
+      Printf.printf
+        "executed %d statement(s): %d node(s) inserted, %d deleted, %d modified\n"
+        report.Repro_encoding.Update_lang.executed report.inserted report.deleted
+        report.modified;
+      Printf.printf "labelling (%s): %d relabelled, %d overflow event(s)\n\n" scheme
+        stats.Core.Stats.s_relabelled stats.Core.Stats.s_overflow;
+      print_endline (Serializer.to_string ~indent:2 doc)
+    | exception Repro_encoding.Update_lang.Error msg ->
+      Format.eprintf "update error: %s@." msg;
+      exit 1
+  in
+  let script = Arg.(value & pos 0 (some string) None & info [] ~docv:"SCRIPT") in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Read the update script from a file.")
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Apply an XQuery-Update-style script to a document.")
+    Term.(const run $ scheme_arg "QED" $ input_arg $ script $ file)
+
+(* ---- twig -------------------------------------------------------- *)
+
+let twig_cmd =
+  let run input pattern =
+    let doc = doc_or_sample input in
+    let enc = Repro_encoding.Encoding.of_doc doc in
+    let idx = Repro_encoding.Axis_index.build enc in
+    match Repro_encoding.Twig.parse pattern with
+    | t ->
+      let rows = Repro_encoding.Twig.matches idx t in
+      Printf.printf "%d match(es) for %s (XPath: %s)\n" (List.length rows)
+        (Repro_encoding.Twig.to_string t)
+        (Repro_encoding.Twig.matches_xpath_equivalent t);
+      List.iter
+        (fun (r : Repro_encoding.Encoding.row) ->
+          Printf.printf "pre=%-4d %s\n" r.Repro_encoding.Encoding.pre r.name)
+        rows
+    | exception Repro_encoding.Twig.Parse_error msg ->
+      Format.eprintf "twig error: %s@." msg;
+      exit 1
+  in
+  let pattern = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN") in
+  Cmd.v
+    (Cmd.info "twig" ~doc:"Match a tree pattern with structural joins.")
+    Term.(const run $ input_arg $ pattern)
+
+(* ---- store ------------------------------------------------------- *)
+
+let store_cmd =
+  let run scheme input out =
+    let pack = find_scheme scheme in
+    let doc = doc_or_sample input in
+    let session = Core.Session.make pack doc in
+    Repro_storage.Store.save_file session out;
+    Printf.printf "stored %d nodes labelled by %s in %s\n" (Tree.size doc) scheme out
+  in
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "store" ~doc:"Label a document and persist it with its labels.")
+    Term.(const run $ scheme_arg "QED" $ input_arg $ out)
+
+let restore_cmd =
+  let run path =
+    match Repro_storage.Store.load_file path with
+    | session ->
+      Printf.printf "restored %d nodes labelled by %s (no relabelling)\n"
+        (Tree.size session.Core.Session.doc) session.Core.Session.scheme_name;
+      List.iter
+        (fun (n : Tree.node) ->
+          Printf.printf "%s%-16s %s\n"
+            (String.make (2 * Tree.level n) ' ')
+            n.Tree.name
+            (session.Core.Session.label_string n))
+        (Tree.preorder session.Core.Session.doc)
+    | exception Repro_storage.Store.Corrupt msg ->
+      Format.eprintf "store error: %s@." msg;
+      exit 1
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "restore" ~doc:"Reload a stored document and print its persisted labels.")
+    Term.(const run $ path)
+
+(* ---- report ------------------------------------------------------ *)
+
+let report_cmd =
+  let run out =
+    match out with
+    | Some path ->
+      Repro_framework.Report.generate_to_file path;
+      Printf.printf "report written to %s\n" path
+    | None -> print_string (Repro_framework.Report.generate ())
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the Markdown report to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run every experiment and emit a Markdown report.")
+    Term.(const run $ out)
+
+(* ---- schemes ----------------------------------------------------- *)
+
+let schemes_cmd =
+  let run () =
+    Printf.printf "%-18s %-8s %-9s %-14s %s\n" "Name" "Order" "Enc.Rep." "Family" "Citation";
+    List.iter
+      (fun pack ->
+        let info = Core.Scheme.info pack in
+        Printf.printf "%-18s %-8s %-9s %-14s %s%s\n" (Core.Scheme.name pack)
+          (Core.Info.order_to_string info.Core.Info.order)
+          (Core.Info.representation_to_string info.Core.Info.representation)
+          (Core.Info.family_to_string info.Core.Info.family)
+          info.Core.Info.citation
+          (if info.Core.Info.in_figure7 then "" else "  [extension]"))
+      Repro_schemes.Registry.all
+  in
+  Cmd.v (Cmd.info "schemes" ~doc:"List all registered labelling schemes.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "xmlrepro" ~version:"1.0.0"
+      ~doc:
+        "Dynamic XML labelling schemes: a reproduction of O'Connor & Roantree, \
+         'Desirable Properties for XML Update Mechanisms' (EDBT 2010 workshops)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
+            twig_cmd; store_cmd; restore_cmd; report_cmd; schemes_cmd ]))

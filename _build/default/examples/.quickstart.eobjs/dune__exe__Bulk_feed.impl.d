@@ -1,0 +1,1 @@
+examples/bulk_feed.ml: Core List Option Printf Repro_codes Repro_schemes Repro_workload Repro_xml Unix Xmark_lite

@@ -1,0 +1,1 @@
+examples/edit_session.ml: Core List Parser Printf Repro_encoding Repro_schemes Repro_xml Serializer

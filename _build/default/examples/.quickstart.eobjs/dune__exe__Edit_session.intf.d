@@ -1,0 +1,1 @@
+examples/edit_session.mli:

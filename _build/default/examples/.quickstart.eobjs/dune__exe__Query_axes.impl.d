@@ -1,0 +1,1 @@
+examples/query_axes.ml: List Printf Repro_encoding Repro_xml Samples String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core List Option Parser Printf Repro_encoding Repro_schemes Repro_xml String Tree

@@ -1,0 +1,1 @@
+examples/version_store.ml: Core List Parser Printf Repro_schemes Repro_storage Repro_xml Tree

@@ -1,0 +1,1 @@
+examples/version_store.mli:

@@ -1,0 +1,63 @@
+(* The paper's second §5.2 selection scenario: "an XML repository that is
+   expected to consume very large documents on a regular basis may
+   consider a labelling scheme that is not subject to the overflow
+   problem."
+
+   An auction site (the XMark-style workload of the introduction's
+   motivating industry setting) ingests a continuous bid feed. Bids always
+   land at the same structural hot spot — right before each auction's
+   <current> element — which is exactly the skewed insertion pattern of
+   §4. We run the feed against a fixed-width scheme (DLN), a
+   variable-with-length-field scheme (ImprovedBinary) and the overflow-free
+   QED/CDQS, and report overflow events and relabelling storms.
+
+   Run with: dune exec examples/bulk_feed.exe *)
+
+open Repro_workload
+
+let feed_size = 1500
+
+let run pack =
+  let doc = Xmark_lite.generate ~seed:2024 Xmark_lite.small in
+  let session = Core.Session.make pack doc in
+  let rng = Repro_codes.Prng.create 9 in
+  let t0 = Unix.gettimeofday () in
+  (* background traffic: bids spread over random auctions *)
+  for _ = 1 to feed_size / 10 do
+    Xmark_lite.new_bid rng session
+  done;
+  (* the hot spot: one auction takes the bulk of the feed *)
+  let hot =
+    List.find
+      (fun (n : Repro_xml.Tree.node) -> n.Repro_xml.Tree.name = "open_auction")
+      (Repro_xml.Tree.preorder session.Core.Session.doc)
+  in
+  let anchor = Option.get (Repro_xml.Tree.first_child hot) in
+  for i = 1 to feed_size do
+    ignore
+      (session.Core.Session.insert_after anchor
+         (Repro_xml.Tree.elt (Printf.sprintf "bidder%d" i) []))
+  done;
+  let stats = session.Core.Session.stats () in
+  Printf.printf "%-16s bids=%d  overflow events=%-4d relabelled nodes=%-7d max label=%d bits  (%.2fs)\n"
+    session.Core.Session.scheme_name (2 * feed_size) stats.Core.Stats.s_overflow
+    stats.Core.Stats.s_relabelled
+    (Core.Session.max_bits session)
+    (Unix.gettimeofday () -. t0)
+
+let () =
+  Printf.printf
+    "Auction-site bid feed (%d background bids + %d hot-spot bids per scheme)\n\n"
+    (feed_size / 10) feed_size;
+  List.iter run
+    [ (module Repro_schemes.Dln : Core.Scheme.S);
+      (module Repro_schemes.Improved_binary : Core.Scheme.S);
+      (module Repro_schemes.Qed : Core.Scheme.S);
+      (module Repro_schemes.Cdqs : Core.Scheme.S);
+      (module Repro_schemes.Vector_scheme : Core.Scheme.S) ];
+  print_newline ();
+  print_endline
+    "DLN's fixed component width and ImprovedBinary's stored length field both\n\
+     overflow under the hot-spot feed and pay relabelling storms; QED, CDQS and\n\
+     the Vector scheme absorb the same feed without touching existing labels —\n\
+     the §5.2 guidance for large-ingest repositories."

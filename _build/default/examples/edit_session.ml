@@ -1,0 +1,51 @@
+(* An editing session driven by the update language: the two §3.1 update
+   classes — structural updates and content updates — expressed as
+   XQuery-Update-style statements, executed against two differently
+   labelled copies of the same catalogue. The structural outcome is
+   identical; the labelling cost is not.
+
+   Run with: dune exec examples/edit_session.exe *)
+
+open Repro_xml
+
+let catalogue =
+  {|<catalogue>
+      <product sku="p1"><name>Widget</name><price>9.50</price></product>
+      <product sku="p2"><name>Gadget</name><price>24.00</price></product>
+      <product sku="p3" discontinued="yes"><name>Relic</name><price>1.00</price></product>
+    </catalogue>|}
+
+let script =
+  {|insert <product sku="p4"><name>Sprocket</name><price>3.75</price></product>
+      before //product[@sku='p2'];
+    replace value of //product[@sku='p1']/price with "10.50";
+    rename //product[@sku='p2']/name as title;
+    delete //product[@discontinued='yes'];
+    move //product[@sku='p4'] after //product[@sku='p2']|}
+
+let run pack =
+  let session = Core.Session.make pack (Parser.parse catalogue) in
+  let report = Repro_encoding.Update_lang.run session script in
+  let stats = session.Core.Session.stats () in
+  Printf.printf "%-16s inserted=%d deleted=%d modified=%d | relabelled=%d\n"
+    session.Core.Session.scheme_name report.Repro_encoding.Update_lang.inserted
+    report.deleted report.modified stats.Core.Stats.s_relabelled;
+  session
+
+let () =
+  print_endline "The update script:\n";
+  List.iter
+    (fun st -> Printf.printf "  %s;\n" (Repro_encoding.Update_lang.statement_to_string st))
+    (Repro_encoding.Update_lang.parse script);
+  print_newline ();
+  let qed = run (module Repro_schemes.Qed : Core.Scheme.S) in
+  let dewey = run (module Repro_schemes.Dewey : Core.Scheme.S) in
+  print_newline ();
+  (* Same document either way... *)
+  assert (Serializer.to_string qed.Core.Session.doc = Serializer.to_string dewey.Core.Session.doc);
+  print_endline "Resulting catalogue (identical under both schemes):\n";
+  print_endline (Serializer.to_string ~indent:2 qed.Core.Session.doc);
+  print_newline ();
+  print_endline
+    "...but DeweyID paid relabelling for the structural edits while QED's\n\
+     labels never moved — the §3.1/§5.1 trade-off in one editing session."

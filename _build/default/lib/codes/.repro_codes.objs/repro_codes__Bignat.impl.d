@@ -1,0 +1,1 @@
+lib/codes/bignat.ml: Array Buffer Char Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/codes/bitpack.ml: Bitstr Buffer Char String

@@ -1,0 +1,1 @@
+lib/codes/bitpack.mli: Bitstr

@@ -1,0 +1,1 @@
+lib/codes/bitstr.ml: Bytes Char Format Stdlib String

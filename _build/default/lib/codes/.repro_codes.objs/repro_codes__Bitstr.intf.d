@@ -1,0 +1,1 @@
+lib/codes/bitstr.mli: Format

@@ -1,0 +1,1 @@
+lib/codes/crc32.ml: Array Char Int32 Lazy List String

@@ -1,0 +1,1 @@
+lib/codes/crc32.mli:

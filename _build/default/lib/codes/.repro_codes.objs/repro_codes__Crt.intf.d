@@ -1,0 +1,1 @@
+lib/codes/crt.mli: Bignat

@@ -1,0 +1,1 @@
+lib/codes/primes.ml: Array

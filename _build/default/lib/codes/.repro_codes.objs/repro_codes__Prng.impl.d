@@ -1,0 +1,1 @@
+lib/codes/prng.ml: Array Int64

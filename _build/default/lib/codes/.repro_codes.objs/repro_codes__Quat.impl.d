@@ -1,0 +1,1 @@
+lib/codes/quat.ml: Char Format String

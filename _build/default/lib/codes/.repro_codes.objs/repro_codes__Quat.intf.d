@@ -1,0 +1,1 @@
+lib/codes/quat.mli: Format

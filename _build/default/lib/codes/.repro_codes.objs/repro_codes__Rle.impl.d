@@ -1,0 +1,1 @@
+lib/codes/rle.ml: Buffer String

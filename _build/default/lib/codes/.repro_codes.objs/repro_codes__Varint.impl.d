@@ -1,0 +1,1 @@
+lib/codes/varint.ml: Char List Printf String

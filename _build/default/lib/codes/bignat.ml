@@ -1,0 +1,201 @@
+(* Little-endian limbs in base 2^30. Limb products fit a 63-bit native int
+   with room for carries, which keeps the schoolbook routines overflow-free
+   without resorting to Int64. The representation invariant: no trailing
+   zero limbs; zero is the empty array. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero t = Array.length t = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignat.of_int: negative value";
+  if v = 0 then zero
+  else begin
+    let rec limbs v = if v = 0 then [] else (v land limb_mask) :: limbs (v lsr limb_bits) in
+    Array.of_list (limbs v)
+  end
+
+let one = of_int 1
+
+let to_int_opt t =
+  if Array.length t * limb_bits <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length t - 1 downto 0 do
+      v := (!v lsl limb_bits) lor t.(i)
+    done;
+    Some !v
+  end
+  else None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = 1 + max la lb in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- cur land limb_mask;
+        carry := cur lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land limb_mask;
+        carry := cur lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_small a m =
+  if m < 0 then invalid_arg "Bignat.mul_small: negative multiplier";
+  mul a (of_int m)
+
+let bits t =
+  let n = Array.length t in
+  if n = 0 then 0
+  else begin
+    let top = t.(n - 1) in
+    let rec width v = if v = 0 then 0 else 1 + width (v lsr 1) in
+    ((n - 1) * limb_bits) + width top
+  end
+
+let bit t i =
+  let limb = i / limb_bits in
+  if limb >= Array.length t then 0 else (t.(limb) lsr (i mod limb_bits)) land 1
+
+(* Binary long division: build the remainder bit by bit from the most
+   significant bit of [a], subtracting [b] whenever the remainder reaches
+   it. Quadratic in the bit length, which is ample for label-sized values. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let nbits = bits a in
+    let qlimbs = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = nbits - 1 downto 0 do
+      (* r := 2r + bit i of a *)
+      let doubled = add !r !r in
+      r := if bit a i = 1 then add doubled one else doubled;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        qlimbs.(i / limb_bits) <- qlimbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (normalize qlimbs, !r)
+  end
+
+let divmod_small a m =
+  if m <= 0 then invalid_arg "Bignat.divmod_small: divisor must be positive";
+  if m >= base then begin
+    let q, r = divmod a (of_int m) in
+    (q, match to_int_opt r with Some v -> v | None -> assert false)
+  end
+  else begin
+    let n = Array.length a in
+    let q = Array.make n 0 in
+    let r = ref 0 in
+    for i = n - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / m;
+      r := cur mod m
+    done;
+    (normalize q, !r)
+  end
+
+let rem a b = snd (divmod a b)
+
+let divides d n =
+  if is_zero d then is_zero n
+  else
+    match to_int_opt d with
+    | Some small when small < base -> snd (divmod_small n small) = 0
+    | _ -> is_zero (rem n d)
+
+let to_string t =
+  if is_zero t then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod_small v 1_000_000_000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go t;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignat.of_string: empty string";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: not a digit";
+      acc := add (mul_small !acc 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

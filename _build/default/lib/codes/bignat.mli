@@ -1,0 +1,53 @@
+(** Arbitrary-precision natural numbers.
+
+    The Prime labelling scheme [Wu, Lee & Hsu, ICDE 2004] labels a node with
+    the product of its ancestors' self-primes, tests ancestry by
+    divisibility, and keeps document order in a simultaneous-congruence
+    value built with the Chinese Remainder Theorem. Those products outgrow
+    native integers after a handful of tree levels, so the scheme needs a
+    bignum substrate; this module provides exactly the operations it uses. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. *)
+
+val to_int_opt : t -> int option
+(** [Some v] when the value fits in a native [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Raises [Invalid_argument] when the result would be negative. *)
+
+val mul : t -> t -> t
+val mul_small : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r] and [0 <= r < b]. Raises
+    [Division_by_zero] when [b] is zero. *)
+
+val divmod_small : t -> int -> t * int
+(** Quotient and remainder by a positive native divisor. *)
+
+val rem : t -> t -> t
+val divides : t -> t -> bool
+(** [divides d n] is true when [d] divides [n] exactly. *)
+
+val bits : t -> int
+(** Number of significant bits; [bits zero = 0]. This is the storage cost a
+    prime label pays. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal string. Raises [Invalid_argument] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

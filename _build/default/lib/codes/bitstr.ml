@@ -1,0 +1,115 @@
+(* Bits are packed MSB-first inside each byte: bit [i] lives in byte [i/8]
+   at mask [0x80 lsr (i mod 8)]. All values are immutable from the outside;
+   construction may mutate freshly allocated buffers only. *)
+
+type t = { len : int; data : Bytes.t }
+
+let empty = { len = 0; data = Bytes.empty }
+
+let length t = t.len
+
+let bytes_for len = (len + 7) / 8
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitstr.get: index out of range";
+  let b = Char.code (Bytes.get t.data (i / 8)) in
+  b land (0x80 lsr (i mod 8)) <> 0
+
+let make len =
+  { len; data = Bytes.make (bytes_for len) '\000' }
+
+let set_unsafe t i v =
+  let byte = i / 8 and mask = 0x80 lsr (i mod 8) in
+  let b = Char.code (Bytes.get t.data byte) in
+  let b = if v then b lor mask else b land lnot mask in
+  Bytes.set t.data byte (Char.chr b)
+
+let of_string s =
+  let t = make (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set_unsafe t i true
+      | _ -> invalid_arg "Bitstr.of_string: expected only '0' and '1'")
+    s;
+  t
+
+let to_string t =
+  String.init t.len (fun i -> if get t i then '1' else '0')
+
+let of_int_fixed v width =
+  if v < 0 then invalid_arg "Bitstr.of_int_fixed: negative value";
+  if width < 0 || (width < 62 && v lsr width <> 0) then
+    invalid_arg "Bitstr.of_int_fixed: value does not fit";
+  let t = make width in
+  for i = 0 to width - 1 do
+    set_unsafe t i ((v lsr (width - 1 - i)) land 1 = 1)
+  done;
+  t
+
+let to_int t =
+  if t.len > 62 then invalid_arg "Bitstr.to_int: too many bits";
+  let v = ref 0 in
+  for i = 0 to t.len - 1 do
+    v := (!v lsl 1) lor (if get t i then 1 else 0)
+  done;
+  !v
+
+let copy_into src dst offset =
+  (* Bit-by-bit copy keeps the code obviously correct; labels are short. *)
+  for i = 0 to src.len - 1 do
+    set_unsafe dst (offset + i) (get src i)
+  done
+
+let snoc t b =
+  let r = make (t.len + 1) in
+  copy_into t r 0;
+  set_unsafe r t.len b;
+  r
+
+let concat a b =
+  let r = make (a.len + b.len) in
+  copy_into a r 0;
+  copy_into b r a.len;
+  r
+
+let prefix t n =
+  if n < 0 || n > t.len then invalid_arg "Bitstr.prefix: bad length";
+  let r = make n in
+  for i = 0 to n - 1 do
+    set_unsafe r i (get t i)
+  done;
+  r
+
+let drop_last t =
+  if t.len = 0 then invalid_arg "Bitstr.drop_last: empty";
+  prefix t (t.len - 1)
+
+let last t =
+  if t.len = 0 then invalid_arg "Bitstr.last: empty";
+  get t (t.len - 1)
+
+let compare a b =
+  let n = min a.len b.len in
+  let rec go i =
+    if i = n then Stdlib.compare a.len b.len
+    else
+      match (get a i, get b i) with
+      | false, true -> -1
+      | true, false -> 1
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let equal a b = a.len = b.len && compare a b = 0
+
+let is_prefix p t =
+  p.len <= t.len
+  &&
+  let rec go i = i = p.len || (get p i = get t i && go (i + 1)) in
+  go 0
+
+let is_strict_prefix p t = p.len < t.len && is_prefix p t
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

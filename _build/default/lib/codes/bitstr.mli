@@ -1,0 +1,58 @@
+(** Variable-length bit strings with prefix-first lexicographic order.
+
+    This is the storage substrate for the binary-string labelling schemes
+    (ImprovedBinary [Li & Ling, DASFAA 2005] and CDBS [Li, Ling & Hu, ICDE
+    2006]). Bits are packed eight per byte; the logical length in bits is
+    tracked separately.
+
+    The order is the one those papers use: compare bit by bit with [0 < 1];
+    a proper prefix sorts before any of its extensions. *)
+
+type t
+
+val empty : t
+val length : t -> int
+
+val get : t -> int -> bool
+(** [get t i] is bit [i] (0-based). Raises [Invalid_argument] out of range. *)
+
+val of_string : string -> t
+(** [of_string "0101"] builds from a textual bit pattern. Raises
+    [Invalid_argument] on characters other than ['0'] and ['1']. *)
+
+val to_string : t -> string
+
+val of_int_fixed : int -> int -> t
+(** [of_int_fixed v width] is the [width]-bit big-endian encoding of [v].
+    Raises [Invalid_argument] if [v] does not fit or is negative. *)
+
+val to_int : t -> int
+(** Big-endian value of the bits. Raises [Invalid_argument] beyond 62 bits. *)
+
+val snoc : t -> bool -> t
+(** [snoc t b] appends one bit. *)
+
+val concat : t -> t -> t
+
+val prefix : t -> int -> t
+(** [prefix t n] is the first [n] bits. Raises [Invalid_argument] if
+    [n > length t]. *)
+
+val drop_last : t -> t
+(** [drop_last t] removes the final bit. Raises [Invalid_argument] on the
+    empty string. *)
+
+val last : t -> bool
+(** Final bit. Raises [Invalid_argument] on the empty string. *)
+
+val compare : t -> t -> int
+(** Prefix-first lexicographic order. *)
+
+val equal : t -> t -> bool
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p t] is true when [p] is a (non-strict) prefix of [t]. *)
+
+val is_strict_prefix : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

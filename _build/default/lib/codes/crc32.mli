@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial), for the storage layer's corruption
+    checks. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val strings : string list -> int32
+(** Checksum of the concatenation, without concatenating. *)

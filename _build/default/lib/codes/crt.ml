@@ -1,0 +1,35 @@
+(* Classic CRT construction: with N the product of all moduli and
+   Ni = N / pi, the solution is sum_i (ri * inv(Ni mod pi, pi) mod pi) * Ni,
+   reduced modulo N. Residues and inverses are native-int sized (the moduli
+   are node self-primes); only N and the accumulator are big. *)
+
+(* Modular inverse by extended Euclid on native ints. *)
+let inverse_mod a m =
+  let rec go old_r r old_s s =
+    if r = 0 then (old_r, old_s) else go r (old_r mod r) s (old_s - (old_r / r * s))
+  in
+  let g, x = go (a mod m) m 1 0 in
+  if g <> 1 && g <> -1 then invalid_arg "Crt: moduli must be coprime";
+  let x = if g = -1 then -x else x in
+  ((x mod m) + m) mod m
+
+let solve pairs =
+  List.iter
+    (fun (p, r) ->
+      if p < 2 then invalid_arg "Crt.solve: modulus must be >= 2";
+      if r < 0 || r >= p then invalid_arg "Crt.solve: residue out of range")
+    pairs;
+  let modulus =
+    List.fold_left (fun acc (p, _) -> Bignat.mul_small acc p) Bignat.one pairs
+  in
+  let term acc (p, r) =
+    let ni, zero_rem = Bignat.divmod_small modulus p in
+    if zero_rem <> 0 then invalid_arg "Crt.solve: moduli must be distinct";
+    let _, ni_mod_p = Bignat.divmod_small ni p in
+    let coeff = r * inverse_mod ni_mod_p p mod p in
+    Bignat.add acc (Bignat.mul_small ni coeff)
+  in
+  let total = List.fold_left term Bignat.zero pairs in
+  Bignat.rem total modulus
+
+let residue sc p = snd (Bignat.divmod_small sc p)

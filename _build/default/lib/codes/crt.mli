@@ -1,0 +1,16 @@
+(** Simultaneous-congruence order book for the Prime labelling scheme
+    [Wu, Lee & Hsu, ICDE 2004].
+
+    The scheme keeps document order *outside* the labels: a single number
+    [sc] is built with the Chinese Remainder Theorem so that
+    [sc mod self_prime(v)] is the document-order index of node [v]. On a
+    structural update only [sc] is recomputed — existing labels never
+    change, which is what makes prime labels persistent. *)
+
+val solve : (int * int) list -> Bignat.t
+(** [solve \[(p1, r1); (p2, r2); ...\]] is the least [x] with
+    [x mod pi = ri] for all [i]. The moduli must be distinct primes and
+    each [0 <= ri < pi]; raises [Invalid_argument] otherwise. *)
+
+val residue : Bignat.t -> int -> int
+(** [residue sc p] is [sc mod p]. *)

@@ -1,0 +1,58 @@
+(* Trial division against previously found primes. Generation is incremental
+   so callers never choose a sieve bound up front. *)
+
+type t = { mutable primes : int array; mutable count : int }
+
+let create () = { primes = Array.make 64 0; count = 0 }
+
+let push t p =
+  if t.count = Array.length t.primes then begin
+    let bigger = Array.make (2 * t.count) 0 in
+    Array.blit t.primes 0 bigger 0 t.count;
+    t.primes <- bigger
+  end;
+  t.primes.(t.count) <- p;
+  t.count <- t.count + 1
+
+let divisible_by_known t n =
+  let rec go i =
+    if i >= t.count then false
+    else begin
+      let p = t.primes.(i) in
+      if p * p > n then false
+      else if n mod p = 0 then true
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let grow_one t =
+  let candidate = ref (if t.count = 0 then 2 else t.primes.(t.count - 1) + 1) in
+  while divisible_by_known t !candidate do incr candidate done;
+  push t !candidate
+
+let nth t i =
+  if i < 0 then invalid_arg "Primes.nth: negative index";
+  while t.count <= i do grow_one t done;
+  t.primes.(i)
+
+let count t = t.count
+
+let is_prime t n =
+  if n < 2 then false
+  else begin
+    (* Ensure the table covers sqrt n. *)
+    let rec ensure i =
+      let p = nth t i in
+      if p * p <= n then ensure (i + 1)
+    in
+    ensure 0;
+    not (divisible_by_known t n)
+  end
+
+let index_of t p =
+  if not (is_prime t p) then None
+  else begin
+    let rec go i = if nth t i = p then Some i else if nth t i > p then None else go (i + 1) in
+    go 0
+  end

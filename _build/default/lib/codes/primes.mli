@@ -1,0 +1,19 @@
+(** On-demand prime number generation for the Prime labelling scheme. *)
+
+type t
+(** A growable prime table. *)
+
+val create : unit -> t
+
+val nth : t -> int -> int
+(** [nth t i] is the [i]-th prime, 0-based ([nth t 0 = 2]). The table grows
+    as needed. *)
+
+val count : t -> int
+(** Number of primes generated so far. *)
+
+val is_prime : t -> int -> bool
+(** Primality by trial division against the table (grown as needed). *)
+
+val index_of : t -> int -> int option
+(** [index_of t p] is the 0-based index of [p] when [p] is prime. *)

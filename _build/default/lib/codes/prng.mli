@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every experiment in this repository is seeded, so workloads are exactly
+    reproducible from the seed printed in the experiment header. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next : t -> int64
+(** [next t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** [choose t arr] is a uniformly chosen element. Raises [Invalid_argument]
+    on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] is a new generator seeded from [t]'s stream, advancing [t]. *)

@@ -1,0 +1,51 @@
+(* Digits are kept one per byte in an immutable string; the values are tiny
+   (label components), so the two-bit packing is an accounting concern, not
+   a memory one. *)
+
+type t = string
+
+let empty = ""
+
+let length = String.length
+
+let digit t i =
+  if i < 0 || i >= String.length t then invalid_arg "Quat.digit: out of range";
+  Char.code t.[i] - Char.code '0'
+
+let check_digit c =
+  match c with
+  | '1' | '2' | '3' -> ()
+  | _ -> invalid_arg "Quat: digits must be in 1..3 (0 is the separator)"
+
+let of_string s =
+  String.iter check_digit s;
+  s
+
+let to_string t = t
+
+let snoc t d =
+  if d < 1 || d > 3 then invalid_arg "Quat.snoc: digit must be in 1..3";
+  t ^ String.make 1 (Char.chr (d + Char.code '0'))
+
+let drop_last t =
+  if t = "" then invalid_arg "Quat.drop_last: empty";
+  String.sub t 0 (String.length t - 1)
+
+let last t =
+  if t = "" then invalid_arg "Quat.last: empty";
+  digit t (String.length t - 1)
+
+let compare = String.compare
+(* [String.compare] on digit characters is exactly prefix-first
+   lexicographic order on the digit sequence. *)
+
+let equal = String.equal
+
+let is_prefix p t =
+  String.length p <= String.length t && String.sub t 0 (String.length p) = p
+
+let storage_bits_separated t = (2 * String.length t) + 2
+
+let storage_bits_compact t = 2 * String.length t
+
+let pp = Format.pp_print_string

@@ -1,0 +1,43 @@
+(** Quaternary codes for QED and CDQS [Li & Ling, CIKM 2005; VLDB J. 2008].
+
+    A quaternary code is a string over the digits 1, 2, 3. Each digit is
+    stored in two bits; the two-bit pattern 00 (digit 0) is reserved as the
+    code separator, which is what lets QED store variable-length codes
+    without a length field and hence avoid the overflow problem. *)
+
+type t
+
+val empty : t
+val length : t -> int
+
+val digit : t -> int -> int
+(** [digit t i] is the [i]-th digit, in [{1,2,3}]. Raises [Invalid_argument]
+    out of range. *)
+
+val of_string : string -> t
+(** Builds from a textual code such as ["132"]. Raises [Invalid_argument] on
+    characters outside ['1'..'3']. *)
+
+val to_string : t -> string
+
+val snoc : t -> int -> t
+(** Appends one digit in [{1,2,3}]. Raises [Invalid_argument] otherwise. *)
+
+val drop_last : t -> t
+val last : t -> int
+
+val compare : t -> t -> int
+(** Prefix-first lexicographic order on digits. *)
+
+val equal : t -> t -> bool
+val is_prefix : t -> t -> bool
+
+val storage_bits_separated : t -> int
+(** Two bits per digit plus the two-bit 00 separator: QED's storage cost for
+    one code inside a label. *)
+
+val storage_bits_compact : t -> int
+(** Two bits per digit, no separator: CDQS's per-code storage cost (the
+    length bookkeeping is amortised into the scheme's own accounting). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+let max_period = 4
+(* Longest repeated unit we look for. LSDX positional identifiers repeat
+   short letter groups; longer periods never pay off on real labels. *)
+
+let digits n = String.length (string_of_int n)
+
+(* Cost of emitting [count] copies of a unit of length [p]: count digits,
+   the unit itself, and two parentheses when the unit has several letters. *)
+let encoded_cost count p =
+  digits count + p + if p > 1 then 2 else 0
+
+let repeats s i p =
+  (* Number of consecutive copies of [s.[i..i+p-1]] starting at [i]. *)
+  let n = String.length s in
+  let rec same_unit k j =
+    k = p || (j + k < n && s.[i + k] = s.[j + k] && same_unit (k + 1) j)
+  in
+  let rec count c j = if j + p <= n && same_unit 0 j then count (c + 1) (j + p) else c in
+  count 0 i
+
+let compress s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (* Pick the period whose encoding saves the most characters here. *)
+    let best_p = ref 0 and best_count = ref 0 and best_saving = ref 0 in
+    for p = 1 to min max_period (n - !i) do
+      let c = repeats s !i p in
+      if c >= 2 then begin
+        let saving = (c * p) - encoded_cost c p in
+        if saving > !best_saving then begin
+          best_p := p;
+          best_count := c;
+          best_saving := saving
+        end
+      end
+    done;
+    if !best_saving > 0 then begin
+      let p = !best_p and c = !best_count in
+      Buffer.add_string buf (string_of_int c);
+      if p > 1 then begin
+        Buffer.add_char buf '(';
+        Buffer.add_string buf (String.sub s !i p);
+        Buffer.add_char buf ')'
+      end
+      else Buffer.add_char buf s.[!i];
+      i := !i + (c * p)
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let decompress s =
+  let n = String.length s in
+  let buf = Buffer.create (2 * n) in
+  let i = ref 0 in
+  let fail () = invalid_arg "Rle.decompress: malformed input" in
+  while !i < n do
+    match s.[!i] with
+    | '0' .. '9' ->
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do incr i done;
+      let count = int_of_string (String.sub s start (!i - start)) in
+      if !i >= n then fail ();
+      let unit =
+        if s.[!i] = '(' then begin
+          let close =
+            match String.index_from_opt s !i ')' with
+            | Some j -> j
+            | None -> fail ()
+          in
+          let u = String.sub s (!i + 1) (close - !i - 1) in
+          i := close + 1;
+          u
+        end
+        else begin
+          let u = String.make 1 s.[!i] in
+          incr i;
+          u
+        end
+      in
+      if unit = "" then fail ();
+      for _ = 1 to count do Buffer.add_string buf unit done
+    | '(' | ')' -> fail ()
+    | c ->
+      Buffer.add_char buf c;
+      incr i
+  done;
+  Buffer.contents buf
+
+let compressed_bits s = 8 * String.length (compress s)

@@ -1,0 +1,19 @@
+(** Run-length compression of positional identifiers, as used by Com-D
+    [Duong & Zhang, OTM 2008].
+
+    Com-D shrinks LSDX labels by writing repeated letters (or repeated letter
+    groups) as a repetition count followed by the repeated unit, e.g.
+    ["aaaaabcbcbcdddde"] becomes ["5a3(bc)4de"]. *)
+
+val compress : string -> string
+(** [compress s] is the Com-D encoding of [s]. Units of one letter are
+    written as [<count><letter>]; units of several letters are parenthesised
+    as [<count>(<letters>)]. Runs shorter than the break-even length are
+    left verbatim. *)
+
+val decompress : string -> string
+(** Inverse of {!compress}. Raises [Invalid_argument] on malformed input. *)
+
+val compressed_bits : string -> int
+(** Storage cost of the compressed form, at eight bits per character — the
+    accounting Com-D's evaluation uses. *)

@@ -1,0 +1,75 @@
+exception Overflow of int
+
+let max_encodable = (1 lsl 21) - 1
+
+let byte_length v =
+  if v < 0 then invalid_arg "Varint.byte_length: negative value";
+  if v < 0x80 then 1
+  else if v < 0x800 then 2
+  else if v < 0x10000 then 3
+  else if v <= max_encodable then 4
+  else raise (Overflow v)
+
+let bits v = 8 * byte_length v
+
+let encode v =
+  match byte_length v with
+  | 1 -> String.make 1 (Char.chr v)
+  | 2 ->
+    let b0 = 0xC0 lor (v lsr 6) and b1 = 0x80 lor (v land 0x3F) in
+    Printf.sprintf "%c%c" (Char.chr b0) (Char.chr b1)
+  | 3 ->
+    let b0 = 0xE0 lor (v lsr 12)
+    and b1 = 0x80 lor ((v lsr 6) land 0x3F)
+    and b2 = 0x80 lor (v land 0x3F) in
+    Printf.sprintf "%c%c%c" (Char.chr b0) (Char.chr b1) (Char.chr b2)
+  | _ ->
+    let b0 = 0xF0 lor (v lsr 18)
+    and b1 = 0x80 lor ((v lsr 12) land 0x3F)
+    and b2 = 0x80 lor ((v lsr 6) land 0x3F)
+    and b3 = 0x80 lor (v land 0x3F) in
+    Printf.sprintf "%c%c%c%c" (Char.chr b0) (Char.chr b1) (Char.chr b2)
+      (Char.chr b3)
+
+let continuation s pos =
+  if pos >= String.length s then
+    invalid_arg "Varint.decode: truncated sequence";
+  let b = Char.code s.[pos] in
+  if b land 0xC0 <> 0x80 then invalid_arg "Varint.decode: bad continuation";
+  b land 0x3F
+
+let decode s pos =
+  if pos < 0 || pos >= String.length s then
+    invalid_arg "Varint.decode: position out of range";
+  let b0 = Char.code s.[pos] in
+  if b0 < 0x80 then (b0, pos + 1)
+  else if b0 land 0xE0 = 0xC0 then
+    let v = ((b0 land 0x1F) lsl 6) lor continuation s (pos + 1) in
+    (v, pos + 2)
+  else if b0 land 0xF0 = 0xE0 then
+    let v =
+      ((b0 land 0x0F) lsl 12)
+      lor (continuation s (pos + 1) lsl 6)
+      lor continuation s (pos + 2)
+    in
+    (v, pos + 3)
+  else if b0 land 0xF8 = 0xF0 then
+    let v =
+      ((b0 land 0x07) lsl 18)
+      lor (continuation s (pos + 1) lsl 12)
+      lor (continuation s (pos + 2) lsl 6)
+      lor continuation s (pos + 3)
+    in
+    (v, pos + 4)
+  else invalid_arg "Varint.decode: bad leading byte"
+
+let encode_list vs = String.concat "" (List.map encode vs)
+
+let decode_all s =
+  let rec go pos acc =
+    if pos = String.length s then List.rev acc
+    else
+      let v, next = decode s pos in
+      go next (v :: acc)
+  in
+  go 0 []

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Format Info Repro_xml Stats Tree

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Hashtbl Info List Option Repro_xml Scheme Stats Tree

@@ -1,0 +1,1 @@
+lib/core/table.ml: Hashtbl List Printf Repro_xml Stats Tree

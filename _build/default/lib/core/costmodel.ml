@@ -1,0 +1,46 @@
+(** Instrumentation for the Division Computation and Recursive Labelling
+    Algorithm properties of Figure 7.
+
+    Schemes perform arithmetic through the helpers below; the assays reset
+    the counters, run a workload, and read how many divisions and recursive
+    labelling calls actually happened. The counters are global mutable
+    state, which is safe here: the whole system is single-threaded and each
+    assay brackets its run with {!reset}/{!read}. *)
+
+type counts = { divisions : int; recursive_calls : int }
+
+let divisions = ref 0
+let recursive_calls = ref 0
+
+let reset () =
+  divisions := 0;
+  recursive_calls := 0
+
+let read () = { divisions = !divisions; recursive_calls = !recursive_calls }
+
+(** Integer division, counted. *)
+let div_int a b =
+  incr divisions;
+  a / b
+
+(** Floating-point division, counted. *)
+let div_float a b =
+  incr divisions;
+  a /. b
+
+(** Marks one call of a recursive initial-labelling algorithm. *)
+let tick_recursion () = incr recursive_calls
+
+(** [counting f] runs [f] with fresh counters and returns its result along
+    with the counts it accumulated, restoring the previous counts after. *)
+let counting f =
+  let saved_div = !divisions and saved_rec = !recursive_calls in
+  reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      let c = read () in
+      divisions := saved_div + c.divisions;
+      recursive_calls := saved_rec + c.recursive_calls)
+    (fun () ->
+      let r = f () in
+      (r, read ()))

@@ -1,0 +1,30 @@
+(** Static metadata about a labelling scheme: the definitional columns of
+    the paper's Figure 7 that are design decisions rather than measurable
+    behaviours. *)
+
+type order_approach = Global | Local | Hybrid
+
+type representation = Fixed | Variable
+
+type family = Containment | Prefix | Orthogonal_code
+
+type t = {
+  citation : string;  (** e.g. "O'Neil et al., SIGMOD 2004" *)
+  year : int;
+  family : family;
+  order : order_approach;  (** how document order is captured (§3.1) *)
+  representation : representation;  (** fixed- or variable-length storage *)
+  orthogonal : bool;
+      (** the code algebra is independent of the labelling structure and can
+          be applied to containment, prefix and prime schemes alike (§4) *)
+  in_figure7 : bool;  (** whether the paper's matrix has a row for it *)
+}
+
+let order_to_string = function Global -> "Global" | Local -> "Local" | Hybrid -> "Hybrid"
+
+let representation_to_string = function Fixed -> "Fixed" | Variable -> "Variable"
+
+let family_to_string = function
+  | Containment -> "containment"
+  | Prefix -> "prefix"
+  | Orthogonal_code -> "orthogonal code"

@@ -1,0 +1,87 @@
+(** The interface a dynamic labelling scheme must implement (Definition 1
+    plus the update contract of §3.1).
+
+    Label-level functions ([compare_order], the optional structural
+    predicates) must work from label values alone — that independence is
+    what the XPath Evaluations property of Figure 7 grades. Everything
+    that needs the tree goes through the stateful document half. *)
+
+open Repro_xml
+
+module type S = sig
+  val name : string
+  val info : Info.t
+
+  (** {1 Labels} *)
+
+  type label
+
+  val pp_label : Format.formatter -> label -> unit
+  val label_to_string : label -> string
+  val equal_label : label -> label -> bool
+
+  val compare_order : label -> label -> int
+  (** Document order, decided from the two labels alone. *)
+
+  val storage_bits : label -> int
+  (** Storage cost of this label under the scheme's own encoding
+      representation (Figure 7's Encoding Rep. and Compact Encoding
+      columns). *)
+
+  val encode_label : label -> string * int
+  (** The label's concrete binary form: packed bytes plus the number of
+      significant bits (the final byte may be zero-padded). The §4
+      distinction is visible here: schemes with self-delimiting codes
+      (QED, CDQS, Vector) can be decoded without the bit count; schemes
+      with fixed fields need it — "variable length codes require the size
+      of the code to be stored in addition to the code itself". *)
+
+  val decode_label : string -> int -> label
+  (** [decode_label bytes bits] is the inverse of {!encode_label}. Raises
+      [Invalid_argument] on malformed input. *)
+
+  (** {1 Structural predicates from labels alone}
+
+      [None] means the scheme cannot answer that question from labels —
+      the encoding scheme would need an extra join (§2.3). *)
+
+  val is_ancestor : (label -> label -> bool) option
+  val is_parent : (label -> label -> bool) option
+  val is_sibling : (label -> label -> bool) option
+  val level_of : (label -> int) option
+
+  (** {1 A labelled document} *)
+
+  type t
+
+  val create : Tree.doc -> t
+  (** Bulk-labels every node of the document (the initial construction of
+      §3; recursive algorithms must report themselves through
+      {!Costmodel.tick_recursion}). *)
+
+  val restore : Tree.doc -> (Tree.node -> string * int) -> t
+  (** [restore doc stored] rebinds to a document whose labels were
+      persisted earlier: every node's label is [decode_label] of what
+      [stored] returns for it, {e not} a fresh assignment — reloading a
+      store must not relabel anything, or persistent labels would not
+      survive a restart. *)
+
+  val label : t -> Tree.node -> label
+
+  val after_insert : t -> Tree.node -> unit
+  (** Called once per freshly linked node, parents before children and
+      left siblings before right ones. The scheme assigns the new node's
+      label; any relabelling of existing nodes it needs is recorded by its
+      {!Table.t}. *)
+
+  val before_delete : t -> Tree.node -> unit
+  (** Called with the subtree root about to be detached, while it is still
+      in the tree. *)
+
+  val stats : t -> Stats.t
+end
+
+type packed = (module S)
+
+let name (module S : S) = S.name
+let info (module S : S) = S.info

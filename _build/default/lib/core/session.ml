@@ -1,0 +1,145 @@
+(** A type-erased labelled document.
+
+    [make] pairs a scheme with a document and hides the scheme's label type
+    behind closures, so the evaluation framework, the workload runner and
+    the CLI can treat all eighteen schemes uniformly. *)
+
+open Repro_xml
+
+type t = {
+  scheme_name : string;
+  info : Info.t;
+  doc : Tree.doc;
+  label_string : Tree.node -> string;
+  label_bits : Tree.node -> int;
+  label_encoded : Tree.node -> string * int;
+      (** the label's concrete binary form: bytes and significant bits *)
+  codec_roundtrips : Tree.node -> bool;
+      (** decode (encode label) = label — checked by the test suite *)
+  order : Tree.node -> Tree.node -> int;
+  is_ancestor : (Tree.node -> Tree.node -> bool) option;
+  is_parent : (Tree.node -> Tree.node -> bool) option;
+  is_sibling : (Tree.node -> Tree.node -> bool) option;
+  level_of : (Tree.node -> int) option;
+  insert_first : Tree.node -> Tree.frag -> Tree.node;
+  insert_last : Tree.node -> Tree.frag -> Tree.node;
+  insert_before : Tree.node -> Tree.frag -> Tree.node;
+  insert_after : Tree.node -> Tree.frag -> Tree.node;
+  delete : Tree.node -> unit;
+  stats : unit -> Stats.snapshot;
+}
+
+let build (module S : Scheme.S) doc ~stored =
+  let state =
+    match stored with None -> S.create doc | Some f -> S.restore doc f
+  in
+  let lab n = S.label state n in
+  let via f = Option.map (fun g a b -> g (lab a) (lab b)) f in
+  let settle node =
+    (* Fresh nodes are labelled parents-first, left-to-right. *)
+    Stats.record_insert (S.stats state);
+    S.after_insert state node;
+    List.iter
+      (fun d ->
+        Stats.record_insert (S.stats state);
+        S.after_insert state d)
+      (Tree.descendants node)
+  in
+  {
+    scheme_name = S.name;
+    info = S.info;
+    doc;
+    label_string = (fun n -> S.label_to_string (lab n));
+    label_bits = (fun n -> S.storage_bits (lab n));
+    label_encoded = (fun n -> S.encode_label (lab n));
+    codec_roundtrips =
+      (fun n ->
+        let l = lab n in
+        let bytes, bits = S.encode_label l in
+        S.equal_label l (S.decode_label bytes bits));
+    order = (fun a b -> S.compare_order (lab a) (lab b));
+    is_ancestor = via S.is_ancestor;
+    is_parent = via S.is_parent;
+    is_sibling = via S.is_sibling;
+    level_of = Option.map (fun g n -> g (lab n)) S.level_of;
+    insert_first =
+      (fun parent f ->
+        let n = Tree.insert_first_child doc parent f in
+        settle n;
+        n);
+    insert_last =
+      (fun parent f ->
+        let n = Tree.insert_last_child doc parent f in
+        settle n;
+        n);
+    insert_before =
+      (fun anchor f ->
+        let n = Tree.insert_before doc anchor f in
+        settle n;
+        n);
+    insert_after =
+      (fun anchor f ->
+        let n = Tree.insert_after doc anchor f in
+        settle n;
+        n);
+    delete =
+      (fun n ->
+        Stats.record_delete (S.stats state);
+        S.before_delete state n;
+        Tree.delete doc n);
+    stats = (fun () -> Stats.snapshot (S.stats state));
+  }
+
+let make pack doc = build pack doc ~stored:None
+
+(** Rebind a scheme to a document with previously persisted labels: every
+    node's label comes from [stored] (bytes, significant bits) through the
+    scheme's codec, not from fresh assignment. *)
+let restore pack doc stored = build pack doc ~stored:(Some stored)
+
+(** [(node id, label text)] for every live node; the persistence assay
+    diffs two of these across an update. *)
+let labels_snapshot t =
+  List.map (fun (n : Tree.node) -> (n.id, t.label_string n)) (Tree.preorder t.doc)
+
+(** Checks that label order matches document order for every adjacent pair
+    (and, optionally, all pairs) of the current document. *)
+let order_consistent ?(all_pairs = false) t =
+  let nodes = Array.of_list (Tree.preorder t.doc) in
+  let n = Array.length nodes in
+  let ok = ref true in
+  if all_pairs then
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let expected = compare i j in
+        let got = t.order nodes.(i) nodes.(j) in
+        if compare got 0 <> compare expected 0 then ok := false
+      done
+    done
+  else
+    for i = 0 to n - 2 do
+      if t.order nodes.(i) nodes.(i + 1) >= 0 then ok := false
+    done;
+  !ok
+
+(** True when any two live nodes carry the same label text. *)
+let has_duplicate_labels t =
+  let seen = Hashtbl.create 256 in
+  let dup = ref false in
+  List.iter
+    (fun (n : Tree.node) ->
+      let l = t.label_string n in
+      if Hashtbl.mem seen l then dup := true else Hashtbl.replace seen l ())
+    (Tree.preorder t.doc);
+  !dup
+
+let total_bits t =
+  List.fold_left (fun acc n -> acc + t.label_bits n) 0 (Tree.preorder t.doc)
+
+let max_bits t =
+  List.fold_left (fun acc n -> max acc (t.label_bits n)) 0 (Tree.preorder t.doc)
+
+let avg_bits t =
+  let nodes = Tree.preorder t.doc in
+  if nodes = [] then 0.0
+  else float_of_int (total_bits t) /. float_of_int (List.length nodes)

@@ -1,0 +1,36 @@
+(** Per-document update accounting.
+
+    Relabellings and overflow events are the quantities Figure 7's
+    Persistent Labels and Overflow Problem columns grade, and the survey's
+    §3-§4 claims quantify; every scheme reports them here. *)
+
+type t = {
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable relabelled : int;
+      (** number of existing nodes whose label changed because of an update
+          (the freshly inserted nodes themselves are not counted) *)
+  mutable overflow_events : int;
+      (** times a fixed field saturated and forced a bulk relabelling (§4) *)
+}
+
+type snapshot = { s_inserts : int; s_deletes : int; s_relabelled : int; s_overflow : int }
+
+let create () = { inserts = 0; deletes = 0; relabelled = 0; overflow_events = 0 }
+
+let snapshot t =
+  {
+    s_inserts = t.inserts;
+    s_deletes = t.deletes;
+    s_relabelled = t.relabelled;
+    s_overflow = t.overflow_events;
+  }
+
+let record_insert t = t.inserts <- t.inserts + 1
+let record_delete t = t.deletes <- t.deletes + 1
+let record_relabel ?(count = 1) t = t.relabelled <- t.relabelled + count
+let record_overflow t = t.overflow_events <- t.overflow_events + 1
+
+let pp ppf t =
+  Format.fprintf ppf "inserts=%d deletes=%d relabelled=%d overflow=%d" t.inserts t.deletes
+    t.relabelled t.overflow_events

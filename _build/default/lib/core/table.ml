@@ -1,0 +1,53 @@
+(** Node-id → label table shared by every scheme implementation.
+
+    Centralising the table keeps relabel accounting uniform: {!set} bumps
+    the document's {!Stats.t} whenever it overwrites an existing label with
+    a different one, which is exactly the event the Persistent Labels
+    property forbids. *)
+
+open Repro_xml
+
+type 'l t = { labels : (int, 'l) Hashtbl.t; equal : 'l -> 'l -> bool; stats : Stats.t }
+
+let create ~equal ~stats = { labels = Hashtbl.create 256; equal; stats }
+
+let mem t (n : Tree.node) = Hashtbl.mem t.labels n.id
+
+let find_opt t (n : Tree.node) = Hashtbl.find_opt t.labels n.id
+
+let get t (n : Tree.node) =
+  match find_opt t n with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Table.get: node %d has no label" n.id)
+
+(* [set] distinguishes the first labelling of a node (free) from an
+   overwrite (a relabelling, unless the label is unchanged). *)
+let set t (n : Tree.node) label =
+  (match Hashtbl.find_opt t.labels n.id with
+  | Some old when not (t.equal old label) -> Stats.record_relabel t.stats
+  | _ -> ());
+  Hashtbl.replace t.labels n.id label
+
+let remove_subtree t (n : Tree.node) =
+  Hashtbl.remove t.labels n.id;
+  List.iter (fun (d : Tree.node) -> Hashtbl.remove t.labels d.id) (Tree.descendants n)
+
+let size t = Hashtbl.length t.labels
+
+(** Nearest already-labelled sibling to the left of [n] (labels of fresher
+    right-hand parts of a just-inserted subtree are still absent, which
+    makes subtree insertion behave as the paper prescribes: "serialised as
+    a sequence of nodes and inserted individually"). *)
+let labelled_left t (n : Tree.node) =
+  let rec go = function
+    | Some s -> if mem t s then Some s else go (Tree.prev_sibling s)
+    | None -> None
+  in
+  go (Tree.prev_sibling n)
+
+let labelled_right t (n : Tree.node) =
+  let rec go = function
+    | Some s -> if mem t s then Some s else go (Tree.next_sibling s)
+    | None -> None
+  in
+  go (Tree.next_sibling n)

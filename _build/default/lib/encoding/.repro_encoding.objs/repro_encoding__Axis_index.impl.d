@@ -1,0 +1,1 @@
+lib/encoding/axis_index.ml: Array Encoding Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/encoding/axis_index.mli: Encoding

@@ -1,0 +1,1 @@
+lib/encoding/encoding.ml: Array Buffer Hashtbl Int List Option Printf Repro_xml Serializer Tree

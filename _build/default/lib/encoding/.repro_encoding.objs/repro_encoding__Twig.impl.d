@@ -1,0 +1,1 @@
+lib/encoding/twig.ml: Axis_index Encoding Hashtbl List Printf String

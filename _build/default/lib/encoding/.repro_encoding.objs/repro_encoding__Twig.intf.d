@@ -1,0 +1,1 @@
+lib/encoding/twig.mli: Axis_index Encoding

@@ -1,0 +1,1 @@
+lib/encoding/update_lang.ml: Buffer Core Encoding Format List Oracle Parser Printf Repro_xml Serializer String Tree Xpath

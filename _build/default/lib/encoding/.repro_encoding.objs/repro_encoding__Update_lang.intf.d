@@ -1,0 +1,1 @@
+lib/encoding/update_lang.mli: Core Repro_xml

@@ -1,0 +1,1 @@
+lib/encoding/xpath.ml: Axis_index Encoding Float Format Hashtbl Int List Option Printf String

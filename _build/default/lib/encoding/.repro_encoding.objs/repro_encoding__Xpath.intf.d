@@ -1,0 +1,1 @@
+lib/encoding/xpath.mli: Axis_index Encoding Format

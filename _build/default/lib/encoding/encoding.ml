@@ -1,0 +1,87 @@
+open Repro_xml
+
+type kind = Element | Attribute
+
+type row = {
+  pre : int;
+  post : int;
+  kind : kind;
+  parent_pre : int option;
+  level : int;
+  name : string;
+  value : string option;
+}
+
+type t = { table : row array; by_pre : (int, int) Hashtbl.t; nodes : Tree.node array }
+
+let of_doc doc =
+  let count = Tree.size doc in
+  let acc = ref [] in
+  let post = ref 0 and pre = ref 0 in
+  let rec go level parent_pre node =
+    let my_pre = !pre in
+    incr pre;
+    List.iter (go (level + 1) (Some my_pre)) (Tree.children node);
+    let my_post = !post in
+    incr post;
+    let kind = match node.Tree.kind with Tree.Element -> Element | Tree.Attribute -> Attribute in
+    acc :=
+      ( { pre = my_pre; post = my_post; kind; parent_pre; level; name = node.Tree.name;
+          value = node.Tree.value },
+        node )
+      :: !acc
+  in
+  go 0 None (Tree.root doc);
+  let pairs = List.sort (fun (a, _) (b, _) -> Int.compare a.pre b.pre) !acc in
+  let table = Array.of_list (List.map fst pairs) in
+  let nodes = Array.of_list (List.map snd pairs) in
+  let by_pre = Hashtbl.create count in
+  Array.iteri (fun i r -> Hashtbl.replace by_pre r.pre i) table;
+  { table; by_pre; nodes }
+
+let rows t = Array.to_list t.table
+let size t = Array.length t.table
+
+let row_by_pre t pre = t.table.(Hashtbl.find t.by_pre pre)
+
+let node_of_row t row = t.nodes.(Hashtbl.find t.by_pre row.pre)
+
+(* Rebuild the fragment tree from the table alone: rows are in document
+   order, so each row's children are the later rows pointing back at it. *)
+let reconstruct t =
+  let children = Hashtbl.create (Array.length t.table) in
+  Array.iter
+    (fun r ->
+      match r.parent_pre with
+      | Some p -> Hashtbl.replace children p (r :: Option.value (Hashtbl.find_opt children p) ~default:[])
+      | None -> ())
+    t.table;
+  let rec build r =
+    let kids =
+      List.sort (fun (a : row) b -> Int.compare a.pre b.pre)
+        (Option.value (Hashtbl.find_opt children r.pre) ~default:[])
+    in
+    match r.kind with
+    | Attribute -> Tree.attr r.name (Option.value r.value ~default:"")
+    | Element -> Tree.elt ?value:r.value r.name (List.map build kids)
+  in
+  match Array.to_list t.table with
+  | [] -> invalid_arg "Encoding.reconstruct: empty table"
+  | root :: _ -> build root
+
+let reconstruct_text t = Serializer.frag_to_string ~indent:2 (reconstruct t)
+
+let to_table_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-4s %-10s %-7s %-10s %s\n" "Pre" "Post" "Type" "Parent" "Name" "Value");
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4d %-4d %-10s %-7s %-10s %s\n" r.pre r.post
+           (match r.kind with Element -> "Element" | Attribute -> "Attribute")
+           (match r.parent_pre with Some p -> string_of_int p | None -> "")
+           r.name
+           (Option.value r.value ~default:"")))
+    t.table;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** The XML encoding scheme of Definition 2 and Figure 2.
+
+    "An XML encoding scheme codifies the structure of the node sequence in
+    the XML tree and the properties and content of each node." The table
+    below is literally Figure 2's: one row per node with its
+    preorder/postorder ranks, node type, parent preorder rank, name and
+    value. It is built on the pre/post labelling scheme and augments it
+    with everything a full XPath evaluation needs (§2.3), and it supports
+    the full reconstruction of the textual document. *)
+
+type kind = Element | Attribute
+
+type row = {
+  pre : int;
+  post : int;
+  kind : kind;
+  parent_pre : int option;
+  level : int;
+  name : string;
+  value : string option;
+}
+
+type t
+
+val of_doc : Repro_xml.Tree.doc -> t
+
+val rows : t -> row list
+(** In document (preorder) order. *)
+
+val size : t -> int
+
+val row_by_pre : t -> int -> row
+(** Raises [Not_found]. *)
+
+val node_of_row : t -> row -> Repro_xml.Tree.node
+(** The live tree node a row describes. Raises [Not_found] if the encoding
+    is stale (the document changed since {!of_doc}). *)
+
+(** {1 Reconstruction (Definition 2)} *)
+
+val reconstruct : t -> Repro_xml.Tree.frag
+(** Rebuilds the tree purely from the table (ranks, parent links, names,
+    values) without consulting the original document. *)
+
+val reconstruct_text : t -> string
+(** [Serializer.frag_to_string (reconstruct t)]. *)
+
+(** {1 Rendering} *)
+
+val to_table_string : t -> string
+(** The Figure 2 table as aligned text. *)

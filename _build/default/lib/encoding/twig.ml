@@ -1,0 +1,132 @@
+type axis = Child | Descendant
+
+type t = { name : string; branches : (axis * t) list }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-'
+
+let name c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_name_char ch | None -> false) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail "expected a name at offset %d" start;
+  String.sub c.src start (c.pos - start)
+
+(* node := name branch* ; branch := '[' path ']' ;
+   path := node (('/' | '//') node)*  — a path nests as child/descendant
+   chains so each edge carries its own axis. *)
+let rec parse_node c =
+  let n = name c in
+  let branches = parse_branches c [] in
+  { name = n; branches }
+
+and parse_branches c acc =
+  match peek c with
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    let branch = parse_path c in
+    (match peek c with
+    | Some ']' -> c.pos <- c.pos + 1
+    | _ -> fail "expected ']' at offset %d" c.pos);
+    parse_branches c (branch :: acc)
+  | _ -> List.rev acc
+
+and parse_path c =
+  (* leading axis inside a branch defaults to child *)
+  let axis = parse_axis c ~default:Child in
+  let node = parse_node c in
+  match peek c with
+  | Some '/' ->
+    let next_axis = parse_axis c ~default:Child in
+    let rest_root = parse_rest c next_axis in
+    (axis, { node with branches = node.branches @ [ rest_root ] })
+  | _ -> (axis, node)
+
+and parse_rest c axis =
+  let node = parse_node c in
+  match peek c with
+  | Some '/' ->
+    let next_axis = parse_axis c ~default:Child in
+    let rest = parse_rest c next_axis in
+    (axis, { node with branches = node.branches @ [ rest ] })
+  | _ -> (axis, node)
+
+and parse_axis c ~default =
+  match peek c with
+  | Some '/' ->
+    c.pos <- c.pos + 1;
+    if peek c = Some '/' then begin
+      c.pos <- c.pos + 1;
+      Descendant
+    end
+    else Child
+  | _ -> default
+
+let parse src =
+  let c = { src = String.trim src; pos = 0 } in
+  let t = parse_node c in
+  if c.pos <> String.length c.src then fail "trailing characters at offset %d" c.pos;
+  t
+
+let rec to_string t =
+  t.name
+  ^ String.concat ""
+      (List.map
+         (fun (axis, b) ->
+           Printf.sprintf "[%s%s]" (match axis with Child -> "" | Descendant -> "//")
+             (to_string b))
+         t.branches)
+
+let rec matches_xpath_branch (axis, b) =
+  Printf.sprintf "[%s%s]"
+    (match axis with Child -> "" | Descendant -> ".//")
+    (b.name ^ String.concat "" (List.map matches_xpath_branch b.branches))
+
+let matches_xpath_equivalent t =
+  "//" ^ t.name ^ String.concat "" (List.map matches_xpath_branch t.branches)
+
+(* ------------------------------------------------------------------ *)
+(* Matching: one semijoin per pattern edge, bottom-up                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec matches idx t =
+  let base =
+    List.filter
+      (fun (r : Encoding.row) -> r.Encoding.kind = Encoding.Element)
+      (Axis_index.by_name idx t.name)
+  in
+  List.fold_left
+    (fun candidates (axis, branch) ->
+      if candidates = [] then []
+      else begin
+        let branch_matches = matches idx branch in
+        match axis with
+        | Descendant ->
+          Axis_index.semijoin_ancestors ~candidates ~descendants:branch_matches
+        | Child ->
+          let parents = Hashtbl.create 16 in
+          List.iter
+            (fun (r : Encoding.row) ->
+              match r.Encoding.parent_pre with
+              | Some p -> Hashtbl.replace parents p ()
+              | None -> ())
+            branch_matches;
+          List.filter
+            (fun (r : Encoding.row) -> Hashtbl.mem parents r.Encoding.pre)
+            candidates
+      end)
+    base t.branches

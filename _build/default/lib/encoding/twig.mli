@@ -1,0 +1,36 @@
+(** Twig (tree-pattern) matching by chained structural joins.
+
+    The structural join of the paper's citation [1] was introduced as "a
+    primitive for efficient XML query pattern matching": a query like
+    {e books that have a title and whose publisher contains a name} is a
+    small tree pattern, matched bottom-up with one semijoin per pattern
+    edge over the name index — no per-node navigation at all.
+
+    Pattern syntax: a name followed by any number of bracketed branch
+    paths, where a branch path is names joined by [/] (child) or [//]
+    (descendant) and may itself carry brackets:
+
+    {v
+    book[title][publisher//name]
+    open_auction[bidder/increase][current]
+    v}
+
+    [matches] returns the element rows matching the pattern's root with
+    every branch satisfied — equivalent to the XPath
+    [//root\[branch1\]\[branch2\]...], which is what the test suite checks
+    it against. *)
+
+type axis = Child | Descendant
+
+type t = { name : string; branches : (axis * t) list }
+
+exception Parse_error of string
+
+val parse : string -> t
+val to_string : t -> string
+
+val matches : Axis_index.t -> t -> Encoding.row list
+(** In document order. *)
+
+val matches_xpath_equivalent : t -> string
+(** The XPath expression computing the same result navigationally. *)

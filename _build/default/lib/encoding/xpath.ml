@@ -1,0 +1,613 @@
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "XPath error at offset %d: %s" e.position e.message
+
+(* ------------------------------------------------------------------ *)
+(* Abstract syntax                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+  | Self
+  | Attribute
+
+type nodetest = Name of string | Any | Node
+
+type step = { axis : axis; test : nodetest; predicates : expr list }
+
+and expr =
+  | Path of path
+  | Literal of string
+  | Number of float
+  | Compare of cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Position
+  | Last
+  | Count of path
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+and path = { absolute : bool; steps : step list }
+
+type ast = path
+
+(* Whether an axis can yield attribute nodes (XPath reaches attributes only
+   through the attribute axis, or self from an attribute context). *)
+let axis_reaches_attributes = function
+  | Attribute | Self -> true
+  | Child | Descendant | Descendant_or_self | Parent | Ancestor | Ancestor_or_self
+  | Following | Preceding | Following_sibling | Preceding_sibling ->
+    false
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Self -> "self"
+  | Attribute -> "attribute"
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec step_to_string s =
+  let test =
+    match s.test with Name n -> n | Any -> "*" | Node -> "node()"
+  in
+  Printf.sprintf "%s::%s%s" (axis_name s.axis) test
+    (String.concat "" (List.map (fun p -> "[" ^ expr_to_string p ^ "]") s.predicates))
+
+and expr_to_string = function
+  | Path p -> path_to_string p
+  | Literal s -> "'" ^ s ^ "'"
+  | Number f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | Compare (c, a, b) -> expr_to_string a ^ " " ^ cmp_name c ^ " " ^ expr_to_string b
+  | And (a, b) -> expr_to_string a ^ " and " ^ expr_to_string b
+  | Or (a, b) -> expr_to_string a ^ " or " ^ expr_to_string b
+  | Not e -> "not(" ^ expr_to_string e ^ ")"
+  | Position -> "position()"
+  | Last -> "last()"
+  | Count p -> "count(" ^ path_to_string p ^ ")"
+
+and path_to_string p =
+  (if p.absolute then "/" else "") ^ String.concat "/" (List.map step_to_string p.steps)
+
+let to_string = path_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tslash
+  | Tdslash
+  | Tdot
+  | Tddot
+  | Tat
+  | Tstar
+  | Tlbracket
+  | Trbracket
+  | Tlparen
+  | Trparen
+  | Tcolon2
+  | Tcomma
+  | Tname of string
+  | Tstring of string
+  | Tnumber of float
+  | Tcmp of cmp
+  | Teof
+
+let fail pos message = raise (Parse_error { position = pos; message })
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '/' then
+      if !i + 1 < n && src.[!i + 1] = '/' then begin push Tdslash pos; i := !i + 2 end
+      else begin push Tslash pos; incr i end
+    else if c = '.' then
+      if !i + 1 < n && src.[!i + 1] = '.' then begin push Tddot pos; i := !i + 2 end
+      else begin push Tdot pos; incr i end
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = ':' then begin
+      push Tcolon2 pos;
+      i := !i + 2
+    end
+    else if c = '@' then begin push Tat pos; incr i end
+    else if c = '*' then begin push Tstar pos; incr i end
+    else if c = '[' then begin push Tlbracket pos; incr i end
+    else if c = ']' then begin push Trbracket pos; incr i end
+    else if c = '(' then begin push Tlparen pos; incr i end
+    else if c = ')' then begin push Trparen pos; incr i end
+    else if c = ',' then begin push Tcomma pos; incr i end
+    else if c = '=' then begin push (Tcmp Eq) pos; incr i end
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      push (Tcmp Neq) pos;
+      i := !i + 2
+    end
+    else if c = '<' then
+      if !i + 1 < n && src.[!i + 1] = '=' then begin push (Tcmp Le) pos; i := !i + 2 end
+      else begin push (Tcmp Lt) pos; incr i end
+    else if c = '>' then
+      if !i + 1 < n && src.[!i + 1] = '=' then begin push (Tcmp Ge) pos; i := !i + 2 end
+      else begin push (Tcmp Gt) pos; incr i end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let start = !i + 1 in
+      let rec close j = if j >= n then fail pos "unterminated string literal"
+        else if src.[j] = quote then j else close (j + 1)
+      in
+      let j = close start in
+      push (Tstring (String.sub src start (j - start))) pos;
+      i := j + 1
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = '.') do incr i done;
+      push (Tnumber (float_of_string (String.sub src start (!i - start)))) pos
+    end
+    else if is_name_start c then begin
+      let start = !i in
+      while !i < n && is_name_char src.[!i] do incr i done;
+      push (Tname (String.sub src start (!i - start))) pos
+    end
+    else fail pos (Printf.sprintf "unexpected character %C" c)
+  done;
+  push Teof n;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser (recursive descent over the token list)                      *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, p) :: _ -> (t, p) | [] -> (Teof, 0)
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  let t, p = peek st in
+  if t = tok then advance st else fail p ("expected " ^ what)
+
+let axis_of_name p = function
+  | "child" -> Child
+  | "descendant" -> Descendant
+  | "descendant-or-self" -> Descendant_or_self
+  | "parent" -> Parent
+  | "ancestor" -> Ancestor
+  | "ancestor-or-self" -> Ancestor_or_self
+  | "following" -> Following
+  | "preceding" -> Preceding
+  | "following-sibling" -> Following_sibling
+  | "preceding-sibling" -> Preceding_sibling
+  | "self" -> Self
+  | "attribute" -> Attribute
+  | a -> fail p ("unknown axis " ^ a)
+
+let rec parse_path st =
+  let t, _ = peek st in
+  match t with
+  | Tslash ->
+    advance st;
+    let t2, _ = peek st in
+    if t2 = Teof then { absolute = true; steps = [] }
+    else { absolute = true; steps = parse_steps st }
+  | Tdslash ->
+    advance st;
+    let steps = parse_steps st in
+    { absolute = true; steps = { axis = Descendant_or_self; test = Node; predicates = [] } :: steps }
+  | _ -> { absolute = false; steps = parse_steps st }
+
+and parse_steps st =
+  let first = parse_step st in
+  let rec more acc =
+    match peek st with
+    | Tslash, _ ->
+      advance st;
+      more (parse_step st :: acc)
+    | Tdslash, _ ->
+      advance st;
+      let dos = { axis = Descendant_or_self; test = Node; predicates = [] } in
+      more (parse_step st :: dos :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+and parse_step st =
+  let t, p = peek st in
+  match t with
+  | Tdot ->
+    advance st;
+    { axis = Self; test = Node; predicates = [] }
+  | Tddot ->
+    advance st;
+    { axis = Parent; test = Node; predicates = [] }
+  | Tat ->
+    advance st;
+    let test = parse_nodetest st in
+    { axis = Attribute; test; predicates = parse_predicates st }
+  | Tstar ->
+    advance st;
+    { axis = Child; test = Any; predicates = parse_predicates st }
+  | Tname name -> (
+    (* Either an explicit axis (name::) or a child-axis name test. *)
+    match st.toks with
+    | (_, _) :: (Tcolon2, _) :: _ ->
+      advance st;
+      advance st;
+      let axis = axis_of_name p name in
+      let test = parse_nodetest st in
+      { axis; test; predicates = parse_predicates st }
+    | _ ->
+      advance st;
+      (* node() as a bare test *)
+      let test =
+        if name = "node" && fst (peek st) = Tlparen then begin
+          advance st;
+          expect st Trparen ")";
+          Node
+        end
+        else Name name
+      in
+      { axis = Child; test; predicates = parse_predicates st })
+  | _ -> fail p "expected a location step"
+
+and parse_nodetest st =
+  let t, p = peek st in
+  match t with
+  | Tstar ->
+    advance st;
+    Any
+  | Tname "node" when (match st.toks with _ :: (Tlparen, _) :: _ -> true | _ -> false) ->
+    advance st;
+    advance st;
+    expect st Trparen ")";
+    Node
+  | Tname n ->
+    advance st;
+    Name n
+  | _ -> fail p "expected a node test"
+
+and parse_predicates st =
+  match peek st with
+  | Tlbracket, _ ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trbracket "]";
+    e :: parse_predicates st
+  | _ -> []
+
+and parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Tname "or", _ ->
+    advance st;
+    Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_cmp st in
+  match peek st with
+  | Tname "and", _ ->
+    advance st;
+    And (left, parse_and st)
+  | _ -> left
+
+and parse_cmp st =
+  let left = parse_primary st in
+  match peek st with
+  | Tcmp c, _ ->
+    advance st;
+    Compare (c, left, parse_primary st)
+  | _ -> left
+
+and parse_primary st =
+  let t, p = peek st in
+  match t with
+  | Tnumber f ->
+    advance st;
+    Number f
+  | Tstring s ->
+    advance st;
+    Literal s
+  | Tlparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen ")";
+    e
+  | Tname "not" when (match st.toks with _ :: (Tlparen, _) :: _ -> true | _ -> false) ->
+    advance st;
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen ")";
+    Not e
+  | Tname "position" when (match st.toks with _ :: (Tlparen, _) :: _ -> true | _ -> false) ->
+    advance st;
+    advance st;
+    expect st Trparen ")";
+    Position
+  | Tname "last" when (match st.toks with _ :: (Tlparen, _) :: _ -> true | _ -> false) ->
+    advance st;
+    advance st;
+    expect st Trparen ")";
+    Last
+  | Tname "count" when (match st.toks with _ :: (Tlparen, _) :: _ -> true | _ -> false) ->
+    advance st;
+    advance st;
+    let path = parse_path st in
+    expect st Trparen ")";
+    Count path
+  | Tname _ | Tdot | Tddot | Tat | Tstar | Tslash | Tdslash -> Path (parse_path st)
+  | _ -> fail p "expected an expression"
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let path = parse_path st in
+  (match peek st with
+  | Teof, _ -> ()
+  | _, p -> fail p "trailing tokens after the path expression");
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+open Encoding
+
+(* The virtual document node above the root element: absolute paths start
+   here, so that /book selects the root element itself. *)
+let virtual_root : row =
+  {
+    pre = -1;
+    post = max_int;
+    kind = Element;
+    parent_pre = None;
+    level = -1;
+    name = "#document";
+    value = None;
+  }
+
+let is_virtual (r : row) = r.pre = -1
+
+(* A row's parent key, with the virtual root as the parent of the document
+   element. *)
+let parent_key (r : row) = Option.value r.parent_pre ~default:(-1)
+
+(* Region queries in the pre/post plane (Grust): each axis is a predicate
+   over the candidate row given the context row. Although the paper's data
+   model stores attributes as tree children, XPath only reaches attribute
+   nodes through the attribute axis (or self from an attribute context). *)
+let axis_pred axis (ctx : row) (r : row) =
+  if r.kind = Attribute && not (axis_reaches_attributes axis) then false
+  else
+  match axis with
+  | Child -> parent_key r = ctx.pre && r.kind = Element && not (is_virtual r)
+  | Attribute -> parent_key r = ctx.pre && r.kind = Attribute
+  | Descendant -> r.pre > ctx.pre && r.post < ctx.post
+  | Descendant_or_self -> r.pre >= ctx.pre && r.post <= ctx.post
+  | Parent -> parent_key ctx = r.pre && not (is_virtual ctx)
+  | Ancestor -> r.pre < ctx.pre && r.post > ctx.post
+  | Ancestor_or_self -> r.pre <= ctx.pre && r.post >= ctx.post
+  | Following -> r.pre > ctx.pre && r.post > ctx.post && not (is_virtual r)
+  | Preceding -> r.pre < ctx.pre && r.post < ctx.post && not (is_virtual r)
+  | Following_sibling ->
+    (not (is_virtual r)) && (not (is_virtual ctx)) && parent_key r = parent_key ctx && r.pre > ctx.pre
+  | Preceding_sibling ->
+    (not (is_virtual r)) && (not (is_virtual ctx)) && parent_key r = parent_key ctx && r.pre < ctx.pre
+  | Self -> r.pre = ctx.pre
+
+let reverse_axis = function
+  | Ancestor | Ancestor_or_self | Preceding | Preceding_sibling | Parent -> true
+  | _ -> false
+
+let test_pred test (r : row) =
+  match test with
+  | Name n -> r.name = n
+  | Any -> not (is_virtual r) (* '*' tests the principal node type *)
+  | Node -> true
+
+let string_value (r : row) = Option.value r.value ~default:""
+
+type value = Nodes of row list | Str of string | Num of float | Bool of bool
+
+let to_bool = function
+  | Bool b -> b
+  | Num f -> f <> 0.0
+  | Str s -> s <> ""
+  | Nodes ns -> ns <> []
+
+let to_num = function
+  | Num f -> f
+  | Str s -> (try float_of_string s with Failure _ -> Float.nan)
+  | Bool b -> if b then 1.0 else 0.0
+  | Nodes [] -> Float.nan
+  | Nodes (r :: _) -> ( try float_of_string (string_value r) with Failure _ -> Float.nan)
+
+let compare_values c a b =
+  let num_cmp op = op (to_num a) (to_num b) in
+  match c with
+  | Eq | Neq -> (
+    let eq =
+      match (a, b) with
+      | Nodes ns, Str s | Str s, Nodes ns -> List.exists (fun r -> string_value r = s) ns
+      | Nodes ns, Num f | Num f, Nodes ns ->
+        List.exists (fun r -> (try float_of_string (string_value r) = f with Failure _ -> false)) ns
+      | Nodes xs, Nodes ys ->
+        List.exists (fun x -> List.exists (fun y -> string_value x = string_value y) ys) xs
+      | Str x, Str y -> x = y
+      | Num x, Num y -> x = y
+      | x, y -> to_bool x = to_bool y
+    in
+    match c with Eq -> eq | _ -> not eq)
+  | Lt -> num_cmp ( < )
+  | Le -> num_cmp ( <= )
+  | Gt -> num_cmp ( > )
+  | Ge -> num_cmp ( >= )
+
+let dedup_doc_order rows =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (r : row) ->
+      if Hashtbl.mem seen r.pre then false
+      else begin
+        Hashtbl.replace seen r.pre ();
+        true
+      end)
+    (List.sort (fun (a : row) b -> Int.compare a.pre b.pre) rows)
+
+(* Candidate generation through the region-query index (§3.1.1): each
+   axis is an O(log n + answer) lookup instead of a document scan. The
+   virtual document node is handled specially — it is not in the index. *)
+let indexed_candidates idx (ctx : row) axis =
+  let non_attribute () =
+    List.filter (fun (r : row) -> r.kind <> Attribute) (Axis_index.all idx)
+  in
+  if is_virtual ctx then
+    match axis with
+    | Child -> [ Axis_index.root idx ]
+    | Descendant -> non_attribute ()
+    | Descendant_or_self -> ctx :: non_attribute ()
+    | Self | Ancestor_or_self -> [ ctx ]
+    | Attribute | Parent | Ancestor | Following | Preceding | Following_sibling
+    | Preceding_sibling ->
+      []
+  else
+    match axis with
+    | Child -> Axis_index.children idx ctx
+    | Attribute -> Axis_index.attributes idx ctx
+    | Descendant ->
+      List.filter (fun (r : row) -> r.kind <> Attribute) (Axis_index.descendants idx ctx)
+    | Descendant_or_self ->
+      ctx
+      :: List.filter (fun (r : row) -> r.kind <> Attribute) (Axis_index.descendants idx ctx)
+    | Self -> [ ctx ]
+    | Parent -> (
+      match Axis_index.parent idx ctx with
+      | Some p -> [ p ]
+      | None -> [ virtual_root ])
+    | Ancestor -> virtual_root :: Axis_index.ancestors idx ctx
+    | Ancestor_or_self -> (virtual_root :: Axis_index.ancestors idx ctx) @ [ ctx ]
+    | Following -> Axis_index.following idx ctx
+    | Preceding -> Axis_index.preceding idx ctx
+    | Following_sibling -> Axis_index.following_siblings idx ctx
+    | Preceding_sibling -> Axis_index.preceding_siblings idx ctx
+
+let rec eval_path enc idx (ctx : row) (p : path) =
+  let start = if p.absolute then [ virtual_root ] else [ ctx ] in
+  List.fold_left (fun nodes step -> eval_step enc idx nodes step) start p.steps
+
+and eval_step enc idx context_nodes step =
+  let all = virtual_root :: rows enc in
+  let from_ctx ctx =
+    let candidates =
+      match idx with
+      | Some idx ->
+        List.filter
+          (fun r ->
+            (not (r.kind = Attribute && not (axis_reaches_attributes step.axis)))
+            && test_pred step.test r)
+          (indexed_candidates idx ctx step.axis)
+      | None ->
+        List.filter (fun r -> axis_pred step.axis ctx r && test_pred step.test r) all
+    in
+    let ordered =
+      if reverse_axis step.axis then List.rev candidates else candidates
+    in
+    (* Each predicate filters with position()/last() relative to the
+       current candidate list. *)
+    let apply_pred cands pred =
+      let last = List.length cands in
+      List.filteri
+        (fun i r ->
+          let v = eval_expr enc idx r ~position:(i + 1) ~last pred in
+          match v with
+          | Num f -> f = float_of_int (i + 1) (* [2] means position()=2 *)
+          | v -> to_bool v)
+        cands
+    in
+    List.fold_left apply_pred ordered step.predicates
+  in
+  dedup_doc_order (List.concat_map from_ctx context_nodes)
+
+and eval_expr enc idx ctx ~position ~last = function
+  | Path p -> Nodes (eval_path enc idx ctx p)
+  | Literal s -> Str s
+  | Number f -> Num f
+  | Compare (c, a, b) ->
+    Bool
+      (compare_values c
+         (eval_expr enc idx ctx ~position ~last a)
+         (eval_expr enc idx ctx ~position ~last b))
+  | And (a, b) ->
+    Bool
+      (to_bool (eval_expr enc idx ctx ~position ~last a)
+      && to_bool (eval_expr enc idx ctx ~position ~last b))
+  | Or (a, b) ->
+    Bool
+      (to_bool (eval_expr enc idx ctx ~position ~last a)
+      || to_bool (eval_expr enc idx ctx ~position ~last b))
+  | Not e -> Bool (not (to_bool (eval_expr enc idx ctx ~position ~last e)))
+  | Position -> Num (float_of_int position)
+  | Last -> Num (float_of_int last)
+  | Count p -> Num (float_of_int (List.length (eval_path enc idx ctx p)))
+
+let eval_with enc idx (p : ast) =
+  match rows enc with
+  | [] -> []
+  | root :: _ ->
+    List.filter
+      (fun r -> not (is_virtual r))
+      (dedup_doc_order (eval_path enc idx root p))
+
+let eval_ast enc (p : ast) = eval_with enc (Some (Axis_index.build enc)) p
+
+let eval enc src = eval_ast enc (parse src)
+
+(* The document-scan evaluator: every axis as a filter over all rows.
+   Kept as the reference implementation the indexed engine is checked
+   against, and as the baseline of the region-query benchmark. *)
+let eval_scan_ast enc (p : ast) = eval_with enc None p
+
+let eval_scan enc src = eval_scan_ast enc (parse src)
+
+(* Re-evaluation against a prebuilt index, for callers issuing many
+   queries over one encoding. *)
+let eval_indexed enc idx src = eval_with enc (Some idx) (parse src)

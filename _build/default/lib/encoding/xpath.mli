@@ -1,0 +1,49 @@
+(** An XPath 1.0 subset evaluated over the encoding scheme.
+
+    §2.2-§2.3 motivate labelling schemes by XPath's needs: node identity,
+    document order, and the structural axes; the encoding scheme supplies
+    names and values. This engine implements the thirteen structural axes
+    as region/parent queries over the Figure 2 table — the ancestor,
+    descendant, following and preceding axes are exactly Grust's
+    rectangular region queries in the pre/post plane (§3.1.1).
+
+    Supported syntax: absolute and relative location paths; the axes
+    [child], [descendant], [descendant-or-self], [parent], [ancestor],
+    [ancestor-or-self], [following], [preceding], [following-sibling],
+    [preceding-sibling], [self], [attribute]; abbreviations [/], [//],
+    [.], [..], [@]; name tests and [*]; predicates with positions,
+    comparisons ([= != < <= > >=]), [and]/[or], [not(..)], [position()],
+    [last()], [count(..)], string and integer literals. *)
+
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+type ast
+
+val parse : string -> ast
+(** Raises {!Parse_error}. *)
+
+val to_string : ast -> string
+(** Canonical unabbreviated form of the parsed path. *)
+
+val eval : Encoding.t -> string -> Encoding.row list
+(** [eval enc path] parses and evaluates [path] with the document root as
+    context node. The result is duplicate-free and in document order, as
+    XPath requires (Definition 1). Raises {!Parse_error}. *)
+
+val eval_ast : Encoding.t -> ast -> Encoding.row list
+
+val eval_scan : Encoding.t -> string -> Encoding.row list
+(** Reference implementation: every axis evaluated as a predicate scan
+    over all rows. The indexed {!eval} is checked against it by the test
+    suite; the benchmark harness compares their costs (the §3.1.1
+    region-query claim). *)
+
+val eval_scan_ast : Encoding.t -> ast -> Encoding.row list
+
+val eval_indexed : Encoding.t -> Axis_index.t -> string -> Encoding.row list
+(** Evaluate against a prebuilt index — for callers issuing many queries
+    over the same encoding. *)

@@ -1,0 +1,1 @@
+lib/framework/assay.ml: Core Docgen Float Fun Hashtbl List Option Oracle Printf Property Repro_workload Repro_xml Runner String Tree Updates

@@ -1,0 +1,1 @@
+lib/framework/assay.mli: Core Property

@@ -1,0 +1,1 @@
+lib/framework/chart.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/framework/claims.ml: Array Assay Buffer Chart Core Docgen Float List Option Printf Repro_encoding Repro_schemes Repro_storage Repro_workload Repro_xml Runner Samples String Tree Unix Updates

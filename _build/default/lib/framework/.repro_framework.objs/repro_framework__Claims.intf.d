@@ -1,0 +1,1 @@
+lib/framework/claims.mli:

@@ -1,0 +1,1 @@
+lib/framework/figures.ml: Core List Option Printf Repro_encoding Repro_schemes Repro_xml Samples String Tree

@@ -1,0 +1,1 @@
+lib/framework/matrix.ml: Assay Buffer Core List Paper_expected Printf Property Repro_schemes String

@@ -1,0 +1,1 @@
+lib/framework/matrix.mli: Assay Core Property

@@ -1,0 +1,1 @@
+lib/framework/paper_expected.ml: Core List Property

@@ -1,0 +1,1 @@
+lib/framework/property.ml: Core List

@@ -1,0 +1,1 @@
+lib/framework/report.ml: Buffer Claims Figures List Matrix Out_channel Printf Repro_schemes String

@@ -1,0 +1,45 @@
+(** Executable compliance assays: each cell of our computed Figure 7 is
+    the verdict of one of these measurements run against the real scheme
+    implementation — never a transcription of the paper.
+
+    The measurements: persistence by relabelling counters over five update
+    scenarios; XPath and level by exhaustive comparison of the label-only
+    predicates against the tree oracle; overflow by adversarial skewed and
+    deep workloads; compactness by storage measurements under the three
+    §5.1 scenarios; division and recursion by the {!Core.Costmodel}
+    instrumentation. *)
+
+type config = {
+  seed : int;
+  base_nodes : int;  (** size of the randomly generated base document *)
+  standard_ops : int;  (** update count for behavioural assays *)
+  adversarial_ops : int;  (** update count for the overflow assays *)
+}
+
+val default : config
+
+val grade_scheme : ?config:config -> Core.Scheme.packed -> Property.row
+(** Runs every assay; each grade comes with its evidence line. *)
+
+(** {1 Individual assays} (exposed for focused tests and the CL
+    experiments) *)
+
+val persistence : config -> Core.Scheme.packed -> Property.compliance * string
+val xpath_eval : config -> Core.Scheme.packed -> Property.compliance * string
+val level_enc : config -> Core.Scheme.packed -> Property.compliance * string
+val overflow : config -> Core.Scheme.packed -> Property.compliance * string
+val orthogonal : config -> Core.Scheme.packed -> Property.compliance * string
+val compact : config -> Core.Scheme.packed -> Property.compliance * string
+val division : config -> Core.Scheme.packed -> Property.compliance * string
+val recursion : config -> Core.Scheme.packed -> Property.compliance * string
+
+(** {1 Compact measurements} (reused by experiment CL8) *)
+
+type compact_measure = {
+  initial_avg : float;
+  uniform_avg : float;
+  skewed_max : int;
+  skewed_relabelled : int;
+}
+
+val compact_measure : config -> Core.Scheme.packed -> compact_measure

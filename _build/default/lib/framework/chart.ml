@@ -1,0 +1,36 @@
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '~' |]
+
+let plot ?(width = 60) ?(height = 12) ~title ~y_label series =
+  let all_values = List.concat_map (fun (_, a) -> Array.to_list a) series in
+  let max_v = List.fold_left Float.max 1.0 all_values in
+  let canvas = Array.make_matrix height width ' ' in
+  let place si (_, values) =
+    let n = Array.length values in
+    if n > 0 then begin
+      let marker = markers.(si mod Array.length markers) in
+      Array.iteri
+        (fun i v ->
+          let x =
+            if n = 1 then 0 else i * (width - 1) / (n - 1)
+          in
+          let y = int_of_float (v /. max_v *. float_of_int (height - 1)) in
+          let y = min (height - 1) (max 0 y) in
+          canvas.(height - 1 - y).(x) <- marker)
+        values
+    end
+  in
+  List.iteri place series;
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  Buffer.add_string buf (title ^ "\n");
+  Array.iteri
+    (fun row line ->
+      let y_val = max_v *. float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      Buffer.add_string buf (Printf.sprintf "%8.0f |%s|\n" y_val (String.init width (Array.get line))))
+    canvas;
+  Buffer.add_string buf (Printf.sprintf "%8s +%s+\n" y_label (String.make width '-'));
+  List.iteri
+    (fun si (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "         %c %s\n" markers.(si mod Array.length markers) name))
+    series;
+  Buffer.contents buf

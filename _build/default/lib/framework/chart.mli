@@ -1,0 +1,15 @@
+(** Minimal ASCII charts for the benchmark harness: growth curves as
+    aligned series plots, so CL5's label-growth shapes are visible in the
+    terminal output without external tooling. *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  y_label:string ->
+  (string * float array) list ->
+  string
+(** [plot ~title ~y_label series] renders every series on one canvas, each
+    with its own marker character, with a shared linear y-axis and a
+    legend. Series may have different lengths; x positions are spread
+    evenly. *)

@@ -1,0 +1,52 @@
+(** The survey's qualitative claims, made quantitative — experiments
+    CL1-CL11 of DESIGN.md. Every experiment is seeded and returns both a
+    printable table and a [holds] flag asserting the claim's *shape* (who
+    wins, what breaks, what stays flat), so the benchmark harness prints
+    them and the test suite asserts them. *)
+
+type result = {
+  id : string;  (** experiment id, e.g. "CL5" *)
+  claim : string;  (** the survey statement being tested *)
+  table : string;  (** the measured table, rendered *)
+  holds : bool;  (** whether the claimed shape was observed *)
+}
+
+val cl1 : unit -> result
+(** §3.1.1: global order relabels all following nodes; hybrid order stays
+    local; Dietz order-maintenance keeps global order with local cost. *)
+
+val cl2 : unit -> result
+(** §3.1.1: interval gaps postpone but never avoid relabelling. *)
+
+val cl3 : unit -> result
+(** §3.1.1: QRS float midpoints exhaust the mantissa within dozens of
+    skewed insertions. *)
+
+val cl4 : unit -> result
+(** §4: fixed fields overflow under adversarial updates; QED and CDQS
+    never do; the Vector scheme hits its UTF-8 ceiling. *)
+
+val cl5 : unit -> result
+(** §4: vector labels grow far slower than QED under skewed insertion. *)
+
+val cl6 : unit -> result
+(** §3.1.2: LSDX produces duplicate labels on corner-case updates. *)
+
+val cl8 : unit -> result
+(** §5.1: the Compact Encoding measurements for every Figure 7 scheme. *)
+
+val cl9 : unit -> result
+(** §3.1.1 (Grust): axis steps are region queries — the indexed evaluation
+    beats scanning; the structural join beats the nested loop. *)
+
+val cl10 : unit -> result
+(** §3.1: the omitted schemes (the CKM bit codes of citation [4]) lose
+    document order on their first non-append insertion. *)
+
+val cl11 : unit -> result
+(** §5.2: streaming ingestion is linear for prefix schemes and quadratic
+    for the renumbering containment family. *)
+
+val all : unit -> result list
+
+val render : result -> string

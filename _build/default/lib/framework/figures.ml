@@ -1,0 +1,175 @@
+(** Regeneration of the paper's worked figures (1-6). Each figure comes
+    with the labels the paper prints, so the test suite and the benchmark
+    harness can assert byte-for-byte agreement. *)
+
+open Repro_xml
+
+type figure = {
+  id : string;
+  title : string;
+  rendered : string;
+  expected : (string * string) list;  (** (node name, label) the paper prints *)
+  matches : bool;
+}
+
+let labels_of session =
+  List.map
+    (fun (n : Tree.node) -> (n.Tree.name, session.Core.Session.label_string n))
+    (Tree.preorder session.Core.Session.doc)
+
+let check expected actual =
+  List.for_all (fun (name, label) -> List.mem (name, label) actual) expected
+
+let render_labels actual =
+  String.concat "\n" (List.map (fun (n, l) -> Printf.sprintf "  %-10s %s" n l) actual)
+
+let make id title session expected =
+  let actual = labels_of session in
+  {
+    id;
+    title;
+    rendered = render_labels actual;
+    expected;
+    matches = check expected actual;
+  }
+
+(** Figure 1(b): the sample document under preorder/postorder ranks. *)
+let figure1 () =
+  let doc = Samples.book () in
+  let session = Core.Session.make (module Repro_schemes.Pre_post) doc in
+  let expected =
+    List.map
+      (fun (name, pre, post) -> (name, Printf.sprintf "(%d,%d)" pre post))
+      Samples.book_expected_prepost
+  in
+  make "FIG1" "Preorder/postorder labelled sample document" session expected
+
+(** Figure 2: the encoding table (rendered by {!Repro_encoding.Encoding};
+    matching is checked row by row). *)
+let figure2 () =
+  let doc = Samples.book () in
+  let enc = Repro_encoding.Encoding.of_doc doc in
+  let expected_rows =
+    (* (pre, post, parent_pre, name, value) from the paper's table *)
+    [
+      (0, 9, None, "book", None);
+      (1, 1, Some 0, "title", Some "Wayfarer");
+      (2, 0, Some 1, "genre", Some "Fantasy");
+      (3, 2, Some 0, "author", Some "Matthew Dickens");
+      (4, 8, Some 0, "publisher", None);
+      (5, 5, Some 4, "editor", None);
+      (6, 3, Some 5, "name", Some "Destiny Image");
+      (7, 4, Some 5, "address", Some "USA");
+      (8, 7, Some 4, "edition", Some "1.0");
+      (9, 6, Some 8, "year", Some "2004");
+    ]
+  in
+  let actual = Repro_encoding.Encoding.rows enc in
+  let matches =
+    List.length actual = List.length expected_rows
+    && List.for_all2
+         (fun (r : Repro_encoding.Encoding.row) (pre, post, parent, name, value) ->
+           r.pre = pre && r.post = post && r.parent_pre = parent && r.name = name
+           && r.value = value)
+         actual expected_rows
+  in
+  {
+    id = "FIG2";
+    title = "The XML encoding of the sample document";
+    rendered = Repro_encoding.Encoding.to_table_string enc;
+    expected = [];
+    matches;
+  }
+
+(** Figure 3: the DeweyID-labelled abstract tree. *)
+let figure3 () =
+  let doc = Samples.figure3_tree () in
+  let session = Core.Session.make (module Repro_schemes.Dewey) doc in
+  let expected =
+    [
+      ("r", "1");
+      ("n1", "1.1");
+      ("n1_1", "1.1.1");
+      ("n1_2", "1.1.2");
+      ("n2", "1.2");
+      ("n2_1", "1.2.1");
+      ("n3", "1.3");
+      ("n3_1", "1.3.1");
+      ("n3_2", "1.3.2");
+      ("n3_3", "1.3.3");
+    ]
+  in
+  make "FIG3" "DeweyID labelled XML tree" session expected
+
+(* The grey-node insertion scenario shared by Figures 4-6: a node before
+   the first child of the first subtree, one after the last child of the
+   second, and one between the two children of the third. *)
+let grey_insertions session =
+  let doc = session.Core.Session.doc in
+  let child i = List.nth (Tree.children (Tree.root doc)) i in
+  let g1 =
+    session.Core.Session.insert_before
+      (Option.get (Tree.first_child (child 0)))
+      (Tree.elt "grey1" [])
+  in
+  let g2 =
+    session.Core.Session.insert_after
+      (Option.get (Tree.last_child (child 1)))
+      (Tree.elt "grey2" [])
+  in
+  let g3 =
+    session.Core.Session.insert_after
+      (Option.get (Tree.first_child (child 2)))
+      (Tree.elt "grey3" [])
+  in
+  (g1, g2, g3)
+
+let grey_figure id title pack (e1, e2, e3) =
+  let doc = Samples.figure456_tree () in
+  let session = Core.Session.make pack doc in
+  let g1, g2, g3 = grey_insertions session in
+  let actual = labels_of session in
+  let got1 = session.Core.Session.label_string g1
+  and got2 = session.Core.Session.label_string g2
+  and got3 = session.Core.Session.label_string g3 in
+  {
+    id;
+    title;
+    rendered =
+      render_labels actual
+      ^ Printf.sprintf "\n  grey insertions: before-first=%s after-last=%s between=%s" got1
+          got2 got3;
+    expected = [ ("grey1", e1); ("grey2", e2); ("grey3", e3) ];
+    matches = got1 = e1 && got2 = e2 && got3 = e3;
+  }
+
+(** Figure 4: ORDPATH careting-in. The paper's grey nodes are 1.1.-1 (left
+    insert), 1.3.3 (right insert) and 1.5.2.1 (caret between 1.5.1 and
+    1.5.3). *)
+let figure4 () =
+  grey_figure "FIG4" "ORDPATH labelled XML tree"
+    (module Repro_schemes.Ordpath : Core.Scheme.S)
+    ("1.1.-1", "1.3.3", "1.5.2.1")
+
+(** Figure 5: LSDX. The paper's grey nodes are 2ab.ab, 2ac.c and 2ad.bb. *)
+let figure5 () =
+  grey_figure "FIG5" "LSDX labelled XML tree"
+    (module Repro_schemes.Lsdx : Core.Scheme.S)
+    ("2ab.ab", "2ac.c", "2ad.bb")
+
+(** Figure 6: ImprovedBinary. The paper's examples are 0101.001 (before
+    first), 0101.011 (after last) and 011.0101 (between); in our scenario
+    the before-first insertion happens under the first child (label 01),
+    the after-last under the second (0101) and the between under the third
+    (011). *)
+let figure6 () =
+  grey_figure "FIG6" "ImprovedBinary labelled XML tree"
+    (module Repro_schemes.Improved_binary : Core.Scheme.S)
+    ("01.001", "0101.011", "011.0101")
+
+let all () = [ figure1 (); figure2 (); figure3 (); figure4 (); figure5 (); figure6 () ]
+
+let render f =
+  Printf.sprintf "%s — %s%s\n%s\n" f.id f.title
+    (if f.matches then " [matches the paper]" else " [MISMATCH]")
+    f.rendered

@@ -1,0 +1,35 @@
+(** Regeneration of the paper's worked figures (1-6), each carrying the
+    labels the paper prints so tests and the benchmark harness can assert
+    agreement. *)
+
+type figure = {
+  id : string;  (** "FIG1" .. "FIG6" *)
+  title : string;
+  rendered : string;  (** the labelled tree (or table), as text *)
+  expected : (string * string) list;  (** (node name, label) pairs the paper prints *)
+  matches : bool;  (** whether every expected label was produced *)
+}
+
+val figure1 : unit -> figure
+(** Figure 1(b): the sample document under preorder/postorder ranks. *)
+
+val figure2 : unit -> figure
+(** Figure 2: the encoding table, checked row by row. *)
+
+val figure3 : unit -> figure
+(** Figure 3: the DeweyID-labelled abstract tree. *)
+
+val figure4 : unit -> figure
+(** Figure 4: ORDPATH with the paper's three grey insertions
+    (1.1.-1, 1.3.3, 1.5.2.1). *)
+
+val figure5 : unit -> figure
+(** Figure 5: LSDX with the paper's grey insertions
+    (2ab.ab, 2ac.c, 2ad.bb). *)
+
+val figure6 : unit -> figure
+(** Figure 6: ImprovedBinary with the paper's grey insertions. *)
+
+val all : unit -> figure list
+
+val render : figure -> string

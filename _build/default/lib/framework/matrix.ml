@@ -1,0 +1,80 @@
+(** Regenerating Figure 7: run every assay over every scheme, render the
+    computed matrix, and diff it against the paper's printed one. *)
+
+open Property
+
+type t = { rows : row list }
+
+let compute ?config ?(schemes = Repro_schemes.Registry.figure7) () =
+  { rows = List.map (Assay.grade_scheme ?config) schemes }
+
+let cell_width = 6
+
+let render_header () =
+  Printf.sprintf "%-18s %-7s %-9s %s" "Labelling Scheme" "Order" "Enc.Rep."
+    (String.concat ""
+       (List.map (fun p -> Printf.sprintf "%-*s" cell_width (short_name p)) all))
+
+let render_row r =
+  Printf.sprintf "%-18s %-7s %-9s %s" r.scheme
+    (Core.Info.order_to_string r.order)
+    (Core.Info.representation_to_string r.representation)
+    (String.concat ""
+       (List.map
+          (fun p -> Printf.sprintf "%-*s" cell_width (compliance_letter (grade r p)))
+          all))
+
+let render t =
+  String.concat "\n" (render_header () :: List.map render_row t.rows)
+
+(** Per-cell agreement of a computed matrix against the paper's Figure 7.
+    Returns (agreeing cells, total compared cells, mismatches) where each
+    mismatch is (scheme, property, computed, paper). *)
+let agreement t =
+  let mismatches = ref [] in
+  let agree = ref 0 and total = ref 0 in
+  List.iter
+    (fun r ->
+      match Paper_expected.find r.scheme with
+      | None -> ()
+      | Some expected ->
+        List.iter
+          (fun p ->
+            incr total;
+            let got = grade r p and want = grade expected p in
+            if got = want then incr agree
+            else mismatches := (r.scheme, p, got, want) :: !mismatches)
+          all)
+    t.rows;
+  (!agree, !total, List.rev !mismatches)
+
+let render_agreement t =
+  let agree, total, mismatches = agreement t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Agreement with the paper's Figure 7: %d/%d cells (%.1f%%)\n" agree total
+       (100.0 *. float_of_int agree /. float_of_int (max 1 total)));
+  List.iter
+    (fun (scheme, p, got, want) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s %-18s computed %s, paper %s\n" scheme (name p)
+           (compliance_letter got) (compliance_letter want)))
+    mismatches;
+  Buffer.contents buf
+
+let render_evidence t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "%s\n" r.scheme);
+      List.iter
+        (fun p ->
+          match List.assoc_opt p r.evidence with
+          | Some e ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-16s %s  -- %s\n" (name p)
+                 (compliance_letter (grade r p)) e)
+          | None -> ())
+        all)
+    t.rows;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Regenerating Figure 7: run every assay over every scheme, render the
+    computed matrix, and diff it against the paper's printed one. *)
+
+type t = { rows : Property.row list }
+
+val compute : ?config:Assay.config -> ?schemes:Core.Scheme.packed list -> unit -> t
+(** Defaults to the twelve Figure 7 schemes in the paper's order. *)
+
+val render : t -> string
+(** The matrix as an aligned text table, like the paper's figure. *)
+
+val agreement : t -> int * int * (string * Property.t * Property.compliance * Property.compliance) list
+(** (agreeing cells, compared cells, mismatches); each mismatch is
+    (scheme, property, computed grade, paper grade). Rows without a paper
+    counterpart are skipped. *)
+
+val render_agreement : t -> string
+
+val render_evidence : t -> string
+(** One line per cell explaining the measured grade. *)

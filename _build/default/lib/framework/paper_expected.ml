@@ -1,0 +1,29 @@
+(** Figure 7 exactly as printed in the paper, row for row, for diffing
+    against the matrix our assays compute. *)
+
+open Property
+open Core.Info
+
+(* Cells in column order: Persistent, XPath, Level, Overflow, Orthogonal,
+   Compact, Division, Recursion. *)
+let row scheme order representation cells =
+  let grades = List.combine all cells in
+  { scheme; order; representation; grades; evidence = [] }
+
+let rows =
+  [
+    row "XPath Accelerator" Global Fixed [ No; Partial; Full; No; No; Full; Full; Full ];
+    row "XRel" Global Fixed [ No; Partial; Full; No; No; Full; Full; Full ];
+    row "Sector" Hybrid Fixed [ No; Partial; No; No; No; Partial; Full; No ];
+    row "QRS" Global Fixed [ No; Partial; No; No; No; Partial; Full; Full ];
+    row "DeweyID" Hybrid Variable [ No; Full; Full; No; No; No; Full; Full ];
+    row "ORDPATH" Hybrid Variable [ Full; Full; Full; No; No; No; No; Full ];
+    row "DLN" Hybrid Fixed [ No; Full; Full; No; No; No; Full; Full ];
+    row "LSDX" Hybrid Variable [ No; Full; Full; No; No; No; Full; Full ];
+    row "ImprovedBinary" Hybrid Variable [ Full; Full; Full; No; No; No; No; No ];
+    row "QED" Hybrid Variable [ Full; Full; Full; Full; Full; No; No; No ];
+    row "CDQS" Hybrid Variable [ Full; Full; Full; Full; Full; Full; No; No ];
+    row "Vector" Hybrid Variable [ Full; Partial; No; Full; Full; Full; Full; No ];
+  ]
+
+let find scheme = List.find_opt (fun r -> r.scheme = scheme) rows

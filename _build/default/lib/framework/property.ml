@@ -1,0 +1,56 @@
+(** The ten framework properties of §5.1 and their compliance grades. *)
+
+type compliance = Full | Partial | No
+
+let compliance_letter = function Full -> "F" | Partial -> "P" | No -> "N"
+
+(** The eight graded properties; the first two Figure 7 columns (Document
+    Order approach and Encoding Representation) are descriptors carried by
+    {!Core.Info.t}, not grades. *)
+type t =
+  | Persistent  (** deletions and insertions never affect existing nodes *)
+  | Xpath_eval
+      (** ancestor-descendant, parent-child and sibling relationships are
+          decidable from label values alone *)
+  | Level_enc  (** the nesting depth is decidable from the label value *)
+  | Overflow  (** not subject to the §4 overflow problem *)
+  | Orthogonal  (** applicable to containment, prefix and prime schemes *)
+  | Compact
+      (** compact storage with constrained growth under frequent random,
+          uniform and skewed updates *)
+  | Division  (** no division computations during labelling or updates *)
+  | Recursion  (** no recursive algorithm for initial construction *)
+
+let all = [ Persistent; Xpath_eval; Level_enc; Overflow; Orthogonal; Compact; Division; Recursion ]
+
+let name = function
+  | Persistent -> "Persistent Labels"
+  | Xpath_eval -> "XPath Eval."
+  | Level_enc -> "Level Enc."
+  | Overflow -> "Overflow Prob."
+  | Orthogonal -> "Orthogonal"
+  | Compact -> "Compact Enc."
+  | Division -> "Division Comp."
+  | Recursion -> "Recursion Alg."
+
+let short_name = function
+  | Persistent -> "Pers"
+  | Xpath_eval -> "XPath"
+  | Level_enc -> "Level"
+  | Overflow -> "Ovfl"
+  | Orthogonal -> "Orth"
+  | Compact -> "Cmpct"
+  | Division -> "Div"
+  | Recursion -> "Rec"
+
+(** One scheme's full Figure 7 row. *)
+type row = {
+  scheme : string;
+  order : Core.Info.order_approach;
+  representation : Core.Info.representation;
+  grades : (t * compliance) list;
+  evidence : (t * string) list;
+      (** one line per property explaining the measured grade *)
+}
+
+let grade row p = List.assoc p row.grades

@@ -1,0 +1,43 @@
+(** The ten framework properties of the paper's §5.1 and their compliance
+    grades — the vocabulary of Figure 7. *)
+
+type compliance = Full | Partial | No
+
+val compliance_letter : compliance -> string
+(** "F", "P" or "N", as the paper prints them. *)
+
+(** The eight graded properties. The first two Figure 7 columns (Document
+    Order approach and Encoding Representation) are descriptors carried by
+    {!Core.Info.t}, not grades. *)
+type t =
+  | Persistent  (** deletions and insertions never affect existing nodes *)
+  | Xpath_eval
+      (** ancestor-descendant, parent-child and sibling relationships are
+          decidable from label values alone *)
+  | Level_enc  (** the nesting depth is decidable from the label value *)
+  | Overflow  (** not subject to the §4 overflow problem *)
+  | Orthogonal  (** applicable to containment, prefix and prime schemes *)
+  | Compact
+      (** compact storage with constrained growth under frequent random,
+          uniform and skewed updates *)
+  | Division  (** no division computations during labelling or updates *)
+  | Recursion  (** no recursive algorithm for initial construction *)
+
+val all : t list
+(** In the paper's column order. *)
+
+val name : t -> string
+val short_name : t -> string
+
+(** One scheme's full Figure 7 row. *)
+type row = {
+  scheme : string;
+  order : Core.Info.order_approach;
+  representation : Core.Info.representation;
+  grades : (t * compliance) list;
+  evidence : (t * string) list;
+      (** one line per property explaining the measured grade *)
+}
+
+val grade : row -> t -> compliance
+(** Raises [Not_found] for a property absent from the row. *)

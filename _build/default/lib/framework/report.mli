@@ -1,0 +1,8 @@
+(** One-shot Markdown report: figures, the computed Figure 7 with its
+    paper diff, and every claim experiment — the machine-written
+    counterpart of EXPERIMENTS.md. *)
+
+val generate : ?config:Assay.config -> unit -> string
+(** Runs everything (seconds of work) and renders the report. *)
+
+val generate_to_file : ?config:Assay.config -> string -> unit

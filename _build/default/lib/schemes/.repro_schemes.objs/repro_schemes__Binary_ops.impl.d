@@ -1,0 +1,1 @@
+lib/schemes/binary_ops.ml: Bitstr Repro_codes

@@ -1,0 +1,1 @@
+lib/schemes/cdbs.ml: Array Binary_ops Bitpack Bitstr Code_sig Prefix_scheme Repro_codes

@@ -1,0 +1,1 @@
+lib/schemes/cdqs.ml: Code_sig Prefix_scheme Quat Quat_ops Repro_codes

@@ -1,0 +1,1 @@
+lib/schemes/ckm_bitcode.ml: Bitpack Bitstr Core Format Hashtbl Int List Option Repro_codes Repro_xml String Tree

@@ -1,0 +1,1 @@
+lib/schemes/code_containment.ml: Array Code_sig Core Format List Repro_codes Repro_xml Tree

@@ -1,0 +1,1 @@
+lib/schemes/code_sig.ml: Core Repro_codes

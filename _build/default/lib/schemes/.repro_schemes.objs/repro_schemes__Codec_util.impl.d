@@ -1,0 +1,1 @@
+lib/schemes/codec_util.ml: Bitpack Bytes Char Repro_codes String Varint

@@ -1,0 +1,1 @@
+lib/schemes/com_d.ml: Buffer Char Code_sig Codec_util Lsdx Prefix_scheme Repro_codes String

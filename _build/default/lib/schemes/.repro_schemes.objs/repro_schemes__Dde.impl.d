@@ -1,0 +1,1 @@
+lib/schemes/dde.ml: Array Bitpack Codec_util Core Format Int List Repro_codes Repro_xml String Tree Varint

@@ -1,0 +1,1 @@
+lib/schemes/dewey.ml: Array Code_sig Codec_util Int Prefix_scheme Repro_codes

@@ -1,0 +1,1 @@
+lib/schemes/dietz_om.ml: Array Core Format Int List Printf Repro_codes Repro_xml Tree

@@ -1,0 +1,1 @@
+lib/schemes/dln.ml: Array Code_sig Int List Prefix_scheme Repro_codes String

@@ -1,0 +1,1 @@
+lib/schemes/improved_binary.ml: Array Binary_ops Bitpack Bitstr Code_sig Core Prefix_scheme Repro_codes

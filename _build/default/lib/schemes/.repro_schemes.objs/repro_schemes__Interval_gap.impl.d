@@ -1,0 +1,1 @@
+lib/schemes/interval_gap.ml: Core Format Int List Repro_codes Repro_xml Tree

@@ -1,0 +1,1 @@
+lib/schemes/lsdx.ml: Array Buffer Char Code_sig Codec_util List Prefix_scheme Printf Repro_codes String

@@ -1,0 +1,1 @@
+lib/schemes/ordpath.ml: Array Code_sig Codec_util Core Int List Prefix_scheme Repro_codes String

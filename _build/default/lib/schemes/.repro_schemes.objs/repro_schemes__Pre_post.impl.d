@@ -1,0 +1,1 @@
+lib/schemes/pre_post.ml: Core Prepost_base

@@ -1,0 +1,1 @@
+lib/schemes/prefix_scheme.ml: Array Code_sig Core Format List Repro_codes Repro_xml String Tree

@@ -1,0 +1,1 @@
+lib/schemes/prepost_base.ml: Core Format Int List Repro_codes Repro_xml Tree

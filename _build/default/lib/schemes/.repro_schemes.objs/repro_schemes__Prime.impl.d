@@ -1,0 +1,1 @@
+lib/schemes/prime.ml: Bignat Bitpack Bytes Char Codec_util Core Crt Format Hashtbl Int List Primes Repro_codes Repro_xml String Tree

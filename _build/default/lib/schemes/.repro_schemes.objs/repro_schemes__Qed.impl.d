@@ -1,0 +1,1 @@
+lib/schemes/qed.ml: Code_sig Prefix_scheme Quat Quat_ops Repro_codes

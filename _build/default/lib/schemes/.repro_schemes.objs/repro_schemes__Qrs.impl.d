@@ -1,0 +1,1 @@
+lib/schemes/qrs.ml: Core Float Format Int64 List Repro_codes Repro_xml Tree

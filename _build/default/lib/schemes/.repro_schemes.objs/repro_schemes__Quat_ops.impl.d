@@ -1,0 +1,1 @@
+lib/schemes/quat_ops.ml: Array Core Quat Repro_codes

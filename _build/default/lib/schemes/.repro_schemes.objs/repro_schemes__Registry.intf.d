@@ -1,0 +1,1 @@
+lib/schemes/registry.mli: Core

@@ -1,0 +1,1 @@
+lib/schemes/sector.ml: Array Core Format Int Repro_codes Repro_xml Tree

@@ -1,0 +1,1 @@
+lib/schemes/vector_code.ml: Array Code_sig Codec_util Core Int Printf Repro_codes Varint

@@ -1,0 +1,1 @@
+lib/schemes/vector_scheme.ml: Code_sig Prefix_scheme Vector_code

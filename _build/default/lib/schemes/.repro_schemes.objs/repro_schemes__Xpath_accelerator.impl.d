@@ -1,0 +1,1 @@
+lib/schemes/xpath_accelerator.ml: Core Prepost_base

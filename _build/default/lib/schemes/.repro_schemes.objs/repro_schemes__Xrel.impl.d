@@ -1,0 +1,1 @@
+lib/schemes/xrel.ml: Core Format Int List Repro_codes Repro_xml String Tree

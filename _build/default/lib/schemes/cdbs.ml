@@ -1,0 +1,75 @@
+(** CDBS — Compact Dynamic Binary String [Li, Ling & Hu, ICDE 2006].
+
+    The ImprovedBinary authors' compact variant (§4): initial codes are the
+    consecutive binary numbers 1..n at the fixed width ⌈log2(n+1)⌉, so bulk
+    labelling is a single non-recursive, division-free pass and the initial
+    label size is near-optimal. Insertions reuse the lexicographic
+    betweenness algebra. The compactness "improvements were made possible
+    through the use of fixed length bit encoding of the labels and thus,
+    are subject to the overflow problem" — hence the stored length field. *)
+
+open Repro_codes
+
+module Code = struct
+  type t = Bitstr.t
+
+  let scheme = "CDBS"
+  let equal = Bitstr.equal
+  let compare = Bitstr.compare
+  let to_string = Bitstr.to_string
+
+  let length_field = 10
+  let bits c = Bitstr.length c + length_field
+
+  let encode w c =
+    let len = Bitstr.length c in
+    if len >= 1 lsl length_field then raise Code_sig.Code_overflow;
+    Bitpack.write_bits w len length_field;
+    Bitpack.write_bitstr w c
+
+  let decode r =
+    let len = Bitpack.read_bits r length_field in
+    Bitpack.read_bitstr r len
+
+  let root = Bitstr.of_string "1"
+
+  let width_for n =
+    (* Smallest w with n < 2^w, by doubling — no division. *)
+    let rec go w = if n < 1 lsl w then w else go (w + 1) in
+    go 1
+
+  let initial n =
+    if n = 0 then [||]
+    else begin
+      let w = width_for n in
+      Array.init n (fun i -> Bitstr.of_int_fixed (i + 1) w)
+    end
+
+  let before = Binary_ops.before
+  let after = Binary_ops.after
+  let between = Binary_ops.between
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "CDBS";
+          info =
+            {
+              citation = "Li, Ling & Hu, ICDE 2006";
+              year = 2006;
+              family = Prefix;
+              order = Hybrid;
+              representation = Fixed;
+              orthogonal = false;
+              in_figure7 = false;
+            };
+          root_code = false;
+          length_field_bits = Some 10;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

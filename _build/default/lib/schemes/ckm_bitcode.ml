@@ -1,0 +1,181 @@
+(** The bit-code prefix labels of Cohen, Kaplan & Milo [PODS 2002] — the
+    paper's citation [4].
+
+    §3.1.2 describes the codes: "the positional identifier of the first
+    child of node u is 0, of the second child is 10, of the third child is
+    110 and of the nth child is (n-1) ones with a 0 concatenated at the
+    end" (plus a double-bit variant). But §3.1 {e omits} these schemes
+    from the survey proper because they "do not support the maintenance of
+    document order under updates": a new node always receives the next
+    unused code of its parent — wherever it is inserted — so a node
+    squeezed {e between} existing siblings sorts after all of them.
+
+    This module implements the scheme faithfully, including that defect,
+    so experiment CL10 can demonstrate exactly why the survey excludes it.
+    The labelling state is the per-parent child counter, which is why this
+    is a direct implementation rather than a {!Code_sig.CODE}. *)
+
+open Repro_xml
+open Repro_codes
+
+type growth = One_bit | Two_bit
+
+module Make (G : sig
+  val growth : growth
+  val name : string
+end) : Core.Scheme.S = struct
+  let name = G.name
+
+  let info : Core.Info.t =
+    {
+      citation = "Cohen, Kaplan & Milo, PODS 2002";
+      year = 2002;
+      family = Prefix;
+      order = Local;
+      representation = Variable;
+      orthogonal = false;
+      in_figure7 = false;
+    }
+
+  type label = Bitstr.t list
+  (* Root-to-node positional bit codes; the root's is empty. *)
+
+  (* The n-th assigned code (0-based): n ones then a zero, or with the
+     double-bit variant, n copies of "11" then "00". *)
+  let code_for_index n =
+    let unit_bits, stop_bits =
+      match G.growth with One_bit -> (1, 1) | Two_bit -> (2, 2)
+    in
+    let b = ref Bitstr.empty in
+    for _ = 1 to n * unit_bits do
+      b := Bitstr.snoc !b true
+    done;
+    for _ = 1 to stop_bits do
+      b := Bitstr.snoc !b false
+    done;
+    !b
+
+  let rec compare_order a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+      (* longer all-ones prefixes mean later children *)
+      let c = Int.compare (Bitstr.length x) (Bitstr.length y) in
+      if c <> 0 then c else compare_order xs ys
+
+  let equal_label a b = List.length a = List.length b && compare_order a b = 0
+
+  let label_to_string = function
+    | [] -> "\xce\xb5"
+    | codes -> String.concat "." (List.map Bitstr.to_string codes)
+
+  let pp_label ppf l = Format.pp_print_string ppf (label_to_string l)
+
+  let storage_bits l = List.fold_left (fun acc c -> acc + Bitstr.length c) 10 l
+
+  let encode_label l =
+    let w = Bitpack.writer () in
+    List.iter (Bitpack.write_bitstr w) l;
+    (Bitpack.contents w, Bitpack.bit_length w)
+
+  let decode_label bytes bits =
+    let r = Bitpack.reader bytes in
+    let stop = match G.growth with One_bit -> 1 | Two_bit -> 2 in
+    let rec code acc zeros =
+      if zeros = stop then acc
+      else begin
+        let bit = Bitpack.read_bit r in
+        let acc = Bitstr.snoc acc bit in
+        if bit then code acc 0 else code acc (zeros + 1)
+      end
+    in
+    let rec go acc =
+      if Bitpack.position r >= bits then List.rev acc
+      else go (code Bitstr.empty 0 :: acc)
+    in
+    go []
+
+  let rec is_code_prefix p l =
+    match (p, l) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> Bitstr.equal x y && is_code_prefix xs ys
+
+  let is_ancestor = Some (fun a d -> List.length a < List.length d && is_code_prefix a d)
+  let is_parent = Some (fun p c -> List.length c = List.length p + 1 && is_code_prefix p c)
+  let is_sibling = None
+  let level_of = Some List.length
+
+  type t = {
+    table : label Core.Table.t;
+    stats : Core.Stats.t;
+    next_index : (int, int) Hashtbl.t;  (** parent node id -> next child index *)
+  }
+
+  let take t (parent : Tree.node) =
+    let n = Option.value (Hashtbl.find_opt t.next_index parent.id) ~default:0 in
+    Hashtbl.replace t.next_index parent.id (n + 1);
+    code_for_index n
+
+  let create doc =
+    let stats = Core.Stats.create () in
+    let t =
+      { table = Core.Table.create ~equal:equal_label ~stats; stats;
+        next_index = Hashtbl.create 64 }
+    in
+    let rec go node lab =
+      Core.Table.set t.table node lab;
+      List.iter (fun child -> go child (lab @ [ take t node ])) (Tree.children node)
+    in
+    go (Tree.root doc) [];
+    t
+
+  let restore doc stored =
+    let stats = Core.Stats.create () in
+    let t =
+      { table = Core.Table.create ~equal:equal_label ~stats; stats;
+        next_index = Hashtbl.create 64 }
+    in
+    Tree.iter_preorder
+      (fun node ->
+        let bytes, bits = stored node in
+        let l = decode_label bytes bits in
+        Core.Table.set t.table node l;
+        (* keep the counters past every restored code *)
+        match (Tree.parent node, List.rev l) with
+        | Some p, own :: _ ->
+          let unit_bits = match G.growth with One_bit -> 1 | Two_bit -> 2 in
+          let idx = (Bitstr.length own / unit_bits) - 1 in
+          let cur = Option.value (Hashtbl.find_opt t.next_index p.id) ~default:0 in
+          Hashtbl.replace t.next_index p.id (max cur (idx + 1))
+        | _ -> ())
+      doc;
+    t
+
+  let label t node = Core.Table.get t.table node
+
+  (* The defect, faithfully: the new node gets the parent's next unused
+     code regardless of its structural position. *)
+  let after_insert t node =
+    if not (Core.Table.mem t.table node) then begin
+      match Tree.parent node with
+      | None -> invalid_arg (name ^ ": cannot insert a second root")
+      | Some parent -> Core.Table.set t.table node (label t parent @ [ take t parent ])
+    end
+
+  let before_delete t node = Core.Table.remove_subtree t.table node
+
+  let stats t = t.stats
+end
+
+module One = Make (struct
+  let growth = One_bit
+  let name = "CKM one-bit"
+end)
+
+module Two = Make (struct
+  let growth = Two_bit
+  let name = "CKM two-bit"
+end)

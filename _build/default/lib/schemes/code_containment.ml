@@ -1,0 +1,125 @@
+(** Containment labelling over an arbitrary dynamic code algebra.
+
+    §4 stresses that QED, CDQS and the Vector scheme are {e orthogonal}:
+    "they may be applied to and used in conjunction with existing
+    containment schemes, prefix schemes and prime number based schemes."
+    This functor is that statement made executable: it builds a
+    begin/end containment scheme whose region endpoints are codes from any
+    {!Code_sig.CODE}. With a dynamic algebra (QED, Vector) insertions
+    splice new endpoints into the traversal tape without touching existing
+    labels — the relabelling counters prove the orthogonality claim.
+
+    It is also how the paper's own Figure 7 grades the Vector scheme: from
+    a region pair alone one gets document order and ancestor tests (XPath
+    "P") but no level ("N"). *)
+
+open Repro_xml
+
+module Make (Code : Code_sig.CODE) (Cfg : sig
+  val name : string
+  val info : Core.Info.t
+end) : Core.Scheme.S = struct
+  let name = Cfg.name
+  let info = Cfg.info
+
+  type label = { b : Code.t; e : Code.t }
+
+  let pp_label ppf l =
+    Format.fprintf ppf "[%s,%s]" (Code.to_string l.b) (Code.to_string l.e)
+
+  let label_to_string l = Format.asprintf "%a" pp_label l
+  let equal_label x y = Code.equal x.b y.b && Code.equal x.e y.e
+  let compare_order x y = Code.compare x.b y.b
+  let storage_bits l = Code.bits l.b + Code.bits l.e
+
+  let encode_label l =
+    let w = Repro_codes.Bitpack.writer () in
+    Code.encode w l.b;
+    Code.encode w l.e;
+    (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+  let decode_label bytes _bits =
+    let r = Repro_codes.Bitpack.reader bytes in
+    let b = Code.decode r in
+    let e = Code.decode r in
+    { b; e }
+
+  let is_ancestor =
+    Some (fun a d -> Code.compare a.b d.b < 0 && Code.compare d.e a.e < 0)
+
+  let is_parent = None
+  let is_sibling = None
+  let level_of = None
+
+  type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+  (* Bulk labelling: one traversal tape of 2n codes, consumed in DFS
+     entry/exit order. *)
+  let renumber t =
+    let count = Tree.size t.doc in
+    let tape = Code.initial (2 * count) in
+    let cursor = ref 0 in
+    let next () =
+      let c = tape.(!cursor) in
+      incr cursor;
+      c
+    in
+    let rec go node =
+      let b = next () in
+      List.iter go (Tree.children node);
+      Core.Table.set t.table node { b; e = next () }
+    in
+    go (Tree.root t.doc)
+
+  let create doc =
+    let stats = Core.Stats.create () in
+    let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+    renumber t;
+    t
+
+  let restore doc stored =
+    let stats = Core.Stats.create () in
+    let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+    Tree.iter_preorder
+      (fun node ->
+        let bytes, bits = stored node in
+        Core.Table.set t.table node (decode_label bytes bits))
+      doc;
+    t
+
+  let label t node = Core.Table.get t.table node
+
+  let after_insert t node =
+    if not (Core.Table.mem t.table node) then begin
+      match Tree.parent node with
+      | None -> invalid_arg (name ^ ": cannot insert a second root")
+      | Some parent -> (
+        let p = label t parent in
+        let lo =
+          match Core.Table.labelled_left t.table node with
+          | Some left -> (label t left).e
+          | None -> p.b
+        in
+        let hi =
+          match Core.Table.labelled_right t.table node with
+          | Some right -> (label t right).b
+          | None -> p.e
+        in
+        match
+          let b = Code.between lo hi in
+          let e = Code.between b hi in
+          { b; e }
+        with
+        | l -> Core.Table.set t.table node l
+        | exception Code_sig.Needs_relabel ->
+          Core.Stats.record_overflow t.stats;
+          renumber t
+        | exception Code_sig.Code_overflow ->
+          Core.Stats.record_overflow t.stats;
+          renumber t)
+    end
+
+  let before_delete t node = Core.Table.remove_subtree t.table node
+
+  let stats t = t.stats
+end

@@ -1,0 +1,90 @@
+(** The positional-identifier algebra of a prefix labelling scheme.
+
+    §3.1.2 of the paper describes every prefix scheme the same way: "the
+    label of a node consists of the parent's label concatenated with a
+    delimiter and a positional identifier"; what distinguishes DeweyID from
+    ORDPATH from ImprovedBinary from QED is only how positional identifiers
+    are created and what happens when one must be squeezed between two
+    neighbours. This signature captures exactly that variation point; the
+    {!Prefix_scheme.Make} functor supplies everything else. *)
+
+exception Needs_relabel
+(** Raised by {!CODE.before}/{!CODE.between} when the scheme cannot produce
+    the requested code without renumbering existing siblings (DeweyID's
+    behaviour on any non-append insertion). *)
+
+exception Code_overflow
+(** Raised when a code would exceed a fixed field of the scheme's storage
+    format — the §4 overflow problem. The functor reacts by recording an
+    overflow event and relabelling the whole document. *)
+
+module type CODE = sig
+  type t
+
+  val scheme : string
+  (** Name used in diagnostics. *)
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** Sibling order. *)
+
+  val to_string : t -> string
+
+  val bits : t -> int
+  (** Storage cost of one positional identifier, including any delimiter
+      the scheme's representation charges per component. Must equal the
+      bits {!encode} writes (checked by the test suite). *)
+
+  val encode : Repro_codes.Bitpack.writer -> t -> unit
+  (** The scheme's concrete binary layout for one positional identifier.
+      Each code must be self-delimiting within a label (a separator, a
+      prefix-free class, a stored length, ... — the very §4 design choices
+      the Overflow Problem property grades). *)
+
+  val decode : Repro_codes.Bitpack.reader -> t
+  (** Inverse of {!encode}. Raises [Invalid_argument] on malformed data. *)
+
+  val root : t
+  (** The code carried by the document root, for schemes whose root has
+      one (DeweyID's "1", LSDX's "a"). Unused when the configuration sets
+      [root_code = false]. *)
+
+  val initial : int -> t array
+  (** Codes for [n] siblings during initial document construction, in
+      sibling order. Recursive algorithms must call
+      {!Core.Costmodel.tick_recursion} per recursive call, and any division
+      must go through {!Core.Costmodel.div_int}. *)
+
+  val before : t -> t
+  (** A code strictly below the given (leftmost) sibling code. *)
+
+  val after : t -> t
+  (** A code strictly above the given (rightmost) sibling code. *)
+
+  val between : t -> t -> t
+  (** [between l r] is strictly between two adjacent sibling codes
+      ([compare l r < 0] is guaranteed by the caller). *)
+end
+
+(** Per-scheme configuration of the shared prefix machinery. *)
+type config = {
+  name : string;
+  info : Core.Info.t;
+  root_code : bool;
+      (** [true] when the root itself carries a code (DeweyID's "1"),
+          [false] when the root label is empty (ImprovedBinary, QED). *)
+  length_field_bits : int option;
+      (** Width of the fixed field holding a label's total length, for
+          representations that need one. [Some k] caps labels at [2^k - 1]
+          bits and makes the scheme subject to the overflow problem;
+          [None] models self-delimiting storage (QED's separators). *)
+  render : (string list -> string) option;
+      (** Custom textual form of a label given its code strings, root
+          first. Defaults to dot-joined codes; LSDX uses its
+          level-and-letters form ("2ab.ab"). *)
+  reassign_on_delete : bool;
+      (** LSDX's behaviour: "labels are not persistent and may be
+          reassigned upon deletion" — deleting a node renumbers its
+          remaining siblings so freed identifiers are reused. *)
+}

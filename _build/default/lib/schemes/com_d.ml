@@ -1,0 +1,55 @@
+(** Com-D — Compressed Dynamic Labelling Scheme [Duong & Zhang, OTM 2008].
+
+    LSDX's own authors' answer to its label growth: "compress reoccurring
+    letters within a label by prefixing the repetitive letter(s) with an
+    integer indicating the number of repetitions" (§3.1.2). The positional
+    algebra is LSDX's — including its collision defect — only the storage
+    accounting changes: each code is charged at its run-length-compressed
+    size ({!Repro_codes.Rle}). Not a Figure 7 row; graded as an extension. *)
+
+module Code = struct
+  include Lsdx.Code
+
+  let scheme = "Com-D"
+  let bits c = Repro_codes.Rle.compressed_bits c + 8
+
+  let encode w c =
+    String.iter (fun ch -> Codec_util.write_byte w (Char.code ch)) (Repro_codes.Rle.compress c);
+    Codec_util.write_byte w (Char.code '.')
+
+  let decode r =
+    let buf = Buffer.create 8 in
+    let rec go () =
+      let ch = Char.chr (Repro_codes.Bitpack.read_bits r 8) in
+      if ch = '.' then Repro_codes.Rle.decompress (Buffer.contents buf)
+      else begin
+        Buffer.add_char buf ch;
+        go ()
+      end
+    in
+    go ()
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "Com-D";
+          info =
+            {
+              citation = "Duong & Zhang, OTM 2008";
+              year = 2008;
+              family = Prefix;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = false;
+              in_figure7 = false;
+            };
+          root_code = true;
+          length_field_bits = Some 10;
+          render = Some Lsdx.render;
+        reassign_on_delete = true;
+        }
+    end)

@@ -1,0 +1,151 @@
+(** DDE — "From Dewey to a Fully Dynamic XML Labeling Scheme" [Xu, Ling,
+    Wu & Bao, SIGMOD 2009] — the second scheme the paper's conclusion
+    queues up for evaluation.
+
+    Labels start as plain Dewey numbers. A node inserted between two
+    siblings gets their component-wise sum; before the first sibling, the
+    first sibling with its last component decremented; after the last,
+    incremented. Order and ancestry are decided by ratio: labels are
+    compared component-wise after normalising by their first components
+    (cross-multiplication, so no division), and an ancestor is a label
+    whose components are proportional to the descendant's prefix. No
+    existing label is ever touched by an update. *)
+
+open Repro_xml
+open Repro_codes
+
+let name = "DDE"
+
+let info : Core.Info.t =
+  {
+    citation = "Xu, Ling, Wu & Bao, SIGMOD 2009";
+    year = 2009;
+    family = Prefix;
+    order = Hybrid;
+    representation = Variable;
+    orthogonal = false;
+    in_figure7 = false;
+  }
+
+type label = int array
+(* Invariant: non-empty; first component >= 1. *)
+
+let label_to_string l =
+  String.concat "." (List.map string_of_int (Array.to_list l))
+
+let pp_label ppf l = Format.pp_print_string ppf (label_to_string l)
+let equal_label a b = a = b
+
+let compare_order a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1 (* ancestors precede descendants *)
+    else if i >= lb then 1
+    else begin
+      let lhs = a.(i) * b.(0) and rhs = b.(i) * a.(0) in
+      if lhs <> rhs then Int.compare lhs rhs else go (i + 1)
+    end
+  in
+  go 0
+
+(* Proportionality of [a] against [b]'s first [Array.length a] components. *)
+let proportional_prefix a b =
+  let la = Array.length a in
+  la <= Array.length b
+  &&
+  let rec go i = i >= la || (a.(i) * b.(0) = b.(i) * a.(0) && go (i + 1)) in
+  go 0
+
+let is_ancestor =
+  Some (fun a d -> Array.length a < Array.length d && proportional_prefix a d)
+
+let is_parent =
+  Some
+    (fun p c -> Array.length c = Array.length p + 1 && proportional_prefix p c)
+
+let is_sibling =
+  Some
+    (fun a b ->
+      Array.length a = Array.length b
+      && a <> b
+      && proportional_prefix (Array.sub a 0 (Array.length a - 1)) b)
+
+let level_of = Some (fun l -> Array.length l - 1)
+
+let component_bits v =
+  (* Zigzag for the negative components left-edge insertion creates. *)
+  let z = if v >= 0 then 2 * v else (-2 * v) - 1 in
+  match Varint.bits z with b -> b | exception Varint.Overflow _ -> 32
+
+let storage_bits l = Array.fold_left (fun acc v -> acc + component_bits v) 0 l
+
+let encode_label l =
+  let w = Bitpack.writer () in
+  Array.iter (fun v -> Codec_util.write_varint w (Codec_util.zigzag v)) l;
+  (Bitpack.contents w, Bitpack.bit_length w)
+
+let decode_label bytes bits =
+  let r = Bitpack.reader bytes in
+  let acc = ref [] in
+  while Bitpack.position r < bits do
+    acc := Codec_util.unzigzag (Codec_util.read_varint r) :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+type t = { table : label Core.Table.t; stats : Core.Stats.t }
+
+let extend parent_label c =
+  let k = Array.length parent_label in
+  Array.init (k + 1) (fun i -> if i < k then parent_label.(i) else c)
+
+let create doc =
+  let stats = Core.Stats.create () in
+  let t = { table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  (* Initial labels are exactly Dewey: one left-to-right pass. *)
+  let rec go node lab =
+    Core.Table.set t.table node lab;
+    List.iteri (fun i child -> go child (extend lab (i + 1))) (Tree.children node)
+  in
+  go (Tree.root doc) [| 1 |];
+  t
+
+
+let restore doc stored =
+  let stats = Core.Stats.create () in
+  let t = { table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  Tree.iter_preorder
+    (fun node ->
+      let bytes, bits = stored node in
+      Core.Table.set t.table node (decode_label bytes bits))
+    doc;
+  t
+
+let label t node = Core.Table.get t.table node
+
+let bump delta l =
+  let k = Array.length l in
+  Array.init k (fun i -> if i = k - 1 then l.(i) + delta else l.(i))
+
+let after_insert t node =
+  if not (Core.Table.mem t.table node) then begin
+    match Tree.parent node with
+    | None -> invalid_arg "DDE: cannot insert a second root"
+    | Some parent ->
+      let left = Core.Table.labelled_left t.table node in
+      let right = Core.Table.labelled_right t.table node in
+      let lab =
+        match (left, right) with
+        | None, None -> extend (label t parent) 1
+        | Some l, None -> bump 1 (label t l)
+        | None, Some r -> bump (-1) (label t r)
+        | Some l, Some r ->
+          let a = label t l and b = label t r in
+          Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+      in
+      Core.Table.set t.table node lab
+  end
+
+let before_delete t node = Core.Table.remove_subtree t.table node
+
+let stats t = t.stats

@@ -1,0 +1,60 @@
+(** DeweyID [Tatarinov et al., SIGMOD 2002] — the naive prefix scheme of
+    §3.1.2 and Figure 3.
+
+    The n-th child simply gets the positional identifier n. Appending after
+    the last sibling is free, but any other insertion renumbers the
+    following siblings (and drags their subtrees), which is why Figure 7
+    grades DeweyID non-persistent. *)
+
+module Code = struct
+  type t = int
+
+  let scheme = "DeweyID"
+  let equal = Int.equal
+  let compare = Int.compare
+  let to_string = string_of_int
+
+  (* Components are stored UTF-8 style, one to four bytes; accounting
+     saturates at four bytes, the ceiling itself is checked on update. *)
+  let bits v =
+    match Repro_codes.Varint.bits v with
+    | b -> b
+    | exception Repro_codes.Varint.Overflow _ -> 32
+
+
+  let root = 1
+  let encode w v = Codec_util.write_varint w v
+  let decode r = Codec_util.read_varint r
+
+  let initial n = Array.init n (fun i -> i + 1)
+  let after v =
+    if v + 1 > Repro_codes.Varint.max_encodable then raise Code_sig.Code_overflow;
+    v + 1
+
+  let before _ = raise Code_sig.Needs_relabel
+  let between _ _ = raise Code_sig.Needs_relabel
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "DeweyID";
+          info =
+            {
+              citation = "Tatarinov et al., SIGMOD 2002";
+              year = 2002;
+              family = Prefix;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = false;
+              in_figure7 = true;
+            };
+          root_code = true;
+          length_field_bits = Some 10;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

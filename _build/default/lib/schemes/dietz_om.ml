@@ -1,0 +1,168 @@
+(** Order-maintenance tags — Dietz's "Maintaining Order in a Linked List"
+    [STOC 1982], the paper's citation [6] and the origin of the whole
+    containment family, maintained under updates in the local-relabelling
+    style of BOXes [Silberstein et al., ICDE 2005], citation [20].
+
+    Every node carries a single integer tag whose numeric order is document
+    order. An insertion takes the midpoint of the gap between its
+    document-order neighbours; when a gap is exhausted, a {e window} of
+    neighbouring tags is renumbered evenly over their span, doubling the
+    window until enough room appears — so relabelling cost is local and
+    amortised, not the containment family's whole-document renumbering.
+
+    The tag answers ordering only: no ancestor, parent, sibling or level
+    information lives in the label, which is exactly the trade-off that
+    kept pure order-maintenance out of the paper's Figure 7. Registered as
+    an extension row. *)
+
+open Repro_xml
+
+let name = "Dietz-OM"
+
+let info : Core.Info.t =
+  {
+    citation = "Dietz, STOC 1982 / Silberstein et al., ICDE 2005";
+    year = 1982;
+    family = Containment;
+    order = Global;
+    representation = Fixed;
+    orthogonal = false;
+    in_figure7 = false;
+  }
+
+type label = int
+
+let tag_bits = 62
+let pp_label ppf t = Format.fprintf ppf "#%d" t
+let label_to_string t = Printf.sprintf "#%d" t
+let equal_label = Int.equal
+let compare_order = Int.compare
+let storage_bits _ = tag_bits
+
+let encode_label t =
+  let w = Repro_codes.Bitpack.writer () in
+  Repro_codes.Bitpack.write_bits w t tag_bits;
+  (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+let decode_label bytes _bits =
+  Repro_codes.Bitpack.read_bits (Repro_codes.Bitpack.reader bytes) tag_bits
+
+let is_ancestor = None
+let is_parent = None
+let is_sibling = None
+let level_of = None
+
+type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+let initial_gap = 1 lsl 20
+let max_tag = (1 lsl tag_bits) - 1
+
+let renumber_all t =
+  let counter = ref 0 in
+  Tree.iter_preorder
+    (fun node ->
+      counter := !counter + initial_gap;
+      Core.Table.set t.table node !counter)
+    t.doc
+
+let create doc =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  renumber_all t;
+  t
+
+let restore doc stored =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  Tree.iter_preorder
+    (fun node ->
+      let bytes, bits = stored node in
+      Core.Table.set t.table node (decode_label bytes bits))
+    doc;
+  t
+
+let label t node = Core.Table.get t.table node
+
+(* Document-order predecessor of a fresh node among the labelled nodes:
+   the deepest labelled descendant of its previous sibling, or its
+   parent. *)
+let rec last_labelled t node =
+  match
+    List.rev
+      (List.filter (fun c -> Core.Table.mem t.table c) (Tree.children node))
+  with
+  | last :: _ -> last_labelled t last
+  | [] -> node
+
+let predecessor t node =
+  let rec prev_labelled = function
+    | Some s -> if Core.Table.mem t.table s then Some s else prev_labelled (Tree.prev_sibling s)
+    | None -> None
+  in
+  match prev_labelled (Tree.prev_sibling node) with
+  | Some s -> Some (last_labelled t s)
+  | None -> Tree.parent node
+
+(* Document-order successor: the next labelled sibling, or the nearest
+   ancestor's next labelled sibling. *)
+let successor t node =
+  let rec next_labelled = function
+    | Some s -> if Core.Table.mem t.table s then Some s else next_labelled (Tree.next_sibling s)
+    | None -> None
+  in
+  let rec climb n =
+    match next_labelled (Tree.next_sibling n) with
+    | Some s -> Some s
+    | None -> ( match Tree.parent n with Some p -> climb p | None -> None)
+  in
+  climb node
+
+(* Renumber a window of [2^k] nodes centred on the exhausted gap, evenly
+   over the span their outer neighbours leave; double the window until the
+   span provides at least two tags per slot. *)
+let make_room t (node : Tree.node) =
+  let ordered =
+    List.filter (fun n -> Core.Table.mem t.table n) (Tree.preorder t.doc)
+  in
+  let arr = Array.of_list ordered in
+  let pos = ref 0 in
+  (match predecessor t node with
+  | Some p ->
+    Array.iteri (fun i n -> if n.Tree.id = p.Tree.id then pos := i) arr
+  | None -> ());
+  let n = Array.length arr in
+  let rec widen w =
+    let lo = max 0 (!pos - w) and hi = min (n - 1) (!pos + w) in
+    let lo_tag = if lo = 0 then 0 else label t arr.(lo - 1) in
+    let hi_tag = if hi = n - 1 then max_tag else label t arr.(hi + 1) in
+    let slots = hi - lo + 2 in
+    if hi_tag - lo_tag >= 2 * slots then begin
+      let stride = (hi_tag - lo_tag) / slots in
+      for i = lo to hi do
+        Core.Table.set t.table arr.(i) (lo_tag + ((i - lo + 1) * stride))
+      done
+    end
+    else if lo = 0 && hi = n - 1 then begin
+      Core.Stats.record_overflow t.stats;
+      renumber_all t
+    end
+    else widen (2 * w)
+  in
+  widen 4
+
+let rec after_insert t node =
+  if not (Core.Table.mem t.table node) then begin
+    let lo = match predecessor t node with Some p -> label t p | None -> 0 in
+    let hi = match successor t node with Some s -> label t s | None -> max_tag in
+    if hi - lo >= 2 then
+      Core.Table.set t.table node (lo + Core.Costmodel.div_int (hi - lo) 2)
+    else begin
+      (* exhausted gap: local renumbering, then retry *)
+      make_room t node;
+      after_insert t node
+    end
+  end
+
+let before_delete t node = Core.Table.remove_subtree t.table node
+
+let stats t = t.stats

@@ -1,0 +1,129 @@
+(** DLN — Dynamic Level Numbering [Böhme & Rahm, DIWeb 2004] — §3.1.2.
+
+    "Conceptually similar to ORDPATH" but with a fixed bit-length for
+    component values; arbitrary insertions are supported by opening
+    sublevels between two consecutive positional identifiers. Under
+    frequent updates the fixed component width saturates, so DLN
+    "succumb[s] to the same limitations as the DeweyID scheme using sparse
+    allocation of labels" — modelled here as an overflow event followed by
+    a full relabelling. *)
+
+let component_width = 8
+(* Bits per component; values 0 .. 2^8 - 1, with 0 reserved for sublevel
+   components opened in front of a leftmost sibling. *)
+
+let max_value = (1 lsl component_width) - 1
+
+module Code = struct
+  type t = int list
+  (* Invariant: non-empty; every component in [0, max_value]; the final
+     component is >= 1. A longer list is a deeper sublevel chain. *)
+
+  let scheme = "DLN"
+  let equal = List.equal Int.equal
+
+  let rec compare a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ -> -1 (* a sublevel extension sorts after its base *)
+    | _, [] -> 1
+    | x :: xs, y :: ys -> if x <> y then Int.compare x y else compare xs ys
+
+  let to_string c = String.concat "/" (List.map string_of_int c)
+
+  (* Fixed representation: each component pays its width plus one
+     continuation bit marking whether a sublevel follows. *)
+  let bits c = List.length c * (component_width + 1)
+
+  (* Component layout: the fixed-width value followed by one continuation
+     bit (1 = a sublevel component follows). *)
+  let encode w code =
+    let rec go = function
+      | [] -> ()
+      | [ v ] ->
+        Repro_codes.Bitpack.write_bits w v component_width;
+        Repro_codes.Bitpack.write_bit w false
+      | v :: rest ->
+        Repro_codes.Bitpack.write_bits w v component_width;
+        Repro_codes.Bitpack.write_bit w true;
+        go rest
+    in
+    go code
+
+  let decode r =
+    let rec go acc =
+      let v = Repro_codes.Bitpack.read_bits r component_width in
+      if Repro_codes.Bitpack.read_bit r then go (v :: acc) else List.rev (v :: acc)
+    in
+    go []
+
+  let root = [ 1 ]
+
+  (* Bulk labelling hands out 1..n even past the fixed width: the scheme
+     is already saturated and the next rightmost insertion will trip the
+     overflow path. *)
+  let initial n = Array.init n (fun i -> [ i + 1 ])
+
+  let after c =
+    match c with
+    | x :: _ ->
+      if x < max_value then [ x + 1 ] else raise Code_sig.Code_overflow
+    | [] -> invalid_arg "Dln: empty code"
+
+
+  (* A code strictly above [suffix], unbounded: saturated components open a
+     deeper sublevel instead of overflowing — only true rightmost-sibling
+     growth is bounded by the fixed width. *)
+  let rec sub_after suffix =
+    match suffix with
+    | [] -> [ 1 ]
+    | x :: _ when x < max_value -> [ x + 1 ]
+    | x :: rest -> x :: sub_after rest (* saturated: go one sublevel deeper *)
+
+  (* A code strictly below [suffix] (which is non-empty), unbounded to the
+     left: values below 1 chain through reserved 0 components. *)
+  let rec sub_before suffix =
+    match suffix with
+    | y :: _ when y > 1 -> [ y - 1 ]
+    | y :: _ when y = 1 -> [ 0; 1 ]
+    | y :: ys -> y :: sub_before ys (* y = 0: descend the front chain *)
+    | [] -> invalid_arg "Dln.sub_before: empty suffix"
+
+  let before = sub_before
+
+  let rec between a b =
+    match (a, b) with
+    | x :: xs, y :: ys when x = y -> x :: between xs ys
+    | x :: _, y :: _ when y - x >= 2 -> [ x + 1 ]
+    | x :: xs, _ :: _ ->
+      (* Adjacent values: extend a sublevel chain under the left code. *)
+      x :: sub_after xs
+    | [], suffix ->
+      (* The left code is a strict prefix of the right one. *)
+      sub_before suffix
+    | _, [] -> invalid_arg "Dln.between: right code is a prefix of the left"
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "DLN";
+          info =
+            {
+              citation = "Boehme & Rahm, DIWeb 2004";
+              year = 2004;
+              family = Prefix;
+              order = Hybrid;
+              representation = Fixed;
+              orthogonal = false;
+              in_figure7 = true;
+            };
+          root_code = true;
+          length_field_bits = Some 10;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

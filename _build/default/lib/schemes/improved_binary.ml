@@ -1,0 +1,90 @@
+(** ImprovedBinary [Li & Ling, DASFAA 2005] — §3.1.2 and Figure 6.
+
+    Positional identifiers are binary strings that always end in 1, kept in
+    lexicographic order. Initial construction is the paper's recursive
+    Labelling algorithm: the leftmost child gets 01, the rightmost 011, and
+    AssignMiddleSelfLabel recursively fills the ((1+n)/2)-th position
+    between the current boundaries — a recursive, division-using algorithm,
+    which is exactly how Figure 7 grades it. Variable-length codes still
+    need a stored length, so the scheme "cannot completely avoid the
+    relabeling of existing nodes due to the overflow problem". *)
+
+open Repro_codes
+
+module Code = struct
+  type t = Bitstr.t
+
+  let scheme = "ImprovedBinary"
+  let equal = Bitstr.equal
+  let compare = Bitstr.compare
+  let to_string = Bitstr.to_string
+
+  (* "Variable length codes require the size of the code to be stored in
+     addition to the code itself" (§4): each component carries a 10-bit
+     length field, whose saturation is the scheme's overflow event. *)
+  let length_field = 10
+  let bits c = Bitstr.length c + length_field
+
+  let encode w c =
+    let len = Bitstr.length c in
+    if len >= 1 lsl length_field then raise Code_sig.Code_overflow;
+    Bitpack.write_bits w len length_field;
+    Bitpack.write_bitstr w c
+
+  let decode r =
+    let len = Bitpack.read_bits r length_field in
+    Bitpack.read_bitstr r len
+
+  let leftmost = Bitstr.of_string "01"
+  let rightmost = Bitstr.of_string "011"
+
+  let root = leftmost
+  let between = Binary_ops.between
+
+  let initial n =
+    if n = 0 then [||]
+    else if n = 1 then [| leftmost |]
+    else begin
+      let codes = Array.make n leftmost in
+      codes.(n - 1) <- rightmost;
+      (* AssignMiddleSelfLabel between already-assigned boundaries. *)
+      let rec assign lo hi =
+        Core.Costmodel.tick_recursion ();
+        if hi - lo >= 2 then begin
+          let m = Core.Costmodel.div_int (lo + hi) 2 in
+          codes.(m) <- between codes.(lo) codes.(hi);
+          assign lo m;
+          assign m hi
+        end
+      in
+      assign 0 (n - 1);
+      codes
+    end
+
+  let before = Binary_ops.before
+  let after = Binary_ops.after
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "ImprovedBinary";
+          info =
+            {
+              citation = "Li & Ling, DASFAA 2005";
+              year = 2005;
+              family = Prefix;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = false;
+              in_figure7 = true;
+            };
+          root_code = false;
+          length_field_bits = Some 10;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

@@ -1,0 +1,140 @@
+(** Containment labelling with sparse gap allocation [Li & Moon, VLDB 2001;
+    Kha et al., ICDE 2001] — the §3.1.1 extensions that "permit gaps in the
+    labelling schemes to facilitate future insertions gracefully".
+
+    Begin/end numbers are spaced [gap] apart at bulk-labelling time; an
+    insertion takes two numbers out of the surrounding gap, and when a gap
+    is exhausted the scheme does what the survey says all of them must:
+    "only postpone the relabelling process until the interval gaps have
+    been consumed" — an overflow event followed by full renumbering
+    (experiment CL2 measures the onset). *)
+
+open Repro_xml
+
+let gap = ref 16
+(** Numbers left between consecutive traversal positions at bulk time.
+    Mutable so experiment CL2 can sweep it; set before {!create}. *)
+
+let name = "Interval+gaps"
+
+let info : Core.Info.t =
+  {
+    citation = "Li & Moon, VLDB 2001";
+    year = 2001;
+    family = Containment;
+    order = Global;
+    representation = Fixed;
+    orthogonal = false;
+    in_figure7 = false;
+  }
+
+type label = { start : int; stop : int; lvl : int }
+
+let pp_label ppf l = Format.fprintf ppf "[%d,%d]@%d" l.start l.stop l.lvl
+let label_to_string l = Format.asprintf "%a" pp_label l
+let equal_label a b = a.start = b.start && a.stop = b.stop && a.lvl = b.lvl
+let compare_order a b = Int.compare a.start b.start
+let storage_bits _ = 64 + 16
+
+let encode_label l =
+  let w = Repro_codes.Bitpack.writer () in
+  Repro_codes.Bitpack.write_bits w l.start 32;
+  Repro_codes.Bitpack.write_bits w l.stop 32;
+  Repro_codes.Bitpack.write_bits w l.lvl 16;
+  (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+let decode_label bytes _bits =
+  let r = Repro_codes.Bitpack.reader bytes in
+  let start = Repro_codes.Bitpack.read_bits r 32 in
+  let stop = Repro_codes.Bitpack.read_bits r 32 in
+  let lvl = Repro_codes.Bitpack.read_bits r 16 in
+  { start; stop; lvl }
+
+let is_ancestor = Some (fun a d -> a.start < d.start && d.stop < a.stop)
+
+let is_parent =
+  Some (fun p c -> p.start < c.start && c.stop < p.stop && c.lvl = p.lvl + 1)
+
+let is_sibling = None
+let level_of = Some (fun l -> l.lvl)
+
+type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t; g : int }
+
+let renumber t =
+  let counter = ref 0 in
+  let next () =
+    counter := !counter + t.g;
+    !counter
+  in
+  let rec go lvl node =
+    let start = next () in
+    List.iter (go (lvl + 1)) (Tree.children node);
+    Core.Table.set t.table node { start; stop = next (); lvl }
+  in
+  go 0 (Tree.root t.doc)
+
+let create doc =
+  let stats = Core.Stats.create () in
+  let t =
+    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 !gap }
+  in
+  renumber t;
+  t
+
+
+let restore doc stored =
+  let stats = Core.Stats.create () in
+  let t =
+    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 !gap }
+  in
+  Tree.iter_preorder
+    (fun node ->
+      let bytes, bits = stored node in
+      Core.Table.set t.table node (decode_label bytes bits))
+    doc;
+  t
+
+let label t node = Core.Table.get t.table node
+
+(* The open interval the fresh node must fit into: after the nearest
+   labelled left sibling's end (or the parent's start), before the nearest
+   labelled right sibling's start (or the parent's end). *)
+let slot t node =
+  match Tree.parent node with
+  | None -> invalid_arg "Interval_gap: cannot insert a second root"
+  | Some parent ->
+    let p = label t parent in
+    let lo =
+      match Core.Table.labelled_left t.table node with
+      | Some left -> (label t left).stop
+      | None -> p.start
+    in
+    let hi =
+      match Core.Table.labelled_right t.table node with
+      | Some right -> (label t right).start
+      | None -> p.stop
+    in
+    (lo, hi, p.lvl + 1)
+
+let after_insert t node =
+  if not (Core.Table.mem t.table node) then begin
+    let lo, hi, lvl = slot t node in
+    let room = hi - lo - 1 in
+    if room >= 2 then begin
+      (* Spread the new interval across the middle of the gap so both
+         sides keep room for future insertions. *)
+      let start = lo + max 1 (Core.Costmodel.div_int room 3) in
+      let stop = hi - max 1 (Core.Costmodel.div_int room 3) in
+      let stop = if stop <= start then start + 1 else stop in
+      Core.Table.set t.table node { start; stop; lvl }
+    end
+    else begin
+      (* Gap consumed: the postponed relabelling arrives. *)
+      Core.Stats.record_overflow t.stats;
+      renumber t
+    end
+  end
+
+let before_delete t node = Core.Table.remove_subtree t.table node
+
+let stats t = t.stats

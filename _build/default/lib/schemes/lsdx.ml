@@ -1,0 +1,107 @@
+(** LSDX [Duong & Zhang, ADC 2005] — §3.1.2 and Figure 5.
+
+    Labels combine the node's level with letter-string positional
+    identifiers: the root is "0a", its children "1a.b", "1a.c", ...; a
+    node's label prefixes the concatenated letters of its ancestors'
+    positional identifiers ("2ab.b" is the first child of "1a.b").
+
+    The published update rules are implemented verbatim:
+    - the first child of any node starts at "b" ('a' is reserved);
+    - a new rightmost sibling lexicographically increments the last letter
+      (after 'z', a 'b' is appended);
+    - a new leftmost sibling prefixes 'a' to the current leftmost;
+    - a new node between two siblings appends 'b' to the left neighbour.
+
+    The paper (citing Sans & Laurent, PVLDB 2008) notes that these rules
+    "do not always produce unique node labels for several corner-case
+    update scenarios". That defect is intentionally preserved — inserting
+    between a node and a previously careted-in "…b" sibling produces a
+    duplicate label — and the CL6 experiment exhibits it. *)
+
+module Code = struct
+  type t = string
+  (* Non-empty lowercase letter strings. *)
+
+  let scheme = "LSDX"
+  let equal = String.equal
+  let compare = String.compare
+  let to_string c = c
+
+  (* Stored as its letters followed by a one-byte '.' terminator (the
+     delimiter of the textual label form; it cannot appear in a code). *)
+  let bits c = 8 * (String.length c + 1)
+
+  let encode w c =
+    String.iter (fun ch -> Codec_util.write_byte w (Char.code ch)) c;
+    Codec_util.write_byte w (Char.code '.')
+
+  let decode r =
+    let buf = Buffer.create 8 in
+    let rec go () =
+      let ch = Char.chr (Repro_codes.Bitpack.read_bits r 8) in
+      if ch = '.' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf ch;
+        go ()
+      end
+    in
+    go ()
+
+  (* "If the previously assigned positional identifier is z, then the next
+     identifier will be zb." *)
+  let bump c =
+    let n = String.length c in
+    if c.[n - 1] < 'z' then
+      String.sub c 0 (n - 1) ^ String.make 1 (Char.chr (Char.code c.[n - 1] + 1))
+    else c ^ "b"
+
+  let root = "a"
+
+  let initial n =
+    let codes = Array.make (max n 1) "b" in
+    for i = 1 to n - 1 do
+      codes.(i) <- bump codes.(i - 1)
+    done;
+    Array.sub codes 0 n
+
+  let after = bump
+  let before f = "a" ^ f
+
+  (* The published between-rule; it does not consult the right neighbour's
+     full extent, which is the source of the collision defect. *)
+  let between l _r = l ^ "b"
+end
+
+let render strings =
+  let level = List.length strings - 1 in
+  match List.rev strings with
+  | [] -> "0a"
+  | [ root ] -> "0" ^ root
+  | own :: rev_ancestors ->
+    Printf.sprintf "%d%s.%s" level
+      (String.concat "" (List.rev rev_ancestors))
+      own
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "LSDX";
+          info =
+            {
+              citation = "Duong & Zhang, ADC 2005";
+              year = 2005;
+              family = Prefix;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = false;
+              in_figure7 = true;
+            };
+          root_code = true;
+          length_field_bits = Some 10;
+          render = Some render;
+        reassign_on_delete = true;
+        }
+    end)

@@ -1,0 +1,152 @@
+(** ORDPATH [O'Neil et al., SIGMOD 2004] — §3.1.2 and Figure 4.
+
+    Initial labelling uses positive odd components only; even (and negative)
+    values are reserved for "careting in" later insertions, so no existing
+    node is ever relabelled by an ordinary insertion. A positional
+    identifier here is the whole careted component list at one tree level
+    (e.g. [2.1] in the label 1.5.2.1); its last component is odd, interior
+    caret components are even.
+
+    Storage follows the paper's "compressed binary representation": each
+    component is written prefix-free as a unary class header (1-6 bits)
+    followed by a 4·class-bit zigzag payload. The class table is finite, so
+    a large enough component overflows it — ORDPATH "cannot completely
+    avoid the relabeling of existing nodes due to the overflow problem". *)
+
+module Code = struct
+  type t = int list
+  (* Invariant: non-empty; last component odd, interior components even. *)
+
+  let scheme = "ORDPATH"
+  let equal = List.equal Int.equal
+
+  let rec compare a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys -> if x <> y then Int.compare x y else compare xs ys
+
+  let to_string c = String.concat "." (List.map string_of_int c)
+
+  let max_class = 6
+
+  let component_bits v =
+    (* Zigzag to a non-negative payload, then the smallest class whose
+       4·class payload bits fit; header is [class] unary bits. Storage
+       accounting saturates at the widest class — exceeding the table is
+       detected by [validate] on the update path, not here. *)
+    let z = if v >= 0 then 2 * v else (-2 * v) - 1 in
+    let rec pick c =
+      if c > max_class then 5 * max_class
+      else if z < 1 lsl (4 * c) then 5 * c
+      else pick (c + 1)
+    in
+    pick 1
+
+  (* The compressed binary class table is finite: a component outside it is
+     the ORDPATH overflow event. *)
+  let validate code =
+    let fits v =
+      let z = if v >= 0 then 2 * v else (-2 * v) - 1 in
+      z < 1 lsl (4 * max_class)
+    in
+    if List.for_all fits code then code else raise Code_sig.Code_overflow
+
+  let bits c = List.fold_left (fun acc v -> acc + component_bits v) 0 c
+
+  (* Component layout: unary class header (class-1 zeros then a 1)
+     followed by a 4*class-bit zigzag payload. A code's components are
+     grouped without extra bits: interior caret components are even, the
+     final one odd. *)
+  let encode_component w v =
+    let z = Codec_util.zigzag v in
+    let rec pick c = if z < 1 lsl (4 * c) then c else pick (c + 1) in
+    let c = pick 1 in
+    if c > max_class then invalid_arg "Ordpath.encode: component outside the class table";
+    for _ = 1 to c - 1 do
+      Repro_codes.Bitpack.write_bit w false
+    done;
+    Repro_codes.Bitpack.write_bit w true;
+    Repro_codes.Bitpack.write_bits w z (4 * c)
+
+  let encode w code = List.iter (encode_component w) code
+
+  let decode_component r =
+    let rec zeros n = if Repro_codes.Bitpack.read_bit r then n else zeros (n + 1) in
+    let c = zeros 0 + 1 in
+    if c > max_class then invalid_arg "Ordpath.decode: bad class header";
+    Codec_util.unzigzag (Repro_codes.Bitpack.read_bits r (4 * c))
+
+  let decode r =
+    let rec go acc =
+      let v = decode_component r in
+      if v mod 2 <> 0 then List.rev (v :: acc) else go (v :: acc)
+    in
+    go []
+
+  let root = [ 1 ]
+  let initial n = Array.init n (fun i -> [ (2 * i) + 1 ])
+
+  let head = function
+    | x :: _ -> x
+    | [] -> invalid_arg "Ordpath: empty code"
+
+  (* Right insertion takes the next odd above the first component, keeping
+     new right-edge codes one component long. *)
+  let after c =
+    let x = head c in
+    validate [ (if x mod 2 = 0 then x + 1 else x + 2) ]
+
+  let before c =
+    let x = head c in
+    validate [ (if x mod 2 = 0 then x - 1 else x - 2) ]
+
+  let rec between_raw a b =
+    match (a, b) with
+    | x :: xs, y :: ys when x = y -> x :: between_raw xs ys
+    | x :: _, y :: _ when y - x >= 2 ->
+      (* Midpoint, nudged to an odd value when the gap allows; otherwise the
+         "even number that sits between the two odd positional identifiers"
+         opens a caret. *)
+      let m = Core.Costmodel.div_int (x + y) 2 in
+      if m mod 2 <> 0 then [ m ]
+      else if m + 1 < y then [ m + 1 ]
+      else if m - 1 > x then [ m - 1 ]
+      else [ m; 1 ]
+    | x :: xs, _ :: _ when x mod 2 = 0 ->
+      (* Adjacent components with the left side careted: stay in its caret
+         and move right within it. *)
+      x :: after xs
+    | _ :: _, y :: ys ->
+      (* Adjacent components with the right side careted: stay in its caret
+         and move left within it. *)
+      y :: before ys
+    | _ -> invalid_arg "Ordpath.between: exhausted codes"
+
+  let between a b = validate (between_raw a b)
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "ORDPATH";
+          info =
+            {
+              citation = "O'Neil et al., SIGMOD 2004";
+              year = 2004;
+              family = Prefix;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = false;
+              in_figure7 = true;
+            };
+          root_code = true;
+          length_field_bits = Some 10;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

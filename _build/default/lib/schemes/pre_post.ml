@@ -1,0 +1,21 @@
+(** Plain preorder/postorder labelling, exactly as in Figure 1(b). Kept as
+    the didactic baseline; the paper's Figure 7 row for this family is the
+    level-carrying XPath Accelerator. *)
+
+include
+  Prepost_base.Make (struct
+    let name = "Pre/Post"
+
+    let info : Core.Info.t =
+      {
+        citation = "Dietz, STOC 1982";
+        year = 1982;
+        family = Containment;
+        order = Global;
+        representation = Fixed;
+        orthogonal = false;
+        in_figure7 = false;
+      }
+
+    let store_level = false
+  end)

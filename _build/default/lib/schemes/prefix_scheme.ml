@@ -1,0 +1,227 @@
+(** Shared implementation of prefix labelling schemes (paper §3.1.2).
+
+    A label is the root-to-node sequence of positional identifiers. The
+    functor provides document order (preorder = prefix-first lexicographic
+    order on code sequences), the label-only structural predicates, bulk
+    labelling, and the update protocol — including sibling renumbering when
+    the code algebra demands it ({!Code_sig.Needs_relabel}) and whole-
+    document relabelling when a fixed storage field saturates
+    ({!Code_sig.Code_overflow}, the §4 overflow problem). *)
+
+open Repro_xml
+
+module Make (Code : Code_sig.CODE) (Config : sig
+  val config : Code_sig.config
+end) : Core.Scheme.S = struct
+  let config = Config.config
+  let name = config.name
+  let info = config.info
+
+  type label = Code.t list
+
+  let rec compare_order a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ -> -1 (* ancestors precede descendants: preorder *)
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = Code.compare x y in
+      if c <> 0 then c else compare_order xs ys
+
+  let equal_label a b = List.length a = List.length b && compare_order a b = 0
+
+  let label_to_string = function
+    | [] -> "\xce\xb5" (* the empty root label, shown as epsilon *)
+    | codes -> (
+      let strings = List.map Code.to_string codes in
+      match config.render with
+      | Some render -> render strings
+      | None -> String.concat "." strings)
+
+  let pp_label ppf l = Format.pp_print_string ppf (label_to_string l)
+
+  let length_overhead =
+    match config.length_field_bits with Some k -> k | None -> 0
+
+  let storage_bits l =
+    List.fold_left (fun acc c -> acc + Code.bits c) length_overhead l
+
+  (* Binary form: the codes in root-to-node order, each self-delimiting by
+     the scheme's own layout; the length field the representation needs is
+     carried alongside as the significant-bit count. *)
+  let encode_label l =
+    let w = Repro_codes.Bitpack.writer () in
+    List.iter (Code.encode w) l;
+    (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+  let decode_label bytes bits =
+    let r = Repro_codes.Bitpack.reader bytes in
+    let rec go acc =
+      if Repro_codes.Bitpack.position r >= bits then List.rev acc
+      else go (Code.decode r :: acc)
+    in
+    go []
+
+  let rec is_code_prefix p l =
+    match (p, l) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> Code.equal x y && is_code_prefix xs ys
+
+  let is_ancestor =
+    Some (fun a d -> List.length a < List.length d && is_code_prefix a d)
+
+  let is_parent =
+    Some (fun p c -> List.length c = List.length p + 1 && is_code_prefix p c)
+
+  let is_sibling =
+    Some
+      (fun a b ->
+        let rec go a b =
+          match (a, b) with
+          | [ x ], [ y ] -> not (Code.equal x y)
+          | x :: xs, y :: ys -> Code.equal x y && go xs ys
+          | _ -> false
+        in
+        go a b)
+
+  let root_depth_adjust = if config.root_code then 1 else 0
+
+  let level_of = Some (fun l -> List.length l - root_depth_adjust)
+
+  type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+  (* Exceeding the fixed length field is an overflow (§4). *)
+  let fits l =
+    match config.length_field_bits with
+    | None -> true
+    | Some k -> storage_bits l <= (1 lsl k) - 1
+
+  let set t node label = Core.Table.set t.table node label
+
+  (* Assign fresh codes to [children] under [parent_label] and rebuild the
+     labels of their descendants (a prefix label embeds the whole path, so
+     a renumbered sibling drags its subtree along — the §3.1.2 cost). *)
+  let rec assign_children t parent_label children =
+    let n = List.length children in
+    if n > 0 then begin
+      let codes = Code.initial n in
+      List.iteri
+        (fun i child ->
+          let l = parent_label @ [ codes.(i) ] in
+          set t child l;
+          assign_children t l (Tree.children child))
+        children
+    end
+
+  let relabel_document t =
+    let root = Tree.root t.doc in
+    let root_label = if config.root_code then [ Code.root ] else [] in
+    set t root root_label;
+    assign_children t root_label (Tree.children root)
+
+  let create doc =
+    let stats = Core.Stats.create () in
+    let t =
+      { doc; table = Core.Table.create ~equal:equal_label ~stats; stats }
+    in
+    relabel_document t;
+    t
+
+  let restore doc stored =
+    let stats = Core.Stats.create () in
+    let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+    Tree.iter_preorder
+      (fun node ->
+        let bytes, bits = stored node in
+        Core.Table.set t.table node (decode_label bytes bits))
+      doc;
+    t
+
+  let label t node = Core.Table.get t.table node
+
+  (* Rebuild the descendant labels of [node] after its own label changed;
+     each descendant keeps its own trailing code. *)
+  let rec refresh_descendants t node =
+    let l = label t node in
+    List.iter
+      (fun child ->
+        match List.rev (label t child) with
+        | own :: _ ->
+          set t child (l @ [ own ]);
+          refresh_descendants t child
+        | [] -> assert false)
+      (Tree.children node)
+
+  let renumber_siblings t parent node =
+    let parent_label = label t parent in
+    let children = Tree.children parent in
+    let n = List.length children in
+    let codes = Code.initial n in
+    List.iteri
+      (fun i child ->
+        set t child (parent_label @ [ codes.(i) ]);
+        if child.Tree.id <> node.Tree.id then refresh_descendants t child)
+      children
+
+  let code_for t node =
+    let left = Core.Table.labelled_left t.table node in
+    let right = Core.Table.labelled_right t.table node in
+    let last n =
+      match List.rev (label t n) with
+      | c :: _ -> c
+      | [] -> invalid_arg (name ^ ": a sibling carries the empty label")
+    in
+    match (left, right) with
+    | None, None -> (Code.initial 1).(0)
+    | Some l, None -> Code.after (last l)
+    | None, Some r -> Code.before (last r)
+    | Some l, Some r -> Code.between (last l) (last r)
+
+  let after_insert t node =
+    if not (Core.Table.mem t.table node) then begin
+      match Tree.parent node with
+      | None -> invalid_arg (name ^ ": cannot insert a second root")
+      | Some parent -> (
+        match
+          let code = code_for t node in
+          let l = label t parent @ [ code ] in
+          if fits l then Some l else None
+        with
+        | Some l -> set t node l
+        | None ->
+          (* The label outgrew the fixed length field: the overflow
+             problem forces a full relabelling. *)
+          Core.Stats.record_overflow t.stats;
+          relabel_document t
+        | exception Code_sig.Needs_relabel -> renumber_siblings t parent node
+        | exception Code_sig.Code_overflow ->
+          Core.Stats.record_overflow t.stats;
+          relabel_document t)
+    end
+
+  let before_delete t node =
+    Core.Table.remove_subtree t.table node;
+    if config.reassign_on_delete then begin
+      match Tree.parent node with
+      | None -> ()
+      | Some parent ->
+        (* Renumber the surviving siblings as if freshly constructed, so
+           the deleted identifiers are reused (LSDX's deletion rule). *)
+        let survivors =
+          List.filter (fun (c : Tree.node) -> c.id <> node.Tree.id) (Tree.children parent)
+        in
+        let n = List.length survivors in
+        if n > 0 then begin
+          let codes = Code.initial n in
+          let parent_label = label t parent in
+          List.iteri
+            (fun i child ->
+              set t child (parent_label @ [ codes.(i) ]);
+              refresh_descendants t child)
+            survivors
+        end
+    end
+
+  let stats t = t.stats
+end

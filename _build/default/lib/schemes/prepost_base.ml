@@ -1,0 +1,101 @@
+(** Preorder/postorder rank labelling — the containment-family baseline of
+    §2.2 (Figure 1(b)) and, with levels, Grust's XPath Accelerator.
+
+    Dietz's observation (§3.1.1): u is an ancestor of v iff u precedes v in
+    preorder and follows it in postorder — a rectangular region query in
+    the pre/post plane. Ranks are global order, so an insertion renumbers
+    every node after the insertion point: "unsuitable for a dynamic
+    labelling scheme", which is precisely what the relabelling counters
+    show. *)
+
+open Repro_xml
+
+module Make (Cfg : sig
+  val name : string
+  val info : Core.Info.t
+  val store_level : bool
+end) : Core.Scheme.S = struct
+  let name = Cfg.name
+  let info = Cfg.info
+
+  type label = { pre : int; post : int; lvl : int }
+
+  let pp_label ppf l =
+    if Cfg.store_level then Format.fprintf ppf "(%d,%d,%d)" l.pre l.post l.lvl
+    else Format.fprintf ppf "(%d,%d)" l.pre l.post
+
+  let label_to_string l = Format.asprintf "%a" pp_label l
+
+  let equal_label a b =
+    a.pre = b.pre && a.post = b.post && (a.lvl = b.lvl || not Cfg.store_level)
+
+  let compare_order a b = Int.compare a.pre b.pre
+
+  let storage_bits _ = 64 + if Cfg.store_level then 16 else 0
+
+  (* Fixed layout: two 32-bit ranks, plus an 8-bit level when stored. *)
+  let encode_label l =
+    let w = Repro_codes.Bitpack.writer () in
+    Repro_codes.Bitpack.write_bits w l.pre 32;
+    Repro_codes.Bitpack.write_bits w l.post 32;
+    if Cfg.store_level then Repro_codes.Bitpack.write_bits w l.lvl 16;
+    (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+  let decode_label bytes _bits =
+    let r = Repro_codes.Bitpack.reader bytes in
+    let pre = Repro_codes.Bitpack.read_bits r 32 in
+    let post = Repro_codes.Bitpack.read_bits r 32 in
+    let lvl = if Cfg.store_level then Repro_codes.Bitpack.read_bits r 16 else 0 in
+    { pre; post; lvl }
+
+  let is_ancestor = Some (fun a d -> a.pre < d.pre && d.post < a.post)
+
+  let is_parent =
+    if Cfg.store_level then
+      Some (fun p c -> p.pre < c.pre && c.post < p.post && c.lvl = p.lvl + 1)
+    else None
+
+  let is_sibling = None
+  let level_of = if Cfg.store_level then Some (fun l -> l.lvl) else None
+
+  type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+  (* Global renumbering: one preorder and one postorder sweep. *)
+  let renumber t =
+    let pre = ref 0 and post = ref 0 in
+    let rec go lvl node =
+      let my_pre = !pre in
+      incr pre;
+      List.iter (go (lvl + 1)) (Tree.children node);
+      let my_post = !post in
+      incr post;
+      Core.Table.set t.table node { pre = my_pre; post = my_post; lvl }
+    in
+    go 0 (Tree.root t.doc)
+
+  let create doc =
+    let stats = Core.Stats.create () in
+    let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+    renumber t;
+    t
+
+  let restore doc stored =
+    let stats = Core.Stats.create () in
+    let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+    Tree.iter_preorder
+      (fun node ->
+        let bytes, bits = stored node in
+        Core.Table.set t.table node (decode_label bytes bits))
+      doc;
+    t
+
+  let label t node = Core.Table.get t.table node
+
+  let after_insert t node =
+    if not (Core.Table.mem t.table node) then renumber t
+
+  (* Deletion leaves rank gaps; the containment predicate is unaffected. *)
+  let before_delete t node = Core.Table.remove_subtree t.table node
+
+  let stats t = t.stats
+end

@@ -1,0 +1,65 @@
+(** QED — Quaternary Encoding for Dynamic XML [Li & Ling, CIKM 2005] — §4.
+
+    The scheme the paper credits with first "completely avoid[ing] the
+    relabeling of nodes in the presence of updates": codes are quaternary
+    strings over 1, 2, 3, each digit stored in two bits, with the two-bit
+    pattern 00 reserved as a separator between codes. Because the
+    separator replaces any stored length, there is no fixed field to
+    saturate — the overflow problem of §4 disappears, at the price of two
+    extra bits per label component and lexicographic (not numeric)
+    comparisons. *)
+
+open Repro_codes
+
+module Code = struct
+  type t = Quat.t
+
+  let scheme = "QED"
+  let equal = Quat.equal
+  let compare = Quat.compare
+  let to_string = Quat.to_string
+  let bits = Quat.storage_bits_separated
+
+  let encode w c =
+    for i = 0 to Quat.length c - 1 do
+      Repro_codes.Bitpack.write_bits w (Quat.digit c i) 2
+    done;
+    Repro_codes.Bitpack.write_bits w 0 2 (* the 00 separator *)
+
+  let decode r =
+    let rec go acc =
+      match Repro_codes.Bitpack.read_bits r 2 with
+      | 0 -> acc
+      | d -> go (Quat.snoc acc d)
+    in
+    go Quat.empty
+  let root = Quat.of_string "2"
+  let initial = Quat_ops.initial
+  let before = Quat_ops.before
+  let after = Quat_ops.after
+  let between = Quat_ops.between
+end
+
+include
+  Prefix_scheme.Make
+    (Code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "QED";
+          info =
+            {
+              citation = "Li & Ling, CIKM 2005";
+              year = 2005;
+              family = Orthogonal_code;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = true;
+              in_figure7 = true;
+            };
+          root_code = false;
+          length_field_bits = None;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

@@ -1,0 +1,136 @@
+(** QRS [Amagasa, Yoshikawa & Uemura, ICDE 2003] — real-number labels
+    (§3.1.1).
+
+    QRS "propose[s] the use of real (floating point) numbers for label
+    identifiers instead of integers to facilitate an arbitrary number of
+    insertions between two labels. However, computers represent floating
+    point numbers with a fixed number of bits and thus in practice the
+    solution is similar to an integer representation with sparse
+    allocation". Each region boundary is an IEEE double; an insertion
+    subdivides the surrounding open interval multiplicatively. When the
+    mantissa runs out the subdivision collapses — the overflow event that
+    experiment CL3 counts (and that the survey predicts). *)
+
+open Repro_xml
+
+let name = "QRS"
+
+let info : Core.Info.t =
+  {
+    citation = "Amagasa et al., ICDE 2003";
+    year = 2003;
+    family = Containment;
+    order = Global;
+    representation = Fixed;
+    orthogonal = false;
+    in_figure7 = true;
+  }
+
+type label = { start : float; stop : float }
+
+let pp_label ppf l = Format.fprintf ppf "[%.17g,%.17g]" l.start l.stop
+let label_to_string l = Format.asprintf "%a" pp_label l
+let equal_label a b = a.start = b.start && a.stop = b.stop
+let compare_order a b = Float.compare a.start b.start
+let storage_bits _ = 128
+
+let write_float w f =
+  let bits = Int64.bits_of_float f in
+  Repro_codes.Bitpack.write_bits w Int64.(to_int (logand (shift_right_logical bits 32) 0xFFFFFFFFL)) 32;
+  Repro_codes.Bitpack.write_bits w Int64.(to_int (logand bits 0xFFFFFFFFL)) 32
+
+let read_float r =
+  let hi = Repro_codes.Bitpack.read_bits r 32 in
+  let lo = Repro_codes.Bitpack.read_bits r 32 in
+  Int64.float_of_bits Int64.(logor (shift_left (of_int hi) 32) (of_int lo))
+
+let encode_label l =
+  let w = Repro_codes.Bitpack.writer () in
+  write_float w l.start;
+  write_float w l.stop;
+  (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+let decode_label bytes _bits =
+  let r = Repro_codes.Bitpack.reader bytes in
+  let start = read_float r in
+  let stop = read_float r in
+  { start; stop }
+
+let is_ancestor = Some (fun a d -> a.start < d.start && d.stop < a.stop)
+let is_parent = None
+let is_sibling = None
+let level_of = None
+
+type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+let renumber t =
+  let counter = ref 0.0 in
+  let next () =
+    counter := !counter +. 1.0;
+    !counter
+  in
+  let rec go node =
+    let start = next () in
+    List.iter go (Tree.children node);
+    Core.Table.set t.table node { start; stop = next () }
+  in
+  go (Tree.root t.doc)
+
+let create doc =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  renumber t;
+  t
+
+
+let restore doc stored =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  Tree.iter_preorder
+    (fun node ->
+      let bytes, bits = stored node in
+      Core.Table.set t.table node (decode_label bytes bits))
+    doc;
+  t
+
+let label t node = Core.Table.get t.table node
+
+let slot t node =
+  match Tree.parent node with
+  | None -> invalid_arg "QRS: cannot insert a second root"
+  | Some parent ->
+    let p = label t parent in
+    let lo =
+      match Core.Table.labelled_left t.table node with
+      | Some left -> (label t left).stop
+      | None -> p.start
+    in
+    let hi =
+      match Core.Table.labelled_right t.table node with
+      | Some right -> (label t right).start
+      | None -> p.stop
+    in
+    (lo, hi)
+
+let one_third = 1.0 /. 3.0
+(* Precomputed so insertions multiply rather than divide (the Figure 7
+   grading credits QRS with division-free label assignment). *)
+
+let after_insert t node =
+  if not (Core.Table.mem t.table node) then begin
+    let lo, hi = slot t node in
+    let width = hi -. lo in
+    let start = lo +. (width *. one_third) in
+    let stop = hi -. (width *. one_third) in
+    if lo < start && start < stop && stop < hi then
+      Core.Table.set t.table node { start; stop }
+    else begin
+      (* Mantissa exhausted: floats were sparse integers all along. *)
+      Core.Stats.record_overflow t.stats;
+      renumber t
+    end
+  end
+
+let before_delete t node = Core.Table.remove_subtree t.table node
+
+let stats t = t.stats

@@ -1,0 +1,79 @@
+(** The quaternary-code algebra shared by QED and CDQS [Li & Ling, CIKM
+    2005; Li, Ling & Hu, VLDB J. 2008].
+
+    Codes are strings over the digits 1, 2, 3 that always end in 2 or 3
+    (the invariant the QED paper maintains so that a code can always be
+    inserted on either side of an existing one). Betweenness mirrors the
+    binary algebra with 1 as the lowest digit:
+
+    - if [l] is not a prefix of [r], then [l·2] lies strictly between;
+    - if [r = l·s], then [l·1^j·2] (or [l·1^j·12] when [s]'s first non-1
+      digit is 2) fits, where [1^j] is [s]'s run of leading 1s — [s]
+      cannot be all 1s because codes end in 2 or 3.
+
+    Initial construction is the recursive GetOneThirdAndTwoThirdCode
+    assignment: two codes split each sibling range into thirds. *)
+
+open Repro_codes
+
+let after l =
+  match Quat.last l with
+  | 2 -> Quat.snoc (Quat.drop_last l) 3
+  | 3 -> Quat.snoc l 2
+  | _ -> invalid_arg "Quat_ops.after: code does not end in 2 or 3"
+
+let before f =
+  match Quat.last f with
+  | 3 -> Quat.snoc (Quat.drop_last f) 2
+  | 2 -> Quat.snoc (Quat.snoc (Quat.drop_last f) 1) 2
+  | _ -> invalid_arg "Quat_ops.before: code does not end in 2 or 3"
+
+let between l r =
+  if Quat.compare l r >= 0 then invalid_arg "Quat_ops.between: codes not ordered";
+  if not (Quat.is_prefix l r) then Quat.snoc l 2
+  else begin
+    (* r = l·s: append s's leading 1s, then slot in below its first real
+       digit. *)
+    let s_start = Quat.length l in
+    let rec ones acc j =
+      match Quat.digit r (s_start + j) with
+      | 1 -> ones (Quat.snoc acc 1) (j + 1)
+      | 3 -> Quat.snoc acc 2
+      | _ -> Quat.snoc (Quat.snoc acc 1) 2 (* digit 2 *)
+    in
+    ones l 0
+  end
+
+let between_opt l r =
+  match (l, r) with
+  | None, None -> Quat.of_string "2"
+  | Some l, None -> after l
+  | None, Some r -> before r
+  | Some l, Some r -> between l r
+
+(** The recursive Labelling algorithm: fill [lo..hi] between the exclusive
+    boundary codes, placing the (1/3) and (2/3) positions first. *)
+let initial n =
+  if n = 0 then [||]
+  else begin
+    let codes = Array.make n (Quat.of_string "2") in
+    let rec assign lo hi lcode rcode =
+      Core.Costmodel.tick_recursion ();
+      if hi = lo then codes.(lo) <- between_opt lcode rcode
+      else if hi > lo then begin
+        let span = hi - lo + 1 in
+        let i1 = lo + max 1 (Core.Costmodel.div_int span 3) - 1 in
+        let i2 = lo + Core.Costmodel.div_int (2 * span) 3 in
+        let i2 = if i2 <= i1 then i1 + 1 else i2 in
+        let c1 = between_opt lcode rcode in
+        let c2 = between_opt (Some c1) rcode in
+        codes.(i1) <- c1;
+        codes.(i2) <- c2;
+        if i1 > lo then assign lo (i1 - 1) lcode (Some c1);
+        if i2 - i1 >= 2 then assign (i1 + 1) (i2 - 1) (Some c1) (Some c2);
+        if hi > i2 then assign (i2 + 1) hi (Some c2) rcode
+      end
+    in
+    assign 0 (n - 1) None None;
+    codes
+  end

@@ -1,0 +1,97 @@
+(** All labelling schemes known to the framework.
+
+    {!figure7} lists exactly the twelve rows of the paper's Figure 7, in
+    the paper's order; {!extensions} adds the schemes the survey discusses
+    around the matrix (the pre/post baseline, gapped intervals, CDBS,
+    Com-D) plus the conclusion's future-work targets (Prime, DDE) and the
+    orthogonal prefix/containment cross-applications of §4. *)
+
+(* The Figure 7 row for the Vector scheme grades the label pair itself
+   (order + ancestor from a region pair, no level), i.e. the containment
+   application of the vector algebra. *)
+module Vector_containment =
+  Code_containment.Make
+    (Vector_code)
+    (struct
+      let name = "Vector"
+
+      let info : Core.Info.t =
+        {
+          citation = "Xu, Bao & Ling, DEXA 2007";
+          year = 2007;
+          family = Orthogonal_code;
+          order = Hybrid;
+          representation = Variable;
+          orthogonal = true;
+          in_figure7 = true;
+        }
+    end)
+
+module Qed_containment =
+  Code_containment.Make
+    (Qed.Code)
+    (struct
+      let name = "QED-Containment"
+
+      let info : Core.Info.t =
+        {
+          citation = "Li & Ling, CIKM 2005 (containment application)";
+          year = 2005;
+          family = Orthogonal_code;
+          order = Hybrid;
+          representation = Variable;
+          orthogonal = true;
+          in_figure7 = false;
+        }
+    end)
+
+let figure7 : Core.Scheme.packed list =
+  [
+    (module Xpath_accelerator);
+    (module Xrel);
+    (module Sector);
+    (module Qrs);
+    (module Dewey);
+    (module Ordpath);
+    (module Dln);
+    (module Lsdx);
+    (module Improved_binary);
+    (module Qed);
+    (module Cdqs);
+    (module Vector_containment);
+  ]
+
+let extensions : Core.Scheme.packed list =
+  [
+    (module Pre_post);
+    (module Interval_gap);
+    (module Cdbs);
+    (module Com_d);
+    (module Prime);
+    (module Dde);
+    (module Vector_scheme);
+    (module Qed_containment);
+    (module Dietz_om);
+  ]
+
+(** Schemes the survey explicitly excludes ("we omit from this survey the
+    dynamic labelling schemes that do not support the maintenance of
+    document order under updates", §3.1) — implemented so experiment CL10
+    can show why. Not part of {!all}: their order defect would fail every
+    workload's invariants by design. *)
+let omitted : Core.Scheme.packed list =
+  [ (module Ckm_bitcode.One); (module Ckm_bitcode.Two) ]
+
+let all = figure7 @ extensions
+
+let find name =
+  List.find_opt (fun s -> String.equal (Core.Scheme.name s) name) all
+
+(* Schemes whose label algebra is total and collision-free; LSDX and Com-D
+   are excluded where a workload relies on labels staying unique (their
+   published defect, exhibited separately by experiment CL6). *)
+let well_behaved =
+  List.filter
+    (fun s ->
+      match Core.Scheme.name s with "LSDX" | "Com-D" -> false | _ -> true)
+    all

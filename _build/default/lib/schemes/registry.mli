@@ -1,0 +1,38 @@
+(** All labelling schemes known to the framework, behind the one
+    existential interface {!Core.Scheme.packed}. *)
+
+module Vector_containment : Core.Scheme.S
+(** The Vector algebra applied containment-wise — the application the
+    paper's Figure 7 row grades (order and ancestry from a region pair,
+    no level). *)
+
+module Qed_containment : Core.Scheme.S
+(** QED codes as containment region endpoints: §4's orthogonality claim,
+    exercised. *)
+
+val figure7 : Core.Scheme.packed list
+(** Exactly the twelve rows of the paper's Figure 7, in the paper's
+    order. *)
+
+val extensions : Core.Scheme.packed list
+(** Schemes the survey discusses around the matrix (Pre/Post,
+    Interval+gaps, CDBS, Com-D), the conclusion's future-work targets
+    (Prime, DDE), the orthogonal cross-applications (V-Prefix,
+    QED-Containment), and the Dietz order-maintenance structure of
+    citation [6]. *)
+
+val omitted : Core.Scheme.packed list
+(** Schemes the survey explicitly excludes for losing document order
+    under updates (§3.1) — the CKM bit codes — implemented so experiment
+    CL10 can demonstrate why. Not part of {!all}. *)
+
+val all : Core.Scheme.packed list
+(** [figure7 @ extensions]. *)
+
+val find : string -> Core.Scheme.packed option
+(** Lookup by scheme name. *)
+
+val well_behaved : Core.Scheme.packed list
+(** {!all} minus the schemes whose published label algebra can produce
+    duplicate labels (LSDX and Com-D) — the set workloads that rely on
+    label uniqueness run against. *)

@@ -1,0 +1,145 @@
+(** Sector [Thonangi, COMAD 2006] — §3.1.1.
+
+    "A hybrid ordering approach is adopted whereby sectors are used instead
+    of intervals and mathematical formulae are presented to determine
+    ancestor-descendant and document-order relationships between label
+    pairs." The COMAD paper is hard to obtain; this is a reconstruction
+    that preserves the properties Figure 7 grades for it: hybrid order,
+    fixed-length representation, sector-containment ancestor tests, no
+    level encoding, a recursive initial labelling, and division-free
+    arithmetic (sector subdivision uses shifts and sums only). Consumed
+    sectors force relabelling, so the scheme stays non-persistent and
+    subject to overflow, as graded. *)
+
+open Repro_xml
+
+let name = "Sector"
+
+let info : Core.Info.t =
+  {
+    citation = "Thonangi, COMAD 2006";
+    year = 2006;
+    family = Containment;
+    order = Hybrid;
+    representation = Fixed;
+    orthogonal = false;
+    in_figure7 = true;
+  }
+
+let universe_bits = 48
+(* The whole circle: sectors are sub-ranges of [0, 2^48). *)
+
+type label = { s : int; e : int }
+
+let pp_label ppf l = Format.fprintf ppf "<%d,%d>" l.s l.e
+let label_to_string l = Format.asprintf "%a" pp_label l
+let equal_label a b = a.s = b.s && a.e = b.e
+let compare_order a b = Int.compare a.s b.s
+let storage_bits _ = 2 * universe_bits
+
+let encode_label l =
+  let w = Repro_codes.Bitpack.writer () in
+  Repro_codes.Bitpack.write_bits w l.s universe_bits;
+  Repro_codes.Bitpack.write_bits w l.e universe_bits;
+  (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+let decode_label bytes _bits =
+  let r = Repro_codes.Bitpack.reader bytes in
+  let s = Repro_codes.Bitpack.read_bits r universe_bits in
+  let e = Repro_codes.Bitpack.read_bits r universe_bits in
+  { s; e }
+
+let is_ancestor = Some (fun a d -> a.s < d.s && d.e < a.e)
+let is_parent = None
+let is_sibling = None
+let level_of = None
+
+type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+(* Children split the parent's interior recursively: the middle child takes
+   the middle half of the current range, the left and right thirds of the
+   sibling list recurse into the outer quarters. Shifts only. *)
+let rec assign_range t children lo hi rs re =
+  Core.Costmodel.tick_recursion ();
+  if hi >= lo then begin
+    let quarter = (re - rs) lsr 2 in
+    if quarter < 1 then
+      (* Saturated: the fixed universe has no room left at this depth.
+         Hand out degenerate sectors so labelling stays total; order and
+         uniqueness degrade, which the overflow counters already report. *)
+      for i = lo to hi do
+        Core.Table.set t.table children.(i) { s = rs; e = re };
+        assign_node t children.(i)
+      done
+    else begin
+      let mid1 = rs + quarter and mid2 = re - quarter in
+      let m = (lo + hi) lsr 1 in
+      let child = children.(m) in
+      Core.Table.set t.table child { s = mid1; e = mid2 };
+      assign_node t child;
+      assign_range t children lo (m - 1) rs mid1;
+      assign_range t children (m + 1) hi mid2 re
+    end
+  end
+
+and assign_node t node =
+  let { s; e } = Core.Table.get t.table node in
+  let children = Array.of_list (Tree.children node) in
+  let n = Array.length children in
+  if n > 0 then assign_range t children 0 (n - 1) (s + 1) (e - 1)
+
+let renumber t =
+  Core.Table.set t.table (Tree.root t.doc) { s = 0; e = (1 lsl universe_bits) - 1 };
+  assign_node t (Tree.root t.doc)
+
+let create doc =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  renumber t;
+  t
+
+
+let restore doc stored =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  Tree.iter_preorder
+    (fun node ->
+      let bytes, bits = stored node in
+      Core.Table.set t.table node (decode_label bytes bits))
+    doc;
+  t
+
+let label t node = Core.Table.get t.table node
+
+let slot t node =
+  match Tree.parent node with
+  | None -> invalid_arg "Sector: cannot insert a second root"
+  | Some parent ->
+    let p = label t parent in
+    let lo =
+      match Core.Table.labelled_left t.table node with
+      | Some left -> (label t left).e
+      | None -> p.s + 1
+    in
+    let hi =
+      match Core.Table.labelled_right t.table node with
+      | Some right -> (label t right).s
+      | None -> p.e - 1
+    in
+    (lo, hi)
+
+let after_insert t node =
+  if not (Core.Table.mem t.table node) then begin
+    let lo, hi = slot t node in
+    let quarter = (hi - lo) lsr 2 in
+    if quarter >= 1 then
+      Core.Table.set t.table node { s = lo + quarter; e = hi - quarter }
+    else begin
+      Core.Stats.record_overflow t.stats;
+      renumber t
+    end
+  end
+
+let before_delete t node = Core.Table.remove_subtree t.table node
+
+let stats t = t.stats

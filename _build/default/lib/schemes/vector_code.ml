@@ -1,0 +1,76 @@
+(** The vector code algebra [Xu, Bao & Ling, DEXA 2007] — §4.
+
+    A positional identifier is a vector (x, y); document order among
+    siblings is the numeric order of gradients y/x, compared without any
+    division via cross-multiplication: G(A) > G(B) iff y1·x2 > y2·x1.
+    Insertion anywhere is the vector sum of the two surrounding codes
+    (the boundaries being the virtual vectors (1,0) and (0,1)) — the
+    Stern-Brocot mediant, which always lies strictly between its parents
+    and never repeats, so no existing node is ever relabelled.
+
+    Components are stored UTF-8 style, as the authors prescribe; a
+    four-byte UTF-8 sequence carries at most 2^21 - 1, the ceiling the
+    survey questions. Growing past it raises {!Code_sig.Code_overflow},
+    making the limitation observable (experiment CL4). *)
+
+open Repro_codes
+
+type t = { x : int; y : int }
+
+let scheme = "Vector"
+let equal a b = a.x = b.x && a.y = b.y
+let compare a b = Int.compare (a.y * b.x) (b.y * a.x)
+let to_string v = Printf.sprintf "(%d,%d)" v.x v.y
+
+let bits v =
+  let component c = match Varint.bits c with b -> b | exception Varint.Overflow _ -> 32 in
+  component v.x + component v.y
+
+(* A component past the four-byte UTF-8 ceiling (2^21 - 1) has no encoding
+   in the scheme's prescribed storage — the overflow the survey questions. *)
+let validate v =
+  if v.x > Varint.max_encodable || v.y > Varint.max_encodable then
+    raise Code_sig.Code_overflow;
+  v
+
+let left_boundary = { x = 1; y = 0 }
+let right_boundary = { x = 0; y = 1 }
+
+let mediant a b = { x = a.x + b.x; y = a.y + b.y }
+
+let before c = validate (mediant left_boundary c)
+let after c = validate (mediant c right_boundary)
+let between a b = validate (mediant a b)
+
+let encode w v =
+  Codec_util.write_varint w v.x;
+  Codec_util.write_varint w v.y
+
+let decode r =
+  let x = Codec_util.read_varint r in
+  let y = Codec_util.read_varint r in
+  { x; y }
+
+let root = mediant left_boundary right_boundary
+
+let initial n =
+  if n = 0 then [||]
+  else begin
+    let codes = Array.make n (mediant left_boundary right_boundary) in
+    (* The recursive middle assignment of the DEXA paper: the middle node
+       gets the sum of the vectors bounding the current range. *)
+    let rec assign lo hi lvec rvec =
+      Core.Costmodel.tick_recursion ();
+      if hi >= lo then begin
+        (* Positional split by shift: the DEXA algorithm divides the range,
+           not the labels — only vector sums touch label values. *)
+        let m = (lo + hi) lsr 1 in
+        let v = mediant lvec rvec in
+        codes.(m) <- v;
+        assign lo (m - 1) lvec v;
+        assign (m + 1) hi v rvec
+      end
+    in
+    assign 0 (n - 1) left_boundary right_boundary;
+    codes
+  end

@@ -1,0 +1,28 @@
+(** The Vector labelling scheme applied prefix-wise (V-Prefix), the
+    application the DEXA paper evaluates against QED. See {!Vector_code}
+    for the algebra and {!Code_containment} for the orthogonal containment
+    application. *)
+
+include
+  Prefix_scheme.Make
+    (Vector_code)
+    (struct
+      let config =
+        {
+          Code_sig.name = "V-Prefix";
+          info =
+            {
+              citation = "Xu, Bao & Ling, DEXA 2007";
+              year = 2007;
+              family = Orthogonal_code;
+              order = Hybrid;
+              representation = Variable;
+              orthogonal = true;
+              in_figure7 = true;
+            };
+          root_code = false;
+          length_field_bits = None;
+          render = None;
+        reassign_on_delete = false;
+        }
+    end)

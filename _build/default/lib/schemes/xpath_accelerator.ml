@@ -1,0 +1,25 @@
+(** XPath Accelerator [Grust, SIGMOD 2002] — pre/post/level.
+
+    "The evaluation of a location step on a major XPath axis (ancestor,
+    descendant, following, preceding) amounts to a rectangular region query
+    in the pre/post labelled plane" (§3.1.1). The extra level component
+    adds the parent-child axis. This module also exposes the region-query
+    windows themselves for the encoding layer's axis evaluation. *)
+
+include
+  Prepost_base.Make (struct
+    let name = "XPath Accelerator"
+
+    let info : Core.Info.t =
+      {
+        citation = "Grust, SIGMOD 2002";
+        year = 2002;
+        family = Containment;
+        order = Global;
+        representation = Fixed;
+        orthogonal = false;
+        in_figure7 = true;
+      }
+
+    let store_level = true
+  end)

@@ -1,0 +1,99 @@
+(** XRel [Yoshikawa et al., ACM TOIT 2001] — region containment over the
+    serialised document (§3.1.1).
+
+    XRel records each element's start and end byte positions in the
+    textual document (plus its nesting depth via its stored path). Start
+    and end offsets here are computed from a synthetic byte layout
+    (tag-name, value and markup sizes), which preserves every behaviour
+    the evaluation framework grades: global document order, containment
+    ancestor tests, and full renumbering of all following regions on any
+    insertion. *)
+
+open Repro_xml
+
+let name = "XRel"
+
+let info : Core.Info.t =
+  {
+    citation = "Yoshikawa et al., ACM TOIT 2001";
+    year = 2001;
+    family = Containment;
+    order = Global;
+    representation = Fixed;
+    orthogonal = false;
+    in_figure7 = true;
+  }
+
+type label = { start : int; stop : int; lvl : int }
+
+let pp_label ppf l = Format.fprintf ppf "[%d,%d)@%d" l.start l.stop l.lvl
+let label_to_string l = Format.asprintf "%a" pp_label l
+let equal_label a b = a.start = b.start && a.stop = b.stop && a.lvl = b.lvl
+let compare_order a b = Int.compare a.start b.start
+let storage_bits _ = 64 + 16
+
+let encode_label l =
+  let w = Repro_codes.Bitpack.writer () in
+  Repro_codes.Bitpack.write_bits w l.start 32;
+  Repro_codes.Bitpack.write_bits w l.stop 32;
+  Repro_codes.Bitpack.write_bits w l.lvl 16;
+  (Repro_codes.Bitpack.contents w, Repro_codes.Bitpack.bit_length w)
+
+let decode_label bytes _bits =
+  let r = Repro_codes.Bitpack.reader bytes in
+  let start = Repro_codes.Bitpack.read_bits r 32 in
+  let stop = Repro_codes.Bitpack.read_bits r 32 in
+  let lvl = Repro_codes.Bitpack.read_bits r 16 in
+  { start; stop; lvl }
+
+let is_ancestor = Some (fun a d -> a.start < d.start && d.stop <= a.stop)
+
+let is_parent =
+  Some (fun p c -> p.start < c.start && c.stop <= p.stop && c.lvl = p.lvl + 1)
+
+let is_sibling = None
+let level_of = Some (fun l -> l.lvl)
+
+type t = { doc : Tree.doc; table : label Core.Table.t; stats : Core.Stats.t }
+
+(* Synthetic byte extents: open markup = <name> or name=", content = the
+   value, close markup = </name> or ". *)
+let open_cost (n : Tree.node) = String.length n.name + 2
+let value_cost (n : Tree.node) = match n.value with Some v -> String.length v | None -> 0
+let close_cost (n : Tree.node) = String.length n.name + 3
+
+let renumber t =
+  let offset = ref 0 in
+  let rec go lvl node =
+    let start = !offset in
+    offset := !offset + open_cost node + value_cost node;
+    List.iter (go (lvl + 1)) (Tree.children node);
+    offset := !offset + close_cost node;
+    Core.Table.set t.table node { start; stop = !offset; lvl }
+  in
+  go 0 (Tree.root t.doc)
+
+let create doc =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  renumber t;
+  t
+
+
+let restore doc stored =
+  let stats = Core.Stats.create () in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  Tree.iter_preorder
+    (fun node ->
+      let bytes, bits = stored node in
+      Core.Table.set t.table node (decode_label bytes bits))
+    doc;
+  t
+
+let label t node = Core.Table.get t.table node
+
+let after_insert t node = if not (Core.Table.mem t.table node) then renumber t
+
+let before_delete t node = Core.Table.remove_subtree t.table node
+
+let stats t = t.stats

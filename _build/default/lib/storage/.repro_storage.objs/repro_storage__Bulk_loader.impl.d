@@ -1,0 +1,1 @@
+lib/storage/bulk_loader.ml: Core List Parser Parser_stream Repro_xml Tree

@@ -1,0 +1,1 @@
+lib/storage/bulk_loader.mli: Core

@@ -1,0 +1,1 @@
+lib/storage/doc_index.ml: Btree Core List Option Repro_xml Tree

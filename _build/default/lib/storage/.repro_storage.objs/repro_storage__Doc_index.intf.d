@@ -1,0 +1,1 @@
+lib/storage/doc_index.mli: Core Repro_xml

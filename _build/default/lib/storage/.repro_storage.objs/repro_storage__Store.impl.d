@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Buffer Char Core Hashtbl In_channel Int32 List Option Out_channel Printf Repro_codes Repro_schemes Repro_xml String Tree

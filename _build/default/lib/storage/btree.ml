@@ -1,0 +1,317 @@
+(* A classic CLRS-style B-tree. Nodes are mutable records with sorted key
+ arrays kept as OCaml arrays re-allocated on change: simple, and label
+ keys are small. *)
+
+type ('k, 'v) node = {
+mutable keys : ('k * 'v) array;
+mutable kids : ('k, 'v) node array;  (* empty for leaves *)
+}
+
+type ('k, 'v) t = {
+mutable root : ('k, 'v) node;
+degree : int;
+mutable size : int;
+cmp : 'k -> 'k -> int;
+}
+
+let leaf () = { keys = [||]; kids = [||] }
+
+let is_leaf n = Array.length n.kids = 0
+
+let create ?(degree = 16) ~compare () =
+if degree < 2 then invalid_arg "Btree.create: degree must be at least 2";
+{ root = leaf (); degree; size = 0; cmp = compare }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let max_keys t = (2 * t.degree) - 1
+
+(* Index of the first key >= k, by binary search. *)
+let lower_bound cmp n k =
+let lo = ref 0 and hi = ref (Array.length n.keys) in
+while !lo < !hi do
+  let mid = (!lo + !hi) / 2 in
+  if cmp (fst n.keys.(mid)) k < 0 then lo := mid + 1 else hi := mid
+done;
+!lo
+
+let key_at n i = fst n.keys.(i)
+
+let rec find_in cmp n k =
+let i = lower_bound cmp n k in
+if i < Array.length n.keys && cmp (key_at n i) k = 0 then Some (snd n.keys.(i))
+else if is_leaf n then None
+else find_in cmp n.kids.(i) k
+
+let find t k = find_in t.cmp t.root k
+let mem t k = find t k <> None
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+(* Split the full child [c] of [parent] at child position [i]. *)
+let split_child t parent i =
+  let c = parent.kids.(i) in
+  let d = t.degree in
+  let median = c.keys.(d - 1) in
+  let right =
+    {
+      keys = Array.sub c.keys d (d - 1);
+      kids = (if is_leaf c then [||] else Array.sub c.kids d d);
+    }
+  in
+  c.keys <- Array.sub c.keys 0 (d - 1);
+  if not (is_leaf c) then c.kids <- Array.sub c.kids 0 d;
+  parent.keys <- array_insert parent.keys i median;
+  parent.kids <- array_insert parent.kids (i + 1) right
+
+let rec insert_nonfull t n k v =
+  let i = lower_bound t.cmp n k in
+  if i < Array.length n.keys && t.cmp (key_at n i) k = 0 then begin
+    n.keys.(i) <- (k, v);
+    false
+  end
+  else if is_leaf n then begin
+    n.keys <- array_insert n.keys i (k, v);
+    true
+  end
+  else begin
+    let i =
+      if Array.length n.kids.(i).keys = max_keys t then begin
+        split_child t n i;
+        let c = t.cmp (key_at n i) k in
+        if c = 0 then -1 (* the median equals k: update in place *)
+        else if c < 0 then i + 1
+        else i
+      end
+      else i
+    in
+    if i = -1 then begin
+      let j = lower_bound t.cmp n k in
+      n.keys.(j) <- (k, v);
+      false
+    end
+    else insert_nonfull t n.kids.(i) k v
+  end
+
+let insert t k v =
+  if Array.length t.root.keys = max_keys t then begin
+    let old = t.root in
+    let fresh = { keys = [||]; kids = [| old |] } in
+    t.root <- fresh;
+    split_child t fresh 0
+  end;
+  if insert_nonfull t t.root k v then t.size <- t.size + 1
+
+(* ---- deletion (CLRS, with borrow/merge rebalancing) -------------- *)
+
+let rec min_in n = if is_leaf n then n.keys.(0) else min_in n.kids.(0)
+
+let rec max_in n =
+  if is_leaf n then n.keys.(Array.length n.keys - 1)
+  else max_in n.kids.(Array.length n.kids - 1)
+
+let min_binding t = if t.size = 0 then None else Some (min_in t.root)
+let max_binding t = if t.size = 0 then None else Some (max_in t.root)
+
+(* Ensure child [i] of [n] has at least [degree] keys before descending. *)
+let fortify t n i =
+  let d = t.degree in
+  let c = n.kids.(i) in
+  if Array.length c.keys >= d then i
+  else begin
+    let left = if i > 0 then Some n.kids.(i - 1) else None in
+    let right = if i < Array.length n.kids - 1 then Some n.kids.(i + 1) else None in
+    match (left, right) with
+    | Some l, _ when Array.length l.keys >= d ->
+      (* borrow from the left sibling through the separator *)
+      let sep = n.keys.(i - 1) in
+      n.keys.(i - 1) <- l.keys.(Array.length l.keys - 1);
+      c.keys <- array_insert c.keys 0 sep;
+      if not (is_leaf l) then begin
+        let moved = l.kids.(Array.length l.kids - 1) in
+        l.kids <- array_remove l.kids (Array.length l.kids - 1);
+        c.kids <- array_insert c.kids 0 moved
+      end;
+      l.keys <- array_remove l.keys (Array.length l.keys - 1);
+      i
+    | _, Some r when Array.length r.keys >= d ->
+      let sep = n.keys.(i) in
+      n.keys.(i) <- r.keys.(0);
+      c.keys <- array_insert c.keys (Array.length c.keys) sep;
+      if not (is_leaf r) then begin
+        let moved = r.kids.(0) in
+        r.kids <- array_remove r.kids 0;
+        c.kids <- array_insert c.kids (Array.length c.kids) moved
+      end;
+      r.keys <- array_remove r.keys 0;
+      i
+    | Some l, _ ->
+      (* merge c into its left sibling around the separator *)
+      let sep = n.keys.(i - 1) in
+      l.keys <- Array.concat [ l.keys; [| sep |]; c.keys ];
+      if not (is_leaf c) then l.kids <- Array.append l.kids c.kids;
+      n.keys <- array_remove n.keys (i - 1);
+      n.kids <- array_remove n.kids i;
+      i - 1
+    | None, Some r ->
+      let sep = n.keys.(i) in
+      c.keys <- Array.concat [ c.keys; [| sep |]; r.keys ];
+      if not (is_leaf r) then c.kids <- Array.append c.kids r.kids;
+      n.keys <- array_remove n.keys i;
+      n.kids <- array_remove n.kids (i + 1);
+      i
+    | None, None -> i
+  end
+
+let rec remove_in t n k =
+  let i = lower_bound t.cmp n k in
+  let present = i < Array.length n.keys && t.cmp (key_at n i) k = 0 in
+  if is_leaf n then
+    if present then begin
+      n.keys <- array_remove n.keys i;
+      true
+    end
+    else false
+  else if present then begin
+    let d = t.degree in
+    let left = n.kids.(i) and right = n.kids.(i + 1) in
+    if Array.length left.keys >= d then begin
+      let pred = max_in left in
+      n.keys.(i) <- pred;
+      ignore (remove_in t left (fst pred));
+      true
+    end
+    else if Array.length right.keys >= d then begin
+      let succ = min_in right in
+      n.keys.(i) <- succ;
+      ignore (remove_in t right (fst succ));
+      true
+    end
+    else begin
+      (* merge left + key + right, then delete from the merged child *)
+      left.keys <- Array.concat [ left.keys; [| n.keys.(i) |]; right.keys ];
+      if not (is_leaf left) then left.kids <- Array.append left.kids right.kids;
+      n.keys <- array_remove n.keys i;
+      n.kids <- array_remove n.kids (i + 1);
+      remove_in t left k
+    end
+  end
+  else begin
+    ignore (fortify t n i : int);
+    (* rebalancing may have moved keys into this node or merged the
+       target child; recompute the descent position *)
+    let j = lower_bound t.cmp n k in
+    if j < Array.length n.keys && t.cmp (key_at n j) k = 0 then
+      remove_in t n k
+    else remove_in t n.kids.(j) k
+  end
+
+let remove t k =
+  let removed = remove_in t t.root k in
+  if removed then begin
+    t.size <- t.size - 1;
+    if Array.length t.root.keys = 0 && not (is_leaf t.root) then
+      t.root <- t.root.kids.(0)
+  end;
+  removed
+
+(* ---- iteration ---------------------------------------------------- *)
+
+let rec iter_node f n =
+  if is_leaf n then Array.iter (fun (k, v) -> f k v) n.keys
+  else begin
+    Array.iteri
+      (fun i (k, v) ->
+        iter_node f n.kids.(i);
+        f k v)
+      n.keys;
+    iter_node f n.kids.(Array.length n.kids - 1)
+  end
+
+let iter f t = if t.size > 0 then iter_node f t.root
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec go n =
+    let i0 = lower_bound t.cmp n lo in
+    if is_leaf n then
+      for i = i0 to Array.length n.keys - 1 do
+        if t.cmp (key_at n i) hi <= 0 then acc := n.keys.(i) :: !acc
+      done
+    else begin
+      let stop = ref false in
+      let i = ref i0 in
+      while (not !stop) && !i < Array.length n.keys do
+        go n.kids.(!i);
+        if t.cmp (key_at n !i) hi <= 0 then begin
+          acc := n.keys.(!i) :: !acc;
+          incr i
+        end
+        else stop := true
+      done;
+      if not !stop then go n.kids.(Array.length n.kids - 1)
+    end
+  in
+  if t.size > 0 && t.cmp lo hi <= 0 then go t.root;
+  List.rev !acc
+
+let successor t k =
+  let rec go n best =
+    let i = lower_bound t.cmp n k in
+    let i =
+      if i < Array.length n.keys && t.cmp (key_at n i) k = 0 then i + 1 else i
+    in
+    let best = if i < Array.length n.keys then Some n.keys.(i) else best in
+    if is_leaf n then best
+    else go n.kids.(min i (Array.length n.kids - 1)) best
+  in
+  go t.root None
+
+(* ---- invariants ---------------------------------------------------- *)
+
+let check_invariants t =
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let rec depth n = if is_leaf n then 0 else 1 + depth n.kids.(0) in
+  let expected_depth = depth t.root in
+  let count = ref 0 in
+  let rec go n ~is_root ~level ~lo ~hi =
+    let nk = Array.length n.keys in
+    count := !count + nk;
+    if (not is_root) && nk < t.degree - 1 then fail "underfull node";
+    if nk > max_keys t then fail "overfull node";
+    if (not (is_leaf n)) && Array.length n.kids <> nk + 1 then fail "bad child count";
+    if is_leaf n && level <> expected_depth then fail "leaves at different depths";
+    for i = 0 to nk - 2 do
+      if t.cmp (key_at n i) (key_at n (i + 1)) >= 0 then fail "keys out of order"
+    done;
+    (match lo with
+    | Some l when nk > 0 && t.cmp (key_at n 0) l <= 0 -> fail "key below subtree bound"
+    | _ -> ());
+    (match hi with
+    | Some h when nk > 0 && t.cmp (key_at n (nk - 1)) h >= 0 ->
+      fail "key above subtree bound"
+    | _ -> ());
+    if not (is_leaf n) then
+      Array.iteri
+        (fun i c ->
+          let lo' = if i = 0 then lo else Some (key_at n (i - 1)) in
+          let hi' = if i = nk then hi else Some (key_at n i) in
+          go c ~is_root:false ~level:(level + 1) ~lo:lo' ~hi:hi')
+        n.kids
+  in
+  go t.root ~is_root:true ~level:0 ~lo:None ~hi:None;
+  if !count <> t.size then fail "size counter out of sync";
+  match !error with None -> Ok () | Some msg -> Error msg

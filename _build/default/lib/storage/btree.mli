@@ -1,0 +1,44 @@
+(** An in-memory B-tree with ordered iteration and range scans.
+
+    The disk-resident databases the paper targets keep their encoding
+    tables in label order inside B-trees; this is that index structure.
+    The comparator is a runtime value so {!Doc_index} can order keys by a
+    session's label comparison. *)
+
+type ('k, 'v) t
+
+val create : ?degree:int -> compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+(** [degree] is the minimum branching factor (default 16); nodes hold
+    between [degree - 1] and [2*degree - 1] keys (root excepted). Raises
+    [Invalid_argument] when [degree < 2]. *)
+
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+(** Replaces the value when the key is already present. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** [true] when the key was present. *)
+
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** In key order. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+
+val range : ('k, 'v) t -> lo:'k -> hi:'k -> ('k * 'v) list
+(** Bindings with [lo <= key <= hi], in key order, visiting only the
+    subtrees that can intersect the range. *)
+
+val successor : ('k, 'v) t -> 'k -> ('k * 'v) option
+(** The smallest binding strictly above the key. *)
+
+val check_invariants : ('k, 'v) t -> (unit, string) result
+(** Key ordering, node fill bounds, and uniform leaf depth — used by the
+    property tests after random workloads. *)

@@ -1,0 +1,38 @@
+open Repro_xml
+
+type t = {
+  session : Core.Session.t;
+  tree : (Tree.node, unit) Btree.t;
+}
+
+let build session =
+  let tree = Btree.create ~compare:session.Core.Session.order () in
+  List.iter (fun n -> Btree.insert tree n ()) (Tree.preorder session.Core.Session.doc);
+  { session; tree }
+
+let session t = t.session
+let size t = Btree.length t.tree
+
+let add t node = Btree.insert t.tree node ()
+let remove t node = Btree.remove t.tree node
+
+let to_document_order t = List.map fst (Btree.to_list t.tree)
+
+let first t = Option.map fst (Btree.min_binding t.tree)
+let last t = Option.map fst (Btree.max_binding t.tree)
+let next t node = Option.map fst (Btree.successor t.tree node)
+
+let descendants t node =
+  match t.session.Core.Session.is_ancestor with
+  | None -> None
+  | Some is_ancestor ->
+    (* Descendants are contiguous after the node in document order: walk
+       successors until the first non-descendant. *)
+    let rec go acc cur =
+      match next t cur with
+      | Some m when is_ancestor node m -> go (m :: acc) m
+      | _ -> List.rev acc
+    in
+    Some (go [] node)
+
+let check t = Btree.check_invariants t.tree

@@ -1,0 +1,40 @@
+(** A label-ordered node index over a session — the "encoding scheme
+    constructed upon a labelling scheme" of §2.3, as a database index.
+
+    The B-tree is keyed by the session's labels (through its document-order
+    comparison), so it answers the questions Definition 1 says labels must
+    support — identity and document order — without ever touching the
+    tree: ordered scans, successor queries, and descendant range scans
+    (descendants are contiguous in document order, so a range scan from a
+    node's successor up to its last descendant suffices). *)
+
+type t
+
+val build : Core.Session.t -> t
+(** Indexes every current node. *)
+
+val session : t -> Core.Session.t
+val size : t -> int
+
+val add : t -> Repro_xml.Tree.node -> unit
+(** Index a node inserted after {!build}. *)
+
+val remove : t -> Repro_xml.Tree.node -> bool
+(** Unindex a node (e.g. before deletion). [true] when it was present. *)
+
+val to_document_order : t -> Repro_xml.Tree.node list
+(** All indexed nodes by label order — which must equal document order;
+    the test suite checks this for every scheme. *)
+
+val first : t -> Repro_xml.Tree.node option
+val last : t -> Repro_xml.Tree.node option
+val next : t -> Repro_xml.Tree.node -> Repro_xml.Tree.node option
+(** The node immediately after, in document order, off the index alone. *)
+
+val descendants : t -> Repro_xml.Tree.node -> Repro_xml.Tree.node list option
+(** Range scan of the node's subtree, using only labels (successor
+    iteration bounded by the scheme's ancestor predicate). [None] when the
+    scheme cannot decide ancestry from labels. *)
+
+val check : t -> (unit, string) result
+(** The underlying B-tree invariants. *)

@@ -1,0 +1,38 @@
+(** A single-file store for a labelled document.
+
+    Persistent labels are only meaningful if they survive a restart: this
+    layer serialises a session — the tree (names, values, structure) and
+    every node's label in the scheme's own binary layout — and restores it
+    without relabelling a single node. The §5.2 version-control scenario
+    builds on exactly this guarantee.
+
+    Format (all integers little-endian):
+    {v
+    magic   "XLS1"
+    scheme  u16 length + name bytes
+    nodes   u32 count, then per node in document order:
+              u8 kind, u32 parent position (0xFFFFFFFF for the root),
+              u16 name length + bytes,
+              u8 value flag (+ u32 length + bytes when set),
+              u16 label bit count, u16 label byte count + bytes
+    crc     u32 CRC-32 of everything above
+    v} *)
+
+exception Corrupt of string
+(** Raised on a bad magic number, checksum mismatch, truncation, or a
+    scheme/label decoding failure. *)
+
+val save : Core.Session.t -> string
+(** The serialised bytes of the session's document and labels. *)
+
+val save_file : Core.Session.t -> string -> unit
+
+val scheme_of : string -> string
+(** The scheme name recorded in a store, without loading the body. *)
+
+val load : ?scheme:Core.Scheme.packed -> string -> Core.Session.t
+(** Rebuilds the document and rebinds the recorded scheme (or [scheme],
+    which must match the recorded name) with the stored labels — no node
+    is relabelled. Raises {!Corrupt}. *)
+
+val load_file : ?scheme:Core.Scheme.packed -> string -> Core.Session.t

@@ -1,0 +1,1 @@
+lib/workload/docgen.ml: Fun List Prng Repro_codes Repro_xml String Tree

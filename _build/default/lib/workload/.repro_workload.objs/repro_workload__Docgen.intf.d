@@ -1,0 +1,1 @@
+lib/workload/docgen.mli: Repro_codes Repro_xml

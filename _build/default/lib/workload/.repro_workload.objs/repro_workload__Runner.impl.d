@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Core Format List Repro_xml Unix Updates

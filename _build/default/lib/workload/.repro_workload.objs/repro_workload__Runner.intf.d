@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Core Format Repro_xml Updates

@@ -1,0 +1,1 @@
+lib/workload/updates.ml: Array Core Docgen List Printf Prng Repro_codes Repro_xml Tree

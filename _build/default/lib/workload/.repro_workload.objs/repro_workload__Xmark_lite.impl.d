@@ -1,0 +1,1 @@
+lib/workload/xmark_lite.ml: Array Core List Printf Prng Repro_codes Repro_xml Tree

@@ -1,0 +1,69 @@
+open Repro_xml
+open Repro_codes
+
+type shape = {
+  target_nodes : int;
+  max_depth : int;
+  max_fanout : int;
+  attribute_ratio : float;
+  text_ratio : float;
+}
+
+let default_shape =
+  { target_nodes = 200; max_depth = 8; max_fanout = 8; attribute_ratio = 0.15; text_ratio = 0.4 }
+
+let names =
+  [| "item"; "entry"; "record"; "section"; "node"; "data"; "list"; "group"; "field"; "meta" |]
+
+let attr_names = [| "id"; "kind"; "lang"; "ref"; "unit" |]
+
+let words =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf"; "hotel"; "india" |]
+
+let random_text rng =
+  let n = 1 + Prng.int rng 4 in
+  String.concat " " (List.init n (fun _ -> Prng.choose rng words))
+
+let generate_frag ~seed shape =
+  let rng = Prng.create seed in
+  let budget = ref (max 1 shape.target_nodes) in
+  let rec element depth =
+    decr budget;
+    let name = Prng.choose rng names in
+    let value =
+      if Prng.float rng 1.0 < shape.text_ratio then Some (random_text rng) else None
+    in
+    let fanout =
+      if depth >= shape.max_depth || !budget <= 0 then 0
+      else min !budget (Prng.int rng (shape.max_fanout + 1))
+    in
+    let used_attrs = ref [] in
+    let children =
+      List.init fanout (fun _ ->
+          if !budget <= 0 then None
+          else if Prng.float rng 1.0 < shape.attribute_ratio then begin
+            (* attribute names must be unique within an element *)
+            let candidate = Prng.choose rng attr_names in
+            if List.mem candidate !used_attrs then Some (element (depth + 1))
+            else begin
+              decr budget;
+              used_attrs := candidate :: !used_attrs;
+              Some (Tree.attr candidate (random_text rng))
+            end
+          end
+          else Some (element (depth + 1)))
+      |> List.filter_map Fun.id
+    in
+    Tree.elt ?value name children
+  in
+  element 0
+
+let generate ~seed shape = Tree.create (generate_frag ~seed shape)
+
+let random_fragment rng ~depth =
+  let rec build d =
+    let value = if Prng.bool rng then Some (random_text rng) else None in
+    let fanout = if d <= 0 then 0 else Prng.int rng 3 in
+    Tree.elt ?value (Prng.choose rng names) (List.init fanout (fun _ -> build (d - 1)))
+  in
+  build (max 0 depth)

@@ -1,0 +1,21 @@
+(** Random XML document generation.
+
+    Deterministic from the seed: the same parameters always produce the
+    same document, so every experiment header fully identifies its input. *)
+
+type shape = {
+  target_nodes : int;  (** approximate node count *)
+  max_depth : int;
+  max_fanout : int;
+  attribute_ratio : float;  (** fraction of children that are attributes *)
+  text_ratio : float;  (** fraction of elements that carry text *)
+}
+
+val default_shape : shape
+
+val generate : seed:int -> shape -> Repro_xml.Tree.doc
+
+val generate_frag : seed:int -> shape -> Repro_xml.Tree.frag
+
+val random_fragment : Repro_codes.Prng.t -> depth:int -> Repro_xml.Tree.frag
+(** A small random insertion payload (one to a handful of nodes). *)

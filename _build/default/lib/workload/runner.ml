@@ -1,0 +1,46 @@
+type sample = {
+  ops_done : int;
+  nodes : int;
+  total_bits : int;
+  avg_bits : float;
+  max_bits : int;
+  relabelled : int;
+  overflow : int;
+  elapsed_s : float;
+}
+
+let pp_sample ppf s =
+  Format.fprintf ppf
+    "ops=%d nodes=%d avg_bits=%.1f max_bits=%d total_bits=%d relabelled=%d overflow=%d (%.3fs)"
+    s.ops_done s.nodes s.avg_bits s.max_bits s.total_bits s.relabelled s.overflow s.elapsed_s
+
+let measure session ~ops_done ~t0 =
+  let stats = session.Core.Session.stats () in
+  {
+    ops_done;
+    nodes = Repro_xml.Tree.size session.Core.Session.doc;
+    total_bits = Core.Session.total_bits session;
+    avg_bits = Core.Session.avg_bits session;
+    max_bits = Core.Session.max_bits session;
+    relabelled = stats.Core.Stats.s_relabelled;
+    overflow = stats.Core.Stats.s_overflow;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let series pack ~make_doc ~pattern ~seed ~ops ~sample_every =
+  let doc = make_doc () in
+  let session = Core.Session.make pack doc in
+  let t0 = Unix.gettimeofday () in
+  let driver = Updates.start pattern ~seed session in
+  let samples = ref [ measure session ~ops_done:0 ~t0 ] in
+  for i = 1 to ops do
+    Updates.step driver;
+    if i mod sample_every = 0 || i = ops then
+      samples := measure session ~ops_done:i ~t0 :: !samples
+  done;
+  List.rev !samples
+
+let final pack ~make_doc ~pattern ~seed ~ops =
+  match List.rev (series pack ~make_doc ~pattern ~seed ~ops ~sample_every:max_int) with
+  | last :: _ -> last
+  | [] -> assert false

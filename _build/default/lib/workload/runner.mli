@@ -1,0 +1,36 @@
+(** Experiment runner: drives a workload against a scheme and samples the
+    quantities the survey's claims are about — label storage, relabelling
+    counts, overflow events, wall-clock time. *)
+
+type sample = {
+  ops_done : int;
+  nodes : int;
+  total_bits : int;
+  avg_bits : float;
+  max_bits : int;
+  relabelled : int;  (** cumulative existing-node relabellings *)
+  overflow : int;  (** cumulative overflow events *)
+  elapsed_s : float;
+}
+
+val pp_sample : Format.formatter -> sample -> unit
+
+val series :
+  Core.Scheme.packed ->
+  make_doc:(unit -> Repro_xml.Tree.doc) ->
+  pattern:Updates.pattern ->
+  seed:int ->
+  ops:int ->
+  sample_every:int ->
+  sample list
+(** Runs [ops] operations, recording a sample at the start and after every
+    [sample_every] operations (and at the end). *)
+
+val final :
+  Core.Scheme.packed ->
+  make_doc:(unit -> Repro_xml.Tree.doc) ->
+  pattern:Updates.pattern ->
+  seed:int ->
+  ops:int ->
+  sample
+(** Just the last sample of {!series}. *)

@@ -1,0 +1,147 @@
+open Repro_xml
+open Repro_codes
+
+type pattern =
+  | Uniform_random
+  | Skewed_before_first
+  | Skewed_after_anchor
+  | Append_only
+  | Prepend_only
+  | Deep_chain
+  | Mixed_with_deletes
+  | Subtree_bursts
+
+let all_patterns =
+  [
+    Uniform_random;
+    Skewed_before_first;
+    Skewed_after_anchor;
+    Append_only;
+    Prepend_only;
+    Deep_chain;
+    Mixed_with_deletes;
+    Subtree_bursts;
+  ]
+
+let pattern_name = function
+  | Uniform_random -> "uniform-random"
+  | Skewed_before_first -> "skewed-before-first"
+  | Skewed_after_anchor -> "skewed-after-anchor"
+  | Append_only -> "append-only"
+  | Prepend_only -> "prepend-only"
+  | Deep_chain -> "deep-chain"
+  | Mixed_with_deletes -> "mixed-with-deletes"
+  | Subtree_bursts -> "subtree-bursts"
+
+type driver = {
+  pattern : pattern;
+  rng : Prng.t;
+  session : Core.Session.t;
+  mutable counter : int;
+  mutable fixed : Tree.node option;  (** skewed patterns' fixed node *)
+  mutable last_inserted : Tree.node option;
+}
+
+let start pattern ~seed session =
+  { pattern; rng = Prng.create seed; session; counter = 0; fixed = None; last_inserted = None }
+
+let fresh_leaf d =
+  d.counter <- d.counter + 1;
+  Tree.elt (Printf.sprintf "u%d" d.counter) []
+
+(* A uniformly random live element node (the root included). *)
+let random_element d =
+  let elements =
+    List.filter
+      (fun (n : Tree.node) -> n.kind = Tree.Element)
+      (Tree.preorder d.session.doc)
+  in
+  Prng.choose d.rng (Array.of_list elements)
+
+let random_non_root d =
+  let candidates =
+    List.filter
+      (fun (n : Tree.node) -> Tree.parent n <> None)
+      (Tree.preorder d.session.doc)
+  in
+  match candidates with
+  | [] -> None
+  | l -> Some (Prng.choose d.rng (Array.of_list l))
+
+let uniform_insert d =
+  let s = d.session in
+  let payload = fresh_leaf d in
+  let n =
+    match (Prng.int d.rng 4, random_non_root d) with
+    | 0, Some anchor -> s.insert_before anchor payload
+    | 1, Some anchor -> s.insert_after anchor payload
+    | 2, _ -> s.insert_first (random_element d) payload
+    | _, _ -> s.insert_last (random_element d) payload
+  in
+  d.last_inserted <- Some n
+
+let fixed_node d =
+  match d.fixed with
+  | Some n when Tree.mem d.session.doc n.Tree.id -> n
+  | _ ->
+    let n = random_element d in
+    d.fixed <- Some n;
+    n
+
+let step d =
+  let s = d.session in
+  match d.pattern with
+  | Uniform_random -> uniform_insert d
+  | Skewed_before_first ->
+    let parent = fixed_node d in
+    let payload = fresh_leaf d in
+    let n =
+      match Tree.first_child parent with
+      | Some first -> s.insert_before first payload
+      | None -> s.insert_first parent payload
+    in
+    d.last_inserted <- Some n
+  | Skewed_after_anchor -> (
+    (* Pin an anchor child under the fixed node, then pile insertions
+       right after it. *)
+    match d.last_inserted with
+    | None ->
+      let parent = fixed_node d in
+      d.last_inserted <- Some (s.insert_first parent (fresh_leaf d))
+    | Some _ ->
+      let parent = fixed_node d in
+      let anchor =
+        match Tree.first_child parent with
+        | Some a -> a
+        | None -> s.insert_first parent (fresh_leaf d)
+      in
+      ignore (s.insert_after anchor (fresh_leaf d)))
+  | Append_only ->
+    d.last_inserted <- Some (s.insert_last (Tree.root s.doc) (fresh_leaf d))
+  | Prepend_only ->
+    d.last_inserted <- Some (s.insert_first (Tree.root s.doc) (fresh_leaf d))
+  | Deep_chain ->
+    let parent =
+      match d.last_inserted with
+      | Some n when Tree.mem s.doc n.Tree.id -> n
+      | _ -> Tree.root s.doc
+    in
+    d.last_inserted <- Some (s.insert_first parent (fresh_leaf d))
+  | Mixed_with_deletes ->
+    if Prng.float d.rng 1.0 < 0.3 && Tree.size s.doc > 4 then begin
+      match random_non_root d with
+      | Some victim -> s.delete victim
+      | None -> uniform_insert d
+    end
+    else uniform_insert d
+  | Subtree_bursts ->
+    let parent = random_element d in
+    d.counter <- d.counter + 1;
+    let frag = Docgen.random_fragment d.rng ~depth:2 in
+    d.last_inserted <- Some (s.insert_last parent frag)
+
+let run pattern ~seed ~ops session =
+  let d = start pattern ~seed session in
+  for _ = 1 to ops do
+    step d
+  done

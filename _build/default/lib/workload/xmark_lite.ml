@@ -1,0 +1,97 @@
+(** A miniature auction-site document generator in the spirit of the XMark
+    benchmark — the kind of "XML repositories in mainstream industry"
+    workload the paper's introduction motivates. Structure:
+
+    {v
+    site
+      regions > region* > item* (name, payment, description)
+      people  > person* (@id, name, emailaddress, profile)
+      open_auctions > open_auction* (@id, initial, bidder*, current)
+    v}
+
+    Deterministic from the seed. Auction feeds are naturally append-heavy
+    (new bidders arrive at the end of their auction), which is what the
+    bulk-feed example and experiment CL5 exercise. *)
+
+open Repro_xml
+open Repro_codes
+
+type size = { regions : int; items_per_region : int; people : int; auctions : int }
+
+let small = { regions = 3; items_per_region = 6; people = 12; auctions = 10 }
+let medium = { regions = 5; items_per_region = 20; people = 60; auctions = 50 }
+
+let region_names = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let first_names = [| "Ada"; "Brian"; "Carme"; "Dana"; "Edsger"; "Grace"; "Hal"; "Ines" |]
+let last_names = [| "Byron"; "Kernighan"; "Liskov"; "Hopper"; "Dijkstra"; "Abelson" |]
+
+let money rng = Printf.sprintf "%d.%02d" (1 + Prng.int rng 500) (Prng.int rng 100)
+
+let person rng i =
+  Tree.elt "person"
+    [
+      Tree.attr "id" (Printf.sprintf "person%d" i);
+      Tree.elt ~value:(Prng.choose rng first_names ^ " " ^ Prng.choose rng last_names) "name" [];
+      Tree.elt ~value:(Printf.sprintf "mailto:user%d@example.org" i) "emailaddress" [];
+      Tree.elt "profile" [ Tree.elt ~value:(money rng) "income" [] ];
+    ]
+
+let item rng ~region i =
+  Tree.elt "item"
+    [
+      Tree.attr "id" (Printf.sprintf "item%s%d" region i);
+      Tree.elt ~value:(Printf.sprintf "lot %d" i) "name" [];
+      Tree.elt ~value:(if Prng.bool rng then "Creditcard" else "Cash") "payment" [];
+      Tree.elt "description" [ Tree.elt ~value:"collector's piece" "text" [] ];
+    ]
+
+let bidder rng ~people i =
+  Tree.elt "bidder"
+    [
+      Tree.elt ~value:(Printf.sprintf "person%d" (Prng.int rng (max 1 people))) "personref" [];
+      Tree.elt ~value:(money rng) "increase" [];
+      Tree.attr "seq" (string_of_int i);
+    ]
+
+let auction rng ~people i =
+  let bidders = List.init (Prng.int rng 4) (fun b -> bidder rng ~people b) in
+  Tree.elt "open_auction"
+    ([ Tree.attr "id" (Printf.sprintf "auction%d" i);
+       Tree.elt ~value:(money rng) "initial" [] ]
+    @ bidders
+    @ [ Tree.elt ~value:(money rng) "current" [] ])
+
+let generate_frag ~seed size =
+  let rng = Prng.create seed in
+  let region i =
+    let name = region_names.(i mod Array.length region_names) in
+    Tree.elt name (List.init size.items_per_region (item rng ~region:name))
+  in
+  Tree.elt "site"
+    [
+      Tree.elt "regions" (List.init size.regions region);
+      Tree.elt "people" (List.init size.people (person rng));
+      Tree.elt "open_auctions"
+        (List.init size.auctions (auction rng ~people:size.people));
+    ]
+
+let generate ~seed size = Tree.create (generate_frag ~seed size)
+
+(** One auction-feed event: a new bidder appended to a random open auction
+    (the append-heavy update stream of a live auction site). *)
+let new_bid rng (session : Core.Session.t) =
+  let doc = session.doc in
+  let auctions =
+    List.filter (fun (n : Tree.node) -> n.name = "open_auction") (Tree.preorder doc)
+  in
+  match auctions with
+  | [] -> ()
+  | l ->
+    let target = Prng.choose rng (Array.of_list l) in
+    (* Bids land before the trailing <current> element. *)
+    let payload = bidder rng ~people:1000 (Prng.int rng 100000) in
+    (match Tree.last_child target with
+    | Some current when current.name = "current" ->
+      ignore (session.insert_before current payload)
+    | _ -> ignore (session.insert_last target payload))

@@ -1,0 +1,1 @@
+lib/xml/oracle.ml: List Stdlib Tree

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Format List Printf Repro_codes String Tree

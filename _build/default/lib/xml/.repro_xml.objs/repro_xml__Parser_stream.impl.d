@@ -1,0 +1,1 @@
+lib/xml/parser_stream.ml: Buffer Char List Parser Printf Repro_codes String

@@ -1,0 +1,1 @@
+lib/xml/samples.ml: List Parser Printf Tree

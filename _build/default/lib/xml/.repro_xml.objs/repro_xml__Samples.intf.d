@@ -1,0 +1,1 @@
+lib/xml/samples.mli: Tree

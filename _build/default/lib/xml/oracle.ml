@@ -1,0 +1,54 @@
+let path_to_root n =
+  let rec go acc n = match Tree.parent n with None -> n :: acc | Some p -> go (n :: acc) p in
+  go [] n
+(* Root-first path; document order falls out of comparing the first
+   divergence by sibling position. *)
+
+let is_ancestor a d =
+  let rec go n =
+    match Tree.parent n with
+    | None -> false
+    | Some p -> p.Tree.id = a.Tree.id || go p
+  in
+  go d
+
+let is_parent p c =
+  match Tree.parent c with Some q -> q.Tree.id = p.Tree.id | None -> false
+
+let is_sibling a b =
+  a.Tree.id <> b.Tree.id
+  &&
+  match (Tree.parent a, Tree.parent b) with
+  | Some p, Some q -> p.Tree.id = q.Tree.id
+  | _ -> false
+
+let level = Tree.level
+
+let document_order a b =
+  if a.Tree.id = b.Tree.id then 0
+  else begin
+    let pa = path_to_root a and pb = path_to_root b in
+    let rec go pa pb =
+      match (pa, pb) with
+      | [], [] -> 0
+      | [], _ -> -1 (* a is an ancestor of b: a comes first (preorder) *)
+      | _, [] -> 1
+      | x :: xs, y :: ys ->
+        if x.Tree.id = y.Tree.id then go xs ys
+        else Stdlib.compare (Tree.sibling_position x) (Tree.sibling_position y)
+    in
+    match (pa, pb) with
+    | ra :: _, rb :: _ when ra.Tree.id <> rb.Tree.id ->
+      invalid_arg "Oracle.document_order: nodes from different documents"
+    | _ -> go pa pb
+  end
+
+let following doc n =
+  List.filter
+    (fun m -> document_order n m < 0 && not (is_ancestor n m))
+    (Tree.preorder doc)
+
+let preceding doc n =
+  List.filter
+    (fun m -> document_order m n < 0 && not (is_ancestor m n))
+    (Tree.preorder doc)

@@ -1,0 +1,26 @@
+(** Ground-truth structural relations, computed directly from the tree.
+
+    Every labelling scheme claims to answer some of these questions from
+    labels alone (the paper's "XPath Evaluations" property). The oracle
+    answers them by walking the tree, and the test suite and the Figure 7
+    assays check each scheme against it. *)
+
+val document_order : Tree.node -> Tree.node -> int
+(** Negative when the first node precedes the second in document order.
+    Raises [Invalid_argument] when the nodes are in different trees. *)
+
+val is_ancestor : Tree.node -> Tree.node -> bool
+(** Strict: a node is not its own ancestor. *)
+
+val is_parent : Tree.node -> Tree.node -> bool
+val is_sibling : Tree.node -> Tree.node -> bool
+(** Distinct nodes sharing a parent. *)
+
+val level : Tree.node -> int
+
+val following : Tree.doc -> Tree.node -> Tree.node list
+(** Nodes after the given node in document order, excluding its
+    descendants (the XPath [following] axis). *)
+
+val preceding : Tree.doc -> Tree.node -> Tree.node list
+(** Nodes before it, excluding its ancestors (the XPath [preceding] axis). *)

@@ -1,0 +1,31 @@
+(** Textual XML parser.
+
+    A self-contained recursive-descent parser for the XML subset the paper's
+    data model covers: elements, attributes, character data (with the five
+    predefined entities, numeric character references and CDATA sections),
+    comments, processing instructions and a DOCTYPE prolog (the latter three
+    are skipped — they carry no structural information for labelling).
+
+    Per the paper's tree model (§2.1, Figure 2), character data is attached
+    to its parent element as its [value]; consecutive runs are concatenated
+    and whitespace-only content between elements is dropped. *)
+
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_frag : string -> Tree.frag
+(** Parses a document into a fragment. Raises {!Parse_error}. *)
+
+val parse_frag_at : string -> int -> Tree.frag * int
+(** [parse_frag_at s pos] parses one element starting at offset [pos]
+    (leading whitespace allowed) and returns it with the offset just past
+    its end tag. Used by embedders such as the update language. Raises
+    {!Parse_error}. *)
+
+val parse : string -> Tree.doc
+(** [parse s] is [Tree.create (parse_frag s)]. *)
+
+val parse_result : string -> (Tree.doc, error) result

@@ -1,0 +1,282 @@
+type event =
+  | Start_element of string * (string * string) list
+  | Text of string
+  | End_element of string
+
+(* An iterative scanner with an explicit element stack. Error reporting
+   reuses {!Parser.Parse_error} with the same line/column discipline. *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable stack : string list;
+}
+
+let fail st message =
+  raise (Parser.Parse_error { Parser.line = st.line; col = st.col; message })
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let next st =
+  if eof st then fail st "unexpected end of input";
+  let c = peek st in
+  advance st;
+  c
+
+let expect st c =
+  let got = next st in
+  if got <> c then fail st (Printf.sprintf "expected %C, found %C" c got)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_string st s = String.iter (fun _ -> advance st) s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let entity st =
+  (* after '&' *)
+  let start = st.pos in
+  let rec to_semicolon () =
+    match next st with
+    | ';' -> String.sub st.src start (st.pos - start - 1)
+    | c when is_name_char c || c = '#' -> to_semicolon ()
+    | _ -> fail st "malformed entity reference"
+  in
+  match to_semicolon () with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | body -> (
+    let cp =
+      if String.length body > 1 && body.[0] = '#' then
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            Some (int_of_string ("0x" ^ String.sub body 2 (String.length body - 2)))
+          else Some (int_of_string (String.sub body 1 (String.length body - 1)))
+        with Failure _ -> None
+      else None
+    in
+    match cp with
+    | Some cp when cp >= 0 && cp < 128 -> String.make 1 (Char.chr cp)
+    | Some cp when cp <= 0x1FFFFF -> Repro_codes.Varint.encode cp
+    | _ -> fail st (Printf.sprintf "unknown entity &%s;" body))
+
+let skip_until st marker what =
+  let rec go () =
+    if eof st then fail st (Printf.sprintf "unterminated %s" what)
+    else if looking_at st marker then skip_string st marker
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let attr_value st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    let c = next st in
+    if c = quote then Buffer.contents buf
+    else if c = '<' then fail st "'<' is not allowed in attribute values"
+    else if c = '&' then begin
+      Buffer.add_string buf (entity st);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      go ()
+    end
+  in
+  go ()
+
+let attributes st =
+  let rec go acc =
+    skip_spaces st;
+    if is_name_start (peek st) then begin
+      let n = name st in
+      skip_spaces st;
+      expect st '=';
+      skip_spaces st;
+      let v = attr_value st in
+      if List.mem_assoc n acc then fail st (Printf.sprintf "duplicate attribute %s" n);
+      go ((n, v) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let non_blank s = String.exists (fun c -> not (is_space c)) s
+
+let fold src ~init ~f =
+  let st = { src; pos = 0; line = 1; col = 1; stack = [] } in
+  let acc = ref init in
+  let emit e = acc := f !acc e in
+  let text = Buffer.create 64 in
+  let flush_text () =
+    let t = Buffer.contents text in
+    Buffer.clear text;
+    if non_blank t then emit (Text (String.trim t))
+  in
+  let skip_misc () =
+    let rec go () =
+      if looking_at st "<!--" then begin
+        skip_string st "<!--";
+        skip_until st "-->" "comment";
+        go ()
+      end
+      else if looking_at st "<?" then begin
+        skip_string st "<?";
+        skip_until st "?>" "processing instruction";
+        go ()
+      end
+    in
+    go ()
+  in
+  (* prolog *)
+  let rec prolog () =
+    skip_spaces st;
+    skip_misc ();
+    if looking_at st "<!DOCTYPE" then begin
+      skip_string st "<!DOCTYPE";
+      let depth = ref 1 in
+      while !depth > 0 do
+        match next st with '<' -> incr depth | '>' -> decr depth | _ -> ()
+      done;
+      prolog ()
+    end
+    else begin
+      skip_spaces st;
+      if looking_at st "<!--" || looking_at st "<?" then prolog ()
+    end
+  in
+  prolog ();
+  if eof st || peek st <> '<' then fail st "expected a root element";
+  let seen_root = ref false in
+  let rec loop () =
+    if st.stack = [] && !seen_root then begin
+      (* epilogue *)
+      skip_spaces st;
+      skip_misc ();
+      skip_spaces st;
+      if not (eof st) then fail st "trailing content after the root element"
+    end
+    else if eof st then
+      fail st (Printf.sprintf "unterminated element <%s>" (List.hd st.stack))
+    else if looking_at st "<!--" then begin
+      skip_string st "<!--";
+      skip_until st "-->" "comment";
+      loop ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      skip_string st "<![CDATA[";
+      let start = st.pos in
+      let rec find () =
+        if eof st then fail st "unterminated CDATA section"
+        else if looking_at st "]]>" then begin
+          Buffer.add_string text (String.sub st.src start (st.pos - start));
+          skip_string st "]]>"
+        end
+        else begin
+          advance st;
+          find ()
+        end
+      in
+      find ();
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      skip_string st "<?";
+      skip_until st "?>" "processing instruction";
+      loop ()
+    end
+    else if looking_at st "</" then begin
+      flush_text ();
+      skip_string st "</";
+      let n = name st in
+      skip_spaces st;
+      expect st '>';
+      (match st.stack with
+      | top :: rest when top = n ->
+        st.stack <- rest;
+        emit (End_element n)
+      | top :: _ -> fail st (Printf.sprintf "mismatched end tag: expected </%s>, found </%s>" top n)
+      | [] -> fail st (Printf.sprintf "unexpected end tag </%s>" n));
+      loop ()
+    end
+    else if peek st = '<' then begin
+      flush_text ();
+      advance st;
+      let n = name st in
+      let attrs = attributes st in
+      skip_spaces st;
+      seen_root := true;
+      if looking_at st "/>" then begin
+        skip_string st "/>";
+        emit (Start_element (n, attrs));
+        emit (End_element n)
+      end
+      else begin
+        expect st '>';
+        emit (Start_element (n, attrs));
+        st.stack <- n :: st.stack
+      end;
+      loop ()
+    end
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string text (entity st);
+      loop ()
+    end
+    else begin
+      Buffer.add_char text (next st);
+      loop ()
+    end
+  in
+  loop ();
+  !acc
+
+let iter f src = fold src ~init:() ~f:(fun () e -> f e)
+
+let events src = List.rev (fold src ~init:[] ~f:(fun acc e -> e :: acc))
+
+let node_count src =
+  fold src ~init:0 ~f:(fun acc -> function
+    | Start_element (_, attrs) -> acc + 1 + List.length attrs
+    | Text _ | End_element _ -> acc)

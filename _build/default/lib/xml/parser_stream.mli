@@ -1,0 +1,27 @@
+(** Event-based (SAX-style) XML parsing.
+
+    §3.1.1 observes that "the act of parsing an XML document in document
+    order ... corresponds to a preorder traversal of the XML document
+    tree". This interface exposes that traversal directly: the caller
+    folds over start/text/end events without the document ever being
+    materialised, which is how a bulk loader assigns labels in a single
+    pass (see {!load_labelled} in {!Repro_storage}). *)
+
+type event =
+  | Start_element of string * (string * string) list
+      (** name and attributes, in document order *)
+  | Text of string  (** one consolidated character-data run *)
+  | End_element of string
+
+val fold : string -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Streams the document's events through [f]. Raises
+    {!Parser.Parse_error} on malformed input; the same XML subset as
+    {!Parser.parse} is accepted. *)
+
+val iter : (event -> unit) -> string -> unit
+
+val events : string -> event list
+(** All events, materialised (mostly for tests). *)
+
+val node_count : string -> int
+(** Elements plus attributes, without building the tree. *)

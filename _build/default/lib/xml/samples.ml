@@ -1,0 +1,41 @@
+let book_text =
+  {|<book>
+  <title genre="Fantasy">Wayfarer</title>
+  <author>Matthew Dickens</author>
+  <publisher>
+    <editor>
+      <name>Destiny Image</name>
+      <address>USA</address>
+    </editor>
+    <edition year="2004">1.0</edition>
+  </publisher>
+</book>|}
+
+let book () = Parser.parse book_text
+
+(* Figure 1(b): preorder/postorder ranks over elements and attributes. *)
+let book_expected_prepost =
+  [
+    ("book", 0, 9);
+    ("title", 1, 1);
+    ("genre", 2, 0);
+    ("author", 3, 2);
+    ("publisher", 4, 8);
+    ("editor", 5, 5);
+    ("name", 6, 3);
+    ("address", 7, 4);
+    ("edition", 8, 7);
+    ("year", 9, 6);
+  ]
+
+let abstract_tree counts =
+  let child i k =
+    let grandchildren =
+      List.init k (fun j -> Tree.elt (Printf.sprintf "n%d_%d" (i + 1) (j + 1)) [])
+    in
+    Tree.elt (Printf.sprintf "n%d" (i + 1)) grandchildren
+  in
+  Tree.create (Tree.elt "r" (List.mapi child counts))
+
+let figure3_tree () = abstract_tree [ 2; 1; 3 ]
+let figure456_tree () = abstract_tree [ 2; 1; 2 ]

@@ -1,0 +1,25 @@
+(** The paper's worked examples.
+
+    [book_text]/[book] is the sample document of Figure 1(a); its tree,
+    labelled pre/post, is Figure 1(b), and its encoding is Figure 2.
+
+    [figure3_tree] is the abstract ten-node tree DeweyID labels in Figure 3
+    (root with three children whose child counts are 2, 1 and 3).
+
+    [figure456_tree] is the eight-node initial tree Figures 4-6 start from
+    (root with three children whose child counts are 2, 1 and 2); the grey
+    inserted nodes of those figures are produced by update operations in
+    the corresponding experiments. *)
+
+val book_text : string
+val book : unit -> Tree.doc
+
+val book_expected_prepost : (string * int * int) list
+(** [(name, pre, post)] for every node of Figure 1(b), in document order. *)
+
+val figure3_tree : unit -> Tree.doc
+val figure456_tree : unit -> Tree.doc
+
+val abstract_tree : int list -> Tree.doc
+(** [abstract_tree counts] is a root ["r"] with [List.length counts]
+    children ["n1"..], child [i] having [List.nth counts i] children. *)

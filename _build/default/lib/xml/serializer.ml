@@ -1,0 +1,75 @@
+let escape_general ~quotes s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape_general ~quotes:false
+let escape_attr = escape_general ~quotes:true
+
+let frag_to_string ?(indent = 0) root =
+  let buf = Buffer.create 256 in
+  let pad level =
+    if indent > 0 then Buffer.add_string buf (String.make (level * indent) ' ')
+  in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  let rec emit level (f : Tree.frag) =
+    match f.f_kind with
+    | Attribute -> invalid_arg "Serializer: attribute outside an element"
+    | Element ->
+      let attrs, children =
+        List.partition (fun c -> c.Tree.f_kind = Tree.Attribute) f.f_children
+      in
+      pad level;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf f.f_name;
+      List.iter
+        (fun (a : Tree.frag) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf a.f_name;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_attr (Option.value a.f_value ~default:""));
+          Buffer.add_char buf '"')
+        attrs;
+      if f.f_value = None && children = [] then begin
+        Buffer.add_string buf "/>";
+        newline ()
+      end
+      else begin
+        Buffer.add_char buf '>';
+        (match f.f_value with
+        | Some v when children = [] ->
+          (* Keep text-only elements on one line. *)
+          Buffer.add_string buf (escape_text v)
+        | Some v ->
+          newline ();
+          pad (level + 1);
+          Buffer.add_string buf (escape_text v);
+          newline ()
+        | None -> newline ());
+        List.iter (emit (level + 1)) children;
+        if children <> [] then pad level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf f.f_name;
+        Buffer.add_char buf '>';
+        newline ()
+      end
+  in
+  emit 0 root;
+  (* Drop the final newline pretty-printing adds. *)
+  let s = Buffer.contents buf in
+  if indent > 0 && s <> "" && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let node_to_string ?indent n = frag_to_string ?indent (Tree.to_frag n)
+
+let to_string ?indent doc = node_to_string ?indent (Tree.root doc)

@@ -1,0 +1,17 @@
+(** Serialisation of the tree back to textual XML.
+
+    Definition 2 requires the encoding scheme to "permit the full
+    reconstruction of the textual XML document"; this module is the last
+    step of that reconstruction. Element values (character data) are emitted
+    before child elements, which is lossless for the paper's data model
+    (text is a property of its element, not an ordered sibling). *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val frag_to_string : ?indent:int -> Tree.frag -> string
+(** [indent] > 0 pretty-prints with that many spaces per level; the default
+    is compact single-line output. *)
+
+val to_string : ?indent:int -> Tree.doc -> string
+val node_to_string : ?indent:int -> Tree.node -> string

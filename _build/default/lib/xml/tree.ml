@@ -1,0 +1,219 @@
+type kind = Element | Attribute
+
+type node = {
+  id : int;
+  mutable kind : kind;
+  mutable name : string;
+  mutable value : string option;
+  mutable parent : node option;
+  mutable children : node list;
+}
+
+type doc = {
+  mutable root_node : node;
+  mutable next_id : int;
+  index : (int, node) Hashtbl.t;
+  mutable rev : int;
+}
+
+type frag = { f_kind : kind; f_name : string; f_value : string option; f_children : frag list }
+
+let elt ?value name children =
+  { f_kind = Element; f_name = name; f_value = value; f_children = children }
+
+let attr name value =
+  { f_kind = Attribute; f_name = name; f_value = Some value; f_children = [] }
+
+let rec frag_size f = List.fold_left (fun acc c -> acc + frag_size c) 1 f.f_children
+
+let check_frag f =
+  let rec go f under_attr =
+    if under_attr then invalid_arg "Tree: attributes cannot have children";
+    List.iter (fun c -> go c (f.f_kind = Attribute)) f.f_children
+  in
+  go f false;
+  if f.f_kind = Attribute && f.f_children <> [] then
+    invalid_arg "Tree: attributes cannot have children"
+
+let fresh doc f parent =
+  let n =
+    { id = doc.next_id; kind = f.f_kind; name = f.f_name; value = f.f_value; parent; children = [] }
+  in
+  doc.next_id <- doc.next_id + 1;
+  Hashtbl.replace doc.index n.id n;
+  n
+
+(* Materialise a fragment under [parent], returning the built node. *)
+let rec build doc f parent =
+  check_frag f;
+  let n = fresh doc f parent in
+  n.children <- List.map (fun c -> build doc c (Some n)) f.f_children;
+  n
+
+let create f =
+  if f.f_kind = Attribute then invalid_arg "Tree.create: root must be an element";
+  let doc =
+    {
+      root_node = { id = -1; kind = Element; name = ""; value = None; parent = None; children = [] };
+      next_id = 0;
+      index = Hashtbl.create 64;
+      rev = 0;
+    }
+  in
+  doc.root_node <- build doc f None;
+  doc
+
+let root doc = doc.root_node
+let size doc = Hashtbl.length doc.index
+let revision doc = doc.rev
+let find doc id = Hashtbl.find doc.index id
+let mem doc id = Hashtbl.mem doc.index id
+
+let parent n = n.parent
+let children n = n.children
+
+let first_child n = match n.children with [] -> None | c :: _ -> Some c
+
+let rec last_exn = function
+  | [] -> raise Not_found
+  | [ x ] -> x
+  | _ :: tl -> last_exn tl
+
+let last_child n = match n.children with [] -> None | l -> Some (last_exn l)
+
+let siblings_around n =
+  match n.parent with
+  | None -> (None, None)
+  | Some p ->
+    let rec go prev = function
+      | [] -> (None, None)
+      | c :: rest ->
+        if c.id = n.id then (prev, match rest with [] -> None | x :: _ -> Some x)
+        else go (Some c) rest
+    in
+    go None p.children
+
+let prev_sibling n = fst (siblings_around n)
+let next_sibling n = snd (siblings_around n)
+
+let level n =
+  let rec go acc = function None -> acc | Some p -> go (acc + 1) p.parent in
+  go 0 n.parent
+
+let sibling_position n =
+  match n.parent with
+  | None -> 0
+  | Some p ->
+    let rec go i = function
+      | [] -> invalid_arg "Tree.sibling_position: node not under its parent"
+      | c :: rest -> if c.id = n.id then i else go (i + 1) rest
+    in
+    go 0 p.children
+
+let iter_preorder f doc =
+  let rec go n =
+    f n;
+    List.iter go n.children
+  in
+  go doc.root_node
+
+let preorder doc =
+  let acc = ref [] in
+  iter_preorder (fun n -> acc := n :: !acc) doc;
+  List.rev !acc
+
+let descendants n =
+  let acc = ref [] in
+  let rec go m =
+    acc := m :: !acc;
+    List.iter go m.children
+  in
+  List.iter go n.children;
+  List.rev !acc
+
+let rec to_frag n =
+  { f_kind = n.kind; f_name = n.name; f_value = n.value; f_children = List.map to_frag n.children }
+
+let touch doc = doc.rev <- doc.rev + 1
+
+let require_element n what =
+  if n.kind <> Element then invalid_arg ("Tree: " ^ what ^ " requires an element parent")
+
+let insert_first_child doc parent f =
+  require_element parent "insert_first_child";
+  let n = build doc f (Some parent) in
+  parent.children <- n :: parent.children;
+  touch doc;
+  n
+
+let insert_last_child doc parent f =
+  require_element parent "insert_last_child";
+  let n = build doc f (Some parent) in
+  parent.children <- parent.children @ [ n ];
+  touch doc;
+  n
+
+let insert_rel doc anchor f ~before =
+  match anchor.parent with
+  | None -> invalid_arg "Tree: cannot insert a sibling of the root"
+  | Some p ->
+    let n = build doc f (Some p) in
+    let rec place = function
+      | [] -> invalid_arg "Tree: anchor not under its parent"
+      | c :: rest ->
+        if c.id = anchor.id then if before then n :: c :: rest else c :: n :: rest
+        else c :: place rest
+    in
+    p.children <- place p.children;
+    touch doc;
+    n
+
+let insert_before doc anchor f = insert_rel doc anchor f ~before:true
+let insert_after doc anchor f = insert_rel doc anchor f ~before:false
+
+let delete doc n =
+  match n.parent with
+  | None -> invalid_arg "Tree.delete: cannot delete the root"
+  | Some p ->
+    p.children <- List.filter (fun c -> c.id <> n.id) p.children;
+    n.parent <- None;
+    let rec unindex m =
+      Hashtbl.remove doc.index m.id;
+      List.iter unindex m.children
+    in
+    unindex n;
+    touch doc
+
+let set_value doc n v =
+  n.value <- v;
+  touch doc
+
+let rename doc n name =
+  n.name <- name;
+  touch doc
+
+let validate doc =
+  let seen = Hashtbl.create 64 in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let rec go n =
+    if Hashtbl.mem seen n.id then fail (Printf.sprintf "duplicate id %d" n.id);
+    Hashtbl.replace seen n.id ();
+    (match Hashtbl.find_opt doc.index n.id with
+    | Some m when m == n -> ()
+    | Some _ -> fail (Printf.sprintf "index maps id %d to a different node" n.id)
+    | None -> fail (Printf.sprintf "node %d missing from index" n.id));
+    if n.kind = Attribute && n.children <> [] then
+      fail (Printf.sprintf "attribute %d has children" n.id);
+    List.iter
+      (fun c ->
+        (match c.parent with
+        | Some p when p == n -> ()
+        | _ -> fail (Printf.sprintf "node %d has a wrong parent pointer" c.id));
+        go c)
+      n.children
+  in
+  go doc.root_node;
+  if Hashtbl.length seen <> Hashtbl.length doc.index then
+    fail "index contains detached nodes";
+  match !error with None -> Ok () | Some msg -> Error msg

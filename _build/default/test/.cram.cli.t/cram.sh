@@ -1,0 +1,9 @@
+  $ xmlrepro schemes | head -5
+  $ xmlrepro label -s ORDPATH
+  $ xmlrepro label -s "Pre/Post" | tail -10
+  $ xmlrepro query "//editor[name='Destiny Image']/address"
+  $ xmlrepro twig "book[title][publisher//name]"
+  $ xmlrepro update 'delete //publisher; rename //author as writer' | head -6
+  $ xmlrepro store -s CDQS labelled.xls
+  $ xmlrepro restore labelled.xls | head -4
+  $ xmlrepro figures | grep FIG

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Array Gen List QCheck QCheck_alcotest Repro_codes Repro_schemes

@@ -1,0 +1,1 @@
+test/test_axis_index.ml: Alcotest Array Axis_index Core Encoding List QCheck QCheck_alcotest Repro_encoding Repro_schemes Repro_workload Repro_xml Samples Xpath

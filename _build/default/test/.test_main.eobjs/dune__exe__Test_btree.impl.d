@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Core Int List Map Option Printf QCheck QCheck_alcotest Repro_schemes Repro_storage Repro_workload Repro_xml Samples String Tree

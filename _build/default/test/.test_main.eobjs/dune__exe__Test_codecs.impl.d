@@ -1,0 +1,1 @@
+test/test_codecs.ml: Alcotest Bitpack Core List Option Printf QCheck QCheck_alcotest Repro_codes Repro_schemes Repro_workload Repro_xml Samples String Tree

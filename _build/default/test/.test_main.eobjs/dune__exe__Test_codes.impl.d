@@ -1,0 +1,1 @@
+test/test_codes.ml: Alcotest Bignat Bitstr Char Crt Fun List Primes QCheck QCheck_alcotest Quat Repro_codes Rle Stdlib String Varint

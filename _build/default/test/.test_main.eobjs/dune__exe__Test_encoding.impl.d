@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Core Encoding List Oracle Parser Printf QCheck QCheck_alcotest Repro_encoding Repro_framework Repro_schemes Repro_workload Repro_xml Samples String Tree Xpath

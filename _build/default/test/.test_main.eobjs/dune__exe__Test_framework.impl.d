@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Lazy List Repro_framework String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Core Fun List Option QCheck QCheck_alcotest Repro_codes Repro_framework Repro_schemes Repro_workload Repro_xml String

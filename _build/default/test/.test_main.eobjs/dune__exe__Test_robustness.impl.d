@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Core List Option Parser Parser_stream Printf Repro_encoding Repro_schemes Repro_storage Repro_workload Repro_xml Samples Serializer Tree

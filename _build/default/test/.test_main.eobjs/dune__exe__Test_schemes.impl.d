@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Array Core Docgen List Option Oracle Printf QCheck QCheck_alcotest Repro_codes Repro_framework Repro_schemes Repro_workload Repro_xml Samples Tree Updates

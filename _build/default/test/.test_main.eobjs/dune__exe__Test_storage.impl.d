@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Char Core Filename Fun List Printf QCheck QCheck_alcotest Repro_schemes Repro_storage Repro_workload Repro_xml Samples String Sys Tree

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Core List Parser Parser_stream Printf QCheck QCheck_alcotest Repro_schemes Repro_storage Repro_workload Repro_xml Samples Serializer String Tree

@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest Array Axis_index Encoding List QCheck QCheck_alcotest Repro_encoding Repro_workload Repro_xml Twig Xpath

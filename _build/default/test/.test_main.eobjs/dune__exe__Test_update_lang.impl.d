@@ -1,0 +1,1 @@
+test/test_update_lang.ml: Alcotest Array Core Encoding Fun List Parser Printf QCheck QCheck_alcotest Repro_encoding Repro_schemes Repro_xml Serializer String Tree Update_lang Xpath

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Docgen List Printf QCheck QCheck_alcotest Repro_codes Repro_encoding Repro_schemes Repro_workload Repro_xml Runner Serializer Tree Updates Xmark_lite

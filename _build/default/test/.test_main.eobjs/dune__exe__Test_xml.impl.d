@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array List Option Oracle Parser Printf QCheck QCheck_alcotest Repro_xml Samples Serializer Stdlib Tree

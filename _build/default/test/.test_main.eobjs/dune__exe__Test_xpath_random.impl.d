@@ -1,0 +1,1 @@
+test/test_xpath_random.ml: Array Axis_index Encoding Fun List Printf QCheck QCheck_alcotest Repro_encoding Repro_workload String Twig Xpath

@@ -1,0 +1,82 @@
+The CLI end to end, on deterministic commands.
+
+Scheme listing:
+
+  $ xmlrepro schemes | head -5
+  Name               Order    Enc.Rep.  Family         Citation
+  XPath Accelerator  Global   Fixed     containment    Grust, SIGMOD 2002
+  XRel               Global   Fixed     containment    Yoshikawa et al., ACM TOIT 2001
+  Sector             Hybrid   Fixed     containment    Thonangi, COMAD 2006
+  QRS                Global   Fixed     containment    Amagasa et al., ICDE 2003
+
+Labelling the paper's sample document (Figure 1's tree) with ORDPATH:
+
+  $ xmlrepro label -s ORDPATH
+  ORDPATH labelling (Hybrid order, Variable representation)
+  
+  book                 1
+    title                1.1
+      genre                1.1.1
+    author               1.3
+    publisher            1.5
+      editor               1.5.1
+        name                 1.5.1.1
+        address              1.5.1.3
+      edition              1.5.3
+        year                 1.5.3.1
+
+The Figure 1(b) pre/post ranks:
+
+  $ xmlrepro label -s "Pre/Post" | tail -10
+  book                 (0,9)
+    title                (1,1)
+      genre                (2,0)
+    author               (3,2)
+    publisher            (4,8)
+      editor               (5,5)
+        name                 (6,3)
+        address              (7,4)
+      edition              (8,7)
+        year                 (9,6)
+
+XPath over the encoding scheme:
+
+  $ xmlrepro query "//editor[name='Destiny Image']/address"
+  1 result(s) for /descendant-or-self::node()/child::editor[child::name = 'Destiny Image']/child::address
+  pre=7    address      USA
+
+Twig matching by structural joins:
+
+  $ xmlrepro twig "book[title][publisher//name]"
+  1 match(es) for book[title][publisher[//name]] (XPath: //book[title][publisher[.//name]])
+  pre=0    book
+
+The update language:
+
+  $ xmlrepro update 'delete //publisher; rename //author as writer' | head -6
+  executed 2 statement(s): 0 node(s) inserted, 6 deleted, 1 modified
+  labelling (QED): 0 relabelled, 0 overflow event(s)
+  
+  <book>
+    <title genre="Fantasy">Wayfarer</title>
+    <writer>Matthew Dickens</writer>
+
+Persisting and restoring labels:
+
+  $ xmlrepro store -s CDQS labelled.xls
+  stored 10 nodes labelled by CDQS in labelled.xls
+  $ xmlrepro restore labelled.xls | head -4
+  restored 10 nodes labelled by CDQS (no relabelling)
+  book             ε
+    title            2
+      genre            2.2
+
+Figures match the paper:
+
+  $ xmlrepro figures | grep FIG
+  FIG1 — Preorder/postorder labelled sample document [matches the paper]
+  FIG2 — The XML encoding of the sample document [matches the paper]
+  FIG3 — DeweyID labelled XML tree [matches the paper]
+  FIG4 — ORDPATH labelled XML tree [matches the paper]
+  FIG5 — LSDX labelled XML tree [matches the paper]
+  FIG6 — ImprovedBinary labelled XML tree [matches the paper]

@@ -1,0 +1,130 @@
+(* Tests for the region-query index and the structural join, plus the
+   differential check: the indexed XPath engine must agree with the
+   document-scan reference on arbitrary documents and queries. *)
+
+open Repro_xml
+open Repro_encoding
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let doc_of_seed seed =
+  Repro_workload.Docgen.generate ~seed
+    { Repro_workload.Docgen.default_shape with target_nodes = 80 }
+
+let pres rows = List.map (fun (r : Encoding.row) -> r.Encoding.pre) rows
+
+(* ------------------------------------------------------------------ *)
+(* Index primitives against the naive definitions                      *)
+(* ------------------------------------------------------------------ *)
+
+let primitives_against_scan =
+  QCheck.Test.make ~name:"index primitives agree with the row-scan definitions" ~count:40
+    (QCheck.int_bound 100_000) (fun seed ->
+      let enc = Encoding.of_doc (doc_of_seed seed) in
+      let idx = Axis_index.build enc in
+      let all = Encoding.rows enc in
+      List.for_all
+        (fun (ctx : Encoding.row) ->
+          let scan p = List.filter p all in
+          pres (Axis_index.descendants idx ctx)
+          = pres (scan (fun r -> r.pre > ctx.pre && r.post < ctx.post))
+          && pres (Axis_index.following idx ctx)
+             = pres
+                 (scan (fun r ->
+                      r.pre > ctx.pre && r.post > ctx.post && r.kind <> Encoding.Attribute))
+          && pres (Axis_index.children idx ctx)
+             = pres
+                 (scan (fun r ->
+                      r.parent_pre = Some ctx.pre && r.kind = Encoding.Element))
+          && pres (Axis_index.ancestors idx ctx)
+             = pres (scan (fun r -> r.pre < ctx.pre && r.post > ctx.post)))
+        all)
+
+(* ------------------------------------------------------------------ *)
+(* Structural join vs the nested loop                                  *)
+(* ------------------------------------------------------------------ *)
+
+let contains (a : Encoding.row) (d : Encoding.row) = a.pre < d.pre && d.post < a.post
+
+let structural_join_correct =
+  QCheck.Test.make ~name:"structural join equals the nested-loop join" ~count:60
+    (QCheck.pair (QCheck.int_bound 100_000) (QCheck.pair (QCheck.int_bound 3) (QCheck.int_bound 3)))
+    (fun (seed, (amod, dmod)) ->
+      let enc = Encoding.of_doc (doc_of_seed seed) in
+      let all = Encoding.rows enc in
+      (* two arbitrary sub-lists in document order *)
+      let pick m = List.filteri (fun i _ -> i mod (m + 2) = 0) all in
+      let ancestors = pick amod and descendants = pick dmod in
+      let joined = Axis_index.structural_join ~ancestors ~descendants in
+      let naive =
+        List.concat_map
+          (fun d ->
+            List.filter_map
+              (fun a -> if contains a d then Some (a, d) else None)
+              ancestors)
+          descendants
+      in
+      let key (a, d) = (a.Encoding.pre, d.Encoding.pre) in
+      List.sort_uniq compare (List.map key joined)
+      = List.sort_uniq compare (List.map key naive))
+
+let semijoin_correct =
+  QCheck.Test.make ~name:"descendant semijoin equals the filter definition" ~count:60
+    (QCheck.int_bound 100_000) (fun seed ->
+      let enc = Encoding.of_doc (doc_of_seed seed) in
+      let all = Encoding.rows enc in
+      let ancestors = List.filteri (fun i _ -> i mod 3 = 0) all in
+      let candidates = List.filteri (fun i _ -> i mod 2 = 0) all in
+      pres (Axis_index.semijoin_descendants ~ancestors ~candidates)
+      = pres
+          (List.filter (fun d -> List.exists (fun a -> contains a d) ancestors) candidates))
+
+let join_rejects_unsorted () =
+  let enc = Encoding.of_doc (Samples.book ()) in
+  let rows = Encoding.rows enc in
+  Alcotest.check_raises "unsorted input rejected"
+    (Invalid_argument "Axis_index.structural_join: ancestor list not in document order")
+    (fun () ->
+      ignore (Axis_index.structural_join ~ancestors:(List.rev rows) ~descendants:rows))
+
+(* ------------------------------------------------------------------ *)
+(* Indexed evaluator ≡ scan evaluator                                  *)
+(* ------------------------------------------------------------------ *)
+
+let query_pool =
+  [| "//*"; "//item"; "//item//field"; "/*/*"; "//*[@id]"; "//group/ancestor::*";
+     "//field/following::*"; "//entry/preceding::*"; "//record/following-sibling::*";
+     "//list/preceding-sibling::node()"; "//*[2]"; "//*[count(*) > 1]/node()";
+     "//data/.."; "descendant::*[position() = last()]"; "//*[not(@kind)]/meta";
+     "//section/descendant-or-self::*"; "//node()/self::item"; "//*/@*" |]
+
+let indexed_equals_scan =
+  QCheck.Test.make ~name:"indexed evaluation equals scan evaluation" ~count:40
+    (QCheck.pair (QCheck.int_bound 100_000) (QCheck.int_bound (Array.length query_pool - 1)))
+    (fun (seed, qi) ->
+      let enc = Encoding.of_doc (doc_of_seed seed) in
+      let q = query_pool.(qi) in
+      pres (Xpath.eval enc q) = pres (Xpath.eval_scan enc q))
+
+let indexed_equals_scan_after_updates () =
+  let doc = doc_of_seed 77 in
+  let session = Core.Session.make (module Repro_schemes.Qed : Core.Scheme.S) doc in
+  Repro_workload.Updates.run Repro_workload.Updates.Mixed_with_deletes ~seed:7 ~ops:60
+    session;
+  let enc = Encoding.of_doc doc in
+  Array.iter
+    (fun q ->
+      check (Alcotest.list Alcotest.int) q (pres (Xpath.eval_scan enc q))
+        (pres (Xpath.eval enc q)))
+    query_pool
+
+let suite =
+  [
+    ("join rejects unsorted input", `Quick, join_rejects_unsorted);
+    ("indexed = scan after updates", `Quick, indexed_equals_scan_after_updates);
+    qcheck primitives_against_scan;
+    qcheck structural_join_correct;
+    qcheck semijoin_correct;
+    qcheck indexed_equals_scan;
+  ]

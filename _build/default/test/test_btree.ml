@@ -1,0 +1,171 @@
+(* Property tests for the B-tree and the label-ordered document index. *)
+
+open Repro_xml
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* B-tree vs Stdlib.Map oracle under random workloads                  *)
+(* ------------------------------------------------------------------ *)
+
+module IntMap = Map.Make (Int)
+
+type op = Ins of int * int | Del of int | Find of int
+
+let arb_ops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 400)
+        (frequency
+           [
+             (5, map2 (fun k v -> Ins (k, v)) (int_bound 200) (int_bound 10_000));
+             (2, map (fun k -> Del k) (int_bound 200));
+             (1, map (fun k -> Find k) (int_bound 200));
+           ]))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Ins (k, v) -> Printf.sprintf "i%d=%d" k v
+           | Del k -> Printf.sprintf "d%d" k
+           | Find k -> Printf.sprintf "f%d" k)
+         ops)
+  in
+  QCheck.make ~print gen
+
+let btree_matches_map =
+  QCheck.Test.make ~name:"B-tree agrees with Map under random insert/remove" ~count:150
+    (QCheck.pair arb_ops (QCheck.int_range 2 6)) (fun (ops, degree) ->
+      let bt = Repro_storage.Btree.create ~degree ~compare:Int.compare () in
+      let reference = ref IntMap.empty in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Ins (k, v) ->
+            Repro_storage.Btree.insert bt k v;
+            reference := IntMap.add k v !reference
+          | Del k ->
+            let was = IntMap.mem k !reference in
+            let removed = Repro_storage.Btree.remove bt k in
+            reference := IntMap.remove k !reference;
+            assert (was = removed)
+          | Find _ -> ());
+          (match op with
+          | Find k -> Repro_storage.Btree.find bt k = IntMap.find_opt k !reference
+          | _ -> true)
+          && Repro_storage.Btree.length bt = IntMap.cardinal !reference
+          && Repro_storage.Btree.to_list bt = IntMap.bindings !reference
+          && Repro_storage.Btree.check_invariants bt = Ok ())
+        ops)
+
+let btree_range_and_successor =
+  QCheck.Test.make ~name:"range and successor agree with the sorted view" ~count:150
+    (QCheck.triple (QCheck.list_of_size (QCheck.Gen.int_bound 150) (QCheck.int_bound 300))
+       (QCheck.int_bound 320) (QCheck.int_bound 320))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let bt = Repro_storage.Btree.create ~degree:3 ~compare:Int.compare () in
+      List.iter (fun k -> Repro_storage.Btree.insert bt k (k * 2)) keys;
+      let sorted = List.sort_uniq Int.compare keys in
+      Repro_storage.Btree.range bt ~lo ~hi
+      = List.map (fun k -> (k, k * 2)) (List.filter (fun k -> k >= lo && k <= hi) sorted)
+      && Repro_storage.Btree.successor bt a
+         = (match List.find_opt (fun k -> k > a) sorted with
+           | Some k -> Some (k, k * 2)
+           | None -> None)
+      && Repro_storage.Btree.min_binding bt
+         = (match sorted with [] -> None | k :: _ -> Some (k, k * 2)))
+
+let btree_replace () =
+  let bt = Repro_storage.Btree.create ~compare:Int.compare () in
+  Repro_storage.Btree.insert bt 1 "a";
+  Repro_storage.Btree.insert bt 1 "b";
+  check Alcotest.int "size stays 1" 1 (Repro_storage.Btree.length bt);
+  check (Alcotest.option Alcotest.string) "value replaced" (Some "b")
+    (Repro_storage.Btree.find bt 1);
+  check Alcotest.bool "remove" true (Repro_storage.Btree.remove bt 1);
+  check Alcotest.bool "remove again" false (Repro_storage.Btree.remove bt 1);
+  Alcotest.check_raises "degree bound" (Invalid_argument "Btree.create: degree must be at least 2")
+    (fun () -> ignore (Repro_storage.Btree.create ~degree:1 ~compare:Int.compare ()))
+
+(* ------------------------------------------------------------------ *)
+(* The label-ordered document index                                     *)
+(* ------------------------------------------------------------------ *)
+
+let doc_index_document_order () =
+  List.iter
+    (fun pack ->
+      let doc =
+        Repro_workload.Docgen.generate ~seed:3
+          { Repro_workload.Docgen.default_shape with target_nodes = 60 }
+      in
+      let session = Core.Session.make pack doc in
+      let idx = Repro_storage.Doc_index.build session in
+      check Alcotest.bool
+        (Printf.sprintf "%s B-tree invariants" session.Core.Session.scheme_name)
+        true
+        (Repro_storage.Doc_index.check idx = Ok ());
+      let by_label =
+        List.map (fun (n : Tree.node) -> n.id) (Repro_storage.Doc_index.to_document_order idx)
+      in
+      let by_tree = List.map (fun (n : Tree.node) -> n.id) (Tree.preorder doc) in
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "%s label order = document order" session.Core.Session.scheme_name)
+        by_tree by_label)
+    Repro_schemes.Registry.well_behaved
+
+let doc_index_updates () =
+  let doc = Samples.book () in
+  let session = Core.Session.make (module Repro_schemes.Qed : Core.Scheme.S) doc in
+  let idx = Repro_storage.Doc_index.build session in
+  let title = List.nth (Tree.children (Tree.root doc)) 0 in
+  let fresh = session.Core.Session.insert_before title (Tree.elt "isbn" []) in
+  Repro_storage.Doc_index.add idx fresh;
+  let order =
+    List.map (fun (n : Tree.node) -> n.name) (Repro_storage.Doc_index.to_document_order idx)
+  in
+  check (Alcotest.list Alcotest.string) "insertion lands in order"
+    [ "book"; "isbn"; "title"; "genre"; "author"; "publisher"; "editor"; "name";
+      "address"; "edition"; "year" ]
+    order;
+  check Alcotest.bool "remove" true (Repro_storage.Doc_index.remove idx fresh);
+  check Alcotest.int "size back" 10 (Repro_storage.Doc_index.size idx)
+
+let doc_index_descendant_scan () =
+  let doc = Samples.book () in
+  let session = Core.Session.make (module Repro_schemes.Ordpath : Core.Scheme.S) doc in
+  let idx = Repro_storage.Doc_index.build session in
+  let publisher =
+    List.find (fun (n : Tree.node) -> n.name = "publisher") (Tree.preorder doc)
+  in
+  match Repro_storage.Doc_index.descendants idx publisher with
+  | None -> Alcotest.fail "ORDPATH decides ancestry from labels"
+  | Some nodes ->
+    check (Alcotest.list Alcotest.string) "subtree scan off the index"
+      [ "editor"; "name"; "address"; "edition"; "year" ]
+      (List.map (fun (n : Tree.node) -> n.name) nodes)
+
+let doc_index_navigation () =
+  let doc = Samples.book () in
+  let session = Core.Session.make (module Repro_schemes.Cdqs : Core.Scheme.S) doc in
+  let idx = Repro_storage.Doc_index.build session in
+  check (Alcotest.option Alcotest.string) "first" (Some "book")
+    (Option.map (fun (n : Tree.node) -> n.name) (Repro_storage.Doc_index.first idx));
+  check (Alcotest.option Alcotest.string) "last" (Some "year")
+    (Option.map (fun (n : Tree.node) -> n.name) (Repro_storage.Doc_index.last idx));
+  let book = Tree.root doc in
+  check (Alcotest.option Alcotest.string) "next of root" (Some "title")
+    (Option.map (fun (n : Tree.node) -> n.name) (Repro_storage.Doc_index.next idx book))
+
+let suite =
+  [
+    ("replace and remove", `Quick, btree_replace);
+    ("doc index: label order is document order", `Quick, doc_index_document_order);
+    ("doc index: updates", `Quick, doc_index_updates);
+    ("doc index: descendant range scan", `Quick, doc_index_descendant_scan);
+    ("doc index: navigation", `Quick, doc_index_navigation);
+    qcheck btree_matches_map;
+    qcheck btree_range_and_successor;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "xml-update-mechanisms"
+    [
+      ("codes", Test_codes.suite);
+      ("algebra", Test_algebra.suite);
+      ("codecs", Test_codecs.suite);
+      ("schemes", Test_schemes.suite);
+      ("encoding", Test_encoding.suite);
+      ("update-lang", Test_update_lang.suite);
+      ("axis-index", Test_axis_index.suite);
+      ("storage", Test_storage.suite);
+      ("stream", Test_stream.suite);
+      ("btree", Test_btree.suite);
+      ("twig", Test_twig.suite);
+      ("robustness", Test_robustness.suite);
+      ("xpath-random", Test_xpath_random.suite);
+      ("misc", Test_misc.suite);
+      ("workload", Test_workload.suite);
+      ("framework", Test_framework.suite);
+      ("xml", Test_xml.suite);
+    ]

@@ -1,0 +1,153 @@
+(* Remaining-surface tests: PRNG behaviour, chart rendering, the report
+   generator, info renderers, session metrics. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prng_determinism () =
+  let a = Repro_codes.Prng.create 123 and b = Repro_codes.Prng.create 123 in
+  let sa = List.init 50 (fun _ -> Repro_codes.Prng.int a 1000) in
+  let sb = List.init 50 (fun _ -> Repro_codes.Prng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" sa sb;
+  let c = Repro_codes.Prng.create 124 in
+  let sc = List.init 50 (fun _ -> Repro_codes.Prng.int c 1000) in
+  check Alcotest.bool "different seed, different stream" true (sa <> sc)
+
+let prng_bounds =
+  QCheck.Test.make ~name:"Prng.int stays within bounds" ~count:200
+    (QCheck.pair (QCheck.int_bound 100_000) (QCheck.int_range 1 1000)) (fun (seed, bound) ->
+      let rng = Repro_codes.Prng.create seed in
+      List.for_all
+        (fun _ ->
+          let v = Repro_codes.Prng.int rng bound in
+          v >= 0 && v < bound)
+        (List.init 100 Fun.id))
+
+let prng_spread () =
+  (* crude uniformity check: all 8 buckets hit over 4000 draws *)
+  let rng = Repro_codes.Prng.create 5 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 4000 do
+    let v = Repro_codes.Prng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 300 then Alcotest.failf "bucket %d underpopulated: %d" i c)
+    buckets;
+  let rng2 = Repro_codes.Prng.create 6 in
+  let arr = Array.init 10 Fun.id in
+  Repro_codes.Prng.shuffle rng2 arr;
+  check Alcotest.bool "shuffle is a permutation" true
+    (List.sort compare (Array.to_list arr) = List.init 10 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Chart                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chart_renders () =
+  let s =
+    Repro_framework.Chart.plot ~width:20 ~height:5 ~title:"t" ~y_label:"y"
+      [ ("up", [| 0.; 50.; 100. |]); ("flat", [| 10.; 10.; 10. |]) ]
+  in
+  check Alcotest.bool "title present" true (String.length s > 0 && String.sub s 0 1 = "t");
+  check Alcotest.bool "legend present" true
+    (String.length s > 0
+    && (let contains sub =
+          let rec go i =
+            i + String.length sub <= String.length s
+            && (String.sub s i (String.length sub) = sub || go (i + 1))
+          in
+          go 0
+        in
+        contains "up" && contains "flat" && contains "100"))
+
+(* ------------------------------------------------------------------ *)
+(* Info renderers and registry                                         *)
+(* ------------------------------------------------------------------ *)
+
+let info_renderers () =
+  check Alcotest.string "order" "Hybrid" (Core.Info.order_to_string Core.Info.Hybrid);
+  check Alcotest.string "rep" "Variable"
+    (Core.Info.representation_to_string Core.Info.Variable);
+  check Alcotest.string "family" "orthogonal code"
+    (Core.Info.family_to_string Core.Info.Orthogonal_code)
+
+let registry_consistency () =
+  (* names are unique across the registry *)
+  let names = List.map Core.Scheme.name Repro_schemes.Registry.all in
+  check Alcotest.int "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  check Alcotest.int "twelve figure-7 rows" 12 (List.length Repro_schemes.Registry.figure7);
+  (* every figure-7 row has a paper counterpart *)
+  List.iter
+    (fun pack ->
+      match Repro_framework.Paper_expected.find (Core.Scheme.name pack) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "no paper row for %s" (Core.Scheme.name pack))
+    Repro_schemes.Registry.figure7;
+  check (Alcotest.option Alcotest.string) "find known" (Some "QED")
+    (Option.map Core.Scheme.name (Repro_schemes.Registry.find "QED"));
+  check Alcotest.bool "find unknown" true (Repro_schemes.Registry.find "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Session metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let session_metrics () =
+  let doc = Repro_xml.Samples.book () in
+  let s = Core.Session.make (module Repro_schemes.Xpath_accelerator : Core.Scheme.S) doc in
+  check Alcotest.int "total bits: 10 fixed labels" (10 * 80) (Core.Session.total_bits s);
+  check Alcotest.int "max bits" 80 (Core.Session.max_bits s);
+  check (Alcotest.float 0.01) "avg bits" 80.0 (Core.Session.avg_bits s);
+  let snap = Core.Session.labels_snapshot s in
+  check Alcotest.int "snapshot size" 10 (List.length snap)
+
+(* ------------------------------------------------------------------ *)
+(* Xmark sizes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let xmark_medium () =
+  let doc = Repro_workload.Xmark_lite.generate ~seed:4 Repro_workload.Xmark_lite.medium in
+  check Alcotest.bool "medium is bigger than small" true
+    (Repro_xml.Tree.size doc
+    > Repro_xml.Tree.size (Repro_workload.Xmark_lite.generate ~seed:4 Repro_workload.Xmark_lite.small));
+  check Alcotest.bool "valid" true (Repro_xml.Tree.validate doc = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_smoke () =
+  (* a fast configuration keeps this test quick *)
+  let config = { Repro_framework.Assay.default with adversarial_ops = 300; standard_ops = 40 } in
+  let md = Repro_framework.Report.generate ~config () in
+  List.iter
+    (fun needle ->
+      let contains sub =
+        let rec go i =
+          i + String.length sub <= String.length md
+          && (String.sub md i (String.length sub) = sub || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains needle) then Alcotest.failf "report lacks %S" needle)
+    [ "# Reproduction report"; "FIG1"; "FIG6"; "Figure 7"; "CL1"; "CL11"; "Agreement" ]
+
+let suite =
+  [
+    ("prng determinism", `Quick, prng_determinism);
+    ("prng spread and shuffle", `Quick, prng_spread);
+    ("chart renders", `Quick, chart_renders);
+    ("info renderers", `Quick, info_renderers);
+    ("registry consistency", `Quick, registry_consistency);
+    ("session metrics", `Quick, session_metrics);
+    ("xmark medium", `Quick, xmark_medium);
+    ("report smoke", `Slow, report_smoke);
+    qcheck prng_bounds;
+  ]

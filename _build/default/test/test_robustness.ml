@@ -1,0 +1,118 @@
+(* Robustness and edge-case tests: degenerate documents, deep nesting,
+   wide fanout, cost-model bracketing, and error surfaces. *)
+
+open Repro_xml
+
+let check = Alcotest.check
+
+let single_node_everywhere () =
+  let doc = Tree.create (Tree.elt "only" []) in
+  List.iter
+    (fun pack ->
+      let session = Core.Session.make pack doc in
+      let root = Tree.root doc in
+      ignore (session.Core.Session.label_string root);
+      check Alcotest.bool "single node order" true (Core.Session.order_consistent session);
+      check Alcotest.bool "codec" true (session.Core.Session.codec_roundtrips root))
+    Repro_schemes.Registry.all
+
+let deep_document () =
+  (* 800 levels: parser, serializer, labelling, encoding and storage must
+     all survive the depth. *)
+  let depth = 800 in
+  let rec build k = if k = 0 then Tree.elt ~value:"leaf" "d0" [] else Tree.elt (Printf.sprintf "d%d" k) [ build (k - 1) ] in
+  let doc = Tree.create (build depth) in
+  check Alcotest.int "size" (depth + 1) (Tree.size doc);
+  (* parser/serializer roundtrip at depth *)
+  let text = Serializer.to_string doc in
+  let reparsed = Parser.parse text in
+  check Alcotest.int "reparsed size" (depth + 1) (Tree.size reparsed);
+  check Alcotest.int "stream node count" (depth + 1) (Parser_stream.node_count text);
+  (* deep labelling for a few representative schemes *)
+  List.iter
+    (fun name ->
+      let pack = Option.get (Repro_schemes.Registry.find name) in
+      let session = Core.Session.make pack doc in
+      let deepest =
+        List.nth (Tree.preorder doc) depth
+      in
+      check Alcotest.int (name ^ " level") depth
+        (match session.Core.Session.level_of with
+        | Some lvl -> lvl deepest
+        | None -> depth);
+      check Alcotest.bool (name ^ " codec at depth") true
+        (session.Core.Session.codec_roundtrips deepest))
+    [ "QED"; "CDQS"; "XPath Accelerator"; "DDE" ];
+  (* the encoding + reconstruction at depth *)
+  let enc = Repro_encoding.Encoding.of_doc doc in
+  check Alcotest.int "encoding rows" (depth + 1) (Repro_encoding.Encoding.size enc);
+  let rebuilt = Tree.create (Repro_encoding.Encoding.reconstruct enc) in
+  check Alcotest.int "reconstructed size" (depth + 1) (Tree.size rebuilt);
+  (* storage roundtrip at depth *)
+  let session = Core.Session.make (module Repro_schemes.Qed : Core.Scheme.S) doc in
+  let reloaded = Repro_storage.Store.load (Repro_storage.Store.save session) in
+  check Alcotest.int "store roundtrip size" (depth + 1)
+    (Tree.size reloaded.Core.Session.doc)
+
+let wide_document () =
+  let fanout = 3000 in
+  let doc = Tree.create (Tree.elt "r" (List.init fanout (fun i -> Tree.elt (Printf.sprintf "c%d" i) []))) in
+  List.iter
+    (fun name ->
+      let pack = Option.get (Repro_schemes.Registry.find name) in
+      let session = Core.Session.make pack doc in
+      check Alcotest.bool (name ^ " wide order") true (Core.Session.order_consistent session))
+    [ "QED"; "ImprovedBinary"; "Vector"; "DeweyID"; "ORDPATH" ]
+
+let costmodel_bracketing () =
+  Core.Costmodel.reset ();
+  let (), outer = Core.Costmodel.counting (fun () -> ignore (Core.Costmodel.div_int 10 3)) in
+  check Alcotest.int "inner count" 1 outer.Core.Costmodel.divisions;
+  (* counting restores and accumulates into the enclosing scope *)
+  let (_, inner), total =
+    Core.Costmodel.counting (fun () ->
+        ignore (Core.Costmodel.div_int 1 1);
+        Core.Costmodel.counting (fun () -> ignore (Core.Costmodel.div_int 2 1)))
+  in
+  check Alcotest.int "nested inner" 1 inner.Core.Costmodel.divisions;
+  check Alcotest.int "outer total includes inner" 2 total.Core.Costmodel.divisions
+
+let session_api_errors () =
+  let doc = Samples.book () in
+  let session = Core.Session.make (module Repro_schemes.Qed : Core.Scheme.S) doc in
+  let root = Tree.root doc in
+  Alcotest.check_raises "no sibling of root"
+    (Invalid_argument "Tree: cannot insert a sibling of the root") (fun () ->
+      ignore (session.Core.Session.insert_before root (Tree.elt "x" [])));
+  Alcotest.check_raises "cannot delete root"
+    (Invalid_argument "Tree.delete: cannot delete the root") (fun () ->
+      session.Core.Session.delete root)
+
+let empty_update_patterns () =
+  (* patterns behave on a single-node document *)
+  let doc = Tree.create (Tree.elt "r" []) in
+  let session = Core.Session.make (module Repro_schemes.Cdqs : Core.Scheme.S) doc in
+  List.iter
+    (fun pattern -> Repro_workload.Updates.run pattern ~seed:1 ~ops:10 session)
+    Repro_workload.Updates.all_patterns;
+  check Alcotest.bool "still consistent" true (Core.Session.order_consistent session)
+
+let interval_gap_parameter () =
+  Repro_schemes.Interval_gap.gap := 64;
+  let doc = Samples.book () in
+  let session = Core.Session.make (module Repro_schemes.Interval_gap : Core.Scheme.S) doc in
+  Repro_schemes.Interval_gap.gap := 16;
+  (* with gap 64, first labels are multiples of 64 *)
+  let root_label = session.Core.Session.label_string (Tree.root doc) in
+  check Alcotest.string "gap applied" "[64,1280]@0" root_label
+
+let suite =
+  [
+    ("single-node document for every scheme", `Quick, single_node_everywhere);
+    ("deep document end to end", `Quick, deep_document);
+    ("wide document", `Quick, wide_document);
+    ("cost-model bracketing", `Quick, costmodel_bracketing);
+    ("session error surfaces", `Quick, session_api_errors);
+    ("patterns on a degenerate document", `Quick, empty_update_patterns);
+    ("interval gap parameter", `Quick, interval_gap_parameter);
+  ]

@@ -1,0 +1,135 @@
+(* Tests for the store: labels survive a save/load cycle byte for byte,
+   for every scheme, and corruption is detected. *)
+
+open Repro_xml
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let updated_session pack seed =
+  let doc =
+    Repro_workload.Docgen.generate ~seed
+      { Repro_workload.Docgen.default_shape with target_nodes = 40 }
+  in
+  let session = Core.Session.make pack doc in
+  Repro_workload.Updates.run Repro_workload.Updates.Uniform_random ~seed ~ops:25 session;
+  Repro_workload.Updates.run Repro_workload.Updates.Skewed_before_first ~seed:(seed + 1)
+    ~ops:10 session;
+  session
+
+let flat session =
+  List.map
+    (fun (n : Tree.node) ->
+      (n.name, n.value, Tree.level n, session.Core.Session.label_string n))
+    (Tree.preorder session.Core.Session.doc)
+
+let roundtrip_all_schemes =
+  QCheck.Test.make ~name:"save/load preserves structure and every label" ~count:8
+    (QCheck.int_bound 10_000) (fun seed ->
+      List.for_all
+        (fun pack ->
+          let original = updated_session pack seed in
+          let reloaded = Repro_storage.Store.load (Repro_storage.Store.save original) in
+          flat original = flat reloaded
+          && (reloaded.Core.Session.stats ()).Core.Stats.s_relabelled = 0)
+        Repro_schemes.Registry.well_behaved)
+
+let reload_continues_updating () =
+  (* A reloaded QED store keeps absorbing updates without relabelling,
+     and references recorded before the save still resolve. *)
+  let original = updated_session (module Repro_schemes.Qed : Core.Scheme.S) 5 in
+  let remembered =
+    List.map original.Core.Session.label_string
+      (Tree.preorder original.Core.Session.doc)
+  in
+  let reloaded = Repro_storage.Store.load (Repro_storage.Store.save original) in
+  Repro_workload.Updates.run Repro_workload.Updates.Uniform_random ~seed:6 ~ops:30 reloaded;
+  let live =
+    List.map reloaded.Core.Session.label_string (Tree.preorder reloaded.Core.Session.doc)
+  in
+  List.iter
+    (fun l ->
+      check Alcotest.bool (Printf.sprintf "label %s survived" l) true (List.mem l live))
+    remembered;
+  check Alcotest.int "no relabelling after reload" 0
+    (reloaded.Core.Session.stats ()).Core.Stats.s_relabelled;
+  check Alcotest.bool "order consistent" true
+    (Core.Session.order_consistent ~all_pairs:true reloaded)
+
+let scheme_name_recorded () =
+  let session = Core.Session.make (module Repro_schemes.Cdqs : Core.Scheme.S) (Samples.book ()) in
+  let data = Repro_storage.Store.save session in
+  check Alcotest.string "recorded scheme" "CDQS" (Repro_storage.Store.scheme_of data);
+  (* explicit scheme must match *)
+  match
+    Repro_storage.Store.load ~scheme:(module Repro_schemes.Qed : Core.Scheme.S) data
+  with
+  | exception Repro_storage.Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected a scheme mismatch error"
+
+let corruption_detected () =
+  let session = Core.Session.make (module Repro_schemes.Qed : Core.Scheme.S) (Samples.book ()) in
+  let data = Repro_storage.Store.save session in
+  let expect_corrupt what mutated =
+    match Repro_storage.Store.load mutated with
+    | exception Repro_storage.Store.Corrupt _ -> ()
+    | _ -> Alcotest.fail ("corruption not detected: " ^ what)
+  in
+  expect_corrupt "flipped byte"
+    (String.mapi (fun i c -> if i = String.length data / 2 then Char.chr (Char.code c lxor 0x40) else c) data);
+  expect_corrupt "truncation" (String.sub data 0 (String.length data - 7));
+  expect_corrupt "bad magic" ("YYYY" ^ String.sub data 4 (String.length data - 4));
+  expect_corrupt "empty" ""
+
+let file_roundtrip () =
+  let session = updated_session (module Repro_schemes.Ordpath : Core.Scheme.S) 11 in
+  let path = Filename.temp_file "xlstore" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Repro_storage.Store.save_file session path;
+      let reloaded = Repro_storage.Store.load_file path in
+      check Alcotest.bool "file roundtrip" true (flat session = flat reloaded))
+
+let suite =
+  [
+    ("reload continues updating", `Quick, reload_continues_updating);
+    ("scheme name recorded", `Quick, scheme_name_recorded);
+    ("corruption detected", `Quick, corruption_detected);
+    ("file roundtrip", `Quick, file_roundtrip);
+    qcheck roundtrip_all_schemes;
+  ]
+
+(* Fuzz the loader: arbitrary byte corruption must surface as [Corrupt]
+   (or load successfully if it missed everything that matters) — never as
+   any other exception. *)
+let loader_never_crashes =
+  QCheck.Test.make ~name:"corrupted stores fail cleanly" ~count:300
+    (QCheck.triple (QCheck.int_bound 1000) (QCheck.int_bound 10_000) (QCheck.int_bound 255))
+    (fun (seed, pos_seed, byte) ->
+      let session = updated_session (module Repro_schemes.Qed : Core.Scheme.S) seed in
+      let data = Repro_storage.Store.save session in
+      let pos = pos_seed mod String.length data in
+      let mutated =
+        String.mapi (fun i c -> if i = pos then Char.chr byte else c) data
+      in
+      match Repro_storage.Store.load mutated with
+      | _ -> true
+      | exception Repro_storage.Store.Corrupt _ -> true
+      | exception _ -> false)
+
+(* Truncations at every length must also fail cleanly. *)
+let truncations_fail_cleanly =
+  QCheck.Test.make ~name:"truncated stores fail cleanly" ~count:200
+    (QCheck.int_bound 10_000) (fun cut_seed ->
+      let session = Core.Session.make (module Repro_schemes.Ordpath : Core.Scheme.S)
+          (Repro_xml.Samples.book ()) in
+      let data = Repro_storage.Store.save session in
+      let cut = cut_seed mod String.length data in
+      match Repro_storage.Store.load (String.sub data 0 cut) with
+      | _ -> false (* a strict prefix can never carry a valid checksum *)
+      | exception Repro_storage.Store.Corrupt _ -> true
+      | exception _ -> false)
+
+let suite =
+  suite @ [ qcheck loader_never_crashes; qcheck truncations_fail_cleanly ]

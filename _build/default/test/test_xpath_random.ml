@@ -1,0 +1,122 @@
+(* Randomised differential testing of the XPath engine: generate random
+   path expressions (as text, through a grammar-directed generator), then
+   check that (a) parse-print-parse is stable and (b) the indexed
+   evaluation equals the scan evaluation on random documents. *)
+
+open Repro_encoding
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let names = [| "item"; "entry"; "record"; "section"; "node"; "data"; "list"; "group" |]
+let attrs = [| "id"; "kind"; "lang"; "ref" |]
+
+let axes =
+  [| "child"; "descendant"; "descendant-or-self"; "parent"; "ancestor";
+     "ancestor-or-self"; "following"; "preceding"; "following-sibling";
+     "preceding-sibling"; "self"; "attribute" |]
+
+(* Grammar-directed random path text. [fuel] bounds nesting. *)
+let rec gen_path st fuel =
+  let open QCheck.Gen in
+  let absolute = bool st in
+  let steps = 1 + int_bound 3 st in
+  let parts = List.init steps (fun _ -> gen_step st fuel) in
+  (if absolute then "/" else "") ^ String.concat "/" parts
+
+and gen_step st fuel =
+  let open QCheck.Gen in
+  match int_bound 9 st with
+  | 0 -> "."
+  | 1 -> ".."
+  | 2 -> "@" ^ attrs.(int_bound (Array.length attrs - 1) st)
+  | 3 -> "*" ^ gen_predicates st fuel
+  | 4 | 5 ->
+    axes.(int_bound (Array.length axes - 1) st)
+    ^ "::"
+    ^ (if bool st then "*" else names.(int_bound 7 st))
+    ^ gen_predicates st fuel
+  | _ -> names.(int_bound 7 st) ^ gen_predicates st fuel
+
+and gen_predicates st fuel =
+  let open QCheck.Gen in
+  if fuel <= 0 then ""
+  else begin
+    let n = int_bound 2 st in
+    String.concat ""
+      (List.init n (fun _ -> "[" ^ gen_expr st (fuel - 1) ^ "]"))
+  end
+
+and gen_expr st fuel =
+  let open QCheck.Gen in
+  match int_bound 7 st with
+  | 0 -> string_of_int (1 + int_bound 4 st)
+  | 1 -> "@" ^ attrs.(int_bound 3 st)
+  | 2 -> Printf.sprintf "position() = %d" (1 + int_bound 3 st)
+  | 3 -> "position() = last()"
+  | 4 -> Printf.sprintf "count(%s) > %d" (gen_step st 0) (int_bound 2 st)
+  | 5 -> Printf.sprintf "not(%s)" (gen_step st 0)
+  | 6 -> Printf.sprintf "%s and %s" (gen_step st 0) (gen_step st 0)
+  | _ -> gen_step st (fuel - 1)
+
+let arb_query =
+  QCheck.make ~print:Fun.id (fun st -> gen_path st 2)
+
+let parse_print_stable =
+  QCheck.Test.make ~name:"random queries: parse (to_string (parse q)) is stable" ~count:300
+    arb_query (fun q ->
+      match Xpath.parse q with
+      | ast ->
+        let s = Xpath.to_string ast in
+        Xpath.to_string (Xpath.parse s) = s
+      | exception Xpath.Parse_error _ -> QCheck.assume_fail ())
+
+let indexed_equals_scan_random =
+  QCheck.Test.make ~name:"random queries: indexed evaluation equals scan" ~count:250
+    (QCheck.pair arb_query (QCheck.int_bound 100_000)) (fun (q, seed) ->
+      match Xpath.parse q with
+      | exception Xpath.Parse_error _ -> QCheck.assume_fail ()
+      | ast ->
+        let doc =
+          Repro_workload.Docgen.generate ~seed
+            { Repro_workload.Docgen.default_shape with target_nodes = 50 }
+        in
+        let enc = Encoding.of_doc doc in
+        let pres rows = List.map (fun (r : Encoding.row) -> r.Encoding.pre) rows in
+        pres (Xpath.eval_ast enc ast) = pres (Xpath.eval_scan_ast enc ast))
+
+(* Random twig patterns, checked against the navigational XPath. *)
+let rec gen_twig st fuel =
+  let open QCheck.Gen in
+  let name = names.(int_bound 7 st) in
+  if fuel <= 0 then name
+  else begin
+    let branches = int_bound 2 st in
+    name
+    ^ String.concat ""
+        (List.init branches (fun _ ->
+             let axis = if bool st then "//" else "" in
+             "[" ^ axis ^ gen_twig st (fuel - 1) ^ "]"))
+  end
+
+let arb_twig =
+  QCheck.make ~print:Fun.id (fun st -> gen_twig st 2)
+
+let random_twig_equals_xpath =
+  QCheck.Test.make ~name:"random twigs: joins equal navigational XPath" ~count:250
+    (QCheck.pair arb_twig (QCheck.int_bound 100_000)) (fun (pattern, seed) ->
+      let doc =
+        Repro_workload.Docgen.generate ~seed
+          { Repro_workload.Docgen.default_shape with target_nodes = 60 }
+      in
+      let enc = Encoding.of_doc doc in
+      let idx = Axis_index.build enc in
+      let t = Twig.parse pattern in
+      let pres rows = List.map (fun (r : Encoding.row) -> r.Encoding.pre) rows in
+      pres (Twig.matches idx t) = pres (Xpath.eval enc (Twig.matches_xpath_equivalent t)))
+
+let suite =
+  [
+    qcheck parse_print_stable;
+    qcheck indexed_equals_scan_random;
+    qcheck random_twig_equals_xpath;
+  ]
