@@ -4,7 +4,10 @@
 
    Usage: dune exec bench/main.exe            (everything)
           dune exec bench/main.exe -- figures (one section)
-          sections: figures, matrix, claims, micro *)
+          sections: figures, matrix, claims, journal, micro
+
+   The journal section also writes BENCH_journal.json (append ops/sec and
+   recovery ms per checkpoint interval, per scheme). *)
 
 open Repro_xml
 open Repro_workload
@@ -52,6 +55,160 @@ let run_claims () =
   List.iter
     (fun r -> print_endline (Repro_framework.Claims.render r))
     (Repro_framework.Claims.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Durability: journal append throughput and recovery time             *)
+(* ------------------------------------------------------------------ *)
+
+(* The journal's two costs, per scheme: how fast updates can be made
+   durable (append throughput, with and without per-record fsync), and
+   how long a restart takes as a function of the checkpoint interval
+   (recovery replays the log tail, so longer intervals mean longer
+   replays). Machine-readable results go to BENCH_journal.json. *)
+
+let journal_schemes = [ "QED"; "CDQS"; "Vector"; "ORDPATH" ]
+let journal_append_ops = 1200
+let journal_recovery_ops = 1500
+let journal_checkpoint_intervals = [ 200; 600; 1800 ]
+
+let with_journal_base f =
+  let base = Filename.temp_file "xjbench" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (base
+        :: List.concat_map
+             (fun e ->
+               [
+                 Repro_journal.Journal.snapshot_path ~base ~epoch:e;
+                 Repro_journal.Journal.log_path ~base ~epoch:e;
+               ])
+             (List.init ((journal_recovery_ops / List.hd journal_checkpoint_intervals) + 2)
+                (fun i -> i + 1))))
+    (fun () -> f base)
+
+let journal_doc seed =
+  Docgen.generate ~seed { Docgen.default_shape with target_nodes = 300 }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+type append_point = { a_fsync_every : int; a_ops : int; a_ops_per_sec : float }
+
+type recovery_point = {
+  p_interval : int;
+  p_replayed : int;
+  p_recover_ms : float;
+  p_log_bytes : int;
+}
+
+let bench_append pack ~fsync_every =
+  with_journal_base (fun base ->
+      let session = Core.Session.make pack (journal_doc 31) in
+      let d = Repro_journal.Durable_session.create ~fsync_every ~base session in
+      let view = Repro_journal.Durable_session.session d in
+      let driver = Updates.start Updates.Uniform_random ~seed:17 view in
+      let (), seconds =
+        time (fun () ->
+            for _ = 1 to journal_append_ops do
+              Updates.step driver
+            done;
+            Repro_journal.Durable_session.close d)
+      in
+      {
+        a_fsync_every = fsync_every;
+        a_ops = journal_append_ops;
+        a_ops_per_sec = float_of_int journal_append_ops /. seconds;
+      })
+
+let bench_recovery pack ~interval =
+  with_journal_base (fun base ->
+      let session = Core.Session.make pack (journal_doc 32) in
+      let d =
+        Repro_journal.Durable_session.create ~fsync_every:64 ~checkpoint_every:interval
+          ~base session
+      in
+      Updates.run Updates.Uniform_random ~seed:18 ~ops:journal_recovery_ops
+        (Repro_journal.Durable_session.session d);
+      Repro_journal.Durable_session.close d;
+      let (t, _, r), seconds = time (fun () -> Repro_journal.Journal.recover ~base ()) in
+      Repro_journal.Journal.close t;
+      {
+        p_interval = interval;
+        p_replayed = r.Repro_journal.Journal.r_records;
+        p_recover_ms = seconds *. 1000.0;
+        p_log_bytes = r.Repro_journal.Journal.r_bytes;
+      })
+
+let journal_json results =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"journal\",\n  \"schemes\": [\n";
+  List.iteri
+    (fun i (scheme, appends, recoveries) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    {\n      \"scheme\": %S,\n" scheme);
+      Buffer.add_string buf "      \"append\": [";
+      List.iteri
+        (fun j a ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"fsync_every\": %d, \"ops\": %d, \"ops_per_sec\": %.1f}"
+               a.a_fsync_every a.a_ops a.a_ops_per_sec))
+        appends;
+      Buffer.add_string buf "],\n      \"recovery\": [";
+      List.iteri
+        (fun j p ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"checkpoint_interval\": %d, \"replayed_records\": %d, \
+                \"log_bytes\": %d, \"recover_ms\": %.2f}"
+               p.p_interval p.p_replayed p.p_log_bytes p.p_recover_ms))
+        recoveries;
+      Buffer.add_string buf "]\n    }")
+    results;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let run_journal () =
+  section "DURABILITY — journal append throughput and crash-recovery time";
+  Printf.printf
+    "%d update ops per append run; recovery replays the log tail left by a\n\
+     %d-op run under each auto-checkpoint interval.\n\n"
+    journal_append_ops journal_recovery_ops;
+  let results =
+    List.map
+      (fun name ->
+        let pack = Option.get (Repro_schemes.Registry.find name) in
+        let appends =
+          [ bench_append pack ~fsync_every:1; bench_append pack ~fsync_every:64 ]
+        in
+        List.iter
+          (fun a ->
+            Printf.printf "%-10s append  fsync-every=%-3d %10.0f ops/sec\n" name
+              a.a_fsync_every a.a_ops_per_sec)
+          appends;
+        let recoveries =
+          List.map (fun interval -> bench_recovery pack ~interval)
+            journal_checkpoint_intervals
+        in
+        List.iter
+          (fun p ->
+            Printf.printf
+              "%-10s recover checkpoint-every=%-4d %5d record(s) %10.2f ms\n" name
+              p.p_interval p.p_replayed p.p_recover_ms)
+          recoveries;
+        (name, appends, recoveries))
+      journal_schemes
+  in
+  let json = journal_json results in
+  Out_channel.with_open_bin "BENCH_journal.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "\nwrote BENCH_journal.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -166,4 +323,5 @@ let () =
   if want "figures" then run_figures ();
   if want "matrix" then run_matrix ();
   if want "claims" then run_claims ();
+  if want "journal" then run_journal ();
   if want "micro" then run_micro ()

@@ -299,6 +299,166 @@ let restore_cmd =
     (Cmd.info "restore" ~doc:"Reload a stored document and print its persisted labels.")
     Term.(const run $ path)
 
+(* ---- journal ----------------------------------------------------- *)
+
+(* The durable update journal: a write-ahead log over the snapshot store.
+   record   apply an update script durably (creating the journal on first use)
+   recover  load snapshot + replay the log tail, report what came back
+   checkpoint  absorb the log into a fresh snapshot
+   inspect  decode the log records without replaying them *)
+
+let base_arg =
+  let doc = "Journal base path (the manifest; snapshots and logs live beside it)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE" ~doc)
+
+let journal_error msg =
+  Format.eprintf "journal error: %s@." msg;
+  exit 1
+
+let with_journal_errors f =
+  match f () with
+  | v -> v
+  | exception Repro_journal.Journal.Corrupt msg -> journal_error msg
+  | exception Repro_journal.Journal.Replay_error msg -> journal_error msg
+
+let print_recovery (r : Repro_journal.Journal.recovery) =
+  Printf.printf
+    "recovered epoch %d under %s: %d nodes from the snapshot, %d record(s) replayed (%d bytes)\n"
+    r.Repro_journal.Journal.r_epoch r.r_scheme r.r_snapshot_nodes r.r_records r.r_bytes;
+  match r.r_torn with
+  | None -> ()
+  | Some reason -> Printf.printf "torn tail dropped: %s\n" reason
+
+let journal_record_cmd =
+  let run scheme input base script script_file fsync_every checkpoint_every =
+    let script =
+      match (script, script_file) with
+      | Some s, _ -> s
+      | None, Some path -> In_channel.with_open_text path In_channel.input_all
+      | None, None ->
+        Format.eprintf "provide a script (positional) or --file@.";
+        exit 1
+    in
+    with_journal_errors (fun () ->
+        let d =
+          if Sys.file_exists base then begin
+            let d, r =
+              Repro_journal.Durable_session.recover ~fsync_every ?checkpoint_every ~base ()
+            in
+            print_recovery r;
+            d
+          end
+          else
+            let pack = find_scheme scheme in
+            let doc = doc_or_sample input in
+            let session = Core.Session.make pack doc in
+            Printf.printf "journal started at %s under %s (%d nodes)\n" base scheme
+              (Tree.size doc);
+            Repro_journal.Durable_session.create ~fsync_every ?checkpoint_every ~base
+              session
+        in
+        let view = Repro_journal.Durable_session.session d in
+        (match Repro_encoding.Update_lang.run view script with
+        | report ->
+          Printf.printf
+            "executed %d statement(s): %d node(s) inserted, %d deleted, %d modified\n"
+            report.Repro_encoding.Update_lang.executed report.inserted report.deleted
+            report.modified
+        | exception Repro_encoding.Update_lang.Error msg ->
+          Repro_journal.Durable_session.close d;
+          Format.eprintf "update error: %s@." msg;
+          exit 1);
+        let j = Repro_journal.Durable_session.journal d in
+        Printf.printf "journaled %d record(s); epoch %d log is %d bytes\n"
+          (Repro_journal.Journal.appended j)
+          (Repro_journal.Journal.epoch j)
+          (Repro_journal.Journal.log_size j);
+        Repro_journal.Durable_session.close d)
+  in
+  let script = Arg.(value & pos 1 (some string) None & info [] ~docv:"SCRIPT") in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Read the update script from a file.")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int 1
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"Fsync the log after every $(docv)-th record (group commit).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Write a snapshot and reset the log after every $(docv) records.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Apply an update script through a durable, journaled session.")
+    Term.(
+      const run $ scheme_arg "QED" $ input_arg $ base_arg $ script $ file $ fsync_every
+      $ checkpoint_every)
+
+let journal_recover_cmd =
+  let run base show_xml =
+    with_journal_errors (fun () ->
+        let j, session, r = Repro_journal.Journal.recover ~base () in
+        Repro_journal.Journal.close j;
+        print_recovery r;
+        Printf.printf "document holds %d nodes\n" (Tree.size session.Core.Session.doc);
+        if show_xml then print_string (Serializer.to_string ~indent:2 session.Core.Session.doc))
+  in
+  let xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Also print the recovered document as XML.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild the session from the snapshot plus the journal's log tail.")
+    Term.(const run $ base_arg $ xml)
+
+let journal_checkpoint_cmd =
+  let run base =
+    with_journal_errors (fun () ->
+        let d, r = Repro_journal.Durable_session.recover ~base () in
+        print_recovery r;
+        Repro_journal.Durable_session.checkpoint d;
+        let j = Repro_journal.Durable_session.journal d in
+        Printf.printf "checkpoint: epoch %d snapshot written, log reset\n"
+          (Repro_journal.Journal.epoch j);
+        Repro_journal.Durable_session.close d)
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Absorb the log into a fresh snapshot and truncate it.")
+    Term.(const run $ base_arg)
+
+let journal_inspect_cmd =
+  let run base =
+    with_journal_errors (fun () ->
+        let scheme, ops, torn = Repro_journal.Journal.inspect ~base in
+        Printf.printf "%d record(s) under %s\n" (List.length ops) scheme;
+        List.iteri
+          (fun i op -> Printf.printf "%4d  %s\n" (i + 1) (Repro_journal.Oplog.op_to_string op))
+          ops;
+        match torn with
+        | None -> ()
+        | Some reason -> Printf.printf "torn tail: %s\n" reason)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Decode and print the journal's log records.")
+    Term.(const run $ base_arg)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:
+         "Durable updates: write-ahead logging, checkpointing and crash recovery \
+          over the snapshot store.")
+    [ journal_record_cmd; journal_recover_cmd; journal_checkpoint_cmd; journal_inspect_cmd ]
+
 (* ---- report ------------------------------------------------------ *)
 
 let report_cmd =
@@ -346,4 +506,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
-            twig_cmd; store_cmd; restore_cmd; report_cmd; schemes_cmd ]))
+            twig_cmd; store_cmd; restore_cmd; journal_cmd; report_cmd; schemes_cmd ]))

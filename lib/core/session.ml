@@ -26,6 +26,8 @@ type t = {
   insert_before : Tree.node -> Tree.frag -> Tree.node;
   insert_after : Tree.node -> Tree.frag -> Tree.node;
   delete : Tree.node -> unit;
+  set_value : Tree.node -> string option -> unit;
+  rename : Tree.node -> string -> unit;
   stats : unit -> Stats.snapshot;
 }
 
@@ -87,6 +89,11 @@ let build (module S : Scheme.S) doc ~stored =
         Stats.record_delete (S.stats state);
         S.before_delete state n;
         Tree.delete doc n);
+    (* Content updates (§3.1) never touch labels, but routing them through
+       the session lets wrappers — the durable journal above all — observe
+       every mutating call in one place. *)
+    set_value = (fun n v -> Tree.set_value doc n v);
+    rename = (fun n name -> Tree.rename doc n name);
     stats = (fun () -> Stats.snapshot (S.stats state));
   }
 

@@ -238,11 +238,11 @@ let execute session statements =
           victims
       | Replace_value (target, value) ->
         let n = select_one session target in
-        Tree.set_value session.Core.Session.doc n (Some value);
+        session.Core.Session.set_value n (Some value);
         incr modified
       | Rename (target, name) ->
         let n = select_one session target in
-        Tree.rename session.Core.Session.doc n name;
+        session.Core.Session.rename n name;
         incr modified
       | Move (source, position, destination) ->
         let n = select_one session source in

@@ -1,0 +1,83 @@
+type t = {
+  t_journal : Journal.t;
+  inner : Core.Session.t;
+  view : Core.Session.t;
+  checkpoint_every : int option;
+  mutable since_checkpoint : int;
+}
+
+let journal t = t.t_journal
+let session t = t.view
+
+let checkpoint t =
+  Journal.checkpoint t.t_journal t.inner;
+  t.since_checkpoint <- 0
+
+let close t = Journal.close t.t_journal
+
+let label_of (inner : Core.Session.t) n =
+  let l_bytes, l_bits = inner.Core.Session.label_encoded n in
+  { Oplog.l_bytes; l_bits }
+
+(* Write ahead, then apply; auto-checkpoint when the interval is due. *)
+let wrap journal checkpoint_every inner =
+  let rec t =
+    lazy
+      {
+        t_journal = journal;
+        inner;
+        checkpoint_every;
+        since_checkpoint = 0;
+        view =
+          (let logged op =
+             let t = Lazy.force t in
+             Journal.append t.t_journal op;
+             t.since_checkpoint <- t.since_checkpoint + 1
+           and settle () =
+             let t = Lazy.force t in
+             match t.checkpoint_every with
+             | Some k when t.since_checkpoint >= k -> checkpoint t
+             | _ -> ()
+           in
+           let insert journal_op apply node frag =
+             logged (journal_op (label_of inner node) frag);
+             let fresh = apply node frag in
+             settle ();
+             fresh
+           in
+           {
+             inner with
+             insert_first =
+               insert (fun l f -> Oplog.Insert_first (l, f)) inner.Core.Session.insert_first;
+             insert_last =
+               insert (fun l f -> Oplog.Insert_last (l, f)) inner.Core.Session.insert_last;
+             insert_before =
+               insert (fun l f -> Oplog.Insert_before (l, f)) inner.Core.Session.insert_before;
+             insert_after =
+               insert (fun l f -> Oplog.Insert_after (l, f)) inner.Core.Session.insert_after;
+             delete =
+               (fun n ->
+                 logged (Oplog.Delete (label_of inner n));
+                 inner.Core.Session.delete n;
+                 settle ());
+             set_value =
+               (fun n v ->
+                 logged (Oplog.Replace_value (label_of inner n, v));
+                 inner.Core.Session.set_value n v;
+                 settle ());
+             rename =
+               (fun n name ->
+                 logged (Oplog.Rename (label_of inner n, name));
+                 inner.Core.Session.rename n name;
+                 settle ());
+           });
+      }
+  in
+  Lazy.force t
+
+let create ?fsync_every ?checkpoint_every ~base inner =
+  wrap (Journal.create ?fsync_every ~base inner) checkpoint_every inner
+
+let recover ?scheme ?fsync_every ?checkpoint_every ~base () =
+  let journal, inner, recovery = Journal.recover ?scheme ?fsync_every ~base () in
+  (wrap journal checkpoint_every inner, recovery)

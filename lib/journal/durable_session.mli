@@ -1,0 +1,40 @@
+(** A {!Core.Session.t} whose every mutating call survives a crash.
+
+    [session] returns a view of the wrapped session in which each of the
+    seven mutating closures first appends an {!Oplog} record — addressed
+    by the target node's encoded label, captured {e before} the mutation —
+    and only then applies the operation. Because the view is itself a
+    [Core.Session.t], everything that drives sessions (the update
+    language, the workload generators, the evaluation assays) becomes
+    durable without knowing it. [move] needs no record of its own: the
+    update language executes it as a delete plus an insert through these
+    same closures.
+
+    Read-side closures are shared with the wrapped session unchanged. *)
+
+type t
+
+val create :
+  ?fsync_every:int -> ?checkpoint_every:int -> base:string -> Core.Session.t -> t
+(** Wrap a live session and start a fresh epoch-1 journal at [base].
+    [checkpoint_every] (default: never) checkpoints automatically after
+    that many journaled operations — the knob the durability benchmark
+    sweeps. [fsync_every] is passed to {!Journal.create}. *)
+
+val recover :
+  ?scheme:Core.Scheme.packed ->
+  ?fsync_every:int -> ?checkpoint_every:int -> base:string -> unit ->
+  t * Journal.recovery
+(** {!Journal.recover}, rewrapped for appending: the returned session has
+    absorbed the snapshot and every whole valid log record. *)
+
+val session : t -> Core.Session.t
+(** The journaling view. Mutate through this, read through this. *)
+
+val checkpoint : t -> unit
+(** Absorb the log into a fresh snapshot now. *)
+
+val close : t -> unit
+
+val journal : t -> Journal.t
+(** The underlying journal, for stats (records appended, log size). *)

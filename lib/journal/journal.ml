@@ -1,0 +1,291 @@
+open Repro_xml
+
+exception Corrupt of string
+exception Replay_error of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let replay_error fmt = Printf.ksprintf (fun s -> raise (Replay_error s)) fmt
+
+let manifest_magic = "XJM1"
+let log_magic = "XJL1"
+
+let snapshot_path ~base ~epoch = Printf.sprintf "%s.%d.snap" base epoch
+let log_path ~base ~epoch = Printf.sprintf "%s.%d.log" base epoch
+
+(* ---- file primitives --------------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+(* Write-then-rename, with an fsync before the rename: the final path
+   either keeps its old content or carries the complete new one. *)
+let write_atomic path data =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd data;
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp path
+
+(* ---- manifest and log header ------------------------------------- *)
+
+let manifest_content epoch = Printf.sprintf "%s %d\n" manifest_magic epoch
+
+let read_manifest base =
+  if not (Sys.file_exists base) then corrupt "no journal manifest at %s" base;
+  let s = read_file base in
+  match Scanf.sscanf s "XJM1 %d" (fun e -> e) with
+  | e when e >= 1 -> e
+  | _ -> corrupt "bad epoch in journal manifest %s" base
+  | exception _ -> corrupt "bad journal manifest %s" base
+
+let log_header scheme = log_magic ^ Repro_codes.Varint.encode (String.length scheme) ^ scheme
+
+(* [Ok (scheme, offset)] past a whole header, or [Error reason] when the
+   data ends inside it — a crash during journal creation leaves exactly
+   that, so a short header is a torn tail, not corruption. A wrong magic
+   on a full-length prefix is real corruption and raises. *)
+let parse_log_header data =
+  let m = String.length log_magic in
+  if String.length data < m then
+    if String.equal data (String.sub log_magic 0 (String.length data)) then
+      Error "truncated journal header"
+    else corrupt "bad journal log magic"
+  else if String.sub data 0 m <> log_magic then corrupt "bad journal log magic"
+  else
+    match Repro_codes.Varint.decode data m with
+    | exception Invalid_argument _ -> Error "truncated journal header"
+    | n, pos ->
+      if pos + n > String.length data then Error "truncated journal header"
+      else Ok (String.sub data pos n, pos + n)
+
+(* ---- replay ------------------------------------------------------- *)
+
+(* Records address nodes by encoded label; the resolver inverts
+   [label_encoded] over the live document. The table is extended in place
+   after inserts that relabelled nothing and rebuilt from scratch whenever
+   the scheme touched existing labels (relabelling or overflow) or a
+   subtree was deleted. *)
+type resolver = {
+  rs : Core.Session.t;
+  table : (string * int, Tree.node list) Hashtbl.t;
+  mutable dirty : bool;
+}
+
+let make_resolver rs = { rs; table = Hashtbl.create 256; dirty = true }
+
+let add_node r (n : Tree.node) =
+  let key = r.rs.Core.Session.label_encoded n in
+  let prev = Option.value (Hashtbl.find_opt r.table key) ~default:[] in
+  Hashtbl.replace r.table key (n :: prev)
+
+let rebuild r =
+  Hashtbl.reset r.table;
+  Tree.iter_preorder (add_node r) r.rs.Core.Session.doc;
+  r.dirty <- false
+
+let resolve r (l : Oplog.label) =
+  if r.dirty then rebuild r;
+  match Hashtbl.find_opt r.table (l.Oplog.l_bytes, l.Oplog.l_bits) with
+  | Some [ n ] -> n
+  | Some (_ :: _ :: _) ->
+    replay_error "label %s is ambiguous (duplicate labels in the document)"
+      (Oplog.label_to_string l)
+  | Some [] | None ->
+    replay_error "label %s resolves to no live node" (Oplog.label_to_string l)
+
+let churn (s : Core.Session.t) =
+  let st = s.Core.Session.stats () in
+  st.Core.Stats.s_relabelled + st.Core.Stats.s_overflow
+
+let apply_with r op =
+  let s = r.rs in
+  let before = churn s in
+  let settled node =
+    if churn s <> before then r.dirty <- true
+    else if not r.dirty then begin
+      add_node r node;
+      List.iter (add_node r) (Tree.descendants node)
+    end
+  in
+  match (op : Oplog.op) with
+  | Insert_first (l, f) -> settled (s.Core.Session.insert_first (resolve r l) f)
+  | Insert_last (l, f) -> settled (s.Core.Session.insert_last (resolve r l) f)
+  | Insert_before (l, f) -> settled (s.Core.Session.insert_before (resolve r l) f)
+  | Insert_after (l, f) -> settled (s.Core.Session.insert_after (resolve r l) f)
+  | Delete l ->
+    s.Core.Session.delete (resolve r l);
+    r.dirty <- true
+  | Replace_value (l, v) -> s.Core.Session.set_value (resolve r l) v
+  | Rename (l, name) -> s.Core.Session.rename (resolve r l) name
+
+let apply session op = apply_with (make_resolver session) op
+
+(* ---- the open journal -------------------------------------------- *)
+
+type t = {
+  base : string;
+  t_scheme : string;
+  fsync_every : int;
+  mutable t_epoch : int;
+  mutable fd : Unix.file_descr;
+  mutable pending : int;  (** appends since the last fsync *)
+  mutable t_appended : int;
+  mutable t_size : int;
+}
+
+let scheme_name t = t.t_scheme
+let epoch t = t.t_epoch
+let appended t = t.t_appended
+let log_size t = t.t_size
+
+let open_append path = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+
+let flush t =
+  if t.pending > 0 then Unix.fsync t.fd;
+  t.pending <- 0
+
+let append t op =
+  let r = Oplog.encode_record op in
+  write_all t.fd r;
+  t.t_size <- t.t_size + String.length r;
+  t.t_appended <- t.t_appended + 1;
+  t.pending <- t.pending + 1;
+  if t.pending >= t.fsync_every then flush t
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+(* Install epoch [e]: snapshot first, then a fresh log, then the manifest
+   swing — the manifest always names a pair that is fully on disk. *)
+let install_epoch ~base ~scheme ~snapshot e =
+  write_atomic (snapshot_path ~base ~epoch:e) snapshot;
+  write_atomic (log_path ~base ~epoch:e) (log_header scheme);
+  write_atomic base (manifest_content e)
+
+let create ?(fsync_every = 1) ~base session =
+  if fsync_every < 1 then invalid_arg "Journal.create: fsync_every must be positive";
+  let scheme = session.Core.Session.scheme_name in
+  install_epoch ~base ~scheme ~snapshot:(Repro_storage.Store.save session) 1;
+  {
+    base;
+    t_scheme = scheme;
+    fsync_every;
+    t_epoch = 1;
+    fd = open_append (log_path ~base ~epoch:1);
+    pending = 0;
+    t_appended = 0;
+    t_size = String.length (log_header scheme);
+  }
+
+let checkpoint t session =
+  if session.Core.Session.scheme_name <> t.t_scheme then
+    corrupt "checkpoint under scheme %S into a %S journal"
+      session.Core.Session.scheme_name t.t_scheme;
+  let old = t.t_epoch in
+  let e = old + 1 in
+  install_epoch ~base:t.base ~scheme:t.t_scheme
+    ~snapshot:(Repro_storage.Store.save session) e;
+  Unix.close t.fd;
+  (try Sys.remove (snapshot_path ~base:t.base ~epoch:old) with Sys_error _ -> ());
+  (try Sys.remove (log_path ~base:t.base ~epoch:old) with Sys_error _ -> ());
+  t.t_epoch <- e;
+  t.fd <- open_append (log_path ~base:t.base ~epoch:e);
+  t.pending <- 0;
+  t.t_size <- String.length (log_header t.t_scheme)
+
+(* ---- recovery ----------------------------------------------------- *)
+
+type recovery = {
+  r_epoch : int;
+  r_scheme : string;
+  r_snapshot_nodes : int;
+  r_records : int;
+  r_bytes : int;
+  r_log_bytes : int;
+  r_torn : string option;
+}
+
+let load_snapshot ?scheme path =
+  match Repro_storage.Store.load_file ?scheme path with
+  | session -> session
+  | exception Repro_storage.Store.Corrupt msg -> corrupt "snapshot %s: %s" path msg
+  | exception Sys_error msg -> corrupt "snapshot unreadable: %s" msg
+
+let read_log_ops ~expect_scheme path =
+  let data = try read_file path with Sys_error msg -> corrupt "log unreadable: %s" msg in
+  match parse_log_header data with
+  | Error reason -> (`Rewrite_header, [], 0, Some reason, String.length data)
+  | Ok (scheme, off) ->
+    if scheme <> expect_scheme then
+      corrupt "log written by %S, snapshot by %S" scheme expect_scheme;
+    let ops, valid_end, torn = Oplog.read_all data ~pos:off in
+    (`Valid_prefix valid_end, ops, valid_end - off, torn, String.length data)
+
+let recover ?scheme ?(fsync_every = 1) ~base () =
+  if fsync_every < 1 then invalid_arg "Journal.recover: fsync_every must be positive";
+  let e = read_manifest base in
+  let session = load_snapshot ?scheme (snapshot_path ~base ~epoch:e) in
+  let expect_scheme = session.Core.Session.scheme_name in
+  let lpath = log_path ~base ~epoch:e in
+  let tail, ops, bytes, torn, log_bytes = read_log_ops ~expect_scheme lpath in
+  let snapshot_nodes = Tree.size session.Core.Session.doc in
+  let resolver = make_resolver session in
+  List.iter (apply_with resolver) ops;
+  (* drop the torn tail (or a broken header) before appending again *)
+  let fd =
+    match tail with
+    | `Rewrite_header ->
+      write_atomic lpath (log_header expect_scheme);
+      open_append lpath
+    | `Valid_prefix valid_end ->
+      let fd = open_append lpath in
+      if valid_end < log_bytes then Unix.ftruncate fd valid_end;
+      fd
+  in
+  let t_size =
+    match tail with
+    | `Rewrite_header -> String.length (log_header expect_scheme)
+    | `Valid_prefix valid_end -> valid_end
+  in
+  let t =
+    {
+      base;
+      t_scheme = expect_scheme;
+      fsync_every;
+      t_epoch = e;
+      fd;
+      pending = 0;
+      t_appended = 0;
+      t_size;
+    }
+  in
+  let recovery =
+    {
+      r_epoch = e;
+      r_scheme = expect_scheme;
+      r_snapshot_nodes = snapshot_nodes;
+      r_records = List.length ops;
+      r_bytes = bytes;
+      r_log_bytes = log_bytes;
+      r_torn = torn;
+    }
+  in
+  (t, session, recovery)
+
+let inspect ~base =
+  let e = read_manifest base in
+  let data =
+    try read_file (log_path ~base ~epoch:e)
+    with Sys_error msg -> corrupt "log unreadable: %s" msg
+  in
+  match parse_log_header data with
+  | Error reason -> ("", [], Some reason)
+  | Ok (scheme, off) ->
+    let ops, _, torn = Oplog.read_all data ~pos:off in
+    (scheme, ops, torn)

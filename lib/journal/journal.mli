@@ -1,0 +1,102 @@
+(** A durable, replayable update log layered on the snapshot {!Repro_storage.Store}.
+
+    The store alone only persists full snapshots: every update between two
+    [Store.save] calls dies with the process. This module closes that gap
+    with a write-ahead log — each mutating operation is appended (and
+    batch-fsynced) as an {!Oplog} record {e before} it is applied, so after
+    a crash the last snapshot plus the log tail reconstruct the session.
+
+    On-disk layout, all under one caller-chosen [base] path:
+    {v
+    <base>            manifest: "XJM1 <epoch>"   (atomically renamed)
+    <base>.<E>.snap   Store snapshot of epoch E
+    <base>.<E>.log    "XJL1" + varint scheme-name + Oplog records
+    v}
+
+    {!checkpoint} writes the epoch-[E+1] snapshot and an empty epoch-[E+1]
+    log, then atomically swings the manifest — a crash at any point leaves
+    the manifest naming a consistent (snapshot, log) pair, so recovery can
+    neither double-apply a record nor lose a committed one.
+
+    {!recover} loads the manifest's snapshot and replays the log tail,
+    stopping cleanly at the first torn or corrupt record: a crash mid-write
+    costs at most the unsynced tail, never an exception and never a
+    partially applied record.
+
+    Replay determinism contract: records address nodes by encoded label,
+    and replay re-runs label assignment from the snapshot, so the bound
+    scheme's [restore] must leave it assigning exactly the labels the live
+    session would have assigned (the {!Core.Scheme.S.restore} contract,
+    which the persistent-label schemes of §5.2 satisfy). *)
+
+exception Corrupt of string
+(** A damaged manifest or journal header, a scheme mismatch between log
+    and snapshot, or a corrupt snapshot ({!Repro_storage.Store.Corrupt} is
+    re-raised as this). Torn log {e tails} never raise — they are reported
+    in {!recovery}. *)
+
+exception Replay_error of string
+(** A structurally valid record whose target label resolves to no live
+    node (or to several): the log and the snapshot disagree, e.g. because
+    they were produced by different documents. *)
+
+type t
+(** An open journal, ready to append. *)
+
+val create : ?fsync_every:int -> base:string -> Core.Session.t -> t
+(** [create ~base session] starts epoch 1: snapshot the session, write an
+    empty log, write the manifest. [fsync_every] (default 1) batches
+    commits: the log is fsynced after every n-th appended record — larger
+    batches trade the tail of a crash for throughput. *)
+
+val append : t -> Oplog.op -> unit
+(** Serialise and write one record; fsyncs when the batch is due. *)
+
+val flush : t -> unit
+(** Force the log to disk now, regardless of the batch counter. *)
+
+val checkpoint : t -> Core.Session.t -> unit
+(** Absorb the log into a fresh snapshot and reset it (see above for the
+    crash-safe ordering). The previous epoch's files are removed once the
+    manifest points past them. *)
+
+val close : t -> unit
+(** [flush] and release the log descriptor. *)
+
+type recovery = {
+  r_epoch : int;
+  r_scheme : string;
+  r_snapshot_nodes : int;  (** nodes restored from the snapshot *)
+  r_records : int;  (** whole valid records replayed *)
+  r_bytes : int;  (** bytes of those records (the log's valid prefix) *)
+  r_log_bytes : int;  (** log size found on disk, torn tail included *)
+  r_torn : string option;  (** why reading stopped early, if it did *)
+}
+
+val recover :
+  ?scheme:Core.Scheme.packed -> ?fsync_every:int -> base:string -> unit ->
+  t * Core.Session.t * recovery
+(** Load the manifest's snapshot, replay every whole valid record of its
+    log, truncate any torn tail, and reopen for appending. Raises
+    {!Corrupt} only for damage outside the log tail (see above). *)
+
+val inspect : base:string -> string * Oplog.op list * string option
+(** [(scheme, records, torn reason)] — decodes the current log without
+    touching the snapshot or replaying anything. *)
+
+val scheme_name : t -> string
+val epoch : t -> int
+val appended : t -> int
+(** Records appended through this handle since it was opened. *)
+
+val log_size : t -> int
+(** Current log length in bytes, header included. *)
+
+val snapshot_path : base:string -> epoch:int -> string
+val log_path : base:string -> epoch:int -> string
+
+val apply : Core.Session.t -> Oplog.op -> unit
+(** Resolve the record's target label against the session and perform the
+    operation through the session (so the scheme observes it). Raises
+    {!Replay_error} on unresolvable or ambiguous labels. Exposed for the
+    test suite; {!recover} is the normal entry point. *)

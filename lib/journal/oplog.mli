@@ -1,0 +1,68 @@
+(** The journal's binary record format.
+
+    One record is one update operation from the §3.1 update classes — the
+    same operations {!Repro_encoding.Update_lang} models — addressed not by
+    a transient node id or an XPath, but by the target node's own encoded
+    label in the bound scheme's binary layout. Labels are the only node
+    identity that survives a restart (the §5.2 persistence argument), so
+    they are the only identity a durable log may rely on.
+
+    Framing, per record:
+    {v
+    length   varint  — byte count of the payload below
+    payload  length bytes (opcode, label, operands)
+    crc      u32 LE — CRC-32 of the payload
+    v}
+
+    The varint length makes records self-delimiting; the per-record CRC
+    makes a torn or bit-flipped tail detectable without trusting anything
+    that follows it. Reading stops cleanly at the first frame that is
+    incomplete or fails its checksum — exactly the crash-recovery contract
+    {!Journal.recover} needs.
+
+    Payload layout (all varints {!Repro_codes.Varint}):
+    {v
+    opcode   u8 — 0..6 for the seven operations
+    label    varint bit count, varint byte count, bytes
+    insert   fragment: u8 kind, varint name length + name,
+             u8 value flag (+ varint length + bytes),
+             varint child count, children recursively
+    replace  u8 value flag (+ varint length + bytes)
+    rename   varint name length + name
+    v} *)
+
+type label = { l_bytes : string; l_bits : int }
+(** A label exactly as {!Core.Scheme.S.encode_label} produced it. *)
+
+type op =
+  | Insert_first of label * Repro_xml.Tree.frag  (** label addresses the parent *)
+  | Insert_last of label * Repro_xml.Tree.frag  (** label addresses the parent *)
+  | Insert_before of label * Repro_xml.Tree.frag  (** label addresses the anchor sibling *)
+  | Insert_after of label * Repro_xml.Tree.frag  (** label addresses the anchor sibling *)
+  | Delete of label
+  | Replace_value of label * string option
+  | Rename of label * string
+
+val encode_record : op -> string
+(** The full frame: varint length, payload, CRC-32. *)
+
+type read_result =
+  | Record of op * int  (** decoded record and the offset just past its frame *)
+  | End_of_log  (** [pos] sits exactly at the end of the data *)
+  | Torn of string  (** incomplete or corrupt frame; the reason names what broke *)
+
+val read_record : string -> int -> read_result
+(** [read_record data pos] decodes one frame. Never raises: every framing,
+    checksum or payload-decoding failure is a [Torn]. *)
+
+val read_all : string -> pos:int -> op list * int * string option
+(** [read_all data ~pos] is every whole valid record from [pos] on, the
+    offset just past the last one (the log's valid prefix length), and the
+    torn-tail reason when the data does not end cleanly. *)
+
+val label_to_string : label -> string
+(** [@<hex bytes>/<bit count>b]. *)
+
+val op_to_string : op -> string
+(** Human-readable rendering for [xmlrepro journal inspect]: the opcode,
+    the target label in hex, and the operand. *)

@@ -24,9 +24,14 @@ let wstr16 buf s =
   w16 buf (String.length s);
   Buffer.add_string buf s
 
-type cursor = { data : string; mutable pos : int }
+type cursor = { data : string; mutable pos : int; mutable section : string }
+(** [section] names what is being read, so truncation errors can say which
+    part of the store the data ran out under. *)
 
-let need c n = if c.pos + n > String.length c.data then corrupt "truncated store"
+let need c n =
+  if c.pos + n > String.length c.data then
+    corrupt "truncated store while reading the %s (byte %d of %d)" c.section c.pos
+      (String.length c.data)
 
 let r8 c =
   need c 1;
@@ -89,21 +94,8 @@ let save_file session path =
 
 (* ---- loading ------------------------------------------------------ *)
 
-let check_envelope data =
-  if String.length data < String.length magic + 4 then corrupt "store too short";
-  if String.sub data 0 (String.length magic) <> magic then corrupt "bad magic number";
-  let body = String.sub data 0 (String.length data - 4) in
-  let stored_crc =
-    let c = { data; pos = String.length data - 4 } in
-    r32 c
-  in
-  let actual = Int32.to_int (Repro_codes.Crc32.string body) land 0xFFFFFFFF in
-  if stored_crc <> actual then corrupt "checksum mismatch (corrupted store)";
-  { data = body; pos = String.length magic }
-
-let scheme_of data =
-  let c = check_envelope data in
-  rstr16 c
+let is_truncation msg =
+  String.length msg >= 9 && String.sub msg 0 9 = "truncated"
 
 type stored_node = {
   s_kind : Tree.kind;
@@ -115,11 +107,15 @@ type stored_node = {
 }
 
 let read_nodes c =
+  c.section <- "node count";
   let count = r32 c in
   Array.init count (fun _ ->
+      c.section <- "node header";
       let s_kind = match r8 c with 0 -> Tree.Element | 1 -> Tree.Attribute | k -> corrupt "bad node kind %d" k in
       let s_parent = r32 c in
+      c.section <- "node name";
       let s_name = rstr16 c in
+      c.section <- "node value";
       let s_value =
         match r8 c with
         | 0 -> None
@@ -131,9 +127,50 @@ let read_nodes c =
           Some v
         | f -> corrupt "bad value flag %d" f
       in
+      c.section <- "node label";
       let s_label_bits = r16 c in
       let s_label_bytes = rstr16 c in
       { s_kind; s_parent; s_name; s_value; s_label_bits; s_label_bytes })
+
+(* ---- envelope ----------------------------------------------------- *)
+
+let body_cursor body = { data = body; pos = String.length magic; section = "scheme name" }
+
+let parse_body body =
+  let c = body_cursor body in
+  let _scheme = rstr16 c in
+  let _nodes = read_nodes c in
+  if c.pos <> String.length c.data then corrupt "trailing bytes after the node table"
+
+let check_envelope data =
+  if String.length data < String.length magic + 4 then
+    corrupt "truncated store: %d bytes is shorter than the header and checksum"
+      (String.length data);
+  if String.sub data 0 (String.length magic) <> magic then
+    corrupt "bad magic number in the header";
+  let body = String.sub data 0 (String.length data - 4) in
+  let stored_crc =
+    let c = { data; pos = String.length data - 4; section = "checksum" } in
+    r32 c
+  in
+  let actual = Int32.to_int (Repro_codes.Crc32.string body) land 0xFFFFFFFF in
+  if stored_crc <> actual then begin
+    (* A store cut off mid-write fails its checksum too, but "truncated
+       while reading the node label" is a better diagnosis than a bare
+       mismatch: probe-parse the body and prefer the truncation error when
+       that is what the probe hits. *)
+    (match parse_body body with
+    | () -> ()
+    | exception Corrupt msg when is_truncation msg -> raise (Corrupt msg)
+    | exception Corrupt _ -> ());
+    corrupt "checksum mismatch over the store body (stored %08lx, computed %08lx)"
+      (Int32.of_int stored_crc) (Int32.of_int actual)
+  end;
+  body_cursor body
+
+let scheme_of data =
+  let c = check_envelope data in
+  rstr16 c
 
 (* Rebuild the fragment tree from positional parent links: children follow
    their parent in document order, so a single pass with a position->frag

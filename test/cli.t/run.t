@@ -71,6 +71,57 @@ Persisting and restoring labels:
     title            2
       genre            2.2
 
+The durable update journal — a write-ahead log over the snapshot store.
+Recording creates the journal on first use:
+
+  $ xmlrepro journal record j 'insert <note>checked</note> as last into /book; replace value of //author with "Anon"'
+  journal started at j under QED (10 nodes)
+  executed 2 statement(s): 1 node(s) inserted, 0 deleted, 1 modified
+  journaled 2 record(s); epoch 1 log is 47 bytes
+
+Its records address nodes by their encoded labels:
+
+  $ xmlrepro journal inspect j
+  2 record(s) under QED
+     1  insert <note>checked</note> as last into @/0b
+     2  replace value of @a0/6b with "Anon"
+
+Recovery replays the log tail over the snapshot:
+
+  $ xmlrepro journal recover j
+  recovered epoch 1 under QED: 10 nodes from the snapshot, 2 record(s) replayed (39 bytes)
+  document holds 11 nodes
+
+A crash mid-append tears the last record; recovery drops exactly the torn
+tail, keeps every whole record, and repairs the log:
+
+  $ cp j.1.log whole.bin
+  $ head -c 35 whole.bin > j.1.log
+  $ xmlrepro journal recover j
+  recovered epoch 1 under QED: 10 nodes from the snapshot, 1 record(s) replayed (24 bytes)
+  torn tail dropped: truncated record frame
+  document holds 11 nodes
+  $ xmlrepro journal inspect j
+  1 record(s) under QED
+     1  insert <note>checked</note> as last into @/0b
+
+A checkpoint absorbs the log into a fresh epoch:
+
+  $ cp whole.bin j.1.log
+  $ xmlrepro journal checkpoint j
+  recovered epoch 1 under QED: 10 nodes from the snapshot, 2 record(s) replayed (39 bytes)
+  checkpoint: epoch 2 snapshot written, log reset
+  $ xmlrepro journal record j 'delete //note'
+  recovered epoch 2 under QED: 11 nodes from the snapshot, 0 record(s) replayed (0 bytes)
+  executed 1 statement(s): 0 node(s) inserted, 1 deleted, 0 modified
+  journaled 1 record(s); epoch 2 log is 17 bytes
+  $ xmlrepro journal recover j --xml | head -5
+  recovered epoch 2 under QED: 11 nodes from the snapshot, 1 record(s) replayed (9 bytes)
+  document holds 10 nodes
+  <book>
+    <title genre="Fantasy">Wayfarer</title>
+    <author>Anon</author>
+
 Figures match the paper:
 
   $ xmlrepro figures | grep FIG

@@ -9,6 +9,7 @@ let () =
       ("update-lang", Test_update_lang.suite);
       ("axis-index", Test_axis_index.suite);
       ("storage", Test_storage.suite);
+      ("journal", Test_journal.suite);
       ("stream", Test_stream.suite);
       ("btree", Test_btree.suite);
       ("twig", Test_twig.suite);

@@ -131,5 +131,86 @@ let truncations_fail_cleanly =
       | exception Repro_storage.Store.Corrupt _ -> true
       | exception _ -> false)
 
+(* Corruption diagnostics must name what broke: a wrong checksum says so
+   (with both sums), and a truncated store says which section the data ran
+   out under — at any cut point. *)
+let sections =
+  [ "scheme name"; "node count"; "node header"; "node name"; "node value"; "node label" ]
+
+let corruption_messages () =
+  let session = updated_session (module Repro_schemes.Qed : Core.Scheme.S) 7 in
+  let data = Repro_storage.Store.save session in
+  let message what mutated =
+    match Repro_storage.Store.load mutated with
+    | _ -> Alcotest.failf "%s loaded successfully" what
+    | exception Repro_storage.Store.Corrupt msg -> msg
+  in
+  (* a damaged checksum names the mismatch, not a phantom truncation *)
+  let bad_crc =
+    String.mapi
+      (fun i c -> if i = String.length data - 1 then Char.chr (Char.code c lxor 0xFF) else c)
+      data
+  in
+  let msg = message "bad crc" bad_crc in
+  check Alcotest.bool
+    (Printf.sprintf "checksum message names the mismatch: %S" msg)
+    true
+    (String.length msg >= 17 && String.sub msg 0 17 = "checksum mismatch");
+  (* short header truncations *)
+  let msg = message "cut inside the magic" (String.sub data 0 2) in
+  check Alcotest.bool
+    (Printf.sprintf "header truncation reported: %S" msg)
+    true
+    (String.sub msg 0 9 = "truncated");
+  (* every deeper cut raises [Corrupt]; most are diagnosed as truncation,
+     and each truncation message names a real section *)
+  let truncated = ref 0 and named = ref 0 and total = ref 0 in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  for cut = 8 to String.length data - 1 do
+    incr total;
+    let msg = message (Printf.sprintf "cut at %d" cut) (String.sub data 0 cut) in
+    if String.length msg >= 9 && String.sub msg 0 9 = "truncated" then begin
+      incr truncated;
+      if List.exists (contains msg) sections then incr named
+    end
+  done;
+  check Alcotest.bool "most cuts are diagnosed as truncation" true
+    (!truncated * 2 > !total);
+  check Alcotest.int "every truncation message names its section" !truncated !named
+
+(* Satellite: the save/load round trip over *every* registered scheme (the
+   qcheck above samples only the well-behaved set), with the codec checked
+   node by node and document order compared after reload. *)
+let roundtrip_every_registered_scheme () =
+  List.iter
+    (fun pack ->
+      let name = Core.Scheme.name pack in
+      let original = updated_session pack 13 in
+      let reloaded = Repro_storage.Store.load (Repro_storage.Store.save original) in
+      check Alcotest.bool
+        (name ^ ": structure, values and labels survive the round trip")
+        true
+        (flat original = flat reloaded);
+      check Alcotest.int (name ^ ": no relabelling on load") 0
+        (reloaded.Core.Session.stats ()).Core.Stats.s_relabelled;
+      List.iter
+        (fun (n : Tree.node) ->
+          check Alcotest.bool
+            (Printf.sprintf "%s: codec round-trips at %s" name n.name)
+            true
+            (reloaded.Core.Session.codec_roundtrips n))
+        (Tree.preorder reloaded.Core.Session.doc))
+    Repro_schemes.Registry.all
+
 let suite =
-  suite @ [ qcheck loader_never_crashes; qcheck truncations_fail_cleanly ]
+  suite
+  @ [
+      ("corruption messages name the failure", `Quick, corruption_messages);
+      ("round trip over every registered scheme", `Quick, roundtrip_every_registered_scheme);
+      qcheck loader_never_crashes;
+      qcheck truncations_fail_cleanly;
+    ]
