@@ -1,0 +1,23 @@
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# A fast end-to-end proof that the parallel evaluation runtime works and
+# stays byte-identical to the sequential path: the Figure 7 section on two
+# domains, diffed against the sequential CLI output.
+bench-smoke: build
+	dune exec bench/main.exe -- matrix -j 2 > /dev/null
+	dune exec bin/xmlrepro.exe -- matrix > _build/matrix-seq.out
+	dune exec bin/xmlrepro.exe -- matrix --jobs 2 > _build/matrix-par.out
+	diff _build/matrix-seq.out _build/matrix-par.out
+
+check: build test bench-smoke
+
+clean:
+	dune clean

@@ -2,11 +2,16 @@
    (see DESIGN.md's per-experiment index) and finishes with Bechamel
    micro-benchmarks of the per-scheme core operations.
 
-   Usage: dune exec bench/main.exe            (everything)
-          dune exec bench/main.exe -- figures (one section)
-          sections: figures, matrix, claims, journal, micro
+   Usage: dune exec bench/main.exe              (everything)
+          dune exec bench/main.exe -- figures   (one section)
+          dune exec bench/main.exe -- matrix -j 4
+          sections: figures, matrix, claims, parallel, journal, micro
 
-   The journal section also writes BENCH_journal.json (append ops/sec and
+   [-j N | --jobs N] evaluates the matrix and claims sections on N domains
+   (results are identical at any N). Machine-readable outputs:
+   BENCH_matrix.json and BENCH_claims.json (per-section wall-clock and
+   agreement, the repo's perf baseline), BENCH_parallel.json (sequential
+   vs parallel speedup curves) and BENCH_journal.json (append ops/sec and
    recovery ms per checkpoint interval, per scheme). *)
 
 open Repro_xml
@@ -16,6 +21,10 @@ let section title =
   Printf.printf "\n============================================================\n";
   Printf.printf "%s\n" title;
   Printf.printf "============================================================\n"
+
+let write_json path json =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "\nwrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Figures 1-6                                                         *)
@@ -31,9 +40,14 @@ let run_figures () =
 (* Figure 7                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_matrix () =
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_matrix ~jobs () =
   section "Figure 7 — the evaluation framework (computed by assays)";
-  let t = Repro_framework.Matrix.compute () in
+  let t, seconds = time (fun () -> Repro_framework.Matrix.compute ~jobs ()) in
   print_endline (Repro_framework.Matrix.render t);
   print_newline ();
   print_string (Repro_framework.Matrix.render_agreement t);
@@ -42,19 +56,137 @@ let run_matrix () =
   print_string (Repro_framework.Matrix.render_evidence t);
   section "Figure 7 extension rows (schemes beyond the paper's matrix)";
   let ext =
-    Repro_framework.Matrix.compute ~schemes:Repro_schemes.Registry.extensions ()
+    Repro_framework.Matrix.compute ~jobs ~schemes:Repro_schemes.Registry.extensions ()
   in
-  print_endline (Repro_framework.Matrix.render ext)
+  print_endline (Repro_framework.Matrix.render ext);
+  let agree, total, mismatches = Repro_framework.Matrix.agreement t in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"benchmark\": \"matrix\",\n  \"jobs\": %d,\n  \"seconds\": %.3f,\n\
+       \  \"agree\": %d,\n  \"total\": %d,\n  \"mismatches\": [" jobs seconds agree
+       total);
+  List.iteri
+    (fun i (scheme, p, got, want) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"scheme\": %S, \"property\": %S, \"computed\": %S, \"paper\": %S}" scheme
+           (Repro_framework.Property.name p)
+           (Repro_framework.Property.compliance_letter got)
+           (Repro_framework.Property.compliance_letter want)))
+    mismatches;
+  Buffer.add_string buf "]\n}\n";
+  write_json "BENCH_matrix.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
-(* Claims CL1-CL8                                                      *)
+(* Claims CL1-CL11                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_claims () =
+let run_claims ~jobs () =
   section "Claims CL1-CL11 — the survey's qualitative claims, quantified";
-  List.iter
-    (fun r -> print_endline (Repro_framework.Claims.render r))
-    (Repro_framework.Claims.all ())
+  let results, seconds = time (fun () -> Repro_framework.Claims.all ~jobs ()) in
+  List.iter (fun r -> print_endline (Repro_framework.Claims.render r)) results;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"benchmark\": \"claims\",\n  \"jobs\": %d,\n  \"seconds\": %.3f,\n\
+       \  \"claims\": [" jobs seconds);
+  List.iteri
+    (fun i (r : Repro_framework.Claims.result) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"id\": %S, \"holds\": %b}" r.id r.holds))
+    results;
+  Buffer.add_string buf "]\n}\n";
+  write_json "BENCH_claims.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runtime: sequential vs domain-pool wall-clock              *)
+(* ------------------------------------------------------------------ *)
+
+(* The first tracked perf trajectory of the repo: the matrix and the
+   claims at j in {1, 2, 4, cores}, with the j=1 run as the speedup
+   baseline. "identical" asserts the determinism contract — the parallel
+   matrix renders to the same bytes as the sequential one, and the claim
+   verdict list (ids in order) matches; CL9/CL11 embed wall-clock numbers
+   in their tables, so claims are compared on ids, not bytes. *)
+
+let parallel_job_counts () =
+  let cores = Repro_parallel.Pool.cores () in
+  List.sort_uniq compare [ 1; 2; 4; cores ]
+
+type parallel_point = {
+  pp_jobs : int;
+  pp_seconds : float;
+  pp_speedup : float;
+  pp_identical : bool;
+}
+
+let parallel_sweep ~label ~render ~compute =
+  let baseline = ref "" in
+  let base_seconds = ref 0.0 in
+  List.map
+    (fun j ->
+      let v, seconds = time (fun () -> compute ~jobs:j) in
+      let rendered = render v in
+      if j = 1 then begin
+        baseline := rendered;
+        base_seconds := seconds
+      end;
+      let p =
+        {
+          pp_jobs = j;
+          pp_seconds = seconds;
+          pp_speedup = (if seconds > 0.0 then !base_seconds /. seconds else 1.0);
+          pp_identical = String.equal !baseline rendered;
+        }
+      in
+      Printf.printf "%-8s j=%-3d %8.2fs  speedup %5.2fx  %s\n%!" label p.pp_jobs
+        p.pp_seconds p.pp_speedup
+        (if p.pp_identical then "output identical" else "OUTPUT DIVERGED");
+      p)
+    (parallel_job_counts ())
+
+let parallel_point_json p =
+  Printf.sprintf
+    "{\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.3f, \"identical\": %b}" p.pp_jobs
+    p.pp_seconds p.pp_speedup p.pp_identical
+
+let run_parallel () =
+  section "PARALLEL — domain-pool speedup for the matrix and the claims";
+  Printf.printf "%d core(s) recommended by the runtime\n\n"
+    (Repro_parallel.Pool.cores ());
+  let matrix_points =
+    parallel_sweep ~label:"matrix"
+      ~render:Repro_framework.Matrix.render
+      ~compute:(fun ~jobs -> Repro_framework.Matrix.compute ~jobs ())
+  in
+  let claims_points =
+    parallel_sweep ~label:"claims"
+      ~render:(fun rs ->
+        String.concat ";"
+          (List.map (fun (r : Repro_framework.Claims.result) -> r.id) rs))
+      ~compute:(fun ~jobs -> Repro_framework.Claims.all ~jobs ())
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"benchmark\": \"parallel\",\n  \"cores\": %d,\n"
+       (Repro_parallel.Pool.cores ()));
+  Buffer.add_string buf "  \"matrix\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (parallel_point_json p))
+    matrix_points;
+  Buffer.add_string buf "],\n  \"claims\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (parallel_point_json p))
+    claims_points;
+  Buffer.add_string buf "]\n}\n";
+  write_json "BENCH_parallel.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* Durability: journal append throughput and recovery time             *)
@@ -90,11 +222,6 @@ let with_journal_base f =
 
 let journal_doc seed =
   Docgen.generate ~seed { Docgen.default_shape with target_nodes = 300 }
-
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
 
 type append_point = { a_fsync_every : int; a_ops : int; a_ops_per_sec : float }
 
@@ -205,10 +332,7 @@ let run_journal () =
         (name, appends, recoveries))
       journal_schemes
   in
-  let json = journal_json results in
-  Out_channel.with_open_bin "BENCH_journal.json" (fun oc ->
-      Out_channel.output_string oc json);
-  Printf.printf "\nwrote BENCH_journal.json\n"
+  write_json "BENCH_journal.json" (journal_json results)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -315,13 +439,35 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let want s = Array.length Sys.argv < 2 || Array.exists (String.equal s) Sys.argv in
+  (* argv = zero or more section names, plus an optional [-j N | --jobs N]
+     applying to the matrix and claims sections. No section names = all. *)
+  let jobs = ref 1 in
+  let sections = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ ->
+        prerr_endline "bench: -j expects a positive integer";
+        exit 2);
+      parse rest
+    | ("-j" | "--jobs") :: [] ->
+      prerr_endline "bench: -j expects a positive integer";
+      exit 2
+    | s :: rest ->
+      sections := s :: !sections;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let want s = !sections = [] || List.mem s !sections in
   Printf.printf
     "Reproduction harness for \"Desirable Properties for XML Update Mechanisms\"\n\
      (O'Connor & Roantree, EDBT 2010 workshops). All workloads are seeded and\n\
      deterministic; see DESIGN.md for the experiment index.\n";
   if want "figures" then run_figures ();
-  if want "matrix" then run_matrix ();
-  if want "claims" then run_claims ();
+  if want "matrix" then run_matrix ~jobs:!jobs ();
+  if want "claims" then run_claims ~jobs:!jobs ();
+  if want "parallel" then run_parallel ();
   if want "journal" then run_journal ();
   if want "micro" then run_micro ()

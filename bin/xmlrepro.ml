@@ -43,6 +43,13 @@ let seed_arg =
   let doc = "Random seed (workloads are deterministic per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains to evaluate on (1 = the sequential path; results are \
+     identical at any value)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let doc_or_sample input =
   match input with None -> Samples.book () | some -> parse_doc some
 
@@ -79,8 +86,8 @@ let label_cmd =
 (* ---- matrix ------------------------------------------------------ *)
 
 let matrix_cmd =
-  let run evidence extensions =
-    let t = Repro_framework.Matrix.compute () in
+  let run evidence extensions jobs =
+    let t = Repro_framework.Matrix.compute ~jobs () in
     print_endline (Repro_framework.Matrix.render t);
     print_newline ();
     print_string (Repro_framework.Matrix.render_agreement t);
@@ -92,7 +99,8 @@ let matrix_cmd =
       print_endline "\nExtension rows:";
       print_endline
         (Repro_framework.Matrix.render
-           (Repro_framework.Matrix.compute ~schemes:Repro_schemes.Registry.extensions ()))
+           (Repro_framework.Matrix.compute ~jobs
+              ~schemes:Repro_schemes.Registry.extensions ()))
     end
   in
   let evidence =
@@ -103,7 +111,7 @@ let matrix_cmd =
   in
   Cmd.v
     (Cmd.info "matrix" ~doc:"Recompute the paper's Figure 7 evaluation matrix.")
-    Term.(const run $ evidence $ extensions)
+    Term.(const run $ evidence $ extensions $ jobs_arg)
 
 (* ---- figures ----------------------------------------------------- *)
 
@@ -136,18 +144,55 @@ let pattern_conv =
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (Repro_workload.Updates.pattern_name p))
 
 let workload_cmd =
-  let run scheme pattern ops seed nodes sample_every =
-    let pack = find_scheme scheme in
-    let samples =
-      Repro_workload.Runner.series pack
-        ~make_doc:(fun () ->
-          Repro_workload.Docgen.generate ~seed
-            { Repro_workload.Docgen.default_shape with target_nodes = nodes })
-        ~pattern ~seed ~ops ~sample_every
+  (* [-s] accepts one scheme, a comma-separated list, or "all"; a single
+     scheme with [--jobs 1] keeps the historical per-sample series output,
+     anything else runs a (possibly parallel) sweep with one final sample
+     per scheme. *)
+  let run scheme pattern ops seed nodes sample_every jobs =
+    let scheme_names =
+      if String.lowercase_ascii scheme = "all" then
+        List.map Core.Scheme.name Repro_schemes.Registry.all
+      else
+        String.split_on_char ',' scheme |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
     in
-    Printf.printf "%s under %s (%d ops, seed %d, %d-node base document)\n" scheme
-      (Repro_workload.Updates.pattern_name pattern) ops seed nodes;
-    List.iter (fun s -> Format.printf "%a@." Repro_workload.Runner.pp_sample s) samples
+    match scheme_names with
+    | [ name ] when jobs <= 1 ->
+      let pack = find_scheme name in
+      let samples =
+        Repro_workload.Runner.series pack
+          ~make_doc:(fun () ->
+            Repro_workload.Docgen.generate ~seed
+              { Repro_workload.Docgen.default_shape with target_nodes = nodes })
+          ~pattern ~seed ~ops ~sample_every
+      in
+      Printf.printf "%s under %s (%d ops, seed %d, %d-node base document)\n" name
+        (Repro_workload.Updates.pattern_name pattern) ops seed nodes;
+      List.iter (fun s -> Format.printf "%a@." Repro_workload.Runner.pp_sample s) samples
+    | names ->
+      let specs =
+        List.map
+          (fun name ->
+            {
+              Repro_workload.Runner.sp_scheme = find_scheme name;
+              sp_pattern = pattern;
+              sp_seed = seed;
+              sp_ops = ops;
+              sp_nodes = nodes;
+            })
+          names
+      in
+      Printf.printf
+        "%d scheme(s) under %s (%d ops, seed %d, %d-node base document, %d job(s))\n"
+        (List.length specs)
+        (Repro_workload.Updates.pattern_name pattern)
+        ops seed nodes (max 1 jobs);
+      List.iter
+        (fun (sp, s) ->
+          Format.printf "%-18s %a@."
+            (Core.Scheme.name sp.Repro_workload.Runner.sp_scheme)
+            Repro_workload.Runner.pp_sample s)
+        (Repro_workload.Runner.sweep ~jobs specs)
   in
   let pattern =
     Arg.(
@@ -162,7 +207,9 @@ let workload_cmd =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run an update workload and print label metrics.")
-    Term.(const run $ scheme_arg "QED" $ pattern $ ops $ seed_arg $ nodes $ sample_every)
+    Term.(
+      const run $ scheme_arg "QED" $ pattern $ ops $ seed_arg $ nodes $ sample_every
+      $ jobs_arg)
 
 (* ---- query ------------------------------------------------------- *)
 

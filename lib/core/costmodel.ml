@@ -3,44 +3,55 @@
 
     Schemes perform arithmetic through the helpers below; the assays reset
     the counters, run a workload, and read how many divisions and recursive
-    labelling calls actually happened. The counters are global mutable
-    state, which is safe here: the whole system is single-threaded and each
-    assay brackets its run with {!reset}/{!read}. *)
+    labelling calls actually happened. The counters are domain-local: an
+    assay runs entirely on one domain and brackets its run with
+    {!reset}/{!read}, so cells fanned out across the {!Repro_parallel} pool
+    count independently instead of clobbering each other. *)
 
 type counts = { divisions : int; recursive_calls : int }
 
-let divisions = ref 0
-let recursive_calls = ref 0
+type counters = { mutable divs : int; mutable recs : int }
+
+let key = Domain.DLS.new_key (fun () -> { divs = 0; recs = 0 })
+let counters () = Domain.DLS.get key
 
 let reset () =
-  divisions := 0;
-  recursive_calls := 0
+  let c = counters () in
+  c.divs <- 0;
+  c.recs <- 0
 
-let read () = { divisions = !divisions; recursive_calls = !recursive_calls }
+let read () =
+  let c = counters () in
+  { divisions = c.divs; recursive_calls = c.recs }
 
 (** Integer division, counted. *)
 let div_int a b =
-  incr divisions;
+  let c = counters () in
+  c.divs <- c.divs + 1;
   a / b
 
 (** Floating-point division, counted. *)
 let div_float a b =
-  incr divisions;
+  let c = counters () in
+  c.divs <- c.divs + 1;
   a /. b
 
 (** Marks one call of a recursive initial-labelling algorithm. *)
-let tick_recursion () = incr recursive_calls
+let tick_recursion () =
+  let c = counters () in
+  c.recs <- c.recs + 1
 
 (** [counting f] runs [f] with fresh counters and returns its result along
     with the counts it accumulated, restoring the previous counts after. *)
 let counting f =
-  let saved_div = !divisions and saved_rec = !recursive_calls in
+  let saved = read () in
   reset ();
   Fun.protect
     ~finally:(fun () ->
-      let c = read () in
-      divisions := saved_div + c.divisions;
-      recursive_calls := saved_rec + c.recursive_calls)
+      let inner = read () in
+      let c = counters () in
+      c.divs <- saved.divisions + inner.divisions;
+      c.recs <- saved.recursive_calls + inner.recursive_calls)
     (fun () ->
       let r = f () in
       (r, read ()))

@@ -41,11 +41,11 @@ let build (module S : Scheme.S) doc ~stored =
     (* Fresh nodes are labelled parents-first, left-to-right. *)
     Stats.record_insert (S.stats state);
     S.after_insert state node;
-    List.iter
+    Tree.iter_descendants
       (fun d ->
         Stats.record_insert (S.stats state);
         S.after_insert state d)
-      (Tree.descendants node)
+      node
   in
   {
     scheme_name = S.name;

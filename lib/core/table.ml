@@ -30,7 +30,7 @@ let set t (n : Tree.node) label =
 
 let remove_subtree t (n : Tree.node) =
   Hashtbl.remove t.labels n.id;
-  List.iter (fun (d : Tree.node) -> Hashtbl.remove t.labels d.id) (Tree.descendants n)
+  Tree.iter_descendants (fun (d : Tree.node) -> Hashtbl.remove t.labels d.id) n
 
 let size t = Hashtbl.length t.labels
 

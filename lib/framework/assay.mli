@@ -33,6 +33,19 @@ val compact : config -> Core.Scheme.packed -> Property.compliance * string
 val division : config -> Core.Scheme.packed -> Property.compliance * string
 val recursion : config -> Core.Scheme.packed -> Property.compliance * string
 
+val assays :
+  (Property.t * (config -> Core.Scheme.packed -> Property.compliance * string)) list
+(** The eight graded columns in the paper's order. Each assay is
+    self-contained — it builds its own documents and sessions from the
+    config seeds — so {!Matrix.compute} can run (scheme, assay) cells on
+    separate domains. *)
+
+val row_of_cells :
+  Core.Scheme.packed ->
+  (Property.t * (Property.compliance * string)) list ->
+  Property.row
+(** Assemble a Figure 7 row from per-assay verdicts (in {!assays} order). *)
+
 (** {1 Compact measurements} (reused by experiment CL8) *)
 
 type compact_measure = {

@@ -107,7 +107,7 @@ let cl2 () =
   let onsets =
     List.map
       (fun g ->
-        Repro_schemes.Interval_gap.gap := g;
+        Repro_schemes.Interval_gap.set_gap g;
         let onset =
           inserts_until_overflow
             (module Repro_schemes.Interval_gap : Core.Scheme.S)
@@ -118,7 +118,7 @@ let cl2 () =
         (g, onset))
       gaps
   in
-  Repro_schemes.Interval_gap.gap := 16;
+  Repro_schemes.Interval_gap.set_gap 16;
   let monotone =
     let values = List.map (fun (_, o) -> Option.value o ~default:max_int) onsets in
     List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 3) values) (List.tl values)
@@ -457,8 +457,18 @@ let cl11 () =
     holds = ratio "XPath Accelerator" > 2.0 *. ratio "QED";
   }
 
-let all () =
-  [ cl1 (); cl2 (); cl3 (); cl4 (); cl5 (); cl6 (); cl8 (); cl9 (); cl10 (); cl11 () ]
+(* Every experiment seeds its own PRNGs and builds its own documents and
+   sessions, so the pool can run them concurrently; results come back in
+   this list's order either way. *)
+let experiments = [ cl1; cl2; cl3; cl4; cl5; cl6; cl8; cl9; cl10; cl11 ]
+
+let all ?(jobs = 1) () =
+  if jobs <= 1 then List.map (fun f -> f ()) experiments
+  else
+    Repro_parallel.Pool.parallel_map_list
+      (Repro_parallel.Pool.get ~jobs)
+      (fun f -> f ())
+      experiments
 
 let render r =
   Printf.sprintf "%s — %s%s\n%s" r.id r.claim

@@ -47,6 +47,12 @@ val cl11 : unit -> result
 (** §5.2: streaming ingestion is linear for prefix schemes and quadratic
     for the renumbering containment family. *)
 
-val all : unit -> result list
+val all : ?jobs:int -> unit -> result list
+(** All experiments in CL order. [jobs > 1] runs them concurrently on the
+    shared {!Repro_parallel.Pool}; every experiment is self-seeded and
+    builds its own sessions, so the measured values are independent of
+    [jobs] (the two timing-based experiments, CL9 and CL11, report
+    wall-clock numbers that vary run to run — sequentially too — but
+    their [holds] verdicts compare ratios robust to the fan-out). *)
 
 val render : result -> string

@@ -3,8 +3,13 @@
 
 type t = { rows : Property.row list }
 
-val compute : ?config:Assay.config -> ?schemes:Core.Scheme.packed list -> unit -> t
-(** Defaults to the twelve Figure 7 schemes in the paper's order. *)
+val compute :
+  ?config:Assay.config -> ?jobs:int -> ?schemes:Core.Scheme.packed list -> unit -> t
+(** Defaults to the twelve Figure 7 schemes in the paper's order.
+    [jobs > 1] fans the scheme×assay cell grid out across that many
+    domains of the shared {!Repro_parallel.Pool}; the result — and
+    therefore every rendering of it — is guaranteed identical to the
+    sequential [jobs = 1] computation. *)
 
 val render : t -> string
 (** The matrix as an aligned text table, like the paper's figure. *)

@@ -1,0 +1,181 @@
+(* The domain pool. One mutex/condition pair drives a generation-stamped
+   broadcast: [run] installs a job, bumps the generation and wakes every
+   worker; workers re-run the job closure (which internally pulls chunk
+   indices from an atomic cursor until none remain) and report back
+   through [pending]. The caller's own domain always executes the job
+   too, so a pool of size [n] really applies [n] domains to the work. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  client : Mutex.t;  (* serialises whole runs from concurrent callers *)
+  mutable job : (unit -> unit) option;
+  mutable generation : int;
+  mutable pending : int;  (* workers still inside the current job *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let cores () = Domain.recommended_domain_count ()
+
+(* True while the current domain is executing pool work — permanently in
+   worker domains, and for the span of a run in the client domain. A task
+   that re-enters the pool would deadlock waiting on itself (or re-lock
+   the client mutex it already holds), so nested calls run sequentially
+   instead. *)
+let busy_key = Domain.DLS.new_key (fun () -> false)
+
+let worker pool =
+  Domain.DLS.set busy_key true;
+  let rec loop last_gen =
+    Mutex.lock pool.mutex;
+    while (not pool.closed) && pool.generation = last_gen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.closed then Mutex.unlock pool.mutex
+    else begin
+      let gen = pool.generation in
+      let job = match pool.job with Some j -> j | None -> fun () -> () in
+      Mutex.unlock pool.mutex;
+      (* Map jobs never raise — they stash exceptions for the caller —
+         but the loop must survive anything. *)
+      (try job () with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      client = Mutex.create ();
+      job = None;
+      generation = 0;
+      pending = 0;
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.client;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool.client)
+    (fun () ->
+      if not pool.closed then begin
+        Mutex.lock pool.mutex;
+        pool.closed <- true;
+        Condition.broadcast pool.work_ready;
+        Mutex.unlock pool.mutex;
+        List.iter Domain.join pool.workers;
+        pool.workers <- []
+      end)
+
+(* Run [job] on every domain of the pool (workers + caller) and wait for
+   all of them to finish it. *)
+let run pool job =
+  Mutex.lock pool.client;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool.client)
+    (fun () ->
+      if pool.closed then invalid_arg "Pool: used after shutdown";
+      Mutex.lock pool.mutex;
+      pool.job <- Some job;
+      pool.generation <- pool.generation + 1;
+      pool.pending <- pool.size - 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      job ();
+      Mutex.lock pool.mutex;
+      while pool.pending > 0 do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      pool.job <- None;
+      Mutex.unlock pool.mutex)
+
+(* Several chunks per domain lets fast domains steal slack from slow ones
+   without turning every element into a synchronisation point. *)
+let chunks_per_domain = 8
+
+let parallel_map pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if pool.size = 1 || n = 1 || Domain.DLS.get busy_key then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n / (pool.size * chunks_per_domain)) in
+    let job () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get error <> None then continue := false
+        else begin
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f input.(i))
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some (e, bt)))
+        end
+      done
+    in
+    Domain.DLS.set busy_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set busy_key false)
+      (fun () -> run pool job);
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_iter pool f input = ignore (parallel_map pool f input)
+
+let parallel_map_list pool f l =
+  Array.to_list (parallel_map pool f (Array.of_list l))
+
+(* The shared pool: sized on demand, torn down at exit so the worker
+   domains are joined before the runtime shuts down. *)
+
+let global = ref None
+let global_mutex = Mutex.create ()
+let exit_hook_installed = ref false
+
+let get ~jobs =
+  let jobs = max 1 jobs in
+  Mutex.lock global_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock global_mutex)
+    (fun () ->
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit (fun () ->
+            match !global with None -> () | Some p -> shutdown p)
+      end;
+      match !global with
+      | Some p when p.size = jobs && not p.closed -> p
+      | prev ->
+        (match prev with None -> () | Some p -> shutdown p);
+        let p = create ~domains:jobs in
+        global := Some p;
+        p)

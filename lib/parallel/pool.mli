@@ -1,0 +1,57 @@
+(** A fixed-size pool of OCaml 5 domains for the shared-nothing evaluation
+    fan-outs (the Figure 7 matrix cells, the CL experiments, workload
+    sweeps).
+
+    The pool spawns its worker domains once and reuses them across calls —
+    spawning a domain is far too expensive to pay per task. Work is handed
+    out in contiguous index chunks through an atomic cursor, results land
+    at their input index, and the merge is a plain ordered array read, so
+    {!parallel_map} is {e deterministic}: its result is the same value, in
+    the same order, as [Array.map], no matter how the scheduler interleaves
+    the workers. Tasks must be shared-nothing (each builds its own
+    documents, sessions and PRNGs from its inputs); nothing here makes a
+    racy task safe.
+
+    A pool of size 1 has no worker domains and every call degrades to the
+    plain sequential implementation — [~jobs:1] is the existing sequential
+    path, not a one-domain simulation of it. *)
+
+type t
+
+val cores : unit -> int
+(** [Domain.recommended_domain_count ()]: how many domains the hardware
+    can usefully run. *)
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains (the caller's
+    domain is the pool's remaining member: it participates in every run).
+    Raises [Invalid_argument] when [domains < 1]. *)
+
+val size : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains. Idempotent. Using the pool after
+    shutdown raises [Invalid_argument]. *)
+
+val get : jobs:int -> t
+(** The shared global pool, created on first use and reused while the
+    requested size stays the same; asking for a different [jobs] replaces
+    it (the old workers are joined first). The pool is shut down
+    automatically at exit. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f input] is [Array.map f input], computed by all of
+    the pool's domains. Results are input-ordered. If any application of
+    [f] raises, the first exception (in completion order) is re-raised in
+    the caller with its backtrace, after the remaining workers have
+    drained. Concurrent calls from several client domains serialise; a
+    call made from inside a pool task falls back to sequential [Array.map]
+    rather than deadlock. *)
+
+val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
+(** [parallel_map] for effects only. *)
+
+val parallel_map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** List clothing over {!parallel_map}; same ordering and exception
+    contract. *)

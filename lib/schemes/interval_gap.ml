@@ -11,9 +11,17 @@
 
 open Repro_xml
 
-let gap = ref 16
-(** Numbers left between consecutive traversal positions at bulk time.
-    Mutable so experiment CL2 can sweep it; set before {!create}. *)
+(* Numbers left between consecutive traversal positions at bulk time.
+   Experiment CL2 sweeps it, so it is settable — but domain-locally:
+   CL2 running on one pool domain must not change the gap another domain
+   is bulk-labelling with. *)
+let gap_key = Domain.DLS.new_key (fun () -> 16)
+
+let gap () = Domain.DLS.get gap_key
+(** The gap the next {!create} on this domain will use. *)
+
+let set_gap g = Domain.DLS.set gap_key g
+(** Set before {!create}; affects only the calling domain. *)
 
 let name = "Interval+gaps"
 
@@ -76,7 +84,7 @@ let renumber t =
 let create doc =
   let stats = Core.Stats.create () in
   let t =
-    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 !gap }
+    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 (gap ()) }
   in
   renumber t;
   t
@@ -85,7 +93,7 @@ let create doc =
 let restore doc stored =
   let stats = Core.Stats.create () in
   let t =
-    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 !gap }
+    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 (gap ()) }
   in
   Tree.iter_preorder
     (fun node ->

@@ -44,3 +44,28 @@ let final pack ~make_doc ~pattern ~seed ~ops =
   match List.rev (series pack ~make_doc ~pattern ~seed ~ops ~sample_every:max_int) with
   | last :: _ -> last
   | [] -> assert false
+
+type spec = {
+  sp_scheme : Core.Scheme.packed;
+  sp_pattern : Updates.pattern;
+  sp_seed : int;
+  sp_ops : int;
+  sp_nodes : int;
+}
+
+(* Each task regenerates its base document from its own seed and builds
+   its own session inside [final], so a scheme's mutable label tables
+   never cross a domain boundary and the samples are the same at any
+   [jobs] (up to wall-clock fields). *)
+let sweep ?(jobs = 1) specs =
+  let one sp =
+    ( sp,
+      final sp.sp_scheme
+        ~make_doc:(fun () ->
+          Docgen.generate ~seed:sp.sp_seed
+            { Docgen.default_shape with target_nodes = sp.sp_nodes })
+        ~pattern:sp.sp_pattern ~seed:sp.sp_seed ~ops:sp.sp_ops )
+  in
+  if jobs <= 1 then List.map one specs
+  else
+    Repro_parallel.Pool.parallel_map_list (Repro_parallel.Pool.get ~jobs) one specs

@@ -34,3 +34,20 @@ val final :
   ops:int ->
   sample
 (** Just the last sample of {!series}. *)
+
+(** One cell of a workload sweep: a scheme driven by one pattern over a
+    generated base document. *)
+type spec = {
+  sp_scheme : Core.Scheme.packed;
+  sp_pattern : Updates.pattern;
+  sp_seed : int;
+  sp_ops : int;
+  sp_nodes : int;  (** target size of the generated base document *)
+}
+
+val sweep : ?jobs:int -> spec list -> (spec * sample) list
+(** [sweep specs] runs {!final} for every spec — one fresh document and
+    session per task, so nothing mutable crosses domains — and returns
+    results in input order. [jobs > 1] distributes the specs over the
+    shared {!Repro_parallel.Pool}; all measured label metrics are
+    independent of [jobs] (only [elapsed_s] is wall-clock). *)

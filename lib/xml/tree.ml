@@ -122,13 +122,16 @@ let preorder doc =
   iter_preorder (fun n -> acc := n :: !acc) doc;
   List.rev !acc
 
-let descendants n =
-  let acc = ref [] in
+let iter_descendants f n =
   let rec go m =
-    acc := m :: !acc;
+    f m;
     List.iter go m.children
   in
-  List.iter go n.children;
+  List.iter go n.children
+
+let descendants n =
+  let acc = ref [] in
+  iter_descendants (fun m -> acc := m :: !acc) n;
   List.rev !acc
 
 let rec to_frag n =

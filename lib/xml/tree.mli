@@ -88,6 +88,11 @@ val iter_preorder : (node -> unit) -> doc -> unit
 val descendants : node -> node list
 (** The subtree rooted at the node, in document order, excluding the node. *)
 
+val iter_descendants : (node -> unit) -> node -> unit
+(** [iter_descendants f n] applies [f] to {!descendants}[ n] in document
+    order without materialising the list — the insertion hot path settles
+    every fresh subtree node through this. *)
+
 val to_frag : node -> frag
 (** Deep copy of a subtree as a fragment. *)
 

@@ -131,3 +131,21 @@ Figures match the paper:
   FIG4 — ORDPATH labelled XML tree [matches the paper]
   FIG5 — LSDX labelled XML tree [matches the paper]
   FIG6 — ImprovedBinary labelled XML tree [matches the paper]
+
+The parallel matrix is byte-identical to the sequential one (the domain
+pool's determinism contract):
+
+  $ xmlrepro matrix > seq.out
+  $ xmlrepro matrix --jobs 2 > par2.out
+  $ xmlrepro matrix -j 4 --evidence --extensions > par4.out
+  $ xmlrepro matrix --evidence --extensions > seq-full.out
+  $ diff seq.out par2.out
+  $ diff seq-full.out par4.out
+
+A parallel workload sweep reports one final sample per scheme, in input
+order, with label metrics independent of the job count:
+
+  $ xmlrepro workload -s "QED,Vector" -j 2 --ops 50 | sed 's/([0-9.]*s)$//'
+  2 scheme(s) under uniform-random (50 ops, seed 42, 200-node base document, 2 job(s))
+  QED                ops=50 nodes=250 avg_bits=35.2 max_bits=50 total_bits=8800 relabelled=0 overflow=0 
+  Vector             ops=50 nodes=250 avg_bits=32.1 max_bits=40 total_bits=8032 relabelled=0 overflow=0 

@@ -17,6 +17,7 @@ let () =
       ("xpath-random", Test_xpath_random.suite);
       ("misc", Test_misc.suite);
       ("workload", Test_workload.suite);
+      ("parallel", Test_parallel.suite);
       ("framework", Test_framework.suite);
       ("xml", Test_xml.suite);
     ]

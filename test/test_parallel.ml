@@ -1,0 +1,137 @@
+(* The domain pool and its determinism contract: parallel_map is the same
+   value as Array.map under any scheduling, exceptions cross domains, and
+   the evaluation fan-outs (matrix, claims) render identically at every
+   job count. *)
+
+open Repro_parallel
+
+let check = Alcotest.check
+
+exception Boom of int
+
+let with_pool ~domains f =
+  let p = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let ordered_results () =
+  with_pool ~domains:4 (fun p ->
+      let input = Array.init 1000 Fun.id in
+      let expected = Array.map (fun i -> (i * i) + 1) input in
+      check
+        Alcotest.(array int)
+        "input-ordered" expected
+        (Pool.parallel_map p (fun i -> (i * i) + 1) input))
+
+let empty_input () =
+  with_pool ~domains:4 (fun p ->
+      check Alcotest.(array int) "empty array" [||] (Pool.parallel_map p succ [||]);
+      check Alcotest.(list int) "empty list" [] (Pool.parallel_map_list p succ []))
+
+let more_domains_than_tasks () =
+  with_pool ~domains:8 (fun p ->
+      check
+        Alcotest.(list int)
+        "3 tasks on 8 domains" [ 2; 3; 4 ]
+        (Pool.parallel_map_list p succ [ 1; 2; 3 ]))
+
+let exception_propagation () =
+  with_pool ~domains:3 (fun p ->
+      Alcotest.check_raises "worker exception re-raised" (Boom 37) (fun () ->
+          ignore
+            (Pool.parallel_map p
+               (fun i -> if i = 37 then raise (Boom 37) else i)
+               (Array.init 100 Fun.id)));
+      (* the pool survives a failed run *)
+      check
+        Alcotest.(array int)
+        "pool usable after exception"
+        (Array.init 50 succ)
+        (Pool.parallel_map p succ (Array.init 50 Fun.id)))
+
+let reuse_across_calls () =
+  with_pool ~domains:4 (fun p ->
+      for round = 1 to 5 do
+        let input = Array.init (100 * round) Fun.id in
+        check
+          Alcotest.(array int)
+          (Printf.sprintf "round %d" round)
+          (Array.map (fun i -> i + round) input)
+          (Pool.parallel_map p (fun i -> i + round) input)
+      done)
+
+let nested_call_degrades () =
+  with_pool ~domains:3 (fun p ->
+      (* a task re-entering the pool must not deadlock: nested calls fall
+         back to the sequential path on whichever domain they run *)
+      let inner i =
+        Array.fold_left ( + ) i (Pool.parallel_map p succ (Array.init 5 Fun.id))
+      in
+      check
+        Alcotest.(array int)
+        "nested map" (Array.init 20 (fun i -> i + 15))
+        (Pool.parallel_map p inner (Array.init 20 Fun.id)))
+
+let shutdown_semantics () =
+  let p = Pool.create ~domains:4 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool: used after shutdown") (fun () ->
+      ignore (Pool.parallel_map p succ (Array.init 10 Fun.id)))
+
+let parallel_iter_effects () =
+  with_pool ~domains:4 (fun p ->
+      let hits = Array.make 200 0 in
+      Pool.parallel_iter p (fun i -> hits.(i) <- hits.(i) + 1) (Array.init 200 Fun.id);
+      check Alcotest.(array int) "each task ran once" (Array.make 200 1) hits)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the evaluation fan-outs                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A reduced assay budget: the contract under test is byte-identity
+   across job counts, which does not depend on the workload sizes. *)
+let small_config =
+  { Repro_framework.Assay.default with base_nodes = 30; standard_ops = 20; adversarial_ops = 200 }
+
+let matrix_determinism () =
+  let render jobs =
+    Repro_framework.Matrix.render
+      (Repro_framework.Matrix.compute ~config:small_config ~jobs ())
+  in
+  let seq = render 1 in
+  check Alcotest.string "j=2 byte-identical to j=1" seq (render 2);
+  check Alcotest.string "j=4 byte-identical to j=1" seq (render 4)
+
+let claims_determinism () =
+  let strip (r : Repro_framework.Claims.result) = (r.id, r.claim) in
+  let seq = Repro_framework.Claims.all () in
+  let par = Repro_framework.Claims.all ~jobs:4 () in
+  check
+    Alcotest.(list (pair string string))
+    "ids and claims in order" (List.map strip seq) (List.map strip par);
+  (* CL9 and CL11 embed wall-clock measurements in their tables (they
+     vary between two sequential runs too); every other experiment must
+     render byte-identically whatever the job count. *)
+  List.iter2
+    (fun (s : Repro_framework.Claims.result) (p : Repro_framework.Claims.result) ->
+      if not (List.mem s.id [ "CL9"; "CL11" ]) then begin
+        check Alcotest.string (s.id ^ " table") s.table p.table;
+        check Alcotest.bool (s.id ^ " holds") s.holds p.holds
+      end)
+    seq par
+
+let suite =
+  [
+    ("input-ordered results", `Quick, ordered_results);
+    ("empty input", `Quick, empty_input);
+    ("more domains than tasks", `Quick, more_domains_than_tasks);
+    ("exception propagation", `Quick, exception_propagation);
+    ("pool reuse across calls", `Quick, reuse_across_calls);
+    ("nested call degrades to sequential", `Quick, nested_call_degrades);
+    ("shutdown semantics", `Quick, shutdown_semantics);
+    ("parallel_iter runs every effect once", `Quick, parallel_iter_effects);
+    ("matrix byte-identical at j=1/2/4", `Slow, matrix_determinism);
+    ("claims identical at j=4", `Slow, claims_determinism);
+  ]

@@ -98,10 +98,10 @@ let empty_update_patterns () =
   check Alcotest.bool "still consistent" true (Core.Session.order_consistent session)
 
 let interval_gap_parameter () =
-  Repro_schemes.Interval_gap.gap := 64;
+  Repro_schemes.Interval_gap.set_gap 64;
   let doc = Samples.book () in
   let session = Core.Session.make (module Repro_schemes.Interval_gap : Core.Scheme.S) doc in
-  Repro_schemes.Interval_gap.gap := 16;
+  Repro_schemes.Interval_gap.set_gap 16;
   (* with gap 64, first labels are multiples of 64 *)
   let root_label = session.Core.Session.label_string (Tree.root doc) in
   check Alcotest.string "gap applied" "[64,1280]@0" root_label
