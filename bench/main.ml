@@ -5,14 +5,15 @@
    Usage: dune exec bench/main.exe              (everything)
           dune exec bench/main.exe -- figures   (one section)
           dune exec bench/main.exe -- matrix -j 4
-          sections: figures, matrix, claims, parallel, journal, micro
+          sections: figures, matrix, claims, parallel, journal, torture, micro
 
    [-j N | --jobs N] evaluates the matrix and claims sections on N domains
    (results are identical at any N). Machine-readable outputs:
    BENCH_matrix.json and BENCH_claims.json (per-section wall-clock and
    agreement, the repo's perf baseline), BENCH_parallel.json (sequential
-   vs parallel speedup curves) and BENCH_journal.json (append ops/sec and
-   recovery ms per checkpoint interval, per scheme). *)
+   vs parallel speedup curves), BENCH_journal.json (append ops/sec and
+   recovery ms per checkpoint interval, per scheme) and BENCH_torture.json
+   (crash-consistency coverage: boundaries, images, recoveries, violations). *)
 
 open Repro_xml
 open Repro_workload
@@ -335,6 +336,63 @@ let run_journal () =
   write_json "BENCH_journal.json" (journal_json results)
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: the crash-consistency torture harness                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a speed benchmark: the numbers that matter are how much crash
+   surface one run covers (boundaries crashed at, disk images recovered
+   from) and that the violation count is zero. The wall-clock is recorded
+   so coverage per second is trackable across revisions. *)
+
+let torture_seeds = 3
+let torture_ops = 120
+
+let torture_json (report : Repro_torture.Torture.report) seconds =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"torture\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"seeds\": %d,\n  \"ops\": %d,\n" torture_seeds torture_ops);
+  Buffer.add_string buf "  \"cases\": [\n";
+  List.iteri
+    (fun i (c : Repro_torture.Torture.case) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"scheme\": %S, \"seed\": %d, \"crash_points\": %d, \"images\": %d, \
+            \"recoveries\": %d, \"violations\": %d}"
+           c.c_scheme c.c_seed c.c_boundaries c.c_images c.c_recoveries c.c_violations))
+    report.Repro_torture.Torture.t_cases;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"crash_points\": %d,\n  \"images\": %d,\n  \"recoveries\": %d,\n\
+       \  \"violations\": %d,\n  \"seconds\": %.2f\n}\n"
+       report.Repro_torture.Torture.t_boundaries report.t_images report.t_recoveries
+       (List.length report.t_violations)
+       seconds);
+  Buffer.contents buf
+
+let run_torture () =
+  section "ROBUSTNESS — crash-consistency torture coverage";
+  Printf.printf
+    "%d seeds x {QED, Vector}, %d ops per workload: power cut at every\n\
+     mutating-syscall boundary, recovery machine-checked on every image.\n\n"
+    torture_seeds torture_ops;
+  let report, seconds =
+    time (fun () ->
+        Repro_torture.Torture.run ~seeds:torture_seeds ~ops:torture_ops
+          ~progress:(fun c ->
+            Printf.printf "%-8s seed %-2d %5d crash points %7d images %d violation(s)\n%!"
+              c.Repro_torture.Torture.c_scheme c.c_seed c.c_boundaries c.c_images
+              c.c_violations)
+          ())
+  in
+  Printf.printf "\n%d recoveries verified in %.1f s: %d violation(s)\n"
+    report.Repro_torture.Torture.t_recoveries seconds
+    (List.length report.Repro_torture.Torture.t_violations);
+  write_json "BENCH_torture.json" (torture_json report seconds);
+  if report.Repro_torture.Torture.t_violations <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -470,4 +528,5 @@ let () =
   if want "claims" then run_claims ~jobs:!jobs ();
   if want "parallel" then run_parallel ();
   if want "journal" then run_journal ();
+  if want "torture" then run_torture ();
   if want "micro" then run_micro ()

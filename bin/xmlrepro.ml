@@ -367,6 +367,8 @@ let with_journal_errors f =
   | v -> v
   | exception Repro_journal.Journal.Corrupt msg -> journal_error msg
   | exception Repro_journal.Journal.Replay_error msg -> journal_error msg
+  | exception Repro_io.Io.Io_error { op; path; reason } ->
+    journal_error (Printf.sprintf "%s on %s: %s" op path reason)
 
 let print_recovery (r : Repro_journal.Journal.recovery) =
   Printf.printf
@@ -485,7 +487,7 @@ let journal_checkpoint_cmd =
 let journal_inspect_cmd =
   let run base =
     with_journal_errors (fun () ->
-        let scheme, ops, torn = Repro_journal.Journal.inspect ~base in
+        let scheme, ops, torn = Repro_journal.Journal.inspect ~base () in
         Printf.printf "%d record(s) under %s\n" (List.length ops) scheme;
         List.iteri
           (fun i op -> Printf.printf "%4d  %s\n" (i + 1) (Repro_journal.Oplog.op_to_string op))
@@ -505,6 +507,84 @@ let journal_cmd =
          "Durable updates: write-ahead logging, checkpointing and crash recovery \
           over the snapshot store.")
     [ journal_record_cmd; journal_recover_cmd; journal_checkpoint_cmd; journal_inspect_cmd ]
+
+(* ---- torture ----------------------------------------------------- *)
+
+let torture_cmd =
+  let run seeds ops fsync_every checkpoint_every schemes verbose unsafe_no_dir_fsync =
+    if unsafe_no_dir_fsync then Repro_io.Io.unsafe_no_dir_fsync := true;
+    let report =
+      try
+        Repro_torture.Torture.run ~seeds ~ops ~fsync_every ~checkpoint_every ~schemes
+          ~progress:(fun c ->
+            Printf.printf "%-8s seed %-3d  %5d boundaries  %6d images  %d violation(s)\n%!"
+              c.Repro_torture.Torture.c_scheme c.c_seed c.c_boundaries c.c_images
+              c.c_violations)
+          ()
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 1
+    in
+    let shown = if verbose then report.Repro_torture.Torture.t_violations
+      else
+        (* one representative per (scheme, seed) keeps the report readable *)
+        List.rev
+          (List.fold_left
+             (fun acc (v : Repro_torture.Torture.violation) ->
+               let seen (w : Repro_torture.Torture.violation) =
+                 w.v_scheme = v.v_scheme && w.v_seed = v.v_seed
+               in
+               if List.exists seen acc then acc else v :: acc)
+             [] report.Repro_torture.Torture.t_violations)
+    in
+    List.iter
+      (fun (v : Repro_torture.Torture.violation) ->
+        Printf.printf "VIOLATION %s seed %d boundary %d image %d: %s\n" v.v_scheme v.v_seed
+          v.v_boundary v.v_image v.v_reason)
+      shown;
+    Printf.printf "crash points: %d, images: %d, recoveries: %d\n"
+      report.Repro_torture.Torture.t_boundaries report.t_images report.t_recoveries;
+    Printf.printf "violations: %d\n" (List.length report.t_violations);
+    if report.t_violations <> [] then exit 1
+  in
+  let seeds =
+    Arg.(value & opt int 5
+         & info [ "seeds" ] ~docv:"N" ~doc:"Torture seeds 0 .. $(docv)-1 per scheme.")
+  in
+  let ops =
+    Arg.(value & opt int 200
+         & info [ "ops" ] ~docv:"N" ~doc:"Update operations per workload.")
+  in
+  let fsync_every =
+    Arg.(value & opt int 8
+         & info [ "fsync-every" ] ~docv:"N" ~doc:"Flush the log every $(docv) operations.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 75
+         & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) operations.")
+  in
+  let schemes =
+    Arg.(value & opt (list string) [ "QED"; "Vector" ]
+         & info [ "schemes" ] ~docv:"NAMES" ~doc:"Comma-separated scheme names to torture.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every violation, not one per case.")
+  in
+  let unsafe_no_dir_fsync =
+    Arg.(value & flag
+         & info [ "unsafe-no-dir-fsync" ]
+             ~doc:"Skip the directory fsync after atomic renames (reintroduces a real \
+                   crash-consistency bug; the harness should then report violations).")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Crash-consistency torture: run seeded workloads through the durable session \
+          on a simulated file system, power-cut at every syscall boundary, recover from \
+          every surviving disk image and machine-check the durability invariants.")
+    Term.(
+      const run $ seeds $ ops $ fsync_every $ checkpoint_every $ schemes $ verbose
+      $ unsafe_no_dir_fsync)
 
 (* ---- report ------------------------------------------------------ *)
 
@@ -553,4 +633,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
-            twig_cmd; store_cmd; restore_cmd; journal_cmd; report_cmd; schemes_cmd ]))
+            twig_cmd; store_cmd; restore_cmd; journal_cmd; torture_cmd; report_cmd;
+            schemes_cmd ]))

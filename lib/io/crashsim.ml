@@ -1,0 +1,238 @@
+module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
+
+type inode = { synced : string; live : string }
+
+type dir_op =
+  | Link of string * int  (** creation: name -> inode *)
+  | Unlink of string
+  | Move of string * string
+
+type state = {
+  inodes : inode IMap.t;
+  live_ns : int SMap.t;  (** the namespace the process sees *)
+  durable_ns : int SMap.t;  (** the namespace already on disk *)
+  pending : dir_op list;  (** oldest first; committed by fsync_dir *)
+  next : int;
+}
+
+let empty =
+  { inodes = IMap.empty; live_ns = SMap.empty; durable_ns = SMap.empty; pending = []; next = 0 }
+
+type sim = {
+  mutable st : state;
+  mutable trace : state list;  (** newest first; [trace] excludes the initial state *)
+  mutable count : int;
+}
+
+let create () = { st = empty; trace = []; count = 0 }
+let syscalls sim = sim.count
+
+let commit sim st =
+  sim.st <- st;
+  sim.count <- sim.count + 1;
+  sim.trace <- st :: sim.trace
+
+(* Apply directory operations, in order, to a namespace. An operation
+   whose source entry is absent (because an earlier operation it depends
+   on was dropped from the subset) cannot have reached the disk either
+   and is skipped — this is what keeps arbitrary subsets
+   dependency-respecting. *)
+let apply_ops ns ops =
+  List.fold_left
+    (fun ns op ->
+      match op with
+      | Link (name, id) -> SMap.add name id ns
+      | Unlink name -> SMap.remove name ns
+      | Move (src, dst) -> (
+        match SMap.find_opt src ns with
+        | None -> ns
+        | Some id -> SMap.add dst id (SMap.remove src ns)))
+    ns ops
+
+(* ---- the syscall surface ------------------------------------------ *)
+
+let enoent op path = raise (Unix.Unix_error (Unix.ENOENT, op, path))
+
+let syscall_module sim : (module Io.S) =
+  (module struct
+    type fd = int
+
+    let inode st id = IMap.find id st.inodes
+
+    let openfile path mode =
+      let st = sim.st in
+      match (mode, SMap.find_opt path st.live_ns) with
+      | Io.Append, None -> enoent "open" path
+      | Io.Append, Some id -> id (* no state change: not a crash boundary *)
+      | Io.Trunc, Some id ->
+        (* O_TRUNC empties the live file; the synced pages keep the old
+           content until the next fsync, as on a real disk *)
+        let ino = inode st id in
+        commit sim { st with inodes = IMap.add id { ino with live = "" } st.inodes };
+        id
+      | Io.Trunc, None ->
+        let id = st.next in
+        commit sim
+          {
+            st with
+            inodes = IMap.add id { synced = ""; live = "" } st.inodes;
+            live_ns = SMap.add path id st.live_ns;
+            pending = st.pending @ [ Link (path, id) ];
+            next = id + 1;
+          };
+        id
+
+    let write id s off len =
+      let st = sim.st in
+      let ino = inode st id in
+      commit sim
+        {
+          st with
+          inodes = IMap.add id { ino with live = ino.live ^ String.sub s off len } st.inodes;
+        };
+      len
+
+    let fsync id =
+      let st = sim.st in
+      let ino = inode st id in
+      commit sim { st with inodes = IMap.add id { ino with synced = ino.live } st.inodes }
+
+    let ftruncate id len =
+      let st = sim.st in
+      let ino = inode st id in
+      let cut s = if String.length s > len then String.sub s 0 len else s in
+      commit sim
+        { st with inodes = IMap.add id { synced = cut ino.synced; live = cut ino.live } st.inodes }
+
+    let close _ = ()
+
+    let rename src dst =
+      let st = sim.st in
+      match SMap.find_opt src st.live_ns with
+      | None -> enoent "rename" src
+      | Some id ->
+        commit sim
+          {
+            st with
+            live_ns = SMap.add dst id (SMap.remove src st.live_ns);
+            pending = st.pending @ [ Move (src, dst) ];
+          }
+
+    let fsync_dir _path =
+      let st = sim.st in
+      commit sim
+        { st with durable_ns = apply_ops st.durable_ns st.pending; pending = [] }
+
+    let remove path =
+      let st = sim.st in
+      if not (SMap.mem path st.live_ns) then enoent "unlink" path;
+      commit sim
+        {
+          st with
+          live_ns = SMap.remove path st.live_ns;
+          pending = st.pending @ [ Unlink path ];
+        }
+
+    let read_file path =
+      match SMap.find_opt path sim.st.live_ns with
+      | None -> enoent "read" path
+      | Some id -> (inode sim.st id).live
+
+    let file_exists path = SMap.mem path sim.st.live_ns
+  end)
+
+let io sim = Io.pack (syscall_module sim)
+
+(* ---- crash images -------------------------------------------------- *)
+
+type image = (string * string) list
+
+let state_at sim k =
+  if k < 0 || k > sim.count then invalid_arg "Crashsim: boundary out of range";
+  if k = 0 then empty else List.nth sim.trace (sim.count - k)
+
+(* Metadata choices: with few pending operations, every subset (order
+   preserved); with many, the prefixes (in-order commit), the drop-one
+   variants (one operation reordered past everything after it — the
+   rename-vs-unlink hazard) and the full list. *)
+let metadata_choices pending =
+  let n = List.length pending in
+  if n = 0 then [ [] ]
+  else if n <= 4 then
+    let rec subsets = function
+      | [] -> [ [] ]
+      | x :: rest ->
+        let s = subsets rest in
+        List.map (fun l -> x :: l) s @ s
+    in
+    subsets pending
+  else
+    let arr = Array.of_list pending in
+    let prefixes = List.init (n + 1) (fun k -> Array.to_list (Array.sub arr 0 k)) in
+    let drop_one = List.init n (fun i -> List.filteri (fun j _ -> j <> i) pending) in
+    prefixes @ drop_one
+
+type content_policy = Synced | Live | Torn
+
+(* What an inode's bytes can look like after the cut. [Torn] keeps the
+   synced pages plus a deterministic pseudo-random prefix of the unsynced
+   tail (the partially-written last page). *)
+let content ~salt name policy ino =
+  match policy with
+  | Synced -> ino.synced
+  | Live -> ino.live
+  | Torn ->
+    let s = String.length ino.synced and l = String.length ino.live in
+    if l <= s then ino.synced
+    else
+      let extra = Hashtbl.hash (salt, name, l) mod (l - s + 1) in
+      String.sub ino.live 0 (s + extra)
+
+let images sim ~boundary =
+  let st = state_at sim boundary in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun choice ->
+      let ns = apply_ops st.durable_ns choice in
+      List.iter
+        (fun policy ->
+          let img =
+            SMap.fold
+              (fun name id acc ->
+                (name, content ~salt:boundary name policy (IMap.find id st.inodes)) :: acc)
+              ns []
+            |> List.rev
+          in
+          if not (Hashtbl.mem seen img) then begin
+            Hashtbl.add seen img ();
+            out := img :: !out
+          end)
+        [ Synced; Torn; Live ])
+    (metadata_choices st.pending);
+  List.rev !out
+
+let restore image =
+  let sim = create () in
+  let st =
+    List.fold_left
+      (fun st (name, data) ->
+        let id = st.next in
+        {
+          st with
+          inodes = IMap.add id { synced = data; live = data } st.inodes;
+          live_ns = SMap.add name id st.live_ns;
+          durable_ns = SMap.add name id st.durable_ns;
+          next = id + 1;
+        })
+      empty image
+  in
+  sim.st <- st;
+  sim
+
+let dump sim =
+  SMap.fold
+    (fun name id acc -> (name, (IMap.find id sim.st.inodes).live) :: acc)
+    sim.st.live_ns []
+  |> List.rev

@@ -1,0 +1,58 @@
+(** A simulated file system in which a power cut can be taken at any
+    syscall boundary.
+
+    The model separates what a process {e sees} from what would {e
+    survive} a crash, along the two axes real kernels lose data on:
+
+    - {b unsynced pages}: each inode carries [live] content (what reads
+      return) and [synced] content (what [fsync] has pushed to stable
+      storage). A crash may keep anything between the synced image and
+      the live one.
+    - {b directory-operation reordering}: creates, renames and unlinks
+      are appended to a pending list and only committed to the durable
+      namespace by [fsync_dir]. At a crash, any dependency-respecting
+      subset of the pending operations may have reached the disk — in
+      particular an unlink issued {e after} a rename can be durable while
+      the rename is not, the reorder that makes a missing
+      directory-fsync-after-rename a real bug.
+
+    Every mutating syscall (open-create/trunc, write, fsync, ftruncate,
+    rename, unlink, fsync_dir) is counted and the full state snapshotted
+    — cheaply, everything is immutable maps — so after a run the torture
+    harness asks: "had the power failed right after syscall [k], what
+    states could the disk be in?" {!images} answers with the
+    deduplicated set of surviving file systems, {!restore} turns one back
+    into a live sim, and recovery is run against it through the ordinary
+    {!Io} seam. *)
+
+type sim
+
+val create : unit -> sim
+
+val io : sim -> Io.t
+(** The sim as a packaged backend ({!Io.pack} applied to its syscall
+    surface). Reads observe live content; faults raise through the
+    policy layer as {!Io.Io_error}. *)
+
+val syscalls : sim -> int
+(** Mutating syscalls performed so far. Crash boundaries are
+    [0 .. syscalls sim]: boundary [k] is the instant after the k-th one
+    completed (0 = before anything ran). *)
+
+type image = (string * string) list
+(** One possible surviving disk: sorted [(path, contents)]. *)
+
+val images : sim -> boundary:int -> image list
+(** The deduplicated crash images at a boundary. Each pairs a metadata
+    choice (a dependency-respecting subset of the then-pending directory
+    operations — all subsets when few are pending, else prefixes,
+    drop-one variants and the full list) with a content choice per file:
+    synced pages only, everything including unsynced pages, or the
+    unsynced tail torn at a deterministic pseudo-random length. *)
+
+val restore : image -> sim
+(** A fresh sim whose disk is exactly the image (all content synced, no
+    pending operations) — hand its {!io} to recovery. *)
+
+val dump : sim -> image
+(** The live file system as [(path, contents)], for assertions. *)

@@ -1,0 +1,92 @@
+type failure = Short_write of int | Eintr | Enospc | Eio | Fsync_fail | Eacces
+type trigger = At of int | From of int
+
+type t = {
+  mutable plan : (trigger * failure) list;
+  mutable t_calls : int;
+  mutable t_injected : int;
+}
+
+let arm t plan = t.plan <- plan
+let calls t = t.t_calls
+let injected t = t.t_injected
+
+let unix_err e op = raise (Unix.Unix_error (e, op, ""))
+
+let wrap (module M : Io.S) =
+  let t = { plan = []; t_calls = 0; t_injected = 0 } in
+  (* Count the call; if the plan names this count, hand back the failure
+     to inject instead of performing it. *)
+  let fire () =
+    t.t_calls <- t.t_calls + 1;
+    let n = t.t_calls in
+    match
+      List.find_opt
+        (fun (trg, _) -> match trg with At k -> k = n | From k -> n >= k)
+        t.plan
+    with
+    | None -> None
+    | Some (_, f) ->
+      t.t_injected <- t.t_injected + 1;
+      Some f
+  in
+  let module F = struct
+    type fd = M.fd
+
+    (* Failures that make sense anywhere; Short_write and Fsync_fail are
+       interpreted per call site. *)
+    let generic op = function
+      | Some Eintr -> unix_err Unix.EINTR op
+      | Some Enospc -> unix_err Unix.ENOSPC op
+      | Some Eio -> unix_err Unix.EIO op
+      | Some Eacces -> unix_err Unix.EACCES op
+      | Some (Short_write _) | Some Fsync_fail | None -> ()
+
+    let openfile path mode =
+      generic "open" (fire ());
+      M.openfile path mode
+
+    let write fd s off len =
+      match fire () with
+      | Some (Short_write k) -> M.write fd s off (min (max k 1) len)
+      | f ->
+        generic "write" f;
+        M.write fd s off len
+
+    let fsync fd =
+      match fire () with
+      | Some Fsync_fail -> unix_err Unix.EIO "fsync"
+      | f ->
+        generic "fsync" f;
+        M.fsync fd
+
+    let ftruncate fd len =
+      generic "ftruncate" (fire ());
+      M.ftruncate fd len
+
+    let close fd =
+      generic "close" (fire ());
+      M.close fd
+
+    let rename src dst =
+      generic "rename" (fire ());
+      M.rename src dst
+
+    let fsync_dir path =
+      generic "fsync_dir" (fire ());
+      M.fsync_dir path
+
+    let remove path =
+      generic "unlink" (fire ());
+      M.remove path
+
+    (* whole-file reads are counted too: recovery's failure modes (a
+       snapshot that has lost its read permission, a dying disk under the
+       log) live on this path *)
+    let read_file path =
+      generic "read" (fire ());
+      M.read_file path
+
+    let file_exists = M.file_exists
+  end in
+  (t, (module F : Io.S))

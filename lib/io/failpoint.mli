@@ -1,0 +1,43 @@
+(** Deterministic fault injection under the {!Io} policy layer.
+
+    [wrap] interposes on a raw backend and counts every syscall the
+    durability stack issues (open, write, fsync, ftruncate, close,
+    rename, fsync_dir, unlink, whole-file read). An armed plan names the counts at which to inject a failure
+    {e instead of} performing the call — the failure is raised as the
+    corresponding [Unix.Unix_error], i.e. below {!Io.pack}'s retry policy,
+    which is precisely the code under test: an injected [EINTR] must be
+    retried into a whole record, a persistent [ENOSPC] must surface as a
+    typed {!Io.Io_error} after the bounded backoff, a failed fsync must
+    fail fast.
+
+    A retried call counts again, so an [At n] injection fires exactly once
+    and the retry proceeds; [From n] keeps firing and models a full disk
+    or a dead device. *)
+
+type failure =
+  | Short_write of int  (** the write succeeds but lands only this many bytes *)
+  | Eintr
+  | Enospc
+  | Eio
+  | Fsync_fail  (** [EIO] from fsync specifically *)
+  | Eacces  (** permission denied, for opens *)
+
+type trigger =
+  | At of int  (** inject at exactly the n-th counted syscall (1-based) *)
+  | From of int  (** inject at every counted syscall from the n-th on *)
+
+type t
+(** The controller: counts calls, holds the armed plan. *)
+
+val wrap : (module Io.S) -> t * (module Io.S)
+(** The instrumented backend plus its controller. Pass the backend to
+    {!Io.pack} as usual. *)
+
+val arm : t -> (trigger * failure) list -> unit
+(** Replace the plan. [arm t []] disarms. *)
+
+val calls : t -> int
+(** Counted syscalls so far — use it to aim a trigger at "the next write". *)
+
+val injected : t -> int
+(** How many failures actually fired. *)

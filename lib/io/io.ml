@@ -1,0 +1,169 @@
+exception Io_error of { op : string; path : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Io_error { op; path; reason } ->
+      Some (Printf.sprintf "Io_error(%s %s: %s)" op path reason)
+    | _ -> None)
+
+let io_error ~op ~path reason = raise (Io_error { op; path; reason })
+
+type mode = Append | Trunc
+
+module type S = sig
+  type fd
+
+  val openfile : string -> mode -> fd
+  val write : fd -> string -> int -> int -> int
+  val fsync : fd -> unit
+  val ftruncate : fd -> int -> unit
+  val close : fd -> unit
+  val rename : string -> string -> unit
+  val fsync_dir : string -> unit
+  val remove : string -> unit
+  val read_file : string -> string
+  val file_exists : string -> bool
+end
+
+type file = {
+  f_write : string -> unit;
+  f_fsync : unit -> unit;
+  f_truncate : int -> unit;
+  f_close : unit -> unit;
+}
+
+type t = {
+  open_file : string -> mode -> file;
+  rename : src:string -> dst:string -> unit;
+  fsync_dir : string -> unit;
+  remove : string -> unit;
+  read_file : string -> string;
+  file_exists : string -> bool;
+}
+
+(* ---- the retry / error policy ------------------------------------- *)
+
+(* ENOSPC and EIO are worth a few retries: space can be freed under us
+   and transient device errors clear, while anything longer-lived should
+   surface quickly. Three backoffs, 1/4/16 ms. *)
+let transient_attempts = 4
+
+let rec transient ?(attempt = 1) ~op ~path f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> transient ~attempt ~op ~path f
+  | exception Unix.Unix_error ((Unix.ENOSPC | Unix.EIO), _, _)
+    when attempt < transient_attempts ->
+    Unix.sleepf (0.001 *. float_of_int (1 lsl (2 * (attempt - 1))));
+    transient ~attempt:(attempt + 1) ~op ~path f
+  | exception Unix.Unix_error (e, _, _) -> io_error ~op ~path (Unix.error_message e)
+  | exception Sys_error reason -> io_error ~op ~path reason
+
+(* EINTR-only: for calls where retrying a real failure would be wrong —
+   above all fsync, whose failure may mean the dirty pages are already
+   gone, so "retry until it works" would report durability that does not
+   exist. *)
+let rec eintr_only ~op ~path f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> eintr_only ~op ~path f
+  | exception Unix.Unix_error (e, _, _) -> io_error ~op ~path (Unix.error_message e)
+  | exception Sys_error reason -> io_error ~op ~path reason
+
+let pack (module M : S) =
+  let open_file path mode =
+    let fd = transient ~op:"open" ~path (fun () -> M.openfile path mode) in
+    let f_write s =
+      let n = String.length s in
+      let rec go off =
+        if off < n then begin
+          let w = transient ~op:"write" ~path (fun () -> M.write fd s off (n - off)) in
+          if w <= 0 then io_error ~op:"write" ~path "wrote no bytes";
+          go (off + w)
+        end
+      in
+      go 0
+    in
+    {
+      f_write;
+      f_fsync = (fun () -> eintr_only ~op:"fsync" ~path (fun () -> M.fsync fd));
+      f_truncate = (fun len -> eintr_only ~op:"ftruncate" ~path (fun () -> M.ftruncate fd len));
+      f_close =
+        (fun () ->
+          (* POSIX leaves the descriptor state unspecified after close is
+             interrupted; on Linux it is closed, so retrying could close a
+             reused descriptor. Treat EINTR as closed. *)
+          match M.close fd with
+          | () -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+            io_error ~op:"close" ~path (Unix.error_message e));
+    }
+  in
+  {
+    open_file;
+    rename =
+      (fun ~src ~dst -> eintr_only ~op:"rename" ~path:dst (fun () -> M.rename src dst));
+    fsync_dir = (fun path -> eintr_only ~op:"fsync_dir" ~path (fun () -> M.fsync_dir path));
+    remove = (fun path -> eintr_only ~op:"unlink" ~path (fun () -> M.remove path));
+    read_file = (fun path -> eintr_only ~op:"read" ~path (fun () -> M.read_file path));
+    file_exists = (fun path -> M.file_exists path);
+  }
+
+(* ---- the real backend --------------------------------------------- *)
+
+module Unix_syscalls = struct
+  type fd = Unix.file_descr
+
+  let openfile path = function
+    | Append -> Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+    | Trunc -> Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+
+  let write = Unix.write_substring
+  let fsync = Unix.fsync
+  let ftruncate = Unix.ftruncate
+  let close = Unix.close
+  let rename src dst = Sys.rename src dst
+
+  (* EINTR on the open is retried by the policy layer above. *)
+  let fsync_dir path =
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try Unix.fsync fd
+        with Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) ->
+          (* some file systems refuse to fsync a directory; their
+             metadata journal already orders the operations *)
+          ())
+
+  let remove path = Sys.remove path
+  let read_file path = In_channel.with_open_bin path In_channel.input_all
+  let file_exists = Sys.file_exists
+end
+
+let unix_syscalls = (module Unix_syscalls : S)
+let real = pack unix_syscalls
+
+(* ---- atomic replacement ------------------------------------------- *)
+
+let unsafe_no_dir_fsync = ref false
+
+let write_atomic io path data =
+  let tmp = path ^ ".tmp" in
+  let f = io.open_file tmp Trunc in
+  (match
+     f.f_write data;
+     f.f_fsync ()
+   with
+  | () -> f.f_close ()
+  | exception e ->
+    (try f.f_close () with Io_error _ -> ());
+    raise e);
+  io.rename ~src:tmp ~dst:path;
+  (* Without this the rename lives only in the directory's dirty page: a
+     power cut can roll the file back to its old content — or, under
+     metadata reordering, make later operations durable while this rename
+     is not. The torture harness catches exactly this when the knob below
+     disables it. *)
+  if not !unsafe_no_dir_fsync then io.fsync_dir (Filename.dirname path)

@@ -1,0 +1,107 @@
+(** The pluggable IO seam under the durability stack.
+
+    Everything in `lib/journal/` and `lib/storage/` that touches the file
+    system goes through a backend of this module, so the same code can run
+    against three implementations:
+
+    - {!real} — actual Unix syscalls, hardened: every call retries
+      [EINTR], writes retry transient [ENOSPC]/[EIO] with a short bounded
+      backoff, and any remaining failure surfaces as a typed {!Io_error}
+      naming the operation and the path (never a raw [Unix_error] or
+      [Sys_error]).
+    - {!Failpoint} (its own module) — the real backend with deterministic
+      fault injection at the N-th syscall: short writes, [EINTR],
+      [ENOSPC], fsync failures. Exercises the hardening above.
+    - {!Crashsim} (its own module) — a simulated file system that models
+      unsynced-page loss and directory-operation (rename/create/unlink)
+      reordering, so a "power cut" can be taken at any syscall boundary
+      and the surviving on-disk state handed back for recovery. The
+      torture harness is built on it.
+
+    The split between {!S} and {!t}: [S] is the raw syscall level — a
+    [write] may be short, calls may raise [Unix_error] — while {!pack}
+    wraps an [S] with the retry/error policy and presents the value-level
+    {!t} that the journal and store actually consume. Fault injection
+    happens below the policy (so the policy is what gets tested); the
+    journal never sees a bare errno. *)
+
+exception Io_error of { op : string; path : string; reason : string }
+(** A file-system operation failed after the retry policy gave up. [op]
+    is the syscall family ("open", "write", "fsync", …), [path] the file
+    it was aimed at. *)
+
+type mode =
+  | Append  (** existing file, writes at the end *)
+  | Trunc  (** create or empty, then write *)
+
+(** The raw syscall signature a backend implements. Semantics match the
+    POSIX calls: [write] may write fewer bytes than asked and any call may
+    raise [Unix.Unix_error] (the policy layer deals with both). *)
+module type S = sig
+  type fd
+
+  val openfile : string -> mode -> fd
+  val write : fd -> string -> int -> int -> int
+  (** [write fd s off len] writes at most [len] bytes of [s] starting at
+      [off], returning how many actually landed. *)
+
+  val fsync : fd -> unit
+  val ftruncate : fd -> int -> unit
+  val close : fd -> unit
+  val rename : string -> string -> unit
+  val fsync_dir : string -> unit
+  (** Flush the directory itself, making renames/creates/unlinks inside
+      it durable. *)
+
+  val remove : string -> unit
+  val read_file : string -> string
+  val file_exists : string -> bool
+end
+
+type file = {
+  f_write : string -> unit;  (** the whole string, short writes retried *)
+  f_fsync : unit -> unit;
+  f_truncate : int -> unit;
+  f_close : unit -> unit;
+}
+(** An open file under the policy layer. *)
+
+type t = {
+  open_file : string -> mode -> file;
+  rename : src:string -> dst:string -> unit;
+  fsync_dir : string -> unit;
+  remove : string -> unit;
+  read_file : string -> string;
+  file_exists : string -> bool;
+}
+(** A packaged backend: what the journal and store program against. *)
+
+val pack : (module S) -> t
+(** Wrap a raw backend with the retry/error policy: [EINTR] always
+    retries; writes and opens retry [ENOSPC]/[EIO] a bounded number of
+    times with exponential backoff; fsync failures are {e never} retried
+    (after a failed fsync the kernel may have dropped the dirty pages, so
+    retrying can report durability that does not exist — the error is
+    surfaced immediately); everything else raises {!Io_error}. *)
+
+val unix_syscalls : (module S)
+(** The real thing. [fsync_dir] opens the directory read-only and fsyncs
+    it; file systems that reject directory fsync ([EINVAL]) are treated as
+    already-durable. *)
+
+val real : t
+(** [pack unix_syscalls], shared. *)
+
+val unsafe_no_dir_fsync : bool ref
+(** Debug knob for the torture harness's self-test: when set,
+    {!write_atomic} skips the directory fsync after its rename — the exact
+    historical bug the harness exists to catch. Default [false]; never set
+    it outside `xmlrepro torture --unsafe-no-dir-fsync` or the test that
+    proves the harness detects the regression. *)
+
+val write_atomic : t -> string -> string -> unit
+(** [write_atomic io path data]: write [data] to [path ^ ".tmp"], fsync
+    it, rename over [path], then fsync the containing directory so the
+    rename itself survives power loss. The destination either keeps its
+    old content or carries the complete new one — and once this returns,
+    that holds across a crash too. *)

@@ -1,0 +1,224 @@
+open Repro_xml
+
+type violation = {
+  v_scheme : string;
+  v_seed : int;
+  v_boundary : int;
+  v_image : int;
+  v_reason : string;
+}
+
+type case = {
+  c_scheme : string;
+  c_seed : int;
+  c_boundaries : int;
+  c_images : int;
+  c_recoveries : int;
+  c_violations : int;
+}
+
+type report = {
+  t_cases : case list;
+  t_boundaries : int;
+  t_images : int;
+  t_recoveries : int;
+  t_violations : violation list;
+}
+
+(* The full observable content of a session: structure, content and the
+   rendered label of every node. Rendering every label is what makes a
+   recovery "codec clean" — a label whose bytes survived but no longer
+   decode would raise here, inside the harness, and be reported. *)
+let flat (session : Core.Session.t) =
+  List.map
+    (fun (n : Tree.node) ->
+      (n.Tree.name, n.Tree.value, Tree.level n, session.Core.Session.label_string n))
+    (Tree.preorder session.Core.Session.doc)
+
+let make_doc seed =
+  Repro_workload.Docgen.generate ~seed
+    { Repro_workload.Docgen.default_shape with target_nodes = 30 }
+
+(* A view over the durable session's view that also hands each journaled
+   operation to [note] — the label captured before the mutation, exactly
+   as Durable_session itself does — so the harness owns the complete
+   operation stream across checkpoints (the journal only keeps the tail
+   since the last one). *)
+let recording (view : Core.Session.t) note =
+  let label n =
+    let l_bytes, l_bits = view.Core.Session.label_encoded n in
+    { Repro_journal.Oplog.l_bytes; l_bits }
+  in
+  let ins make apply n f =
+    note (make (label n) f);
+    apply n f
+  in
+  {
+    view with
+    Core.Session.insert_first =
+      ins (fun l f -> Repro_journal.Oplog.Insert_first (l, f)) view.Core.Session.insert_first;
+    insert_last =
+      ins (fun l f -> Repro_journal.Oplog.Insert_last (l, f)) view.Core.Session.insert_last;
+    insert_before =
+      ins (fun l f -> Repro_journal.Oplog.Insert_before (l, f)) view.Core.Session.insert_before;
+    insert_after =
+      ins (fun l f -> Repro_journal.Oplog.Insert_after (l, f)) view.Core.Session.insert_after;
+    delete =
+      (fun n ->
+        note (Repro_journal.Oplog.Delete (label n));
+        view.Core.Session.delete n);
+    set_value =
+      (fun n v ->
+        note (Repro_journal.Oplog.Replace_value (label n, v));
+        view.Core.Session.set_value n v);
+    rename =
+      (fun n name ->
+        note (Repro_journal.Oplog.Rename (label n, name));
+        view.Core.Session.rename n name);
+  }
+
+(* Durability bookkeeping: [(counter, ops)] marks, newest first. [at k]
+   is the largest op count whose mark precedes boundary [k]. *)
+let at marks k =
+  List.fold_left (fun acc (c, n) -> if c <= k && n > acc then n else acc) 0 marks
+
+let base = "journal"
+
+let recover_flat image =
+  let sim = Repro_io.Crashsim.restore image in
+  let t, session, _ = Repro_journal.Journal.recover ~io:(Repro_io.Crashsim.io sim) ~base () in
+  Repro_journal.Journal.close t;
+  flat session
+
+let torture_case ~pack ~scheme ~seed ~ops ~fsync_every ~checkpoint_every =
+  let sim = Repro_io.Crashsim.create () in
+  let io = Repro_io.Crashsim.io sim in
+  let live = Core.Session.make pack (make_doc seed) in
+  let reference = Core.Session.make pack (make_doc seed) in
+  (* fsync batching is driven from here (fsync_every = max_int below), so
+     every flush and checkpoint is bracketed by exact syscall counters. *)
+  let d = Repro_journal.Durable_session.create ~io ~fsync_every:max_int ~base live in
+  let j = Repro_journal.Durable_session.journal d in
+  let create_done = Repro_io.Crashsim.syscalls sim in
+  let recorded = ref [] and n_recorded = ref 0 in
+  let view =
+    recording
+      (Repro_journal.Durable_session.session d)
+      (fun op ->
+        recorded := op :: !recorded;
+        incr n_recorded)
+  in
+  let written = ref [ (create_done, 0) ] and synced = ref [ (create_done, 0) ] in
+  let step_no = ref 0 in
+  let run_pattern pattern pseed n =
+    let drv = Repro_workload.Updates.start pattern ~seed:pseed view in
+    for _ = 1 to n do
+      Repro_workload.Updates.step drv;
+      written := (Repro_io.Crashsim.syscalls sim, !n_recorded) :: !written;
+      incr step_no;
+      if !step_no mod fsync_every = 0 then begin
+        Repro_journal.Journal.flush j;
+        synced := (Repro_io.Crashsim.syscalls sim, !n_recorded) :: !synced
+      end;
+      if !step_no mod checkpoint_every = 0 then begin
+        Repro_journal.Durable_session.checkpoint d;
+        synced := (Repro_io.Crashsim.syscalls sim, !n_recorded) :: !synced
+      end
+    done
+  in
+  let half = ops / 2 in
+  run_pattern Repro_workload.Updates.Uniform_random ((seed * 7) + 1) half;
+  run_pattern Repro_workload.Updates.Mixed_with_deletes ((seed * 7) + 2) (ops - half);
+  Repro_journal.Durable_session.close d;
+  synced := (Repro_io.Crashsim.syscalls sim, !n_recorded) :: !synced;
+  (* Reference states: expected.(j) is the snapshot plus the first j
+     records. Replaying onto the identically-seeded twin must land on the
+     live state — if it does not, the harness itself is broken. *)
+  let ops_list = List.rev !recorded in
+  let expected = Array.make (!n_recorded + 1) [] in
+  expected.(0) <- flat reference;
+  List.iteri
+    (fun i op ->
+      Repro_journal.Journal.apply reference op;
+      expected.(i + 1) <- flat reference)
+    ops_list;
+  if expected.(!n_recorded) <> flat live then
+    failwith "torture rig: replaying the recorded operations diverged from the live session";
+  (* Power-cut sweep. *)
+  let total = Repro_io.Crashsim.syscalls sim in
+  let violations = ref [] and images = ref 0 and recoveries = ref 0 in
+  for k = 0 to total do
+    let lo = at !synced k and hi = at !written k in
+    List.iteri
+      (fun idx img ->
+        incr images;
+        incr recoveries;
+        let fail reason =
+          violations :=
+            { v_scheme = scheme; v_seed = seed; v_boundary = k; v_image = idx; v_reason = reason }
+            :: !violations
+        in
+        match recover_flat img with
+        | exception Repro_journal.Journal.Corrupt msg ->
+          (* before create completed the journal legitimately may not
+             exist on the surviving disk; afterwards nothing excuses a
+             recovery failure *)
+          if k >= create_done then fail ("recovery raised Corrupt: " ^ msg)
+        | exception e -> fail ("recovery raised " ^ Printexc.to_string e)
+        | got ->
+          if k < create_done then begin
+            if got <> expected.(0) then
+              fail "a crash during journal creation recovered to a non-initial state"
+          end
+          else begin
+            let rec matches j = j <= hi && (got = expected.(j) || matches (j + 1)) in
+            if not (matches lo) then
+              fail
+                (Printf.sprintf
+                   "recovered state matches no whole-record prefix in the durable range \
+                    [%d, %d] of %d journaled operations"
+                   lo hi !n_recorded)
+          end)
+      (Repro_io.Crashsim.images sim ~boundary:k)
+  done;
+  let violations = List.rev !violations in
+  ( {
+      c_scheme = scheme;
+      c_seed = seed;
+      c_boundaries = total + 1;
+      c_images = !images;
+      c_recoveries = !recoveries;
+      c_violations = List.length violations;
+    },
+    violations )
+
+let run ?(ops = 200) ?(fsync_every = 8) ?(checkpoint_every = 75)
+    ?(schemes = [ "QED"; "Vector" ]) ?progress ~seeds () =
+  let packs =
+    List.map
+      (fun name ->
+        match Repro_schemes.Registry.find name with
+        | Some pack -> (name, pack)
+        | None -> invalid_arg (Printf.sprintf "Torture.run: unknown scheme %S" name))
+      schemes
+  in
+  let cases = ref [] and violations = ref [] in
+  List.iter
+    (fun (scheme, pack) ->
+      for seed = 0 to seeds - 1 do
+        let case, vs =
+          torture_case ~pack ~scheme ~seed ~ops ~fsync_every ~checkpoint_every
+        in
+        cases := case :: !cases;
+        violations := List.rev_append vs !violations;
+        Option.iter (fun f -> f case) progress
+      done)
+    packs;
+  let cases = List.rev !cases in
+  {
+    t_cases = cases;
+    t_boundaries = List.fold_left (fun a c -> a + c.c_boundaries) 0 cases;
+    t_images = List.fold_left (fun a c -> a + c.c_images) 0 cases;
+    t_recoveries = List.fold_left (fun a c -> a + c.c_recoveries) 0 cases;
+    t_violations = List.rev !violations;
+  }

@@ -75,9 +75,9 @@ let wrap journal checkpoint_every inner =
   in
   Lazy.force t
 
-let create ?fsync_every ?checkpoint_every ~base inner =
-  wrap (Journal.create ?fsync_every ~base inner) checkpoint_every inner
+let create ?io ?fsync_every ?checkpoint_every ~base inner =
+  wrap (Journal.create ?io ?fsync_every ~base inner) checkpoint_every inner
 
-let recover ?scheme ?fsync_every ?checkpoint_every ~base () =
-  let journal, inner, recovery = Journal.recover ?scheme ?fsync_every ~base () in
+let recover ?io ?scheme ?fsync_every ?checkpoint_every ~base () =
+  let journal, inner, recovery = Journal.recover ?io ?scheme ?fsync_every ~base () in
   (wrap journal checkpoint_every inner, recovery)

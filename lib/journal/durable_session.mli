@@ -15,14 +15,15 @@
 type t
 
 val create :
+  ?io:Repro_io.Io.t ->
   ?fsync_every:int -> ?checkpoint_every:int -> base:string -> Core.Session.t -> t
 (** Wrap a live session and start a fresh epoch-1 journal at [base].
     [checkpoint_every] (default: never) checkpoints automatically after
     that many journaled operations — the knob the durability benchmark
-    sweeps. [fsync_every] is passed to {!Journal.create}. *)
+    sweeps. [fsync_every] and [io] are passed to {!Journal.create}. *)
 
 val recover :
-  ?scheme:Core.Scheme.packed ->
+  ?io:Repro_io.Io.t -> ?scheme:Core.Scheme.packed ->
   ?fsync_every:int -> ?checkpoint_every:int -> base:string -> unit ->
   t * Journal.recovery
 (** {!Journal.recover}, rewrapped for appending: the returned session has

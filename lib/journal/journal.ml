@@ -1,4 +1,5 @@
 open Repro_xml
+open Repro_io
 
 exception Corrupt of string
 exception Replay_error of string
@@ -12,32 +13,27 @@ let log_magic = "XJL1"
 let snapshot_path ~base ~epoch = Printf.sprintf "%s.%d.snap" base epoch
 let log_path ~base ~epoch = Printf.sprintf "%s.%d.log" base epoch
 
-(* ---- file primitives --------------------------------------------- *)
+(* ---- file primitives ----------------------------------------------
 
-let read_file path = In_channel.with_open_bin path In_channel.input_all
+   Everything below goes through the pluggable {!Repro_io.Io} seam, so
+   the journal runs unchanged over the real hardened Unix backend, the
+   fault-injecting failpoint backend, and the simulated-crash file system
+   the torture harness drives. Raw [Sys_error]/[Unix_error] never reach
+   this layer: the seam raises typed {!Io.Io_error}s naming the file. *)
 
-let write_all fd s =
-  let n = String.length s in
-  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
-  go 0
-
-(* Write-then-rename, with an fsync before the rename: the final path
-   either keeps its old content or carries the complete new one. *)
-let write_atomic path data =
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  write_all fd data;
-  Unix.fsync fd;
-  Unix.close fd;
-  Sys.rename tmp path
+let read_file (io : Io.t) path = io.Io.read_file path
+let open_append (io : Io.t) path = io.Io.open_file path Io.Append
 
 (* ---- manifest and log header ------------------------------------- *)
 
 let manifest_content epoch = Printf.sprintf "%s %d\n" manifest_magic epoch
 
-let read_manifest base =
-  if not (Sys.file_exists base) then corrupt "no journal manifest at %s" base;
-  let s = read_file base in
+let read_manifest io base =
+  if not (io.Io.file_exists base) then corrupt "no journal manifest at %s" base;
+  let s =
+    try read_file io base
+    with Io.Io_error { reason; _ } -> corrupt "journal manifest %s unreadable: %s" base reason
+  in
   match Scanf.sscanf s "XJM1 %d" (fun e -> e) with
   | e when e >= 1 -> e
   | _ -> corrupt "bad epoch in journal manifest %s" base
@@ -129,11 +125,12 @@ let apply session op = apply_with (make_resolver session) op
 
 type t = {
   base : string;
+  io : Io.t;
   t_scheme : string;
   fsync_every : int;
   mutable t_epoch : int;
-  mutable fd : Unix.file_descr;
-  mutable pending : int;  (** appends since the last fsync *)
+  mutable fd : Io.file;
+  mutable t_pending : int;  (** appends since the last fsync *)
   mutable t_appended : int;
   mutable t_size : int;
 }
@@ -142,43 +139,60 @@ let scheme_name t = t.t_scheme
 let epoch t = t.t_epoch
 let appended t = t.t_appended
 let log_size t = t.t_size
-
-let open_append path = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+let pending t = t.t_pending
 
 let flush t =
-  if t.pending > 0 then Unix.fsync t.fd;
-  t.pending <- 0
+  (* On fsync failure [t_pending] stays put: the records are written but
+     not durable, and a later flush (or close) will try again — though
+     after a failed fsync the bytes' fate is the kernel's secret, which is
+     why the Io layer never silently retries fsync itself. *)
+  if t.t_pending > 0 then t.fd.Io.f_fsync ();
+  t.t_pending <- 0
 
 let append t op =
   let r = Oplog.encode_record op in
-  write_all t.fd r;
+  (try t.fd.Io.f_write r
+   with Io.Io_error _ as e ->
+     (* The write may have landed partially, which would leave a torn
+        record in the middle of the log and silently cut off everything
+        appended after it. Cut the log back to the last whole record so
+        the journal stays appendable, then surface the failure. *)
+     (try
+        t.fd.Io.f_truncate t.t_size;
+        t.fd.Io.f_fsync ()
+      with Io.Io_error _ -> ());
+     raise e);
   t.t_size <- t.t_size + String.length r;
   t.t_appended <- t.t_appended + 1;
-  t.pending <- t.pending + 1;
-  if t.pending >= t.fsync_every then flush t
+  t.t_pending <- t.t_pending + 1;
+  if t.t_pending >= t.fsync_every then flush t
 
 let close t =
-  flush t;
-  Unix.close t.fd
+  (* Always release the descriptor, even when the final flush fails. *)
+  Fun.protect ~finally:(fun () -> t.fd.Io.f_close ()) (fun () -> flush t)
 
 (* Install epoch [e]: snapshot first, then a fresh log, then the manifest
-   swing — the manifest always names a pair that is fully on disk. *)
-let install_epoch ~base ~scheme ~snapshot e =
-  write_atomic (snapshot_path ~base ~epoch:e) snapshot;
-  write_atomic (log_path ~base ~epoch:e) (log_header scheme);
-  write_atomic base (manifest_content e)
+   swing — the manifest always names a pair that is fully on disk. Each
+   [write_atomic] fsyncs the file before its rename and the directory
+   after it, so the ordering holds across power loss, not just across
+   process death. *)
+let install_epoch ~io ~base ~scheme ~snapshot e =
+  Io.write_atomic io (snapshot_path ~base ~epoch:e) snapshot;
+  Io.write_atomic io (log_path ~base ~epoch:e) (log_header scheme);
+  Io.write_atomic io base (manifest_content e)
 
-let create ?(fsync_every = 1) ~base session =
+let create ?(io = Io.real) ?(fsync_every = 1) ~base session =
   if fsync_every < 1 then invalid_arg "Journal.create: fsync_every must be positive";
   let scheme = session.Core.Session.scheme_name in
-  install_epoch ~base ~scheme ~snapshot:(Repro_storage.Store.save session) 1;
+  install_epoch ~io ~base ~scheme ~snapshot:(Repro_storage.Store.save session) 1;
   {
     base;
+    io;
     t_scheme = scheme;
     fsync_every;
     t_epoch = 1;
-    fd = open_append (log_path ~base ~epoch:1);
-    pending = 0;
+    fd = open_append io (log_path ~base ~epoch:1);
+    t_pending = 0;
     t_appended = 0;
     t_size = String.length (log_header scheme);
   }
@@ -189,14 +203,14 @@ let checkpoint t session =
       session.Core.Session.scheme_name t.t_scheme;
   let old = t.t_epoch in
   let e = old + 1 in
-  install_epoch ~base:t.base ~scheme:t.t_scheme
+  install_epoch ~io:t.io ~base:t.base ~scheme:t.t_scheme
     ~snapshot:(Repro_storage.Store.save session) e;
-  Unix.close t.fd;
-  (try Sys.remove (snapshot_path ~base:t.base ~epoch:old) with Sys_error _ -> ());
-  (try Sys.remove (log_path ~base:t.base ~epoch:old) with Sys_error _ -> ());
+  (try t.fd.Io.f_close () with Io.Io_error _ -> ());
+  (try t.io.Io.remove (snapshot_path ~base:t.base ~epoch:old) with Io.Io_error _ -> ());
+  (try t.io.Io.remove (log_path ~base:t.base ~epoch:old) with Io.Io_error _ -> ());
   t.t_epoch <- e;
-  t.fd <- open_append (log_path ~base:t.base ~epoch:e);
-  t.pending <- 0;
+  t.fd <- open_append t.io (log_path ~base:t.base ~epoch:e);
+  t.t_pending <- 0;
   t.t_size <- String.length (log_header t.t_scheme)
 
 (* ---- recovery ----------------------------------------------------- *)
@@ -211,14 +225,18 @@ type recovery = {
   r_torn : string option;
 }
 
-let load_snapshot ?scheme path =
-  match Repro_storage.Store.load_file ?scheme path with
+let load_snapshot ~io ?scheme path =
+  match Repro_storage.Store.load_file ~io ?scheme path with
   | session -> session
   | exception Repro_storage.Store.Corrupt msg -> corrupt "snapshot %s: %s" path msg
-  | exception Sys_error msg -> corrupt "snapshot unreadable: %s" msg
+  | exception Io.Io_error { op; reason; _ } ->
+    corrupt "snapshot %s unreadable (%s: %s)" path op reason
 
-let read_log_ops ~expect_scheme path =
-  let data = try read_file path with Sys_error msg -> corrupt "log unreadable: %s" msg in
+let read_log_ops ~io ~expect_scheme path =
+  let data =
+    try read_file io path
+    with Io.Io_error { op; reason; _ } -> corrupt "log %s unreadable (%s: %s)" path op reason
+  in
   match parse_log_header data with
   | Error reason -> (`Rewrite_header, [], 0, Some reason, String.length data)
   | Ok (scheme, off) ->
@@ -227,25 +245,30 @@ let read_log_ops ~expect_scheme path =
     let ops, valid_end, torn = Oplog.read_all data ~pos:off in
     (`Valid_prefix valid_end, ops, valid_end - off, torn, String.length data)
 
-let recover ?scheme ?(fsync_every = 1) ~base () =
+let recover ?(io = Io.real) ?scheme ?(fsync_every = 1) ~base () =
   if fsync_every < 1 then invalid_arg "Journal.recover: fsync_every must be positive";
-  let e = read_manifest base in
-  let session = load_snapshot ?scheme (snapshot_path ~base ~epoch:e) in
+  let e = read_manifest io base in
+  let session = load_snapshot ~io ?scheme (snapshot_path ~base ~epoch:e) in
   let expect_scheme = session.Core.Session.scheme_name in
   let lpath = log_path ~base ~epoch:e in
-  let tail, ops, bytes, torn, log_bytes = read_log_ops ~expect_scheme lpath in
+  let tail, ops, bytes, torn, log_bytes = read_log_ops ~io ~expect_scheme lpath in
   let snapshot_nodes = Tree.size session.Core.Session.doc in
   let resolver = make_resolver session in
   List.iter (apply_with resolver) ops;
-  (* drop the torn tail (or a broken header) before appending again *)
+  (* drop the torn tail (or a broken header) before appending again; the
+     truncation is fsynced so the dropped bytes cannot resurface after a
+     crash and resurrect a record recovery decided to discard *)
   let fd =
     match tail with
     | `Rewrite_header ->
-      write_atomic lpath (log_header expect_scheme);
-      open_append lpath
+      Io.write_atomic io lpath (log_header expect_scheme);
+      open_append io lpath
     | `Valid_prefix valid_end ->
-      let fd = open_append lpath in
-      if valid_end < log_bytes then Unix.ftruncate fd valid_end;
+      let fd = open_append io lpath in
+      if valid_end < log_bytes then begin
+        fd.Io.f_truncate valid_end;
+        fd.Io.f_fsync ()
+      end;
       fd
   in
   let t_size =
@@ -256,11 +279,12 @@ let recover ?scheme ?(fsync_every = 1) ~base () =
   let t =
     {
       base;
+      io;
       t_scheme = expect_scheme;
       fsync_every;
       t_epoch = e;
       fd;
-      pending = 0;
+      t_pending = 0;
       t_appended = 0;
       t_size;
     }
@@ -278,11 +302,12 @@ let recover ?scheme ?(fsync_every = 1) ~base () =
   in
   (t, session, recovery)
 
-let inspect ~base =
-  let e = read_manifest base in
+let inspect ?(io = Io.real) ~base () =
+  let e = read_manifest io base in
+  let lpath = log_path ~base ~epoch:e in
   let data =
-    try read_file (log_path ~base ~epoch:e)
-    with Sys_error msg -> corrupt "log unreadable: %s" msg
+    try read_file io lpath
+    with Io.Io_error { op; reason; _ } -> corrupt "log %s unreadable (%s: %s)" lpath op reason
   in
   match parse_log_header data with
   | Error reason -> ("", [], Some reason)

@@ -27,7 +27,16 @@
     and replay re-runs label assignment from the snapshot, so the bound
     scheme's [restore] must leave it assigning exactly the labels the live
     session would have assigned (the {!Core.Scheme.S.restore} contract,
-    which the persistent-label schemes of §5.2 satisfy). *)
+    which the persistent-label schemes of §5.2 satisfy).
+
+    All file access goes through the pluggable {!Repro_io.Io} seam
+    ([?io], default {!Repro_io.Io.real}): the hardened Unix backend in
+    production, the failpoint and simulated-crash backends under test.
+    IO failures surface as typed {!Repro_io.Io.Io_error}s (append/flush)
+    or {!Corrupt} naming the failing file (recovery) — never as a raw
+    [Sys_error] or [Unix_error]. A failed append truncates the log back
+    to the last whole record, so the journal stays appendable and a
+    partially written frame cannot sever the records behind it. *)
 
 exception Corrupt of string
 (** A damaged manifest or journal header, a scheme mismatch between log
@@ -43,7 +52,7 @@ exception Replay_error of string
 type t
 (** An open journal, ready to append. *)
 
-val create : ?fsync_every:int -> base:string -> Core.Session.t -> t
+val create : ?io:Repro_io.Io.t -> ?fsync_every:int -> base:string -> Core.Session.t -> t
 (** [create ~base session] starts epoch 1: snapshot the session, write an
     empty log, write the manifest. [fsync_every] (default 1) batches
     commits: the log is fsynced after every n-th appended record — larger
@@ -74,13 +83,15 @@ type recovery = {
 }
 
 val recover :
-  ?scheme:Core.Scheme.packed -> ?fsync_every:int -> base:string -> unit ->
-  t * Core.Session.t * recovery
+  ?io:Repro_io.Io.t -> ?scheme:Core.Scheme.packed -> ?fsync_every:int -> base:string ->
+  unit -> t * Core.Session.t * recovery
 (** Load the manifest's snapshot, replay every whole valid record of its
-    log, truncate any torn tail, and reopen for appending. Raises
-    {!Corrupt} only for damage outside the log tail (see above). *)
+    log, truncate any torn tail (fsyncing the truncation), and reopen for
+    appending. Raises {!Corrupt} only for damage outside the log tail
+    (see above) — a missing or unreadable snapshot or log raises
+    {!Corrupt} naming the failing file. *)
 
-val inspect : base:string -> string * Oplog.op list * string option
+val inspect : ?io:Repro_io.Io.t -> base:string -> unit -> string * Oplog.op list * string option
 (** [(scheme, records, torn reason)] — decodes the current log without
     touching the snapshot or replaying anything. *)
 
@@ -91,6 +102,9 @@ val appended : t -> int
 
 val log_size : t -> int
 (** Current log length in bytes, header included. *)
+
+val pending : t -> int
+(** Appended records not yet covered by an fsync. *)
 
 val snapshot_path : base:string -> epoch:int -> string
 val log_path : base:string -> epoch:int -> string

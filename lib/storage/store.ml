@@ -89,8 +89,11 @@ let save session =
   w32 tail (Int32.to_int (Repro_codes.Crc32.string body) land 0xFFFFFFFF);
   body ^ Buffer.contents tail
 
-let save_file session path =
-  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (save session))
+let save_file ?(io = Repro_io.Io.real) session path =
+  let f = io.Repro_io.Io.open_file path Repro_io.Io.Trunc in
+  Fun.protect
+    ~finally:(fun () -> f.Repro_io.Io.f_close ())
+    (fun () -> f.Repro_io.Io.f_write (save session))
 
 (* ---- loading ------------------------------------------------------ *)
 
@@ -229,5 +232,5 @@ let load ?scheme data =
   | session -> session
   | exception Invalid_argument msg -> corrupt "label decoding failed: %s" msg
 
-let load_file ?scheme path =
-  load ?scheme (In_channel.with_open_bin path In_channel.input_all)
+let load_file ?(io = Repro_io.Io.real) ?scheme path =
+  load ?scheme (io.Repro_io.Io.read_file path)

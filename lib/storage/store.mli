@@ -25,7 +25,9 @@ exception Corrupt of string
 val save : Core.Session.t -> string
 (** The serialised bytes of the session's document and labels. *)
 
-val save_file : Core.Session.t -> string -> unit
+val save_file : ?io:Repro_io.Io.t -> Core.Session.t -> string -> unit
+(** Write through the IO seam ([?io], default the hardened Unix backend).
+    IO failures raise {!Repro_io.Io.Io_error} naming the file. *)
 
 val scheme_of : string -> string
 (** The scheme name recorded in a store, without loading the body. *)
@@ -35,4 +37,6 @@ val load : ?scheme:Core.Scheme.packed -> string -> Core.Session.t
     which must match the recorded name) with the stored labels — no node
     is relabelled. Raises {!Corrupt}. *)
 
-val load_file : ?scheme:Core.Scheme.packed -> string -> Core.Session.t
+val load_file : ?io:Repro_io.Io.t -> ?scheme:Core.Scheme.packed -> string -> Core.Session.t
+(** Like {!load} over [io.read_file]: a missing or unreadable file raises
+    {!Repro_io.Io.Io_error} (never a raw [Sys_error]). *)

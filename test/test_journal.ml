@@ -157,7 +157,7 @@ let with_crash_rig pack seed body =
       Durable_session.close d;
       let log_file = Journal.log_path ~base ~epoch:1 in
       let log = In_channel.with_open_bin log_file In_channel.input_all in
-      let _, ops, torn = Journal.inspect ~base in
+      let _, ops, torn = Journal.inspect ~base () in
       check Alcotest.bool "rig log is whole" true (torn = None);
       check Alcotest.bool "rig holds at least 50 records" true (List.length ops >= 50);
       let reference =
@@ -197,7 +197,7 @@ let exhaustive_truncation pack seed () =
       let name = scheme_label pack in
       for cut = 0 to String.length log - 1 do
         write_log log_file (String.sub log 0 cut);
-        let _, ops, _ = Journal.inspect ~base in
+        let _, ops, _ = Journal.inspect ~base () in
         let r =
           recover_expecting base expected
             ~what:(Printf.sprintf "%s cut at %d" name cut)
@@ -219,7 +219,7 @@ let bitflip_last_record pack seed () =
       let records = Array.length expected - 1 in
       (* find where the last record's frame begins: walk the frames *)
       let header_len =
-        match Journal.inspect ~base with
+        match Journal.inspect ~base () with
         | scheme, _, _ ->
           String.length "XJL1"
           + String.length (Repro_codes.Varint.encode (String.length scheme))

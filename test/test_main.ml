@@ -10,6 +10,7 @@ let () =
       ("axis-index", Test_axis_index.suite);
       ("storage", Test_storage.suite);
       ("journal", Test_journal.suite);
+      ("io", Test_io.suite);
       ("stream", Test_stream.suite);
       ("btree", Test_btree.suite);
       ("twig", Test_twig.suite);
