@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke torture-smoke check clean
+.PHONY: all build test bench-smoke bench-hotpath torture-smoke check clean
 
 all: build
 
@@ -17,13 +17,20 @@ bench-smoke: build
 	dune exec bin/xmlrepro.exe -- matrix --jobs 2 > _build/matrix-par.out
 	diff _build/matrix-seq.out _build/matrix-par.out
 
+# The measurement hot path benchmark: legacy vs incremental statistics on
+# one build, asserting byte-identical observable output for every kernel
+# and running the paranoid cross-check over the whole registry. Writes
+# BENCH_hotpath.json and exits non-zero if any kernel's outputs diverge.
+bench-hotpath: build
+	dune exec bench/main.exe -- hotpath
+
 # Crash-consistency torture: a small seeded workload, a power cut at every
 # syscall boundary, recovery verified on every surviving disk image. Exits
 # non-zero on any durability violation.
 torture-smoke: build
 	dune exec bin/xmlrepro.exe -- torture --seeds 2 --ops 200
 
-check: build test bench-smoke torture-smoke
+check: build test bench-smoke bench-hotpath torture-smoke
 
 clean:
 	dune clean

@@ -5,15 +5,18 @@
    Usage: dune exec bench/main.exe              (everything)
           dune exec bench/main.exe -- figures   (one section)
           dune exec bench/main.exe -- matrix -j 4
-          sections: figures, matrix, claims, parallel, journal, torture, micro
+          sections: figures, matrix, claims, parallel, hotpath, journal,
+                    torture, micro
 
    [-j N | --jobs N] evaluates the matrix and claims sections on N domains
    (results are identical at any N). Machine-readable outputs:
    BENCH_matrix.json and BENCH_claims.json (per-section wall-clock and
    agreement, the repo's perf baseline), BENCH_parallel.json (sequential
-   vs parallel speedup curves), BENCH_journal.json (append ops/sec and
-   recovery ms per checkpoint interval, per scheme) and BENCH_torture.json
-   (crash-consistency coverage: boundaries, images, recoveries, violations). *)
+   vs parallel speedup curves), BENCH_hotpath.json (incremental vs legacy
+   measurement-path speedups and allocation), BENCH_journal.json (append
+   ops/sec and recovery ms per checkpoint interval, per scheme) and
+   BENCH_torture.json (crash-consistency coverage: boundaries, images,
+   recoveries, violations). *)
 
 open Repro_xml
 open Repro_workload
@@ -188,6 +191,175 @@ let run_parallel () =
     claims_points;
   Buffer.add_string buf "]\n}\n";
   write_json "BENCH_parallel.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Hot path: incremental statistics vs the legacy measurement walks    *)
+(* ------------------------------------------------------------------ *)
+
+(* The before/after of the incremental-statistics rework, measured on one
+   build: [Core.Session.legacy_hot_path] routes the statistics reads, the
+   order-consistency check and the workload node pickers through the
+   pre-cache O(n)-per-sample implementations, kept verbatim for exactly
+   this purpose. Every kernel runs under both modes and must produce
+   byte-identical observable results — a speedup is only admissible when
+   nothing measurable changed. A closing paranoid sweep re-derives the
+   tracked counters from a full recomputation at every statistics read for
+   every registered scheme. *)
+
+type hot_side = { h_seconds : float; h_ops_per_sec : float; h_alloc_mb : float }
+
+type hot_kernel = {
+  k_name : string;
+  k_ops : int;
+  k_legacy : hot_side;
+  k_incremental : hot_side;
+  k_identical : bool;
+}
+
+let hot_speedup k =
+  if k.k_incremental.h_seconds > 0.0 then k.k_legacy.h_seconds /. k.k_incremental.h_seconds
+  else 0.0
+
+(* [f] returns a rendering of everything the kernel observed; the two
+   modes are compared on that string. Allocation is the kernel's drain on
+   [Gc.allocated_bytes] (all minor-heap traffic, promoted or not). *)
+let hot_run ~name ~ops f =
+  let measure legacy =
+    Core.Session.legacy_hot_path := legacy;
+    Fun.protect
+      ~finally:(fun () -> Core.Session.legacy_hot_path := false)
+      (fun () ->
+        let a0 = Gc.allocated_bytes () in
+        let v, seconds = time f in
+        let alloc = Gc.allocated_bytes () -. a0 in
+        ( v,
+          {
+            h_seconds = seconds;
+            h_ops_per_sec = (if seconds > 0.0 then float_of_int ops /. seconds else 0.0);
+            h_alloc_mb = alloc /. 1048576.0;
+          } ))
+  in
+  let legacy_v, legacy = measure true in
+  let incr_v, incremental = measure false in
+  {
+    k_name = name;
+    k_ops = ops;
+    k_legacy = legacy;
+    k_incremental = incremental;
+    k_identical = String.equal legacy_v incr_v;
+  }
+
+let hot_sample_render (s : Runner.sample) =
+  (* every field except the wall-clock one *)
+  Printf.sprintf "%d/%d/%d/%.6f/%d/%d/%d" s.Runner.ops_done s.nodes s.total_bits
+    s.avg_bits s.max_bits s.relabelled s.overflow
+
+(* Kernel 1 — dense workload sampling: a 600-op uniform-random workload
+   over a 300-node base document, sampled after every operation. The
+   legacy side pays three-plus preorder walks per sample and a
+   list-materialising node picker per operation. *)
+let hotpath_sampling () =
+  let ops = 600 in
+  let pack = Option.get (Repro_schemes.Registry.find "QED") in
+  hot_run ~name:"workload-sampling" ~ops (fun () ->
+      let samples =
+        Runner.series pack
+          ~make_doc:(fun () ->
+            Docgen.generate ~seed:7 { Docgen.default_shape with target_nodes = 300 })
+          ~pattern:Updates.Uniform_random ~seed:7 ~ops ~sample_every:1
+      in
+      String.concat ";" (List.map hot_sample_render samples))
+
+(* Kernel 2 — the full sequential evaluation matrix, whose assays lean on
+   the runner, the order check and the label cache. *)
+let hotpath_matrix () =
+  hot_run ~name:"matrix-j1" ~ops:1 (fun () ->
+      Repro_framework.Matrix.render (Repro_framework.Matrix.compute ~jobs:1 ()))
+
+(* Kernel 3 — the all-pairs order-consistency check over a grown document,
+   repeated; per pair the legacy side makes two label lookups through a
+   closure, the incremental side compares cells of one materialised label
+   array. *)
+let hotpath_order () =
+  let reps = 5 in
+  let pack = Option.get (Repro_schemes.Registry.find "QED") in
+  let doc = Docgen.generate ~seed:9 { Docgen.default_shape with target_nodes = 400 } in
+  let session = Core.Session.make pack doc in
+  Updates.run Updates.Uniform_random ~seed:9 ~ops:100 session;
+  hot_run ~name:"order-check" ~ops:reps (fun () ->
+      let ok = ref true in
+      for _ = 1 to reps do
+        ok := !ok && Core.Session.order_consistent ~all_pairs:true session
+      done;
+      string_of_bool !ok)
+
+(* Mixed inserts and deletes under every registered scheme with the
+   cross-check on: each sampled read compares the tracked counters against
+   a full recomputation and raises on the first divergence. *)
+let hotpath_paranoid () =
+  Core.Session.paranoid := true;
+  Fun.protect
+    ~finally:(fun () -> Core.Session.paranoid := false)
+    (fun () ->
+      List.iter
+        (fun pack ->
+          let doc =
+            Docgen.generate ~seed:11 { Docgen.default_shape with target_nodes = 60 }
+          in
+          let session = Core.Session.make pack doc in
+          let driver = Updates.start Updates.Mixed_with_deletes ~seed:11 session in
+          for i = 1 to 120 do
+            Updates.step driver;
+            if i mod 10 = 0 then ignore (Core.Session.avg_bits session)
+          done;
+          ignore (Core.Session.max_bits session);
+          ignore (Core.Session.total_bits session))
+        Repro_schemes.Registry.all;
+      List.length Repro_schemes.Registry.all)
+
+let hot_side_json s =
+  Printf.sprintf "{\"seconds\": %.4f, \"ops_per_sec\": %.2f, \"allocated_mb\": %.2f}"
+    s.h_seconds s.h_ops_per_sec s.h_alloc_mb
+
+let run_hotpath () =
+  section "HOT PATH — incremental statistics vs the legacy measurement walks";
+  Printf.printf
+    "Each kernel runs twice on this build: once with the pre-cache\n\
+     O(n)-per-sample implementations (Core.Session.legacy_hot_path) and once\n\
+     on the incremental path. Outputs must be identical; allocation is the\n\
+     kernel's Gc.allocated_bytes drain.\n\n";
+  let kernels = [ hotpath_sampling (); hotpath_matrix (); hotpath_order () ] in
+  List.iter
+    (fun k ->
+      Printf.printf
+        "%-18s legacy %7.3fs %8.1f MB   incremental %7.3fs %8.1f MB   %5.1fx  %s\n%!"
+        k.k_name k.k_legacy.h_seconds k.k_legacy.h_alloc_mb k.k_incremental.h_seconds
+        k.k_incremental.h_alloc_mb (hot_speedup k)
+        (if k.k_identical then "output identical" else "OUTPUT DIVERGED"))
+    kernels;
+  let paranoid_schemes = hotpath_paranoid () in
+  Printf.printf "\nparanoid cross-check: %d scheme(s), every sampled read verified\n"
+    paranoid_schemes;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"hotpath\",\n  \"kernels\": [\n";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": %S, \"ops\": %d,\n     \"legacy\": %s,\n     \
+            \"incremental\": %s,\n     \"speedup\": %.2f, \"identical\": %b}"
+           k.k_name k.k_ops (hot_side_json k.k_legacy) (hot_side_json k.k_incremental)
+           (hot_speedup k) k.k_identical))
+    kernels;
+  Buffer.add_string buf
+    (Printf.sprintf "\n  ],\n  \"paranoid\": {\"ok\": true, \"schemes\": %d}\n}\n"
+       paranoid_schemes);
+  write_json "BENCH_hotpath.json" (Buffer.contents buf);
+  if List.exists (fun k -> not k.k_identical) kernels then begin
+    prerr_endline "hotpath: legacy and incremental outputs diverged";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Durability: journal append throughput and recovery time             *)
@@ -527,6 +699,7 @@ let () =
   if want "matrix" then run_matrix ~jobs:!jobs ();
   if want "claims" then run_claims ~jobs:!jobs ();
   if want "parallel" then run_parallel ();
+  if want "hotpath" then run_hotpath ();
   if want "journal" then run_journal ();
   if want "torture" then run_torture ();
   if want "micro" then run_micro ()

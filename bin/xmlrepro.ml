@@ -50,6 +50,14 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let paranoid_arg =
+  let doc =
+    "Cross-check every O(1) incremental statistics read against a full \
+     recomputation and abort on the first divergence (slow; a correctness \
+     harness for the measurement hot path)."
+  in
+  Arg.(value & flag & info [ "paranoid" ] ~doc)
+
 let doc_or_sample input =
   match input with None -> Samples.book () | some -> parse_doc some
 
@@ -86,7 +94,8 @@ let label_cmd =
 (* ---- matrix ------------------------------------------------------ *)
 
 let matrix_cmd =
-  let run evidence extensions jobs =
+  let run evidence extensions jobs paranoid =
+    Core.Session.paranoid := paranoid;
     let t = Repro_framework.Matrix.compute ~jobs () in
     print_endline (Repro_framework.Matrix.render t);
     print_newline ();
@@ -111,7 +120,7 @@ let matrix_cmd =
   in
   Cmd.v
     (Cmd.info "matrix" ~doc:"Recompute the paper's Figure 7 evaluation matrix.")
-    Term.(const run $ evidence $ extensions $ jobs_arg)
+    Term.(const run $ evidence $ extensions $ jobs_arg $ paranoid_arg)
 
 (* ---- figures ----------------------------------------------------- *)
 
@@ -148,7 +157,8 @@ let workload_cmd =
      scheme with [--jobs 1] keeps the historical per-sample series output,
      anything else runs a (possibly parallel) sweep with one final sample
      per scheme. *)
-  let run scheme pattern ops seed nodes sample_every jobs =
+  let run scheme pattern ops seed nodes sample_every jobs paranoid =
+    Core.Session.paranoid := paranoid;
     let scheme_names =
       if String.lowercase_ascii scheme = "all" then
         List.map Core.Scheme.name Repro_schemes.Registry.all
@@ -209,7 +219,7 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Run an update workload and print label metrics.")
     Term.(
       const run $ scheme_arg "QED" $ pattern $ ops $ seed_arg $ nodes $ sample_every
-      $ jobs_arg)
+      $ jobs_arg $ paranoid_arg)
 
 (* ---- query ------------------------------------------------------- *)
 

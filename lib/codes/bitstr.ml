@@ -56,11 +56,20 @@ let to_int t =
   done;
   !v
 
+(* Invariant relied on throughout: the padding bits past [len] in the last
+   byte are always zero (every constructor starts from a zeroed buffer and
+   [set_unsafe] is only applied below [len]). It makes whole-byte blits and
+   byte-wise comparison sound. *)
 let copy_into src dst offset =
-  (* Bit-by-bit copy keeps the code obviously correct; labels are short. *)
-  for i = 0 to src.len - 1 do
-    set_unsafe dst (offset + i) (get src i)
-  done
+  if offset land 7 = 0 then
+    (* Byte-aligned destination: blit whole bytes. The overhang into the
+       byte past [src.len] writes src's zero padding over dst's zeroed
+       buffer, so no live bit is clobbered. *)
+    Bytes.blit src.data 0 dst.data (offset / 8) (bytes_for src.len)
+  else
+    for i = 0 to src.len - 1 do
+      set_unsafe dst (offset + i) (get src i)
+    done
 
 let snoc t b =
   let r = make (t.len + 1) in
@@ -74,12 +83,31 @@ let concat a b =
   copy_into b r a.len;
   r
 
+let zeroes n =
+  if n < 0 then invalid_arg "Bitstr.zeroes: negative length";
+  make n
+
+let concat_list parts =
+  let r = make (List.fold_left (fun acc p -> acc + p.len) 0 parts) in
+  ignore
+    (List.fold_left
+       (fun offset p ->
+         copy_into p r offset;
+         offset + p.len)
+       0 parts);
+  r
+
 let prefix t n =
   if n < 0 || n > t.len then invalid_arg "Bitstr.prefix: bad length";
   let r = make n in
-  for i = 0 to n - 1 do
-    set_unsafe r i (get t i)
-  done;
+  Bytes.blit t.data 0 r.data 0 (bytes_for n);
+  (* re-zero the padding bits the blit may have carried past [n] *)
+  let rem = n land 7 in
+  if rem <> 0 then begin
+    let lastb = n / 8 in
+    let mask = 0xff lsl (8 - rem) land 0xff in
+    Bytes.set r.data lastb (Char.chr (Char.code (Bytes.get r.data lastb) land mask))
+  end;
   r
 
 let drop_last t =
@@ -90,25 +118,43 @@ let last t =
   if t.len = 0 then invalid_arg "Bitstr.last: empty";
   get t (t.len - 1)
 
+(* MSB-first packing means the numeric order of a full byte is exactly the
+   lexicographic order of its eight bits, so the common region compares a
+   byte at a time. *)
 let compare a b =
   let n = min a.len b.len in
-  let rec go i =
+  let full = n / 8 in
+  let rec tail i =
     if i = n then Stdlib.compare a.len b.len
     else
       match (get a i, get b i) with
       | false, true -> -1
       | true, false -> 1
-      | _ -> go (i + 1)
+      | _ -> tail (i + 1)
   in
-  go 0
+  let rec bytes i =
+    if i = full then tail (full * 8)
+    else
+      let ca = Char.code (Bytes.unsafe_get a.data i)
+      and cb = Char.code (Bytes.unsafe_get b.data i) in
+      if ca = cb then bytes (i + 1) else Stdlib.compare ca cb
+  in
+  bytes 0
 
-let equal a b = a.len = b.len && compare a b = 0
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+(* sound because the padding bits are uniformly zero *)
 
 let is_prefix p t =
   p.len <= t.len
   &&
-  let rec go i = i = p.len || (get p i = get t i && go (i + 1)) in
-  go 0
+  let full = p.len / 8 in
+  let rec bytes i =
+    if i = full then
+      let rec bits i = i = p.len || (get p i = get t i && bits (i + 1)) in
+      bits (full * 8)
+    else Bytes.unsafe_get p.data i = Bytes.unsafe_get t.data i && bytes (i + 1)
+  in
+  bytes 0
 
 let is_strict_prefix p t = p.len < t.len && is_prefix p t
 

@@ -34,6 +34,14 @@ val snoc : t -> bool -> t
 
 val concat : t -> t -> t
 
+val zeroes : int -> t
+(** [zeroes n] is the all-zero string of [n] bits. *)
+
+val concat_list : t list -> t
+(** [concat_list parts] concatenates in order with a single allocation —
+    the code-assignment hot paths build [prefix · 0^j · suffix] shapes
+    through this instead of repeated {!snoc}. *)
+
 val prefix : t -> int -> t
 (** [prefix t n] is the first [n] bits. Raises [Invalid_argument] if
     [n > length t]. *)

@@ -72,7 +72,15 @@ module type S = sig
   (** Called once per freshly linked node, parents before children and
       left siblings before right ones. The scheme assigns the new node's
       label; any relabelling of existing nodes it needs is recorded by its
-      {!Table.t}. *)
+      {!Table.t}.
+
+      The table is load-bearing for measurement: every label a scheme
+      assigns, changes or drops must flow through {!Table.set} /
+      {!Table.remove_subtree}, because those are the notification points
+      for the session's incremental bit statistics (the
+      {!Stats.label_observer} protocol). A scheme that mutated labels
+      behind the table's back would silently corrupt the O(1) statistics —
+      [--paranoid] runs exist to catch exactly that. *)
 
   val before_delete : t -> Tree.node -> unit
   (** Called with the subtree root about to be detached, while it is still

@@ -4,6 +4,19 @@
     Persistent Labels and Overflow Problem columns grade, and the survey's
     §3-§4 claims quantify; every scheme reports them here. *)
 
+(** A label observer receives every label event of the document's
+    {!Table.t}, carrying the storage width (in bits) of the labels
+    involved. {!Session} installs one per session to maintain its
+    incremental bit statistics — total bits, max bits, node count and the
+    bit-width histogram — so a statistics sample is O(1) instead of a
+    preorder walk. Widths are only computed when an observer is installed
+    (see {!observed}), so the bare scheme update path pays nothing. *)
+type label_observer = {
+  on_fresh : int -> unit;  (** a node was labelled for the first time *)
+  on_change : int -> int -> unit;  (** old width, new width of a relabelling *)
+  on_remove : int -> unit;  (** a labelled node left the document *)
+}
+
 type t = {
   mutable inserts : int;
   mutable deletes : int;
@@ -12,11 +25,13 @@ type t = {
           (the freshly inserted nodes themselves are not counted) *)
   mutable overflow_events : int;
       (** times a fixed field saturated and forced a bulk relabelling (§4) *)
+  mutable observer : label_observer option;
 }
 
 type snapshot = { s_inserts : int; s_deletes : int; s_relabelled : int; s_overflow : int }
 
-let create () = { inserts = 0; deletes = 0; relabelled = 0; overflow_events = 0 }
+let create () =
+  { inserts = 0; deletes = 0; relabelled = 0; overflow_events = 0; observer = None }
 
 let snapshot t =
   {
@@ -30,6 +45,12 @@ let record_insert t = t.inserts <- t.inserts + 1
 let record_delete t = t.deletes <- t.deletes + 1
 let record_relabel ?(count = 1) t = t.relabelled <- t.relabelled + count
 let record_overflow t = t.overflow_events <- t.overflow_events + 1
+
+let set_label_observer t o = t.observer <- Some o
+let observed t = match t.observer with Some _ -> true | None -> false
+let notify_fresh t w = match t.observer with Some o -> o.on_fresh w | None -> ()
+let notify_change t ow nw = match t.observer with Some o -> o.on_change ow nw | None -> ()
+let notify_remove t w = match t.observer with Some o -> o.on_remove w | None -> ()
 
 let pp ppf t =
   Format.fprintf ppf "inserts=%d deletes=%d relabelled=%d overflow=%d" t.inserts t.deletes

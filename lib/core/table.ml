@@ -3,13 +3,25 @@
     Centralising the table keeps relabel accounting uniform: {!set} bumps
     the document's {!Stats.t} whenever it overwrites an existing label with
     a different one, which is exactly the event the Persistent Labels
-    property forbids. *)
+    property forbids.
+
+    The table is also the single point through which every label enters or
+    leaves a document, so it doubles as the notification source for the
+    incremental statistics of {!Session}: when a {!Stats.label_observer}
+    is installed, {!set} and {!remove_subtree} report the storage width of
+    every fresh, changed and removed label ([bits] prices them). With no
+    observer the widths are never computed. *)
 
 open Repro_xml
 
-type 'l t = { labels : (int, 'l) Hashtbl.t; equal : 'l -> 'l -> bool; stats : Stats.t }
+type 'l t = {
+  labels : (int, 'l) Hashtbl.t;
+  equal : 'l -> 'l -> bool;
+  bits : 'l -> int;
+  stats : Stats.t;
+}
 
-let create ~equal ~stats = { labels = Hashtbl.create 256; equal; stats }
+let create ~equal ~bits ~stats = { labels = Hashtbl.create 256; equal; bits; stats }
 
 let mem t (n : Tree.node) = Hashtbl.mem t.labels n.id
 
@@ -24,13 +36,25 @@ let get t (n : Tree.node) =
    overwrite (a relabelling, unless the label is unchanged). *)
 let set t (n : Tree.node) label =
   (match Hashtbl.find_opt t.labels n.id with
-  | Some old when not (t.equal old label) -> Stats.record_relabel t.stats
-  | _ -> ());
+  | Some old ->
+    if not (t.equal old label) then begin
+      Stats.record_relabel t.stats;
+      if Stats.observed t.stats then
+        Stats.notify_change t.stats (t.bits old) (t.bits label)
+    end
+  | None -> if Stats.observed t.stats then Stats.notify_fresh t.stats (t.bits label));
   Hashtbl.replace t.labels n.id label
 
 let remove_subtree t (n : Tree.node) =
-  Hashtbl.remove t.labels n.id;
-  Tree.iter_descendants (fun (d : Tree.node) -> Hashtbl.remove t.labels d.id) n
+  let drop (m : Tree.node) =
+    if Stats.observed t.stats then (
+      match Hashtbl.find_opt t.labels m.id with
+      | Some l -> Stats.notify_remove t.stats (t.bits l)
+      | None -> ());
+    Hashtbl.remove t.labels m.id
+  in
+  drop n;
+  Tree.iter_descendants drop n
 
 let size t = Hashtbl.length t.labels
 

@@ -21,7 +21,14 @@ let build enc =
       | None -> ());
       push names r.name r)
     rows;
-  let rev tbl = Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.rev v)) (Hashtbl.copy tbl) in
+  (* The buckets were built back-to-front. Reversing them in place while
+     iterating would mutate the table under its own iterator, but copying
+     the whole table just to get a stable key sequence (the old trick)
+     duplicates every bucket; collecting the keys once is enough. *)
+  let rev tbl =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+    List.iter (fun k -> Hashtbl.replace tbl k (List.rev (Hashtbl.find tbl k))) keys
+  in
   rev by_parent;
   rev attrs_by_parent;
   rev names;

@@ -46,9 +46,16 @@ let between l r =
       else zeros (j + 1)
     in
     let j = zeros 0 in
-    let buf = ref l in
-    for _ = 1 to j do
-      buf := Bitstr.snoc !buf false
-    done;
-    Bitstr.concat !buf zero_one
+    if !Core.Session.legacy_hot_path then begin
+      (* The pre-rework implementation, kept as the before-side of the
+         hot-path benchmark: a snoc per zero is quadratic in the zero run,
+         which the skewed insert-after workload grows by one every
+         operation. *)
+      let buf = ref l in
+      for _ = 1 to j do
+        buf := Bitstr.snoc !buf false
+      done;
+      Bitstr.concat !buf zero_one
+    end
+    else Bitstr.concat_list [ l; Bitstr.zeroes j; zero_one ]
   end

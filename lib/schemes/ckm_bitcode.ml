@@ -122,7 +122,7 @@ end) : Core.Scheme.S = struct
   let create doc =
     let stats = Core.Stats.create () in
     let t =
-      { table = Core.Table.create ~equal:equal_label ~stats; stats;
+      { table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats;
         next_index = Hashtbl.create 64 }
     in
     let rec go node lab =
@@ -135,7 +135,7 @@ end) : Core.Scheme.S = struct
   let restore doc stored =
     let stats = Core.Stats.create () in
     let t =
-      { table = Core.Table.create ~equal:equal_label ~stats; stats;
+      { table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats;
         next_index = Hashtbl.create 64 }
     in
     Tree.iter_preorder

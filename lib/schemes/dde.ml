@@ -101,7 +101,7 @@ let extend parent_label c =
 
 let create doc =
   let stats = Core.Stats.create () in
-  let t = { table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  let t = { table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
   (* Initial labels are exactly Dewey: one left-to-right pass. *)
   let rec go node lab =
     Core.Table.set t.table node lab;
@@ -113,7 +113,7 @@ let create doc =
 
 let restore doc stored =
   let stats = Core.Stats.create () in
-  let t = { table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  let t = { table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
   Tree.iter_preorder
     (fun node ->
       let bytes, bits = stored node in

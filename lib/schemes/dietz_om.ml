@@ -67,13 +67,13 @@ let renumber_all t =
 
 let create doc =
   let stats = Core.Stats.create () in
-  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
   renumber_all t;
   t
 
 let restore doc stored =
   let stats = Core.Stats.create () in
-  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
   Tree.iter_preorder
     (fun node ->
       let bytes, bits = stored node in

@@ -84,7 +84,7 @@ let renumber t =
 let create doc =
   let stats = Core.Stats.create () in
   let t =
-    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 (gap ()) }
+    { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats; g = max 1 (gap ()) }
   in
   renumber t;
   t
@@ -93,7 +93,7 @@ let create doc =
 let restore doc stored =
   let stats = Core.Stats.create () in
   let t =
-    { doc; table = Core.Table.create ~equal:equal_label ~stats; stats; g = max 1 (gap ()) }
+    { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats; g = max 1 (gap ()) }
   in
   Tree.iter_preorder
     (fun node ->

@@ -28,7 +28,15 @@ end) : Core.Scheme.S = struct
       let c = Code.compare x y in
       if c <> 0 then c else compare_order xs ys
 
-  let equal_label a b = List.length a = List.length b && compare_order a b = 0
+  (* One structural walk; a length mismatch short-circuits at the first
+     missing tail instead of paying two [List.length] traversals up front.
+     Equality is the hottest comparison in the system — {!Core.Table.set}
+     runs it on every label assignment. *)
+  let rec equal_label a b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> Code.equal x y && equal_label xs ys
+    | _ -> false
 
   let label_to_string = function
     | [] -> "\xce\xb5" (* the empty root label, shown as epsilon *)
@@ -62,17 +70,23 @@ end) : Core.Scheme.S = struct
     in
     go []
 
-  let rec is_code_prefix p l =
+  (* [a] is a strict prefix of [d]: same single-walk discipline as
+     [equal_label]. *)
+  let rec is_strict_prefix p l =
     match (p, l) with
-    | [], _ -> true
-    | _, [] -> false
-    | x :: xs, y :: ys -> Code.equal x y && is_code_prefix xs ys
+    | [], _ :: _ -> true
+    | x :: xs, y :: ys -> Code.equal x y && is_strict_prefix xs ys
+    | _ -> false
 
-  let is_ancestor =
-    Some (fun a d -> List.length a < List.length d && is_code_prefix a d)
+  let is_ancestor = Some (fun a d -> is_strict_prefix a d)
 
-  let is_parent =
-    Some (fun p c -> List.length c = List.length p + 1 && is_code_prefix p c)
+  let rec is_parent_of p c =
+    match (p, c) with
+    | [], [ _ ] -> true
+    | x :: xs, y :: ys -> Code.equal x y && is_parent_of xs ys
+    | _ -> false
+
+  let is_parent = Some (fun p c -> is_parent_of p c)
 
   let is_sibling =
     Some
@@ -123,14 +137,14 @@ end) : Core.Scheme.S = struct
   let create doc =
     let stats = Core.Stats.create () in
     let t =
-      { doc; table = Core.Table.create ~equal:equal_label ~stats; stats }
+      { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats }
     in
     relabel_document t;
     t
 
   let restore doc stored =
     let stats = Core.Stats.create () in
-    let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+    let t = { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
     Tree.iter_preorder
       (fun node ->
         let bytes, bits = stored node in

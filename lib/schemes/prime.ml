@@ -109,15 +109,18 @@ let refresh_order t =
   if t.order_rev <> Tree.revision t.doc then begin
     Hashtbl.reset t.order;
     let pairs = ref [] and covered = ref 0 in
-    List.iteri
-      (fun i (n : Tree.node) ->
+    let next = ref 0 in
+    Tree.iter_preorder
+      (fun (n : Tree.node) ->
+        let i = !next in
+        incr next;
         Hashtbl.replace t.order n.id i;
         match Core.Table.find_opt t.table n with
         | Some l when i < l.self && i >= 1 && !covered < max_sc_pairs ->
           pairs := (l.self, i) :: !pairs;
           incr covered
         | _ -> ())
-      (Tree.preorder t.doc);
+      t.doc;
     (* The genuine simultaneous-congruence number over the nodes whose
        order fits their self-prime. *)
     t.sc <- (try Crt.solve !pairs with Invalid_argument _ -> Bignat.zero);
@@ -146,7 +149,7 @@ let create doc =
   let t =
     {
       doc;
-      table = Core.Table.create ~equal:equal_label ~stats;
+      table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats;
       stats;
       primes = Primes.create ();
       next_prime = 0;
@@ -169,7 +172,7 @@ let restore doc stored =
   let t =
     {
       doc;
-      table = Core.Table.create ~equal:equal_label ~stats;
+      table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats;
       stats;
       primes = Primes.create ();
       next_prime = 0;

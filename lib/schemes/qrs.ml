@@ -78,14 +78,14 @@ let renumber t =
 
 let create doc =
   let stats = Core.Stats.create () in
-  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
   renumber t;
   t
 
 
 let restore doc stored =
   let stats = Core.Stats.create () in
-  let t = { doc; table = Core.Table.create ~equal:equal_label ~stats; stats } in
+  let t = { doc; table = Core.Table.create ~equal:equal_label ~bits:storage_bits ~stats; stats } in
   Tree.iter_preorder
     (fun node ->
       let bytes, bits = stored node in

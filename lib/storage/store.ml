@@ -61,7 +61,7 @@ let save session =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
   wstr16 buf session.Core.Session.scheme_name;
-  let nodes = Array.of_list (Tree.preorder doc) in
+  let nodes = Tree.preorder_array doc in
   (* node id -> document position, for parent references *)
   let position = Hashtbl.create (Array.length nodes) in
   Array.iteri (fun i (n : Tree.node) -> Hashtbl.replace position n.id i) nodes;
@@ -220,7 +220,7 @@ let load ?scheme data =
   if c.pos <> String.length c.data then corrupt "trailing bytes after the node table";
   let doc = rebuild_doc stored in
   (* document order of the fresh tree matches the stored order *)
-  let by_position = Array.of_list (Tree.preorder doc) in
+  let by_position = Tree.preorder_array doc in
   if Array.length by_position <> Array.length stored then corrupt "node count mismatch";
   let by_id = Hashtbl.create (Array.length stored) in
   Array.iteri (fun i (n : Tree.node) -> Hashtbl.replace by_id n.id stored.(i)) by_position;

@@ -14,6 +14,12 @@ let pp_sample ppf s =
     "ops=%d nodes=%d avg_bits=%.1f max_bits=%d total_bits=%d relabelled=%d overflow=%d (%.3fs)"
     s.ops_done s.nodes s.avg_bits s.max_bits s.total_bits s.relabelled s.overflow s.elapsed_s
 
+(* One statistics sample. Every field is an O(1) read of the session's
+   incrementally tracked state (node count included — the tree indexes its
+   live nodes), so dense sampling ([sample_every = 1]) no longer turns an
+   n-op workload into O(n^2) preorder walks; under
+   [Core.Session.legacy_hot_path] the reads fall back to full walks, which
+   is the before-side of BENCH_hotpath.json. *)
 let measure session ~ops_done ~t0 =
   let stats = session.Core.Session.stats () in
   {

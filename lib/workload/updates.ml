@@ -40,33 +40,91 @@ type driver = {
   mutable counter : int;
   mutable fixed : Tree.node option;  (** skewed patterns' fixed node *)
   mutable last_inserted : Tree.node option;
+  (* Revision-stamped snapshots backing the random pickers: rebuilt at
+     most once per document revision, shared by every pick within one
+     operation (all picks happen before the operation's mutation). *)
+  mutable cache_rev : int;
+  mutable cache_all : Tree.node array;  (** preorder snapshot, root first *)
+  mutable cache_elements : Tree.node array;  (** element nodes, in preorder *)
 }
 
 let start pattern ~seed session =
-  { pattern; rng = Prng.create seed; session; counter = 0; fixed = None; last_inserted = None }
+  {
+    pattern;
+    rng = Prng.create seed;
+    session;
+    counter = 0;
+    fixed = None;
+    last_inserted = None;
+    cache_rev = min_int;
+    cache_all = [||];
+    cache_elements = [||];
+  }
 
 let fresh_leaf d =
   d.counter <- d.counter + 1;
   Tree.elt (Printf.sprintf "u%d" d.counter) []
 
+(* Uniform choice over the picker snapshots: each draw is one PRNG index —
+   exactly the draw [Prng.choose] would make on the equivalent filtered
+   array, so seeded workloads replay identically under both picker
+   implementations. The legacy list-building pickers are kept behind
+   {!Core.Session.legacy_hot_path} as the before-side of the hot-path
+   benchmark. *)
+let refresh_cache d =
+  let doc = d.session.Core.Session.doc in
+  let rev = Tree.revision doc in
+  if d.cache_rev <> rev then begin
+    let all = Tree.preorder_array doc in
+    d.cache_all <- all;
+    let elts = ref 0 in
+    Array.iter (fun (n : Tree.node) -> if n.kind = Tree.Element then incr elts) all;
+    let elems = Array.make !elts all.(0) in
+    let i = ref 0 in
+    Array.iter
+      (fun (n : Tree.node) ->
+        if n.kind = Tree.Element then begin
+          elems.(!i) <- n;
+          incr i
+        end)
+      all;
+    d.cache_elements <- elems;
+    d.cache_rev <- rev
+  end
+
 (* A uniformly random live element node (the root included). *)
 let random_element d =
-  let elements =
-    List.filter
-      (fun (n : Tree.node) -> n.kind = Tree.Element)
-      (Tree.preorder d.session.doc)
-  in
-  Prng.choose d.rng (Array.of_list elements)
+  if !Core.Session.legacy_hot_path then
+    let elements =
+      List.filter
+        (fun (n : Tree.node) -> n.kind = Tree.Element)
+        (Tree.preorder d.session.doc)
+    in
+    Prng.choose d.rng (Array.of_list elements)
+  else begin
+    refresh_cache d;
+    if Array.length d.cache_elements = 0 then
+      invalid_arg "Updates.random_element: no element nodes";
+    d.cache_elements.(Prng.int d.rng (Array.length d.cache_elements))
+  end
 
 let random_non_root d =
-  let candidates =
-    List.filter
-      (fun (n : Tree.node) -> Tree.parent n <> None)
-      (Tree.preorder d.session.doc)
-  in
-  match candidates with
-  | [] -> None
-  | l -> Some (Prng.choose d.rng (Array.of_list l))
+  if !Core.Session.legacy_hot_path then
+    let candidates =
+      List.filter
+        (fun (n : Tree.node) -> Tree.parent n <> None)
+        (Tree.preorder d.session.doc)
+    in
+    match candidates with
+    | [] -> None
+    | l -> Some (Prng.choose d.rng (Array.of_list l))
+  else begin
+    refresh_cache d;
+    (* The preorder snapshot leads with the root; everything after it is a
+       non-root node, so the k-th match is a direct index. *)
+    let count = Array.length d.cache_all - 1 in
+    if count = 0 then None else Some d.cache_all.(1 + Prng.int d.rng count)
+  end
 
 let uniform_insert d =
   let s = d.session in

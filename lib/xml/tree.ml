@@ -117,10 +117,26 @@ let iter_preorder f doc =
   in
   go doc.root_node
 
+let fold_preorder f acc doc =
+  let rec go acc n = List.fold_left go (f acc n) n.children in
+  go acc doc.root_node
+
 let preorder doc =
   let acc = ref [] in
   iter_preorder (fun n -> acc := n :: !acc) doc;
   List.rev !acc
+
+(* Every live node is indexed, so the preorder length is known up front:
+   one traversal fills a pre-sized array, no cons cells. *)
+let preorder_array doc =
+  let arr = Array.make (Hashtbl.length doc.index) doc.root_node in
+  let i = ref 0 in
+  iter_preorder
+    (fun n ->
+      arr.(!i) <- n;
+      incr i)
+    doc;
+  arr
 
 let iter_descendants f n =
   let rec go m =

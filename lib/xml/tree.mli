@@ -85,6 +85,16 @@ val preorder : doc -> node list
     children, as in Figure 1(b)). *)
 
 val iter_preorder : (node -> unit) -> doc -> unit
+
+val fold_preorder : ('a -> node -> 'a) -> 'a -> doc -> 'a
+(** [fold_preorder f acc doc] folds over the nodes in document order
+    without materialising the {!preorder} list. *)
+
+val preorder_array : doc -> node array
+(** All nodes in document order as an array, sized from the live-node
+    index up front — the allocation-light form the measurement hot path
+    uses. *)
+
 val descendants : node -> node list
 (** The subtree rooted at the node, in document order, excluding the node. *)
 

@@ -18,6 +18,7 @@ let () =
       ("xpath-random", Test_xpath_random.suite);
       ("misc", Test_misc.suite);
       ("workload", Test_workload.suite);
+      ("session-stats", Test_session_stats.suite);
       ("parallel", Test_parallel.suite);
       ("framework", Test_framework.suite);
       ("xml", Test_xml.suite);
