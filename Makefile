@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-hotpath torture-smoke check clean
+.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke check clean
 
 all: build
 
@@ -30,7 +30,17 @@ bench-hotpath: build
 torture-smoke: build
 	dune exec bin/xmlrepro.exe -- torture --seeds 2 --ops 200
 
-check: build test bench-smoke bench-hotpath torture-smoke
+# Network server smoke: an in-process loopback serve driven by the seeded
+# load generator (4 clients, 10k mixed ops over QED/Vector/ORDPATH — any
+# protocol error fails the run), then offline recovery of a journal the
+# server wrote, proving its on-disk state is an ordinary durable journal.
+server-smoke: build
+	rm -rf _build/server-smoke
+	dune exec bin/xmlrepro.exe -- loadgen --self-serve --root _build/server-smoke \
+	  --clients 4 --ops 10000 --seed 1 --schemes QED,Vector,ORDPATH
+	dune exec bin/xmlrepro.exe -- journal recover _build/server-smoke/doc-0.journal
+
+check: build test bench-smoke bench-hotpath torture-smoke server-smoke
 
 clean:
 	dune clean

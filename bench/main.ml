@@ -6,7 +6,7 @@
           dune exec bench/main.exe -- figures   (one section)
           dune exec bench/main.exe -- matrix -j 4
           sections: figures, matrix, claims, parallel, hotpath, journal,
-                    torture, micro
+                    torture, server, micro
 
    [-j N | --jobs N] evaluates the matrix and claims sections on N domains
    (results are identical at any N). Machine-readable outputs:
@@ -16,7 +16,9 @@
    measurement-path speedups and allocation), BENCH_journal.json (append
    ops/sec and recovery ms per checkpoint interval, per scheme) and
    BENCH_torture.json (crash-consistency coverage: boundaries, images,
-   recoveries, violations). *)
+   recoveries, violations) and BENCH_server.json (loopback server
+   throughput and p50/p99 latency per op class under the seeded
+   multi-client load generator). *)
 
 open Repro_xml
 open Repro_workload
@@ -565,6 +567,46 @@ let run_torture () =
   if report.Repro_torture.Torture.t_violations <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Network server: loopback throughput and latency                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance workload: an in-process server on an ephemeral loopback
+   port, four concurrent clients, 10k seeded mixed requests across QED,
+   Vector and ORDPATH. A healthy server answers every one without a
+   protocol error; throughput and p50/p99 per op class go to
+   BENCH_server.json. *)
+let run_server () =
+  section "SERVER — loopback throughput and per-op-class latency";
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xsrv-bench-%d" (Unix.getpid ()))
+  in
+  let t =
+    Repro_server.Server.start
+      { (Repro_server.Server.default_config ~root) with fsync_every = 8 }
+  in
+  let report =
+    Fun.protect
+      ~finally:(fun () -> ignore (Repro_server.Server.stop t))
+      (fun () ->
+        Repro_server.Loadgen.run
+          {
+            (Repro_server.Loadgen.default_config ~port:(Repro_server.Server.port t)) with
+            Repro_server.Loadgen.g_clients = 4;
+            g_ops = 10_000;
+            g_seed = 1;
+            g_nodes = 120;
+          })
+  in
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat root f)) (Sys.readdir root);
+     Sys.rmdir root
+   with Sys_error _ -> ());
+  print_string (Repro_server.Loadgen.render report);
+  write_json "BENCH_server.json" (Repro_server.Loadgen.to_json report);
+  if report.Repro_server.Loadgen.r_errors > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -702,4 +744,5 @@ let () =
   if want "hotpath" then run_hotpath ();
   if want "journal" then run_journal ();
   if want "torture" then run_torture ();
+  if want "server" then run_server ();
   if want "micro" then run_micro ()

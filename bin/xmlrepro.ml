@@ -596,6 +596,181 @@ let torture_cmd =
       const run $ seeds $ ops $ fsync_every $ checkpoint_every $ schemes $ verbose
       $ unsafe_no_dir_fsync)
 
+(* ---- serve / loadgen --------------------------------------------- *)
+
+let host_arg =
+  let doc = "Numeric address to bind or connect to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg ~default ~doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let run host port root max_conns fsync_every checkpoint_every port_file =
+    let checkpoint_every = if checkpoint_every <= 0 then None else Some checkpoint_every in
+    let cfg =
+      {
+        (Repro_server.Server.default_config ~root) with
+        Repro_server.Server.host;
+        port;
+        max_conns;
+        fsync_every;
+        checkpoint_every;
+      }
+    in
+    let t = Repro_server.Server.start cfg in
+    let bound = Repro_server.Server.port t in
+    Printf.printf "listening on %s:%d (journals under %s)\n%!" host bound root;
+    (match port_file with
+    | Some pf ->
+      Out_channel.with_open_text pf (fun oc -> Printf.fprintf oc "%d\n" bound)
+    | None -> ());
+    Repro_server.Server.install_sigint t;
+    Repro_server.Server.wait t;
+    let s = Repro_server.Server.stop t in
+    Printf.printf "drained: %d connection(s) served, %d document(s) checkpointed\n%!"
+      s.Repro_server.Server.s_conns s.Repro_server.Server.s_docs
+  in
+  let root =
+    Arg.(
+      value & opt string "xmlrepro-server"
+      & info [ "root" ] ~docv:"DIR" ~doc:"Directory for the per-document journals.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Accept at most $(docv) concurrent connections.")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"Fsync each document's log every $(docv)-th record (group commit).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 512
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint a document every $(docv) records (0 disables).")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port to $(docv) — how scripts find an ephemeral port.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve documents over the framed wire protocol: one actor per open \
+          document, every confirmed update journaled. SIGINT drains and \
+          checkpoints.")
+    Term.(
+      const run $ host_arg
+      $ port_arg ~default:0 ~doc:"Port to bind (0 picks an ephemeral one)."
+      $ root $ max_conns $ fsync_every $ checkpoint_every $ port_file)
+
+let loadgen_cmd =
+  let run host port clients ops seed schemes nodes doc_prefix json self_serve root
+      fsync_every =
+    let run_against port =
+      let cfg =
+        {
+          (Repro_server.Loadgen.default_config ~port) with
+          Repro_server.Loadgen.g_host = host;
+          g_clients = clients;
+          g_ops = ops;
+          g_seed = seed;
+          g_schemes = schemes;
+          g_doc_prefix = doc_prefix;
+          g_nodes = nodes;
+        }
+      in
+      Repro_server.Loadgen.run cfg
+    in
+    let report =
+      if self_serve then begin
+        let scfg = { (Repro_server.Server.default_config ~root) with fsync_every } in
+        let t = Repro_server.Server.start scfg in
+        Fun.protect
+          ~finally:(fun () -> ignore (Repro_server.Server.stop t))
+          (fun () -> run_against (Repro_server.Server.port t))
+      end
+      else begin
+        if port = 0 then begin
+          Format.eprintf "loadgen: --port is required unless --self-serve@.";
+          exit 2
+        end;
+        run_against port
+      end
+    in
+    print_string (Repro_server.Loadgen.render report);
+    (match json with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Repro_server.Loadgen.to_json report))
+    | None -> ());
+    if report.Repro_server.Loadgen.r_errors > 0 then exit 1
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Total requests, split across clients.")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt (list string) [ "QED"; "Vector"; "ORDPATH" ]
+      & info [ "schemes" ] ~docv:"NAMES"
+          ~doc:"Comma-separated scheme names; client $(i,i) opens under scheme $(i,i) mod N.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 120
+      & info [ "nodes" ] ~docv:"N" ~doc:"Initial generated document size per client.")
+  in
+  let doc_prefix =
+    Arg.(
+      value & opt string "doc"
+      & info [ "doc-prefix" ] ~docv:"NAME" ~doc:"Documents are named $(docv)-0, $(docv)-1, ...")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
+  in
+  let self_serve =
+    Arg.(
+      value & flag
+      & info [ "self-serve" ]
+          ~doc:"Start an in-process server on an ephemeral port and load it (no --port needed).")
+  in
+  let root =
+    Arg.(
+      value & opt string "xmlrepro-server"
+      & info [ "root" ] ~docv:"DIR" ~doc:"Journal directory for --self-serve.")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "fsync-every" ] ~docv:"N" ~doc:"Journal group-commit interval for --self-serve.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running server (or --self-serve) with a seeded multi-client \
+          mixed workload and report throughput and per-op-class latency. Exits \
+          nonzero if any request failed.")
+    Term.(
+      const run $ host_arg
+      $ port_arg ~default:0 ~doc:"Port of the server to load."
+      $ clients $ ops $ seed_arg $ schemes $ nodes $ doc_prefix $ json $ self_serve
+      $ root $ fsync_every)
+
 (* ---- report ------------------------------------------------------ *)
 
 let report_cmd =
@@ -632,16 +807,56 @@ let schemes_cmd =
   in
   Cmd.v (Cmd.info "schemes" ~doc:"List all registered labelling schemes.") Term.(const run $ const ())
 
+(* ---- entry point ------------------------------------------------- *)
+
+(* One line per subcommand, shown by a bare `xmlrepro` and on an unknown
+   subcommand — kept here, next to the command list, so the two cannot
+   drift apart silently (test/cli.t greps this output). *)
+let subcommand_table =
+  [
+    ("label", "label a document under a chosen scheme");
+    ("matrix", "recompute the paper's Figure 7 evaluation matrix");
+    ("figures", "regenerate Figures 1-6");
+    ("workload", "run an update workload and print label metrics");
+    ("query", "evaluate an XPath expression over a document");
+    ("update", "apply an XQuery-Update-style script to a document");
+    ("twig", "match a tree pattern with structural joins");
+    ("store", "label a document and persist it with its labels");
+    ("restore", "reload a stored document and print its labels");
+    ("journal", "durable updates: write-ahead log, checkpoint, recover");
+    ("torture", "crash-consistency torture over a simulated file system");
+    ("serve", "serve documents over the framed wire protocol");
+    ("loadgen", "drive a server with a seeded multi-client workload");
+    ("report", "run every experiment and emit a Markdown report");
+    ("schemes", "list all registered labelling schemes");
+  ]
+
+let print_subcommands oc =
+  output_string oc "subcommands:\n";
+  List.iter (fun (n, d) -> Printf.fprintf oc "  %-10s %s\n" n d) subcommand_table;
+  output_string oc "\nrun 'xmlrepro COMMAND --help' for the options of one of them\n"
+
 let () =
+  (* A typo'd subcommand gets the full table, not just cmdliner's
+     suggestion list; exit code matches cmdliner's 124 convention. *)
+  (match Array.to_list Sys.argv with
+  | _ :: cmd :: _
+    when String.length cmd > 0 && cmd.[0] <> '-'
+         && not (List.mem_assoc cmd subcommand_table) ->
+    Printf.eprintf "xmlrepro: unknown subcommand %S\n\n" cmd;
+    print_subcommands stderr;
+    exit 124
+  | _ -> ());
   let info =
     Cmd.info "xmlrepro" ~version:"1.0.0"
       ~doc:
         "Dynamic XML labelling schemes: a reproduction of O'Connor & Roantree, \
          'Desirable Properties for XML Update Mechanisms' (EDBT 2010 workshops)."
   in
+  let default = Term.(const (fun () -> print_subcommands stdout) $ const ()) in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default info
           [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
-            twig_cmd; store_cmd; restore_cmd; journal_cmd; torture_cmd; report_cmd;
-            schemes_cmd ]))
+            twig_cmd; store_cmd; restore_cmd; journal_cmd; torture_cmd; serve_cmd;
+            loadgen_cmd; report_cmd; schemes_cmd ]))

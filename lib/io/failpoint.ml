@@ -13,23 +13,24 @@ let injected t = t.t_injected
 
 let unix_err e op = raise (Unix.Unix_error (e, op, ""))
 
+(* Count the call; if the plan names this count, hand back the failure
+   to inject instead of performing it. *)
+let fire t =
+  t.t_calls <- t.t_calls + 1;
+  let n = t.t_calls in
+  match
+    List.find_opt
+      (fun (trg, _) -> match trg with At k -> k = n | From k -> n >= k)
+      t.plan
+  with
+  | None -> None
+  | Some (_, f) ->
+    t.t_injected <- t.t_injected + 1;
+    Some f
+
 let wrap (module M : Io.S) =
   let t = { plan = []; t_calls = 0; t_injected = 0 } in
-  (* Count the call; if the plan names this count, hand back the failure
-     to inject instead of performing it. *)
-  let fire () =
-    t.t_calls <- t.t_calls + 1;
-    let n = t.t_calls in
-    match
-      List.find_opt
-        (fun (trg, _) -> match trg with At k -> k = n | From k -> n >= k)
-        t.plan
-    with
-    | None -> None
-    | Some (_, f) ->
-      t.t_injected <- t.t_injected + 1;
-      Some f
-  in
+  let fire () = fire t in
   let module F = struct
     type fd = M.fd
 
@@ -90,3 +91,39 @@ let wrap (module M : Io.S) =
     let file_exists = M.file_exists
   end in
   (t, (module F : Io.S))
+
+let wrap_sock (module M : Io.SOCK) =
+  let t = { plan = []; t_calls = 0; t_injected = 0 } in
+  let module F = struct
+    let generic op = function
+      | Some Eintr -> unix_err Unix.EINTR op
+      | Some Enospc -> unix_err Unix.ENOSPC op
+      | Some Eio -> unix_err Unix.EIO op
+      | Some Eacces -> unix_err Unix.EACCES op
+      | Some (Short_write _) | Some Fsync_fail | None -> ()
+
+    let accept fd =
+      generic "accept" (fire t);
+      M.accept fd
+
+    (* Short_write on recv models a short read: the kernel hands back
+       fewer bytes than the frame needs, and the framing layer must loop. *)
+    let recv fd buf off len =
+      match fire t with
+      | Some (Short_write k) -> M.recv fd buf off (min (max k 1) len)
+      | f ->
+        generic "recv" f;
+        M.recv fd buf off len
+
+    let send fd s off len =
+      match fire t with
+      | Some (Short_write k) -> M.send fd s off (min (max k 1) len)
+      | f ->
+        generic "send" f;
+        M.send fd s off len
+
+    let close fd =
+      generic "close" (fire t);
+      M.close fd
+  end in
+  (t, (module F : Io.SOCK))

@@ -33,6 +33,12 @@ val wrap : (module Io.S) -> t * (module Io.S)
 (** The instrumented backend plus its controller. Pass the backend to
     {!Io.pack} as usual. *)
 
+val wrap_sock : (module Io.SOCK) -> t * (module Io.SOCK)
+(** Same interposition for the socket face of the seam (accept, recv,
+    send, close counted). [Short_write k] on a send lands only [k] bytes;
+    on a recv it hands back at most [k] bytes — a short read the framing
+    layer must complete. Pass the backend to {!Io.pack_sock} as usual. *)
+
 val arm : t -> (trigger * failure) list -> unit
 (** Replace the plan. [arm t []] disarms. *)
 

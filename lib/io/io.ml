@@ -145,6 +145,72 @@ end
 let unix_syscalls = (module Unix_syscalls : S)
 let real = pack unix_syscalls
 
+(* ---- the socket seam ---------------------------------------------- *)
+
+module type SOCK = sig
+  val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+  val recv : Unix.file_descr -> bytes -> int -> int -> int
+  val send : Unix.file_descr -> string -> int -> int -> int
+  val close : Unix.file_descr -> unit
+end
+
+type sock = {
+  s_accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
+  s_recv : Unix.file_descr -> bytes -> int -> int -> int;
+  s_send_all : Unix.file_descr -> string -> unit;
+  s_close : Unix.file_descr -> unit;
+}
+
+let pack_sock (module M : SOCK) =
+  (* Sockets get the file policy's EINTR discipline but not the
+     ENOSPC/EIO backoff: a failing peer will not come back in 16ms, and a
+     blocked reader should surface its timeout, not sleep through it.
+     SO_RCVTIMEO/SO_SNDTIMEO expirations arrive as EAGAIN and are mapped
+     to a recognisable reason so callers can treat slow peers as a policy
+     event rather than a raw errno. *)
+  let rec retry op f =
+    match f () with
+    | v -> v
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry op f
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      io_error ~op ~path:"socket" "timed out"
+    | exception Unix.Unix_error (e, _, _) ->
+      io_error ~op ~path:"socket" (Unix.error_message e)
+  in
+  {
+    s_accept = (fun fd -> retry "accept" (fun () -> M.accept fd));
+    s_recv = (fun fd buf off len -> retry "recv" (fun () -> M.recv fd buf off len));
+    s_send_all =
+      (fun fd s ->
+        let n = String.length s in
+        let rec go off =
+          if off < n then begin
+            let w = retry "send" (fun () -> M.send fd s off (n - off)) in
+            if w <= 0 then io_error ~op:"send" ~path:"socket" "sent no bytes";
+            go (off + w)
+          end
+        in
+        go 0);
+    s_close =
+      (fun fd ->
+        (* same EINTR-means-closed reasoning as f_close above *)
+        match M.close fd with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+          io_error ~op:"close" ~path:"socket" (Unix.error_message e));
+  }
+
+module Unix_sock = struct
+  let accept fd = Unix.accept ~cloexec:true fd
+  let recv fd buf off len = Unix.recv fd buf off len []
+  let send fd s off len = Unix.send_substring fd s off len []
+  let close = Unix.close
+end
+
+let unix_sock = (module Unix_sock : SOCK)
+let real_sock = pack_sock unix_sock
+
 (* ---- atomic replacement ------------------------------------------- *)
 
 let unsafe_no_dir_fsync = ref false

@@ -92,6 +92,43 @@ val unix_syscalls : (module S)
 val real : t
 (** [pack unix_syscalls], shared. *)
 
+(** The raw socket syscall signature — the network face of the same seam.
+    Semantics match POSIX: [recv] may return fewer bytes than asked (0 is
+    end-of-stream), [send] may be short, and any call may raise
+    [Unix.Unix_error]; {!pack_sock} deals with all three. *)
+module type SOCK = sig
+  val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+  val recv : Unix.file_descr -> bytes -> int -> int -> int
+  val send : Unix.file_descr -> string -> int -> int -> int
+  val close : Unix.file_descr -> unit
+end
+
+type sock = {
+  s_accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
+  s_recv : Unix.file_descr -> bytes -> int -> int -> int;
+      (** one read, [EINTR] retried; returns 0 at end-of-stream and may
+          still be short — framing above completes it *)
+  s_send_all : Unix.file_descr -> string -> unit;
+      (** the whole string, short sends completed, [EINTR] retried *)
+  s_close : Unix.file_descr -> unit;
+}
+(** A packaged socket backend: what the server and client program
+    against. *)
+
+val pack_sock : (module SOCK) -> sock
+(** Wrap raw socket calls with the policy: [EINTR] always retries; a
+    receive/send timeout ([EAGAIN]/[EWOULDBLOCK] from [SO_RCVTIMEO] /
+    [SO_SNDTIMEO]) surfaces as {!Io_error} with reason ["timed out"];
+    every other errno becomes a typed {!Io_error} — connection handlers
+    never see a bare [Unix_error]. Unlike file writes there is no
+    ENOSPC/EIO backoff: a dead peer does not come back in 16ms. *)
+
+val unix_sock : (module SOCK)
+(** The real thing ([Unix.accept]/[recv]/[send_substring]/[close]). *)
+
+val real_sock : sock
+(** [pack_sock unix_sock], shared. *)
+
 val unsafe_no_dir_fsync : bool ref
 (** Debug knob for the torture harness's self-test: when set,
     {!write_atomic} skips the directory fsync after its rename — the exact

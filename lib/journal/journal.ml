@@ -65,61 +65,71 @@ let parse_log_header data =
    [label_encoded] over the live document. The table is extended in place
    after inserts that relabelled nothing and rebuilt from scratch whenever
    the scheme touched existing labels (relabelling or overflow) or a
-   subtree was deleted. *)
-type resolver = {
-  rs : Core.Session.t;
-  table : (string * int, Tree.node list) Hashtbl.t;
-  mutable dirty : bool;
-}
+   subtree was deleted. Exposed as a submodule: the network server keeps
+   one per document actor so a stream of updates resolves incrementally
+   instead of rebuilding per record. *)
+module Resolver = struct
+  type t = {
+    rs : Core.Session.t;
+    table : (string * int, Tree.node list) Hashtbl.t;
+    mutable dirty : bool;
+  }
 
-let make_resolver rs = { rs; table = Hashtbl.create 256; dirty = true }
+  let create rs = { rs; table = Hashtbl.create 256; dirty = true }
 
-let add_node r (n : Tree.node) =
-  let key = r.rs.Core.Session.label_encoded n in
-  let prev = Option.value (Hashtbl.find_opt r.table key) ~default:[] in
-  Hashtbl.replace r.table key (n :: prev)
+  let add_node r (n : Tree.node) =
+    let key = r.rs.Core.Session.label_encoded n in
+    let prev = Option.value (Hashtbl.find_opt r.table key) ~default:[] in
+    Hashtbl.replace r.table key (n :: prev)
 
-let rebuild r =
-  Hashtbl.reset r.table;
-  Tree.iter_preorder (add_node r) r.rs.Core.Session.doc;
-  r.dirty <- false
+  let rebuild r =
+    Hashtbl.reset r.table;
+    Tree.iter_preorder (add_node r) r.rs.Core.Session.doc;
+    r.dirty <- false
 
-let resolve r (l : Oplog.label) =
-  if r.dirty then rebuild r;
-  match Hashtbl.find_opt r.table (l.Oplog.l_bytes, l.Oplog.l_bits) with
-  | Some [ n ] -> n
-  | Some (_ :: _ :: _) ->
-    replay_error "label %s is ambiguous (duplicate labels in the document)"
-      (Oplog.label_to_string l)
-  | Some [] | None ->
-    replay_error "label %s resolves to no live node" (Oplog.label_to_string l)
+  let resolve r (l : Oplog.label) =
+    if r.dirty then rebuild r;
+    match Hashtbl.find_opt r.table (l.Oplog.l_bytes, l.Oplog.l_bits) with
+    | Some [ n ] -> n
+    | Some (_ :: _ :: _) ->
+      replay_error "label %s is ambiguous (duplicate labels in the document)"
+        (Oplog.label_to_string l)
+    | Some [] | None ->
+      replay_error "label %s resolves to no live node" (Oplog.label_to_string l)
 
-let churn (s : Core.Session.t) =
-  let st = s.Core.Session.stats () in
-  st.Core.Stats.s_relabelled + st.Core.Stats.s_overflow
+  let churn (s : Core.Session.t) =
+    let st = s.Core.Session.stats () in
+    st.Core.Stats.s_relabelled + st.Core.Stats.s_overflow
 
-let apply_with r op =
-  let s = r.rs in
-  let before = churn s in
-  let settled node =
-    if churn s <> before then r.dirty <- true
-    else if not r.dirty then begin
-      add_node r node;
-      List.iter (add_node r) (Tree.descendants node)
-    end
-  in
-  match (op : Oplog.op) with
-  | Insert_first (l, f) -> settled (s.Core.Session.insert_first (resolve r l) f)
-  | Insert_last (l, f) -> settled (s.Core.Session.insert_last (resolve r l) f)
-  | Insert_before (l, f) -> settled (s.Core.Session.insert_before (resolve r l) f)
-  | Insert_after (l, f) -> settled (s.Core.Session.insert_after (resolve r l) f)
-  | Delete l ->
-    s.Core.Session.delete (resolve r l);
-    r.dirty <- true
-  | Replace_value (l, v) -> s.Core.Session.set_value (resolve r l) v
-  | Rename (l, name) -> s.Core.Session.rename (resolve r l) name
+  let apply r op =
+    let s = r.rs in
+    let before = churn s in
+    let settled node =
+      if churn s <> before then r.dirty <- true
+      else if not r.dirty then begin
+        add_node r node;
+        List.iter (add_node r) (Tree.descendants node)
+      end;
+      Some node
+    in
+    match (op : Oplog.op) with
+    | Insert_first (l, f) -> settled (s.Core.Session.insert_first (resolve r l) f)
+    | Insert_last (l, f) -> settled (s.Core.Session.insert_last (resolve r l) f)
+    | Insert_before (l, f) -> settled (s.Core.Session.insert_before (resolve r l) f)
+    | Insert_after (l, f) -> settled (s.Core.Session.insert_after (resolve r l) f)
+    | Delete l ->
+      s.Core.Session.delete (resolve r l);
+      r.dirty <- true;
+      None
+    | Replace_value (l, v) ->
+      s.Core.Session.set_value (resolve r l) v;
+      None
+    | Rename (l, name) ->
+      s.Core.Session.rename (resolve r l) name;
+      None
+end
 
-let apply session op = apply_with (make_resolver session) op
+let apply session op = ignore (Resolver.apply (Resolver.create session) op)
 
 (* ---- the open journal -------------------------------------------- *)
 
@@ -253,8 +263,8 @@ let recover ?(io = Io.real) ?scheme ?(fsync_every = 1) ~base () =
   let lpath = log_path ~base ~epoch:e in
   let tail, ops, bytes, torn, log_bytes = read_log_ops ~io ~expect_scheme lpath in
   let snapshot_nodes = Tree.size session.Core.Session.doc in
-  let resolver = make_resolver session in
-  List.iter (apply_with resolver) ops;
+  let resolver = Resolver.create session in
+  List.iter (fun op -> ignore (Resolver.apply resolver op)) ops;
   (* drop the torn tail (or a broken header) before appending again; the
      truncation is fsynced so the dropped bytes cannot resurface after a
      crash and resurrect a record recovery decided to discard *)

@@ -109,8 +109,31 @@ val pending : t -> int
 val snapshot_path : base:string -> epoch:int -> string
 val log_path : base:string -> epoch:int -> string
 
+(** The label-to-node resolver behind replay, exposed so long-lived
+    consumers (the network server's per-document actors, tests) can keep
+    one across a stream of operations: the inverted [label_encoded] table
+    is extended in place after inserts that relabelled nothing and rebuilt
+    lazily after deletes or scheme churn, instead of being rebuilt per
+    record. *)
+module Resolver : sig
+  type t
+  (** One resolver bound to one session. *)
+
+  val create : Core.Session.t -> t
+  (** The table is built lazily on first {!resolve}. *)
+
+  val resolve : t -> Oplog.label -> Repro_xml.Tree.node
+  (** The unique live node carrying this encoded label. Raises
+      {!Replay_error} when the label resolves to no node or to several. *)
+
+  val apply : t -> Oplog.op -> Repro_xml.Tree.node option
+  (** Resolve the record's target label and perform the operation through
+      the session (so the scheme observes it), returning the root of the
+      inserted fragment for inserts and [None] otherwise. Raises
+      {!Replay_error} on unresolvable or ambiguous labels. *)
+end
+
 val apply : Core.Session.t -> Oplog.op -> unit
-(** Resolve the record's target label against the session and perform the
-    operation through the session (so the scheme observes it). Raises
-    {!Replay_error} on unresolvable or ambiguous labels. Exposed for the
-    test suite; {!recover} is the normal entry point. *)
+(** [Resolver.apply] with a throwaway resolver — one-shot replay of a
+    single record. Exposed for the test suite; {!recover} is the normal
+    entry point. *)

@@ -1,0 +1,324 @@
+open Repro_codes
+open Repro_journal
+module P = Protocol
+
+type config = {
+  g_host : string;
+  g_port : int;
+  g_clients : int;
+  g_ops : int;
+  g_seed : int;
+  g_schemes : string list;
+  g_doc_prefix : string;
+  g_nodes : int;
+  g_timeout : float;
+}
+
+let default_config ~port =
+  {
+    g_host = "127.0.0.1";
+    g_port = port;
+    g_clients = 4;
+    g_ops = 1_000;
+    g_seed = 1;
+    g_schemes = [ "QED"; "Vector"; "ORDPATH" ];
+    g_doc_prefix = "doc";
+    g_nodes = 120;
+    g_timeout = 30.;
+  }
+
+type class_report = {
+  cr_class : string;
+  cr_count : int;
+  cr_errors : int;
+  cr_p50_us : float;
+  cr_p99_us : float;
+  cr_mean_us : float;
+}
+
+type report = {
+  r_clients : int;
+  r_ops : int;
+  r_errors : int;
+  r_seconds : float;
+  r_ops_per_sec : float;
+  r_classes : class_report list;
+}
+
+(* ---- label pools ----------------------------------------------------
+
+   The generator is built to produce {e zero} protocol errors by
+   construction, so any error the report counts is the server's fault:
+
+   - anchors: labels of nodes the client will never delete (the root plus
+     half its inserts) — safe as insert anchors and rename/set_value
+     targets forever;
+   - victims: the other half of its inserts, all childless elements (no
+     insert ever targets them as parent), each deleted at most once;
+   - extras: labels harvested from a Labels refresh, used only for
+     label-only queries, which decode whether or not the node is alive.
+
+   Clients touch disjoint documents, so no client invalidates another's
+   labels, and the three chosen schemes do not relabel on insert. *)
+
+type pool = { mutable items : P.label array; mutable len : int }
+
+let pool_create () = { items = Array.make 64 { P.l_bytes = ""; l_bits = 0 }; len = 0 }
+
+let pool_add p l =
+  if p.len = Array.length p.items then begin
+    let bigger = Array.make (2 * p.len) l in
+    Array.blit p.items 0 bigger 0 p.len;
+    p.items <- bigger
+  end;
+  p.items.(p.len) <- l;
+  p.len <- p.len + 1
+
+let pool_pick rng p = p.items.(Prng.int rng p.len)
+
+let pool_take rng p =
+  let i = Prng.int rng p.len in
+  let l = p.items.(i) in
+  p.items.(i) <- p.items.(p.len - 1);
+  p.len <- p.len - 1;
+  l
+
+(* ---- per-client worker --------------------------------------------- *)
+
+type tally = {
+  mutable t_lat : (string * int * bool) list;
+      (** class, latency ns, ok — one per request *)
+  mutable t_errors : int;
+  mutable t_ops : int;
+  mutable t_dead : string option;  (** transport failure, if one killed the client *)
+}
+
+let timed tally cls f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  tally.t_ops <- tally.t_ops + 1;
+  let ok =
+    match r with
+    | Ok (P.Err _) ->
+      tally.t_errors <- tally.t_errors + 1;
+      false
+    | Ok _ -> true
+    | Error reason ->
+      tally.t_errors <- tally.t_errors + 1;
+      tally.t_dead <- Some reason;
+      false
+  in
+  tally.t_lat <- (cls, max 0 ns, ok) :: tally.t_lat;
+  r
+
+let worker cfg i tally =
+  let rng = Prng.create (cfg.g_seed + (1_000_003 * (i + 1))) in
+  let doc = Printf.sprintf "%s-%d" cfg.g_doc_prefix i in
+  let scheme = List.nth cfg.g_schemes (i mod List.length cfg.g_schemes) in
+  let c =
+    Server_client.connect ~timeout:cfg.g_timeout ~host:cfg.g_host ~port:cfg.g_port ()
+  in
+  Fun.protect ~finally:(fun () -> Server_client.close c) @@ fun () ->
+  let anchors = pool_create () in
+  let victims = pool_create () in
+  let extras = pool_create () in
+  let counter = ref 0 in
+  let fresh_name pfx =
+    incr counter;
+    Printf.sprintf "%s%d_%d" pfx i !counter
+  in
+  (match
+     timed tally "open" (fun () ->
+         Server_client.open_doc c ~doc ~scheme ~nodes:cfg.g_nodes ~seed:(cfg.g_seed + i))
+   with
+  | Ok (P.Opened { ok_root; _ }) -> pool_add anchors ok_root
+  | _ -> ());
+  tally.t_ops <- 0;
+  (* the open is not one of the measured ops *)
+  let quota = cfg.g_ops in
+  let insert () =
+    let payload = Repro_xml.Tree.elt (fresh_name "u") [] in
+    let op =
+      match Prng.int rng 4 with
+      | 0 -> Oplog.Insert_first (pool_pick rng anchors, payload)
+      | 1 -> Oplog.Insert_last (pool_pick rng anchors, payload)
+      | (2 | _) as k ->
+        if anchors.len < 2 then Oplog.Insert_last (anchors.items.(0), payload)
+        else
+          (* never a sibling of the root: index 0 is the root *)
+          let anchor = anchors.items.(1 + Prng.int rng (anchors.len - 1)) in
+          if k = 2 then Oplog.Insert_before (anchor, payload)
+          else Oplog.Insert_after (anchor, payload)
+    in
+    match timed tally "insert" (fun () -> Server_client.update c ~doc [ op ]) with
+    | Ok (P.Updated { up_fresh = [ l ]; _ }) ->
+      if Prng.bool rng then pool_add anchors l else pool_add victims l
+    | _ -> ()
+  in
+  let step () =
+    let r = Prng.int rng 100 in
+    if r < 46 then insert ()
+    else if r < 56 then
+      if victims.len = 0 then insert ()
+      else
+        ignore
+          (timed tally "delete" (fun () ->
+               Server_client.update c ~doc [ Oplog.Delete (pool_take rng victims) ]))
+    else if r < 64 then
+      ignore
+        (timed tally "rename" (fun () ->
+             Server_client.update c ~doc
+               [ Oplog.Rename (pool_pick rng anchors, fresh_name "r") ]))
+    else if r < 72 then
+      ignore
+        (timed tally "set-value" (fun () ->
+             Server_client.update c ~doc
+               [
+                 Oplog.Replace_value
+                   ( pool_pick rng anchors,
+                     if Prng.bool rng then Some (fresh_name "v") else None );
+               ]))
+    else if r < 87 then begin
+      let pick () =
+        if extras.len > 0 && Prng.bool rng then pool_pick rng extras
+        else pool_pick rng anchors
+      in
+      let a = pick () in
+      let pred =
+        match Prng.int rng 5 with
+        | 0 -> P.Order (a, pick ())
+        | 1 -> P.Ancestor (a, pick ())
+        | 2 -> P.Parent (a, pick ())
+        | 3 -> P.Sibling (a, pick ())
+        | _ -> P.Level a
+      in
+      ignore (timed tally "query" (fun () -> Server_client.query c ~doc pred))
+    end
+    else if r < 93 then ignore (timed tally "stats" (fun () -> Server_client.stats c ~doc))
+    else if r < 97 then (
+      match
+        timed tally "labels" (fun () -> Server_client.labels c ~doc ~limit:200)
+      with
+      | Ok (P.Labels_r entries) ->
+        extras.len <- 0;
+        List.iter (fun (l, _, _) -> pool_add extras l) entries
+      | _ -> ())
+    else ignore (timed tally "checkpoint" (fun () -> Server_client.checkpoint c ~doc))
+  in
+  let rec go () =
+    if tally.t_ops < quota && tally.t_dead = None then begin
+      step ();
+      go ()
+    end
+  in
+  go ()
+
+(* ---- aggregation ---------------------------------------------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    float_of_int sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let classes_of tallies =
+  let by_class = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (cls, ns, ok) ->
+          let lats, errs =
+            Option.value (Hashtbl.find_opt by_class cls) ~default:([], 0)
+          in
+          Hashtbl.replace by_class cls (ns :: lats, if ok then errs else errs + 1))
+        t.t_lat)
+    tallies;
+  Hashtbl.fold
+    (fun cls (lats, errs) acc ->
+      let a = Array.of_list lats in
+      Array.sort compare a;
+      let total = Array.fold_left ( + ) 0 a in
+      let n = Array.length a in
+      {
+        cr_class = cls;
+        cr_count = n;
+        cr_errors = errs;
+        cr_p50_us = percentile a 0.50 /. 1e3;
+        cr_p99_us = percentile a 0.99 /. 1e3;
+        cr_mean_us = float_of_int total /. float_of_int (max 1 n) /. 1e3;
+      }
+      :: acc)
+    by_class []
+  |> List.sort (fun a b -> String.compare a.cr_class b.cr_class)
+
+let run cfg =
+  if cfg.g_clients < 1 then invalid_arg "Loadgen.run: need at least one client";
+  if cfg.g_schemes = [] then invalid_arg "Loadgen.run: need at least one scheme";
+  let per_client = max 1 (cfg.g_ops / cfg.g_clients) in
+  let cfg = { cfg with g_ops = per_client } in
+  let tallies =
+    List.init cfg.g_clients (fun _ ->
+        { t_lat = []; t_errors = 0; t_ops = 0; t_dead = None })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.mapi
+      (fun i tally ->
+        Thread.create
+          (fun () ->
+            try worker cfg i tally
+            with e ->
+              tally.t_errors <- tally.t_errors + 1;
+              tally.t_dead <- Some (Printexc.to_string e))
+          ())
+      tallies
+  in
+  List.iter Thread.join threads;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let ops = List.fold_left (fun acc t -> acc + t.t_ops) 0 tallies in
+  let errors = List.fold_left (fun acc t -> acc + t.t_errors) 0 tallies in
+  {
+    r_clients = cfg.g_clients;
+    r_ops = ops;
+    r_errors = errors;
+    r_seconds = seconds;
+    r_ops_per_sec = (if seconds > 0. then float_of_int ops /. seconds else 0.);
+    r_classes = classes_of tallies;
+  }
+
+(* ---- rendering ------------------------------------------------------ *)
+
+let render report =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%-12s %8s %8s %10s %10s %10s\n" "class" "count" "errors"
+    "p50(us)" "p99(us)" "mean(us)";
+  List.iter
+    (fun c ->
+      Printf.bprintf buf "%-12s %8d %8d %10.1f %10.1f %10.1f\n" c.cr_class c.cr_count
+        c.cr_errors c.cr_p50_us c.cr_p99_us c.cr_mean_us)
+    report.r_classes;
+  Printf.bprintf buf "%.2fs, %.0f ops/sec over %d client(s)\n" report.r_seconds
+    report.r_ops_per_sec report.r_clients;
+  Printf.bprintf buf "RESULT ops=%d errors=%d\n" report.r_ops report.r_errors;
+  Buffer.contents buf
+
+let to_json ?(name = "server") report =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "{\n  \"benchmark\": %S,\n" name;
+  Printf.bprintf buf "  \"clients\": %d,\n" report.r_clients;
+  Printf.bprintf buf "  \"ops\": %d,\n" report.r_ops;
+  Printf.bprintf buf "  \"errors\": %d,\n" report.r_errors;
+  Printf.bprintf buf "  \"seconds\": %.3f,\n" report.r_seconds;
+  Printf.bprintf buf "  \"ops_per_sec\": %.1f,\n" report.r_ops_per_sec;
+  Printf.bprintf buf "  \"classes\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.bprintf buf
+        "    {\"class\": %S, \"count\": %d, \"errors\": %d, \"p50_us\": %.1f, \
+         \"p99_us\": %.1f, \"mean_us\": %.1f}%s\n"
+        c.cr_class c.cr_count c.cr_errors c.cr_p50_us c.cr_p99_us c.cr_mean_us
+        (if i = List.length report.r_classes - 1 then "" else ","))
+    report.r_classes;
+  Printf.bprintf buf "  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Seeded multi-client load generator for the update server.
+
+    Each client runs on its own thread with its own connection and its
+    own document ([<prefix>-<i>], scheme cycling through [g_schemes]),
+    replaying a deterministic mixed workload: inserts, deletes, renames,
+    value updates, label-only queries, stats reads, label refreshes and
+    checkpoints. The generator tracks which labels are still safe to use
+    (the root and half its inserts are never deleted; the other half are
+    childless delete victims), so a correct server answers every request
+    without a protocol error — [r_errors > 0] means the server, not the
+    workload, misbehaved. *)
+
+type config = {
+  g_host : string;
+  g_port : int;
+  g_clients : int;
+  g_ops : int;  (** total across all clients; split evenly *)
+  g_seed : int;
+  g_schemes : string list;  (** client [i] uses [i mod length] *)
+  g_doc_prefix : string;
+  g_nodes : int;  (** initial generated document size per client *)
+  g_timeout : float;
+}
+
+val default_config : port:int -> config
+(** 4 clients, 1000 ops, QED + Vector + ORDPATH, seed 1. *)
+
+type class_report = {
+  cr_class : string;
+  cr_count : int;
+  cr_errors : int;
+  cr_p50_us : float;
+  cr_p99_us : float;
+  cr_mean_us : float;
+}
+
+type report = {
+  r_clients : int;
+  r_ops : int;  (** requests actually sent (opens excluded) *)
+  r_errors : int;  (** protocol + transport errors; 0 on a healthy run *)
+  r_seconds : float;
+  r_ops_per_sec : float;
+  r_classes : class_report list;  (** sorted by class name *)
+}
+
+val run : config -> report
+(** Blocks until every client finishes its share of the ops (or dies on
+    a transport failure, which counts as an error and stops that client). *)
+
+val render : report -> string
+(** Human-readable table ending in a machine-greppable
+    ["RESULT ops=N errors=M"] line. *)
+
+val to_json : ?name:string -> report -> string
+(** The [BENCH_server.json] payload. *)

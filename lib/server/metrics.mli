@@ -1,0 +1,14 @@
+(** The server's request metrics table: per-op-class and per-document
+    counters, served back over the protocol as {!Protocol.Metrics_r}.
+    Thread-safe; every connection thread records into the same table. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> key:string -> ok:bool -> ns:int -> unit
+(** Count one request under [key] ("req/<class>" or
+    "doc/<name>/<class>") with its latency. *)
+
+val snapshot : t -> Protocol.metric list
+(** Sorted by key, for deterministic rendering. *)

@@ -1,0 +1,454 @@
+(* The wire protocol: payload codecs for every request and response the
+   server speaks. Framing (varint length + CRC-32 around each payload)
+   lives in {!Wire}; this module is pure string <-> value and never does
+   IO, so the codec is testable byte-by-byte without a socket. *)
+
+type label = Repro_journal.Oplog.label = { l_bytes : string; l_bits : int }
+
+type pred =
+  | Order of label * label
+  | Ancestor of label * label
+  | Parent of label * label
+  | Sibling of label * label
+  | Level of label
+
+type req =
+  | Ping
+  | Open of { o_doc : string; o_scheme : string; o_nodes : int; o_seed : int }
+  | Update of { u_doc : string; u_ops : Repro_journal.Oplog.op list }
+  | Query of { q_doc : string; q_pred : pred }
+  | Stats of string
+  | Labels of { lb_doc : string; lb_limit : int }
+  | Checkpoint of string
+  | Metrics
+
+type err =
+  | Bad_frame
+  | Unknown_doc
+  | Unknown_scheme
+  | Unknown_label
+  | Bad_request
+  | Shutting_down
+  | Internal
+
+type answer = Bool of bool | Int of int | Unsupported
+
+type stats_reply = {
+  st_nodes : int;
+  st_total_bits : int;
+  st_max_bits : int;
+  st_inserts : int;
+  st_deletes : int;
+  st_relabelled : int;
+  st_overflow : int;
+  st_epoch : int;
+  st_records : int;
+  st_log_bytes : int;
+}
+
+type metric = {
+  m_key : string;
+  m_count : int;
+  m_errors : int;
+  m_total_ns : int;
+  m_max_ns : int;
+}
+
+type resp =
+  | Pong of string
+  | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
+  | Updated of { up_applied : int; up_fresh : label list }
+  | Answer of answer
+  | Stats_r of stats_reply
+  | Labels_r of (label * Repro_xml.Tree.kind * string) list
+  | Checkpointed of int
+  | Metrics_r of metric list
+  | Err of err * string
+
+let magic = "XSRV1"
+
+let err_name = function
+  | Bad_frame -> "bad-frame"
+  | Unknown_doc -> "unknown-doc"
+  | Unknown_scheme -> "unknown-scheme"
+  | Unknown_label -> "unknown-label"
+  | Bad_request -> "bad-request"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+let err_code = function
+  | Bad_frame -> 0
+  | Unknown_doc -> 1
+  | Unknown_scheme -> 2
+  | Unknown_label -> 3
+  | Bad_request -> 4
+  | Shutting_down -> 5
+  | Internal -> 6
+
+let err_of_code = function
+  | 0 -> Some Bad_frame
+  | 1 -> Some Unknown_doc
+  | 2 -> Some Unknown_scheme
+  | 3 -> Some Unknown_label
+  | 4 -> Some Bad_request
+  | 5 -> Some Shutting_down
+  | 6 -> Some Internal
+  | _ -> None
+
+let req_class = function
+  | Ping -> "ping"
+  | Open _ -> "open"
+  | Update _ -> "update"
+  | Query _ -> "query"
+  | Stats _ -> "stats"
+  | Labels _ -> "labels"
+  | Checkpoint _ -> "checkpoint"
+  | Metrics -> "metrics"
+
+(* ---- encoding ------------------------------------------------------
+
+   Same conventions as {!Oplog}: varints for small counts and string
+   lengths. Wide counters (bit totals, nanoseconds) use fixed u64 LE —
+   the varint caps out at 2^21-1, which a busy session's statistics blow
+   through. *)
+
+let add_varint buf v = Buffer.add_string buf (Repro_codes.Varint.encode v)
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_label buf { l_bytes; l_bits } =
+  add_varint buf l_bits;
+  add_str buf l_bytes
+
+let add_u64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let add_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let encode_req req =
+  let buf = Buffer.create 64 in
+  (match req with
+  | Ping -> Buffer.add_char buf '\000'
+  | Open { o_doc; o_scheme; o_nodes; o_seed } ->
+    Buffer.add_char buf '\001';
+    add_str buf o_doc;
+    add_str buf o_scheme;
+    add_varint buf o_nodes;
+    add_varint buf o_seed
+  | Update { u_doc; u_ops } ->
+    Buffer.add_char buf '\002';
+    add_str buf u_doc;
+    add_varint buf (List.length u_ops);
+    (* each op rides as a whole Oplog record — frame, CRC and all — so
+       the update payload is bit-compatible with the journal that will
+       persist it *)
+    List.iter (fun op -> Buffer.add_string buf (Repro_journal.Oplog.encode_record op)) u_ops
+  | Query { q_doc; q_pred } ->
+    Buffer.add_char buf '\003';
+    add_str buf q_doc;
+    (match q_pred with
+    | Order (a, b) ->
+      Buffer.add_char buf '\000';
+      add_label buf a;
+      add_label buf b
+    | Ancestor (a, b) ->
+      Buffer.add_char buf '\001';
+      add_label buf a;
+      add_label buf b
+    | Parent (a, b) ->
+      Buffer.add_char buf '\002';
+      add_label buf a;
+      add_label buf b
+    | Sibling (a, b) ->
+      Buffer.add_char buf '\003';
+      add_label buf a;
+      add_label buf b
+    | Level a ->
+      Buffer.add_char buf '\004';
+      add_label buf a)
+  | Stats doc ->
+    Buffer.add_char buf '\004';
+    add_str buf doc
+  | Labels { lb_doc; lb_limit } ->
+    Buffer.add_char buf '\005';
+    add_str buf lb_doc;
+    add_varint buf lb_limit
+  | Checkpoint doc ->
+    Buffer.add_char buf '\006';
+    add_str buf doc
+  | Metrics -> Buffer.add_char buf '\007');
+  Buffer.contents buf
+
+let encode_resp resp =
+  let buf = Buffer.create 64 in
+  (match resp with
+  | Pong m ->
+    Buffer.add_char buf '\000';
+    add_str buf m
+  | Opened { ok_scheme; ok_root; ok_nodes; ok_fresh } ->
+    Buffer.add_char buf '\001';
+    add_str buf ok_scheme;
+    add_label buf ok_root;
+    add_u64 buf ok_nodes;
+    add_bool buf ok_fresh
+  | Updated { up_applied; up_fresh } ->
+    Buffer.add_char buf '\002';
+    add_varint buf up_applied;
+    add_varint buf (List.length up_fresh);
+    List.iter (add_label buf) up_fresh
+  | Answer a ->
+    Buffer.add_char buf '\003';
+    (match a with
+    | Bool b ->
+      Buffer.add_char buf '\000';
+      add_bool buf b
+    | Int v ->
+      Buffer.add_char buf '\001';
+      add_bool buf (v < 0);
+      add_u64 buf (abs v)
+    | Unsupported -> Buffer.add_char buf '\002')
+  | Stats_r st ->
+    Buffer.add_char buf '\004';
+    add_u64 buf st.st_nodes;
+    add_u64 buf st.st_total_bits;
+    add_u64 buf st.st_max_bits;
+    add_u64 buf st.st_inserts;
+    add_u64 buf st.st_deletes;
+    add_u64 buf st.st_relabelled;
+    add_u64 buf st.st_overflow;
+    add_u64 buf st.st_epoch;
+    add_u64 buf st.st_records;
+    add_u64 buf st.st_log_bytes
+  | Labels_r entries ->
+    Buffer.add_char buf '\005';
+    add_varint buf (List.length entries);
+    List.iter
+      (fun (l, kind, name) ->
+        add_label buf l;
+        Buffer.add_char buf
+          (match kind with Repro_xml.Tree.Element -> '\000' | Repro_xml.Tree.Attribute -> '\001');
+        add_str buf name)
+      entries
+  | Checkpointed epoch ->
+    Buffer.add_char buf '\006';
+    add_u64 buf epoch
+  | Metrics_r ms ->
+    Buffer.add_char buf '\007';
+    add_varint buf (List.length ms);
+    List.iter
+      (fun m ->
+        add_str buf m.m_key;
+        add_u64 buf m.m_count;
+        add_u64 buf m.m_errors;
+        add_u64 buf m.m_total_ns;
+        add_u64 buf m.m_max_ns)
+      ms
+  | Err (e, msg) ->
+    Buffer.add_char buf '\255';
+    Buffer.add_char buf (Char.chr (err_code e));
+    add_str buf msg);
+  Buffer.contents buf
+
+(* ---- decoding ------------------------------------------------------
+
+   Mirrors {!Oplog}'s cursor: an internal [Bad] exception carries the
+   reason to the single catch site, so a truncated or bit-flipped payload
+   always comes back as [Error reason] — never as an exception escaping
+   into a connection handler. *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type cursor = { data : string; limit : int; mutable pos : int }
+
+let rvarint c =
+  if c.pos >= c.limit then bad "truncated varint";
+  match Repro_codes.Varint.decode c.data c.pos with
+  | v, next ->
+    if next > c.limit then bad "truncated varint";
+    c.pos <- next;
+    v
+  | exception Invalid_argument m -> bad "%s" m
+
+let rbyte c =
+  if c.pos >= c.limit then bad "truncated payload";
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let rstr c =
+  let n = rvarint c in
+  if c.pos + n > c.limit then bad "truncated string (%d bytes wanted)" n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let rlabel c =
+  let l_bits = rvarint c in
+  let l_bytes = rstr c in
+  { l_bytes; l_bits }
+
+let ru64 c =
+  if c.pos + 8 > c.limit then bad "truncated u64";
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code c.data.[c.pos + i]
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let rbool c =
+  match rbyte c with 0 -> false | 1 -> true | b -> bad "bad bool byte %d" b
+
+let rkind c =
+  match rbyte c with
+  | 0 -> Repro_xml.Tree.Element
+  | 1 -> Repro_xml.Tree.Attribute
+  | k -> bad "bad node kind %d" k
+
+let rlist c f =
+  let n = rvarint c in
+  List.init n (fun _ -> f c)
+
+let finished c = if c.pos <> c.limit then bad "%d trailing bytes" (c.limit - c.pos)
+
+let decoding data f =
+  let c = { data; limit = String.length data; pos = 0 } in
+  match
+    let v = f c in
+    finished c;
+    v
+  with
+  | v -> Ok v
+  | exception Bad reason -> Error reason
+  | exception Invalid_argument reason -> Error reason
+
+let decode_req data =
+  decoding data (fun c ->
+      match rbyte c with
+      | 0 -> Ping
+      | 1 ->
+        let o_doc = rstr c in
+        let o_scheme = rstr c in
+        let o_nodes = rvarint c in
+        let o_seed = rvarint c in
+        Open { o_doc; o_scheme; o_nodes; o_seed }
+      | 2 ->
+        let u_doc = rstr c in
+        let n = rvarint c in
+        let ops = ref [] in
+        for _ = 1 to n do
+          match Repro_journal.Oplog.read_record c.data c.pos with
+          | Repro_journal.Oplog.Record (op, next) ->
+            if next > c.limit then bad "op record past payload end";
+            c.pos <- next;
+            ops := op :: !ops
+          | Repro_journal.Oplog.End_of_log -> bad "truncated op record"
+          | Repro_journal.Oplog.Torn reason -> bad "op record: %s" reason
+        done;
+        Update { u_doc; u_ops = List.rev !ops }
+      | 3 ->
+        let q_doc = rstr c in
+        let q_pred =
+          match rbyte c with
+          | 0 ->
+            let a = rlabel c in
+            Order (a, rlabel c)
+          | 1 ->
+            let a = rlabel c in
+            Ancestor (a, rlabel c)
+          | 2 ->
+            let a = rlabel c in
+            Parent (a, rlabel c)
+          | 3 ->
+            let a = rlabel c in
+            Sibling (a, rlabel c)
+          | 4 -> Level (rlabel c)
+          | p -> bad "bad predicate tag %d" p
+        in
+        Query { q_doc; q_pred }
+      | 4 -> Stats (rstr c)
+      | 5 ->
+        let lb_doc = rstr c in
+        Labels { lb_doc; lb_limit = rvarint c }
+      | 6 -> Checkpoint (rstr c)
+      | 7 -> Metrics
+      | t -> bad "unknown request tag %d" t)
+
+let decode_resp data =
+  decoding data (fun c ->
+      match rbyte c with
+      | 0 -> Pong (rstr c)
+      | 1 ->
+        let ok_scheme = rstr c in
+        let ok_root = rlabel c in
+        let ok_nodes = ru64 c in
+        let ok_fresh = rbool c in
+        Opened { ok_scheme; ok_root; ok_nodes; ok_fresh }
+      | 2 ->
+        let up_applied = rvarint c in
+        let up_fresh = rlist c rlabel in
+        Updated { up_applied; up_fresh }
+      | 3 ->
+        Answer
+          (match rbyte c with
+          | 0 -> Bool (rbool c)
+          | 1 ->
+            let neg = rbool c in
+            let v = ru64 c in
+            Int (if neg then -v else v)
+          | 2 -> Unsupported
+          | a -> bad "bad answer tag %d" a)
+      | 4 ->
+        let st_nodes = ru64 c in
+        let st_total_bits = ru64 c in
+        let st_max_bits = ru64 c in
+        let st_inserts = ru64 c in
+        let st_deletes = ru64 c in
+        let st_relabelled = ru64 c in
+        let st_overflow = ru64 c in
+        let st_epoch = ru64 c in
+        let st_records = ru64 c in
+        let st_log_bytes = ru64 c in
+        Stats_r
+          {
+            st_nodes;
+            st_total_bits;
+            st_max_bits;
+            st_inserts;
+            st_deletes;
+            st_relabelled;
+            st_overflow;
+            st_epoch;
+            st_records;
+            st_log_bytes;
+          }
+      | 5 ->
+        Labels_r
+          (rlist c (fun c ->
+               let l = rlabel c in
+               let kind = rkind c in
+               let name = rstr c in
+               (l, kind, name)))
+      | 6 -> Checkpointed (ru64 c)
+      | 7 ->
+        Metrics_r
+          (rlist c (fun c ->
+               let m_key = rstr c in
+               let m_count = ru64 c in
+               let m_errors = ru64 c in
+               let m_total_ns = ru64 c in
+               let m_max_ns = ru64 c in
+               { m_key; m_count; m_errors; m_total_ns; m_max_ns }))
+      | 255 ->
+        let code = rbyte c in
+        let msg = rstr c in
+        (match err_of_code code with
+        | Some e -> Err (e, msg)
+        | None -> bad "unknown error code %d" code)
+      | t -> bad "unknown response tag %d" t)

@@ -1,0 +1,109 @@
+(** The update server's wire protocol: payload codecs.
+
+    One frame on the wire is [varint payload-length; payload; CRC-32 LE]
+    — the {!Repro_journal.Oplog} framing conventions lifted to the
+    network ({!Wire} does the framing; this module is the payload codec).
+    Every payload starts with a one-byte tag. Labels travel exactly as
+    {!Core.Scheme.S.encode_label} produced them (varint bit count, varint
+    byte count, bytes), so a client can hand a label it was given back to
+    the server — or to the scheme's own [decode_label] — unchanged; update
+    operations ride as whole {!Repro_journal.Oplog} records, bit-compatible
+    with the journal that will persist them.
+
+    Wide counters (node totals, nanoseconds) use fixed u64 little-endian
+    rather than the 21-bit-capped varint.
+
+    Decoding never raises: any truncated, trailing-garbage or bit-flipped
+    payload comes back as [Error reason], which the server maps to a typed
+    {!err} reply — the fuzz tests in [test/test_protocol.ml] hold the
+    codec to exactly that. *)
+
+type label = Repro_journal.Oplog.label = { l_bytes : string; l_bits : int }
+
+(** Label-only structural predicates — the reads the paper argues a
+    labelling scheme should answer without touching the document, which is
+    also why the server answers them outside the document's actor. *)
+type pred =
+  | Order of label * label  (** sign of document-order comparison *)
+  | Ancestor of label * label
+  | Parent of label * label
+  | Sibling of label * label
+  | Level of label
+
+type req =
+  | Ping
+  | Open of { o_doc : string; o_scheme : string; o_nodes : int; o_seed : int }
+      (** open or create [o_doc]; a fresh document is generated with
+          [o_nodes] nodes from [o_seed] under [o_scheme] *)
+  | Update of { u_doc : string; u_ops : Repro_journal.Oplog.op list }
+  | Query of { q_doc : string; q_pred : pred }
+  | Stats of string
+  | Labels of { lb_doc : string; lb_limit : int }
+      (** the first [lb_limit] (label, kind, name) triples in document
+          order — how a client refreshes its label pool *)
+  | Checkpoint of string
+  | Metrics
+
+(** Typed error replies; the carried string narrows the cause. *)
+type err =
+  | Bad_frame  (** undecodable frame or payload *)
+  | Unknown_doc
+  | Unknown_scheme
+  | Unknown_label  (** no live node carries the label (or several do) *)
+  | Bad_request  (** structurally impossible operation, oversized value… *)
+  | Shutting_down
+  | Internal
+
+type answer = Bool of bool | Int of int | Unsupported
+
+type stats_reply = {
+  st_nodes : int;
+  st_total_bits : int;
+  st_max_bits : int;
+  st_inserts : int;
+  st_deletes : int;
+  st_relabelled : int;
+  st_overflow : int;
+  st_epoch : int;  (** journal epoch *)
+  st_records : int;  (** records appended since the journal opened *)
+  st_log_bytes : int;
+}
+
+type metric = {
+  m_key : string;  (** ["req/<class>"] or ["doc/<name>/<class>"] *)
+  m_count : int;
+  m_errors : int;
+  m_total_ns : int;
+  m_max_ns : int;
+}
+
+type resp =
+  | Pong of string  (** carries {!magic} — the version handshake *)
+  | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
+  | Updated of { up_applied : int; up_fresh : label list }
+      (** [up_fresh]: one label per insert, the inserted fragment's root *)
+  | Answer of answer
+  | Stats_r of stats_reply
+  | Labels_r of (label * Repro_xml.Tree.kind * string) list
+  | Checkpointed of int  (** the new epoch *)
+  | Metrics_r of metric list
+  | Err of err * string
+
+val magic : string
+(** ["XSRV1"], carried by {!Pong}. *)
+
+val err_name : err -> string
+val err_code : err -> int
+val err_of_code : int -> err option
+
+val req_class : req -> string
+(** The op-class key used for metrics and latency breakdowns. *)
+
+val encode_req : req -> string
+(** The payload only; {!Wire.frame} wraps it for the wire. *)
+
+val decode_req : string -> (req, string) result
+(** Never raises; trailing bytes are an error. *)
+
+val encode_resp : resp -> string
+val decode_resp : string -> (resp, string) result

@@ -1,0 +1,70 @@
+open Repro_io
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  sock : Io.sock;
+  reader : Wire.reader;
+  mutable alive : bool;
+}
+
+let connect ?(sock = Io.real_sock) ?(timeout = 30.) ~host ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+  with
+  | () -> { fd; sock; reader = Wire.reader sock fd; alive = true }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Io.Io_error { op = "connect"; path = host; reason = Unix.error_message e })
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try t.sock.Io.s_close t.fd with Io.Io_error _ -> ()
+  end
+
+let request t req =
+  if not t.alive then Error "connection closed"
+  else
+    match Wire.send_frame t.sock t.fd (P.encode_req req) with
+    | exception Io.Io_error { reason; _ } ->
+      t.alive <- false;
+      Error ("send: " ^ reason)
+    | () -> (
+      match Wire.recv_frame t.reader with
+      | Wire.Frame payload -> (
+        match P.decode_resp payload with
+        | Ok resp -> Ok resp
+        | Error reason ->
+          t.alive <- false;
+          Error ("bad response payload: " ^ reason))
+      | Wire.Eof ->
+        t.alive <- false;
+        Error "server closed the connection"
+      | Wire.Bad reason ->
+        t.alive <- false;
+        Error ("bad response frame: " ^ reason)
+      | Wire.Io_fail reason ->
+        t.alive <- false;
+        Error ("recv: " ^ reason))
+
+let ping t =
+  match request t P.Ping with
+  | Ok (P.Pong m) when m = P.magic -> Ok ()
+  | Ok (P.Pong m) -> Error ("protocol version mismatch: " ^ m)
+  | Ok _ -> Error "unexpected reply to ping"
+  | Error _ as e -> e
+
+let open_doc t ~doc ~scheme ~nodes ~seed =
+  request t (P.Open { o_doc = doc; o_scheme = scheme; o_nodes = nodes; o_seed = seed })
+
+let update t ~doc ops = request t (P.Update { u_doc = doc; u_ops = ops })
+let query t ~doc pred = request t (P.Query { q_doc = doc; q_pred = pred })
+let stats t ~doc = request t (P.Stats doc)
+let labels t ~doc ~limit = request t (P.Labels { lb_doc = doc; lb_limit = limit })
+let checkpoint t ~doc = request t (P.Checkpoint doc)
+let metrics t = request t P.Metrics

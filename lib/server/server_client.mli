@@ -1,0 +1,37 @@
+(** Client side of the wire protocol: one connection, synchronous
+    request/response.
+
+    Transport failures (reset, timeout, torn frame, undecodable reply)
+    come back as [Error reason] and mark the connection dead; protocol
+    errors the server chose to send are an ordinary [Ok (Err (code, msg))]
+    — the connection is still usable. Not thread-safe: one connection per
+    thread, which is also how the load generator uses it. *)
+
+type t
+
+val connect :
+  ?sock:Repro_io.Io.sock -> ?timeout:float -> host:string -> port:int -> unit -> t
+(** [host] is a numeric address. [timeout] (default 30s) sets both
+    receive and send timeouts. Raises {!Repro_io.Io.Io_error} when the
+    connection is refused. The [sock] seam defaults to the real one;
+    tests pass a fault-injecting wrap. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> Protocol.req -> (Protocol.resp, string) result
+(** One framed round trip. Never raises on transport failure. *)
+
+val ping : t -> (unit, string) result
+(** Round-trip plus protocol-version check ({!Protocol.magic}). *)
+
+val open_doc :
+  t -> doc:string -> scheme:string -> nodes:int -> seed:int ->
+  (Protocol.resp, string) result
+
+val update : t -> doc:string -> Repro_journal.Oplog.op list -> (Protocol.resp, string) result
+val query : t -> doc:string -> Protocol.pred -> (Protocol.resp, string) result
+val stats : t -> doc:string -> (Protocol.resp, string) result
+val labels : t -> doc:string -> limit:int -> (Protocol.resp, string) result
+val checkpoint : t -> doc:string -> (Protocol.resp, string) result
+val metrics : t -> (Protocol.resp, string) result

@@ -1,0 +1,121 @@
+open Repro_io
+
+let crc s = Int32.to_int (Repro_codes.Crc32.string s) land 0xFFFFFFFF
+
+let frame payload =
+  let n = String.length payload in
+  if n > Repro_codes.Varint.max_encodable then
+    invalid_arg (Printf.sprintf "Wire.frame: %d-byte payload exceeds the frame limit" n);
+  let buf = Buffer.create (n + 8) in
+  Buffer.add_string buf (Repro_codes.Varint.encode n);
+  Buffer.add_string buf payload;
+  let c = crc payload in
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((c lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.contents buf
+
+let unframe data pos =
+  let len = String.length data in
+  if pos >= len then `End
+  else
+    match Repro_codes.Varint.decode data pos with
+    | exception Invalid_argument m -> `Bad m
+    | n, body ->
+      if body + n + 4 > len then `Bad "truncated frame"
+      else
+        let payload = String.sub data body n in
+        let c = ref 0 in
+        for i = 3 downto 0 do
+          c := (!c lsl 8) lor Char.code data.[body + n + i]
+        done;
+        if !c <> crc payload then `Bad "frame checksum mismatch"
+        else `Frame (payload, body + n + 4)
+
+(* ---- socket framing ------------------------------------------------
+
+   Reads go through {!Io.sock.s_recv}, which may legitimately return
+   fewer bytes than a frame needs (short reads, whether from the kernel
+   or from {!Failpoint.wrap_sock}); the reader buffers and loops until
+   the frame is whole. *)
+
+type reader = {
+  r_fd : Unix.file_descr;
+  r_sock : Io.sock;
+  r_buf : Bytes.t;
+  mutable r_pos : int;
+  mutable r_len : int;
+}
+
+let reader sock fd =
+  { r_fd = fd; r_sock = sock; r_buf = Bytes.create 8192; r_pos = 0; r_len = 0 }
+
+type event = Frame of string | Eof | Bad of string | Io_fail of string
+
+(* true when at least one buffered byte is available *)
+let refill r =
+  r.r_pos < r.r_len
+  ||
+  let n = r.r_sock.Io.s_recv r.r_fd r.r_buf 0 (Bytes.length r.r_buf) in
+  r.r_pos <- 0;
+  r.r_len <- n;
+  n > 0
+
+let read_byte r =
+  if refill r then begin
+    let c = Bytes.get r.r_buf r.r_pos in
+    r.r_pos <- r.r_pos + 1;
+    Some c
+  end
+  else None
+
+let read_exact r n =
+  let out = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string out)
+    else if refill r then begin
+      let take = min (n - off) (r.r_len - r.r_pos) in
+      Bytes.blit r.r_buf r.r_pos out off take;
+      r.r_pos <- r.r_pos + take;
+      go (off + take)
+    end
+    else None
+  in
+  go 0
+
+(* how many bytes the varint starting with this byte occupies *)
+let seq_len c =
+  let b = Char.code c in
+  if b < 0x80 then Some 1
+  else if b land 0xE0 = 0xC0 then Some 2
+  else if b land 0xF0 = 0xE0 then Some 3
+  else if b land 0xF8 = 0xF0 then Some 4
+  else None
+
+let recv_frame r =
+  try
+    match read_byte r with
+    | None -> Eof
+    | Some c -> (
+      match seq_len c with
+      | None -> Bad "bad frame length byte"
+      | Some k -> (
+        match if k = 1 then Some "" else read_exact r (k - 1) with
+        | None -> Bad "truncated frame length"
+        | Some rest -> (
+          let header = String.make 1 c ^ rest in
+          match Repro_codes.Varint.decode header 0 with
+          | exception Invalid_argument m -> Bad m
+          | n, _ -> (
+            match read_exact r (n + 4) with
+            | None -> Bad "truncated frame"
+            | Some body ->
+              let payload = String.sub body 0 n in
+              let c = ref 0 in
+              for i = 3 downto 0 do
+                c := (!c lsl 8) lor Char.code body.[n + i]
+              done;
+              if !c <> crc payload then Bad "frame checksum mismatch" else Frame payload))))
+  with Io.Io_error { reason; _ } -> Io_fail reason
+
+let send_frame sock fd payload = sock.Io.s_send_all fd (frame payload)

@@ -1,0 +1,36 @@
+(** Frame transport over the {!Repro_io.Io.sock} seam.
+
+    One frame is [varint payload-length; payload; CRC-32 LE] — the
+    {!Repro_journal.Oplog} record framing on a socket. The varint is
+    self-delimiting (its first byte announces its width), so the reader
+    knows exactly how many bytes to wait for; the CRC makes a corrupted
+    frame detectable before its payload is ever parsed. *)
+
+val frame : string -> string
+(** Wrap a payload for the wire. Raises [Invalid_argument] past the
+    2^21-1-byte frame limit (the varint's ceiling). *)
+
+val unframe : string -> int -> [ `Frame of string * int | `End | `Bad of string ]
+(** [unframe data pos] decodes one frame from a string — the payload and
+    the offset just past it. For tests and in-memory use; never raises. *)
+
+type reader
+(** Buffered frame reader over one socket. *)
+
+val reader : Repro_io.Io.sock -> Unix.file_descr -> reader
+
+type event =
+  | Frame of string  (** one whole, checksum-clean payload *)
+  | Eof  (** orderly end of stream between frames *)
+  | Bad of string  (** torn or corrupt frame — the stream can no longer
+                       be trusted to be in sync *)
+  | Io_fail of string  (** typed IO failure from the seam (timeout,
+                           connection reset…) *)
+
+val recv_frame : reader -> event
+(** Blocks until a whole frame (short reads completed), end of stream, or
+    failure. Never raises. *)
+
+val send_frame : Repro_io.Io.sock -> Unix.file_descr -> string -> unit
+(** Frame and send a payload, short writes completed by the seam. Raises
+    {!Repro_io.Io.Io_error} on transport failure. *)

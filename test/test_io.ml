@@ -261,6 +261,88 @@ let crashsim_write_atomic_all_or_nothing () =
   check Alcotest.bool "final live content" true
     (file_in (Crashsim.dump sim) "doc" = Some "version-22")
 
+(* ---- the socket seam ---------------------------------------------- *)
+
+let failpoint_sock () =
+  let ctl, m = Failpoint.wrap_sock Io.unix_sock in
+  (ctl, Io.pack_sock m)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () -> f a b)
+
+(* An EINTR during recv must be retried into delivered bytes. *)
+let sock_recv_retries_eintr () =
+  with_socketpair (fun a b ->
+      let ctl, sock = failpoint_sock () in
+      let _ = Unix.write_substring a "payload" 0 7 in
+      Failpoint.arm ctl [ (At (Failpoint.calls ctl + 1), Eintr) ];
+      let buf = Bytes.create 16 in
+      let n = sock.Io.s_recv b buf 0 16 in
+      check Alcotest.int "the EINTR fired" 1 (Failpoint.injected ctl);
+      check Alcotest.string "bytes delivered after the retry" "payload"
+        (Bytes.sub_string buf 0 n))
+
+(* A kernel that accepts only part of each send: s_send_all keeps going
+   until the whole buffer is on the wire. *)
+let sock_send_all_completes_short_writes () =
+  with_socketpair (fun a b ->
+      let ctl, sock = failpoint_sock () in
+      Failpoint.arm ctl [ (From (Failpoint.calls ctl + 1), Short_write 2) ];
+      sock.Io.s_send_all a "0123456789";
+      check Alcotest.bool "short writes were injected" true (Failpoint.injected ctl >= 4);
+      Failpoint.arm ctl [];
+      let buf = Bytes.create 10 in
+      let rec read_all off =
+        if off < 10 then read_all (off + Unix.recv b buf off (10 - off) [])
+      in
+      read_all 0;
+      check Alcotest.string "every byte arrived, in order" "0123456789"
+        (Bytes.to_string buf))
+
+(* An EINTR while blocked in accept is retried into a connection. *)
+let sock_accept_retries_eintr () =
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen lfd 4;
+      let port =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let ctl, sock = failpoint_sock () in
+      Failpoint.arm ctl [ (At (Failpoint.calls ctl + 1), Eintr) ];
+      let dialer =
+        Thread.create
+          (fun () ->
+            let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            Unix.close fd)
+          ()
+      in
+      let fd, _ = sock.Io.s_accept lfd in
+      check Alcotest.int "the EINTR fired" 1 (Failpoint.injected ctl);
+      Unix.close fd;
+      Thread.join dialer)
+
+(* Errors that are not transient surface as the seam's typed error, never
+   a bare Unix_error. *)
+let sock_failure_is_typed () =
+  with_socketpair (fun a _b ->
+      let ctl, sock = failpoint_sock () in
+      Failpoint.arm ctl [ (From (Failpoint.calls ctl + 1), Eio) ];
+      match sock.Io.s_send_all a "doomed" with
+      | () -> Alcotest.fail "injected EIO should surface"
+      | exception e ->
+        check Alcotest.bool "typed Io_error, not a bare errno" true (is_io_error e))
+
 (* ---- the torture harness ------------------------------------------ *)
 
 let torture_smoke () =
@@ -300,6 +382,11 @@ let suite =
       crashsim_rename_needs_dir_fsync;
     Alcotest.test_case "crashsim: write_atomic all-or-nothing" `Quick
       crashsim_write_atomic_all_or_nothing;
+    Alcotest.test_case "sock: recv retries eintr" `Quick sock_recv_retries_eintr;
+    Alcotest.test_case "sock: send_all completes short writes" `Quick
+      sock_send_all_completes_short_writes;
+    Alcotest.test_case "sock: accept retries eintr" `Quick sock_accept_retries_eintr;
+    Alcotest.test_case "sock: failure is typed" `Quick sock_failure_is_typed;
     Alcotest.test_case "torture smoke" `Slow torture_smoke;
     Alcotest.test_case "torture catches missing dir fsync" `Slow
       torture_catches_missing_dir_fsync;

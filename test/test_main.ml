@@ -11,6 +11,8 @@ let () =
       ("storage", Test_storage.suite);
       ("journal", Test_journal.suite);
       ("io", Test_io.suite);
+      ("protocol", Test_protocol.suite);
+      ("server", Test_server.suite);
       ("stream", Test_stream.suite);
       ("btree", Test_btree.suite);
       ("twig", Test_twig.suite);

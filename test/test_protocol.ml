@@ -1,0 +1,252 @@
+(* Codec tests for the wire protocol: every request and response variant
+   round-trips bit-exactly, and no mutation of the bytes — truncation at
+   every prefix, seeded bit flips, trailing garbage — ever escapes the
+   decoder as an exception. A corrupted *frame* must additionally never
+   decode at all: one flipped bit anywhere in [varint len; payload; CRC]
+   is caught by the checksum (or the varint's own validity rules). *)
+
+open Repro_codes
+open Repro_journal
+open Repro_xml
+module P = Repro_server.Protocol
+module W = Repro_server.Wire
+
+let check = Alcotest.check
+
+let lab bytes bits = { P.l_bytes = bytes; l_bits = bits }
+let l0 = lab "\x01" 3
+let l1 = lab "\xfe\x10\x07" 23
+let l2 = lab "" 0
+
+let sample_frag () =
+  Tree.elt ~value:"night" "chapter" [ Tree.attr "id" "7"; Tree.elt "p" [] ]
+
+let sample_ops () =
+  [
+    Oplog.Insert_first ({ Oplog.l_bytes = "\x01"; l_bits = 3 }, sample_frag ());
+    Oplog.Insert_last ({ Oplog.l_bytes = "\x02"; l_bits = 5 }, Tree.elt "x" []);
+    Oplog.Insert_before ({ Oplog.l_bytes = "\x03"; l_bits = 8 }, Tree.elt "y" []);
+    Oplog.Insert_after ({ Oplog.l_bytes = "\x04"; l_bits = 2 }, Tree.elt "z" []);
+    Oplog.Delete { Oplog.l_bytes = "\x05"; l_bits = 6 };
+    Oplog.Replace_value ({ Oplog.l_bytes = "\x06"; l_bits = 7 }, Some "new");
+    Oplog.Replace_value ({ Oplog.l_bytes = "\x07"; l_bits = 4 }, None);
+    Oplog.Rename ({ Oplog.l_bytes = "\x08"; l_bits = 9 }, "renamed");
+  ]
+
+let sample_reqs =
+  [
+    P.Ping;
+    P.Open { o_doc = "d"; o_scheme = "QED"; o_nodes = 120; o_seed = 42 };
+    P.Open { o_doc = "a-b.c_9"; o_scheme = ""; o_nodes = 0; o_seed = 0 };
+    P.Query { q_doc = "d"; q_pred = P.Order (l0, l1) };
+    P.Query { q_doc = "d"; q_pred = P.Ancestor (l1, l0) };
+    P.Query { q_doc = "d"; q_pred = P.Parent (l0, l2) };
+    P.Query { q_doc = "d"; q_pred = P.Sibling (l2, l1) };
+    P.Query { q_doc = "d"; q_pred = P.Level l1 };
+    P.Stats "some-doc";
+    P.Labels { lb_doc = "d"; lb_limit = 500 };
+    P.Checkpoint "d";
+    P.Metrics;
+  ]
+
+let sample_resps =
+  [
+    P.Pong P.magic;
+    P.Opened { ok_scheme = "Vector"; ok_root = l0; ok_nodes = 120; ok_fresh = true };
+    P.Opened { ok_scheme = ""; ok_root = l2; ok_nodes = 0; ok_fresh = false };
+    P.Updated { up_applied = 3; up_fresh = [ l0; l1 ] };
+    P.Updated { up_applied = 0; up_fresh = [] };
+    P.Answer (P.Bool true);
+    P.Answer (P.Bool false);
+    P.Answer (P.Int 0);
+    P.Answer (P.Int (-5));
+    P.Answer (P.Int max_int);
+    P.Answer P.Unsupported;
+    P.Stats_r
+      {
+        st_nodes = 1_000_000;
+        st_total_bits = max_int;
+        st_max_bits = 64;
+        st_inserts = 9;
+        st_deletes = 8;
+        st_relabelled = 7;
+        st_overflow = 6;
+        st_epoch = 5;
+        st_records = 4;
+        st_log_bytes = 3;
+      };
+    P.Labels_r [ (l0, Tree.Element, "book"); (l1, Tree.Attribute, "id"); (l2, Tree.Element, "") ];
+    P.Labels_r [];
+    P.Checkpointed 17;
+    P.Metrics_r
+      [
+        { m_key = "req/insert"; m_count = 10; m_errors = 1; m_total_ns = 123_456_789_000; m_max_ns = 50_000 };
+        { m_key = "doc/d/query"; m_count = 0; m_errors = 0; m_total_ns = 0; m_max_ns = 0 };
+      ];
+    P.Metrics_r [];
+    P.Err (P.Bad_frame, "torn");
+    P.Err (P.Unknown_doc, "");
+    P.Err (P.Unknown_scheme, "x");
+    P.Err (P.Unknown_label, "y");
+    P.Err (P.Bad_request, "z");
+    P.Err (P.Shutting_down, "");
+    P.Err (P.Internal, "boom");
+  ]
+
+(* ---- round trips --------------------------------------------------- *)
+
+let req_roundtrip () =
+  List.iter
+    (fun req ->
+      match P.decode_req (P.encode_req req) with
+      | Ok got -> check Alcotest.bool (P.req_class req ^ " round-trips") true (got = req)
+      | Error e -> Alcotest.fail (P.req_class req ^ ": " ^ e))
+    sample_reqs
+
+(* Update requests carry tree fragments, whose nodes have cyclic parent
+   pointers and fresh ids on decode — compare through the op printer. *)
+let update_roundtrip () =
+  let req = P.Update { u_doc = "the-doc"; u_ops = sample_ops () } in
+  match P.decode_req (P.encode_req req) with
+  | Error e -> Alcotest.fail e
+  | Ok (P.Update { u_doc; u_ops }) ->
+    check Alcotest.string "doc" "the-doc" u_doc;
+    check
+      Alcotest.(list string)
+      "ops survive"
+      (List.map Oplog.op_to_string (sample_ops ()))
+      (List.map Oplog.op_to_string u_ops)
+  | Ok _ -> Alcotest.fail "decoded to a different request"
+
+let resp_roundtrip () =
+  List.iteri
+    (fun i resp ->
+      match P.decode_resp (P.encode_resp resp) with
+      | Ok got ->
+        check Alcotest.bool (Printf.sprintf "resp %d round-trips" i) true (got = resp)
+      | Error e -> Alcotest.fail (Printf.sprintf "resp %d: %s" i e))
+    sample_resps
+
+let err_codes_roundtrip () =
+  List.iter
+    (fun e ->
+      check Alcotest.bool (P.err_name e) true (P.err_of_code (P.err_code e) = Some e))
+    [ P.Bad_frame; P.Unknown_doc; P.Unknown_scheme; P.Unknown_label; P.Bad_request;
+      P.Shutting_down; P.Internal ];
+  check Alcotest.bool "unused code is None" true (P.err_of_code 250 = None)
+
+(* ---- mutation fuzz: the decoder never raises ------------------------ *)
+
+let all_payloads () =
+  P.encode_req (P.Update { u_doc = "d"; u_ops = sample_ops () })
+  :: List.map P.encode_req sample_reqs
+  @ List.map P.encode_resp sample_resps
+
+let decodes_without_raising data =
+  (match P.decode_req data with Ok _ | Error _ -> ());
+  match P.decode_resp data with Ok _ | Error _ -> ()
+
+(* A strict prefix that still decodes would mean trailing bytes are
+   silently dropped somewhere — the codec must refuse every one. The two
+   codecs are checked against their own payloads only: a request prefix
+   may happen to be a well-formed *response* (tag spaces overlap), which
+   is fine because frames never cross the two directions. *)
+let truncation_is_typed () =
+  let cuts payload k =
+    for len = 0 to String.length payload - 1 do
+      k (String.sub payload 0 len)
+    done
+  in
+  List.iter
+    (fun payload ->
+      cuts payload (fun cut ->
+          match P.decode_req cut with
+          | Ok req ->
+            Alcotest.fail
+              (Printf.sprintf "truncated payload decoded as %s" (P.req_class req))
+          | Error _ -> ()))
+    (P.encode_req (P.Update { u_doc = "d"; u_ops = sample_ops () })
+    :: List.map P.encode_req sample_reqs);
+  List.iter
+    (fun payload ->
+      cuts payload (fun cut ->
+          match P.decode_resp cut with
+          | Ok _ -> Alcotest.fail "truncated payload decoded as a response"
+          | Error _ -> ()))
+    (List.map P.encode_resp sample_resps)
+
+let bitflip_never_raises () =
+  let rng = Prng.create 0xF00D in
+  let payloads = Array.of_list (all_payloads ()) in
+  for _ = 1 to 2_000 do
+    let payload = payloads.(Prng.int rng (Array.length payloads)) in
+    let b = Bytes.of_string payload in
+    let pos = Prng.int rng (Bytes.length b) in
+    Bytes.set b pos
+      (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Prng.int rng 8)));
+    decodes_without_raising (Bytes.to_string b)
+  done
+
+let trailing_garbage_rejected () =
+  List.iter
+    (fun payload ->
+      match P.decode_req (payload ^ "\x00") with
+      | Ok _ -> Alcotest.fail "trailing byte accepted"
+      | Error _ -> ())
+    (List.map P.encode_req sample_reqs)
+
+(* ---- frame-level corruption ----------------------------------------- *)
+
+let frame_roundtrip () =
+  let payload = P.encode_req (P.Stats "d") in
+  match W.unframe (W.frame payload) 0 with
+  | `Frame (got, pos) ->
+    check Alcotest.string "payload" payload got;
+    check Alcotest.int "consumed whole" (String.length (W.frame payload)) pos
+  | `End | `Bad _ -> Alcotest.fail "frame did not round-trip"
+
+(* Any single flipped bit in a frame is caught: the CRC covers the
+   payload, and a corrupted length either breaks the varint, truncates,
+   or misaligns the CRC. *)
+let frame_bitflip_detected () =
+  let rng = Prng.create 0xBEEF in
+  let frames = List.map W.frame (all_payloads ()) in
+  let arr = Array.of_list frames in
+  for _ = 1 to 2_000 do
+    let f = arr.(Prng.int rng (Array.length arr)) in
+    let b = Bytes.of_string f in
+    let pos = Prng.int rng (Bytes.length b) in
+    Bytes.set b pos
+      (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Prng.int rng 8)));
+    match W.unframe (Bytes.to_string b) 0 with
+    | `Frame _ -> Alcotest.fail "a flipped bit went undetected"
+    | `End | `Bad _ -> ()
+  done
+
+let frame_truncation_detected () =
+  let f = W.frame (P.encode_req P.Metrics) in
+  for len = 0 to String.length f - 1 do
+    match W.unframe (String.sub f 0 len) 0 with
+    | `Frame _ -> Alcotest.fail "a truncated frame decoded"
+    | `End | `Bad _ -> ()
+  done
+
+let oversized_frame_refused () =
+  match W.frame (String.make (Varint.max_encodable + 1) 'x') with
+  | _ -> Alcotest.fail "a frame past the varint ceiling must be refused"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "requests round-trip" `Quick req_roundtrip;
+    Alcotest.test_case "updates round-trip" `Quick update_roundtrip;
+    Alcotest.test_case "responses round-trip" `Quick resp_roundtrip;
+    Alcotest.test_case "error codes round-trip" `Quick err_codes_roundtrip;
+    Alcotest.test_case "truncation is a typed error" `Quick truncation_is_typed;
+    Alcotest.test_case "bit flips never raise" `Quick bitflip_never_raises;
+    Alcotest.test_case "trailing garbage rejected" `Quick trailing_garbage_rejected;
+    Alcotest.test_case "frames round-trip" `Quick frame_roundtrip;
+    Alcotest.test_case "frame bit flips detected" `Quick frame_bitflip_detected;
+    Alcotest.test_case "frame truncation detected" `Quick frame_truncation_detected;
+    Alcotest.test_case "oversized frame refused" `Quick oversized_frame_refused;
+  ]
