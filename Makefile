@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke check clean
+.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke check clean
 
 all: build
 
@@ -40,7 +40,23 @@ server-smoke: build
 	  --clients 4 --ops 10000 --seed 1 --schemes QED,Vector,ORDPATH
 	dune exec bin/xmlrepro.exe -- journal recover _build/server-smoke/doc-0.journal
 
-check: build test bench-smoke bench-hotpath torture-smoke server-smoke
+# Replication failover torture: a primary/replica pair on simulated file
+# systems, a power cut at every syscall boundary on either side, the
+# promoted replica checked against exactly the acknowledged durable
+# prefix. Exits non-zero on any violation.
+failover-smoke: build
+	dune exec bin/xmlrepro.exe -- failover --seeds 2 --ops 120
+
+# Cluster smoke: 3 shards with one replica each as real child processes,
+# a mixed load routed by document hash (any protocol error fails the
+# run), replication drained, then SIGKILL of a primary — the promoted
+# replica must serve the same bytes and take writes.
+cluster-smoke: build
+	rm -rf _build/cluster-smoke
+	dune exec bin/xmlrepro.exe -- cluster --root _build/cluster-smoke \
+	  --shards 3 --replicas 1 --smoke --smoke-ops 600
+
+check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke
 
 clean:
 	dune clean

@@ -6,7 +6,7 @@
           dune exec bench/main.exe -- figures   (one section)
           dune exec bench/main.exe -- matrix -j 4
           sections: figures, matrix, claims, parallel, hotpath, journal,
-                    torture, server, micro
+                    torture, server, cluster, micro
 
    [-j N | --jobs N] evaluates the matrix and claims sections on N domains
    (results are identical at any N). Machine-readable outputs:
@@ -16,9 +16,11 @@
    measurement-path speedups and allocation), BENCH_journal.json (append
    ops/sec and recovery ms per checkpoint interval, per scheme) and
    BENCH_torture.json (crash-consistency coverage: boundaries, images,
-   recoveries, violations) and BENCH_server.json (loopback server
+   recoveries, violations), BENCH_server.json (loopback server
    throughput and p50/p99 latency per op class under the seeded
-   multi-client load generator). *)
+   multi-client load generator) and BENCH_cluster.json (3-shard
+   replicated cluster: routed throughput, replication lag p50/p99 and
+   kill-to-first-request failover time). *)
 
 open Repro_xml
 open Repro_workload
@@ -607,6 +609,199 @@ let run_server () =
   if report.Repro_server.Loadgen.r_errors > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Cluster: sharded replication — throughput, lag, failover time       *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* A 3-shard, 1-replica-per-shard cluster, all six servers in-process:
+   each primary ships every document's durable oplog to its replica, and
+   the load generator routes per document through the shard map. While
+   the load runs, a sampler thread polls every primary's [Stats] for the
+   per-replica replication lag (durable-but-unacknowledged bytes). Once
+   the load finishes and the lag drains, shard 0's primary is aborted —
+   the in-process kill -9 — its replica is promoted, and the failover
+   time is the span from the abort to the first successful request
+   answered by the promoted primary. BENCH_cluster.json. *)
+let run_cluster () =
+  section "CLUSTER — 3-shard replication: throughput, lag, failover";
+  let module S = Repro_server.Server in
+  let module C = Repro_server.Server_client in
+  let module P = Repro_server.Protocol in
+  let module L = Repro_server.Loadgen in
+  let module T = Repro_cluster.Topology in
+  let n_shards = 3 and n_clients = 6 and n_ops = 6_000 in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xclu-bench-%d" (Unix.getpid ()))
+  in
+  let sub tag = Filename.concat root tag in
+  let primaries =
+    Array.init n_shards (fun i ->
+        S.start
+          { (S.default_config ~root:(sub (Printf.sprintf "s%d" i))) with fsync_every = 8 })
+  in
+  let replicas =
+    Array.init n_shards (fun i ->
+        S.start
+          {
+            (S.default_config ~root:(sub (Printf.sprintf "s%dr0" i))) with
+            fsync_every = 8;
+            replica_of = Some ("127.0.0.1", S.port primaries.(i));
+            replica_name = Printf.sprintf "s%dr0" i;
+          })
+  in
+  let node_of srv = { T.n_host = "127.0.0.1"; n_port = S.port srv } in
+  let topo =
+    ref
+      {
+        T.version = 1;
+        shards =
+          Array.init n_shards (fun i ->
+              { T.s_primary = node_of primaries.(i); s_replicas = [ node_of replicas.(i) ] });
+      }
+  in
+  let docs = Array.init n_clients (fun i -> Printf.sprintf "doc-%d" i) in
+  let shard_conns () =
+    Array.map (fun s -> C.connect ~host:"127.0.0.1" ~port:s.T.s_primary.T.n_port ()) !topo.T.shards
+  in
+  (* Lag sampler: one thread, one connection per primary, ~100 Hz. *)
+  let samples = ref [] in
+  let sampling = Atomic.make true in
+  let sampler =
+    Thread.create
+      (fun () ->
+        let conns = shard_conns () in
+        while Atomic.get sampling do
+          Array.iter
+            (fun doc ->
+              match C.stats conns.(T.shard_of !topo doc) ~doc with
+              | Ok (P.Stats_r st) ->
+                  List.iter (fun (_, lag) -> samples := lag :: !samples) st.P.st_lag
+              | _ -> ())
+            docs;
+          Thread.delay 0.01
+        done;
+        Array.iter C.close conns)
+      ()
+  in
+  let aborted = ref [] in
+  let finally () =
+    Atomic.set sampling false;
+    (try Thread.join sampler with _ -> ());
+    Array.iter
+      (fun s -> if not (List.memq s !aborted) then try ignore (S.stop s) with _ -> ())
+      (Array.append primaries replicas);
+    rm_rf root
+  in
+  Fun.protect ~finally (fun () ->
+      let report =
+        L.run
+          {
+            (L.default_config ~port:(S.port primaries.(0))) with
+            L.g_clients = n_clients;
+            g_ops = n_ops;
+            g_seed = 1;
+            g_nodes = 60;
+            g_resolve =
+              Some (fun doc -> let n = T.primary_for !topo doc in (n.T.n_host, n.T.n_port));
+          }
+      in
+      print_string (L.render report);
+      (* Let replication drain so the replica about to be promoted holds
+         everything the clients were told is durable. *)
+      let drain_t0 = Unix.gettimeofday () in
+      let drained = ref false in
+      let conns = shard_conns () in
+      while (not !drained) && Unix.gettimeofday () -. drain_t0 < 30. do
+        drained :=
+          Array.for_all
+            (fun doc ->
+              match C.stats conns.(T.shard_of !topo doc) ~doc with
+              | Ok (P.Stats_r st) ->
+                  st.P.st_lag <> [] && List.for_all (fun (_, lag) -> lag = 0) st.P.st_lag
+              | _ -> false)
+            docs;
+        if not !drained then Thread.delay 0.02
+      done;
+      Array.iter C.close conns;
+      let drain_ms = (Unix.gettimeofday () -. drain_t0) *. 1_000. in
+      Atomic.set sampling false;
+      Thread.join sampler;
+      Printf.printf "replication drained on %d shard(s) in %.0f ms: %s\n" n_shards drain_ms
+        (if !drained then "yes" else "NO (30s timeout)");
+      (* Failover: kill -9 shard 0's primary, promote its replica, and
+         time until the promoted primary answers its first request. *)
+      let t0 = Unix.gettimeofday () in
+      S.abort primaries.(0);
+      aborted := [ primaries.(0) ];
+      let rc = C.connect ~host:"127.0.0.1" ~port:(S.port replicas.(0)) () in
+      let followed =
+        match C.docs rc with
+        | Ok (P.Docs_r l) -> List.filter_map (fun (d, _, prim) -> if prim then None else Some d) l
+        | _ -> []
+      in
+      List.iter (fun doc -> ignore (C.promote rc ~doc)) followed;
+      topo :=
+        {
+          T.version = !topo.T.version + 1;
+          shards =
+            Array.mapi
+              (fun i s ->
+                if i = 0 then { T.s_primary = node_of replicas.(0); s_replicas = [] } else s)
+              !topo.T.shards;
+        };
+      let served = ref false in
+      (match followed with
+      | [] -> ()
+      | doc :: _ ->
+          let deadline = t0 +. 10. in
+          let rec first () =
+            match C.stats rc ~doc with
+            | Ok (P.Stats_r _) -> served := true
+            | _ when Unix.gettimeofday () < deadline ->
+                Thread.delay 0.002;
+                first ()
+            | _ -> ()
+          in
+          first ());
+      let failover_ms = (Unix.gettimeofday () -. t0) *. 1_000. in
+      C.close rc;
+      Printf.printf
+        "failover: promoted %d document(s) on shard 0, first request served in %.1f ms\n"
+        (List.length followed) failover_ms;
+      let lag = Array.of_list !samples in
+      Array.sort compare lag;
+      let pct p =
+        if Array.length lag = 0 then 0
+        else lag.(min (Array.length lag - 1) (int_of_float (p *. float (Array.length lag - 1))))
+      in
+      Printf.printf "replication lag (%d samples): p50=%d bytes, p99=%d bytes\n"
+        (Array.length lag) (pct 0.5) (pct 0.99);
+      let buf = Buffer.create 512 in
+      Printf.bprintf buf "{\n  \"name\": \"cluster\",\n";
+      Printf.bprintf buf "  \"shards\": %d,\n  \"replicas_per_shard\": 1,\n" n_shards;
+      Printf.bprintf buf "  \"clients\": %d,\n  \"ops\": %d,\n" report.L.r_clients report.L.r_ops;
+      Printf.bprintf buf "  \"errors\": %d,\n" report.L.r_errors;
+      Printf.bprintf buf "  \"seconds\": %.3f,\n  \"ops_per_sec\": %.0f,\n" report.L.r_seconds
+        report.L.r_ops_per_sec;
+      Printf.bprintf buf "  \"lag_samples\": %d,\n" (Array.length lag);
+      Printf.bprintf buf "  \"lag_p50_bytes\": %d,\n  \"lag_p99_bytes\": %d,\n" (pct 0.5)
+        (pct 0.99);
+      Printf.bprintf buf "  \"drained\": %b,\n  \"drain_ms\": %.0f,\n" !drained drain_ms;
+      Printf.bprintf buf "  \"promoted_docs\": %d,\n" (List.length followed);
+      Printf.bprintf buf "  \"promoted_serves\": %b,\n" !served;
+      Printf.bprintf buf "  \"failover_ms\": %.1f\n}\n" failover_ms;
+      write_json "BENCH_cluster.json" (Buffer.contents buf);
+      if report.L.r_errors > 0 || not !served then exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -745,4 +940,5 @@ let () =
   if want "journal" then run_journal ();
   if want "torture" then run_torture ();
   if want "server" then run_server ();
+  if want "cluster" then run_cluster ();
   if want "micro" then run_micro ()

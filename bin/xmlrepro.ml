@@ -605,8 +605,19 @@ let host_arg =
 let port_arg ~default ~doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
 
 let serve_cmd =
-  let run host port root max_conns fsync_every checkpoint_every port_file =
+  let run host port root max_conns fsync_every checkpoint_every port_file replica_of
+      replica_name =
     let checkpoint_every = if checkpoint_every <= 0 then None else Some checkpoint_every in
+    let replica_of =
+      match replica_of with
+      | None -> None
+      | Some s -> (
+        match Repro_cluster.Topology.node_of_string s with
+        | { Repro_cluster.Topology.n_host; n_port } -> Some (n_host, n_port)
+        | exception Repro_cluster.Topology.Bad_topology msg ->
+          Format.eprintf "serve: --replica-of %s@." msg;
+          exit 2)
+    in
     let cfg =
       {
         (Repro_server.Server.default_config ~root) with
@@ -615,6 +626,8 @@ let serve_cmd =
         max_conns;
         fsync_every;
         checkpoint_every;
+        replica_of;
+        replica_name;
       }
     in
     let t = Repro_server.Server.start cfg in
@@ -659,6 +672,22 @@ let serve_cmd =
       & info [ "port-file" ] ~docv:"FILE"
           ~doc:"Write the bound port to $(docv) — how scripts find an ephemeral port.")
   in
+  let replica_of =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replica-of" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Follow every document of this upstream server: bootstrap from its epoch \
+             snapshots, pump its durable log records, acknowledge what is locally \
+             durable. Followers answer reads and refuse updates until promoted.")
+  in
+  let replica_name =
+    Arg.(
+      value & opt string "replica"
+      & info [ "replica-name" ] ~docv:"NAME"
+          ~doc:"How this replica identifies itself upstream (shows up in stats lag).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -668,11 +697,24 @@ let serve_cmd =
     Term.(
       const run $ host_arg
       $ port_arg ~default:0 ~doc:"Port to bind (0 picks an ephemeral one)."
-      $ root $ max_conns $ fsync_every $ checkpoint_every $ port_file)
+      $ root $ max_conns $ fsync_every $ checkpoint_every $ port_file $ replica_of
+      $ replica_name)
 
 let loadgen_cmd =
   let run host port clients ops seed schemes nodes doc_prefix json self_serve root
-      fsync_every =
+      fsync_every cluster =
+    let resolve =
+      match cluster with
+      | None -> None
+      | Some topo_path ->
+        (* re-read per connect, so a promotion published between runs (or
+           between client spawns) is picked up without restarting *)
+        Some
+          (fun doc ->
+            let topo = Repro_cluster.Topology.load topo_path in
+            let n = Repro_cluster.Topology.primary_for topo doc in
+            (n.Repro_cluster.Topology.n_host, n.Repro_cluster.Topology.n_port))
+    in
     let run_against port =
       let cfg =
         {
@@ -684,6 +726,7 @@ let loadgen_cmd =
           g_schemes = schemes;
           g_doc_prefix = doc_prefix;
           g_nodes = nodes;
+          g_resolve = resolve;
         }
       in
       Repro_server.Loadgen.run cfg
@@ -697,8 +740,8 @@ let loadgen_cmd =
           (fun () -> run_against (Repro_server.Server.port t))
       end
       else begin
-        if port = 0 then begin
-          Format.eprintf "loadgen: --port is required unless --self-serve@.";
+        if port = 0 && cluster = None then begin
+          Format.eprintf "loadgen: --port is required unless --self-serve or --cluster@.";
           exit 2
         end;
         run_against port
@@ -759,17 +802,337 @@ let loadgen_cmd =
       value & opt int 8
       & info [ "fsync-every" ] ~docv:"N" ~doc:"Journal group-commit interval for --self-serve.")
   in
+  let cluster =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cluster" ] ~docv:"TOPOLOGY"
+          ~doc:
+            "Route each client to the shard primary owning its document, per this \
+             topology file (written by $(b,xmlrepro cluster)); --port is ignored.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Drive a running server (or --self-serve) with a seeded multi-client \
-          mixed workload and report throughput and per-op-class latency. Exits \
-          nonzero if any request failed.")
+         "Drive a running server (or --self-serve, or a --cluster) with a seeded \
+          multi-client mixed workload and report throughput and per-op-class \
+          latency. Exits nonzero if any request failed.")
     Term.(
       const run $ host_arg
       $ port_arg ~default:0 ~doc:"Port of the server to load."
       $ clients $ ops $ seed_arg $ schemes $ nodes $ doc_prefix $ json $ self_serve
-      $ root $ fsync_every)
+      $ root $ fsync_every $ cluster)
+
+(* ---- cluster ----------------------------------------------------- *)
+
+let connect_node (n : Repro_cluster.Topology.node) =
+  Repro_server.Server_client.connect ~timeout:10.
+    ~host:n.Repro_cluster.Topology.n_host ~port:n.Repro_cluster.Topology.n_port ()
+
+(* The end-to-end failover check the Makefile and CI run: mixed load on a
+   healthy cluster, wait for replication to drain, fingerprint one
+   shard's documents, SIGKILL that shard's primary, and require (a) a
+   replica is promoted, (b) it serves *exactly* the fingerprinted state —
+   every acknowledged byte, nothing else — and (c) the cluster still
+   takes the full mixed workload afterwards. *)
+let cluster_smoke sup ~ops =
+  let module T = Repro_cluster.Topology in
+  let module S = Repro_cluster.Supervisor in
+  let module C = Repro_server.Server_client in
+  let module P = Repro_server.Protocol in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "SMOKE FAIL: %s\n%!" m;
+        raise Exit)
+      fmt
+  in
+  let topo_path = S.topology_path sup in
+  let resolve doc =
+    let topo = T.load topo_path in
+    let n = T.primary_for topo doc in
+    (n.T.n_host, n.T.n_port)
+  in
+  let loadgen prefix seed =
+    let cfg =
+      {
+        (Repro_server.Loadgen.default_config ~port:0) with
+        Repro_server.Loadgen.g_clients = 6;
+        g_ops = ops;
+        g_seed = seed;
+        g_doc_prefix = prefix;
+        g_nodes = 60;
+        g_resolve = Some resolve;
+      }
+    in
+    Repro_server.Loadgen.run cfg
+  in
+  Printf.printf "smoke: mixed load on the healthy cluster...\n%!";
+  let r1 = loadgen "doc" 1 in
+  print_string (Repro_server.Loadgen.render r1);
+  if r1.Repro_server.Loadgen.r_errors > 0 then
+    fail "healthy loadgen saw %d error(s)" r1.Repro_server.Loadgen.r_errors;
+  let topo = T.load topo_path in
+  let n_replicas = List.length topo.T.shards.(0).T.s_replicas in
+  let primary_docs c =
+    match C.docs c with
+    | Ok (P.Docs_r ds) -> List.filter_map (fun (d, _, p) -> if p then Some d else None) ds
+    | _ -> fail "docs request failed"
+  in
+  (* every shard primary must see all its replicas caught up and acked *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  Array.iteri
+    (fun i (s : T.shard) ->
+      if n_replicas > 0 then begin
+        let c = connect_node s.T.s_primary in
+        Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+        let docs = primary_docs c in
+        let drained doc =
+          match C.stats c ~doc with
+          | Ok (P.Stats_r st) ->
+            List.length st.P.st_lag >= n_replicas
+            && List.for_all (fun (_, l) -> l = 0) st.P.st_lag
+          | _ -> false
+        in
+        let rec wait () =
+          if not (List.for_all drained docs) then
+            if Unix.gettimeofday () > deadline then
+              fail "shard %d: replication lag did not drain within 30s" i
+            else begin
+              Thread.delay 0.1;
+              wait ()
+            end
+        in
+        wait ()
+      end)
+    topo.T.shards;
+  Printf.printf "smoke: replication drained on %d shard(s)\n%!" (Array.length topo.T.shards);
+  let fingerprints c docs =
+    List.map
+      (fun d ->
+        match C.labels c ~doc:d ~limit:200_000 with
+        | Ok (P.Labels_r entries) -> (d, entries)
+        | _ -> fail "labels %s failed" d)
+      docs
+  in
+  let shard0_docs, before =
+    let c = connect_node topo.T.shards.(0).T.s_primary in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    let docs = primary_docs c in
+    (docs, fingerprints c docs)
+  in
+  (match S.kill_primary sup ~shard:0 with
+  | Ok n -> Printf.printf "smoke: SIGKILLed shard 0 primary %s\n%!" (T.node_to_string n)
+  | Error e -> fail "kill-primary: %s" e);
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec promoted () =
+    let evs = S.poll sup in
+    List.iter
+      (function
+        | S.Shard_down { ev_reason; _ } -> fail "shard 0 down: %s" ev_reason
+        | _ -> ())
+      evs;
+    if List.exists (function S.Promoted { ev_shard = 0; _ } -> true | _ -> false) evs
+    then ()
+    else if Unix.gettimeofday () > deadline then fail "no promotion within 30s"
+    else begin
+      Thread.delay 0.1;
+      promoted ()
+    end
+  in
+  promoted ();
+  let topo' = T.load topo_path in
+  Printf.printf "smoke: promoted %s (topology v%d)\n%!"
+    (T.node_to_string topo'.T.shards.(0).T.s_primary)
+    topo'.T.version;
+  let after =
+    let c = connect_node topo'.T.shards.(0).T.s_primary in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () -> fingerprints c shard0_docs
+  in
+  List.iter2
+    (fun (d, b) (_, a) ->
+      if a <> b then fail "document %s diverged on the promoted replica" d)
+    before after;
+  Printf.printf "smoke: %d document(s) byte-identical on the promoted replica\n%!"
+    (List.length before);
+  Printf.printf "smoke: mixed load on the failed-over cluster...\n%!";
+  let r2 = loadgen "post" 2 in
+  print_string (Repro_server.Loadgen.render r2);
+  if r2.Repro_server.Loadgen.r_errors > 0 then
+    fail "post-failover loadgen saw %d error(s)" r2.Repro_server.Loadgen.r_errors;
+  Printf.printf "SMOKE OK\n%!"
+
+let cluster_cmd =
+  let run shards replicas root fsync_every smoke smoke_ops =
+    let sup =
+      try
+        Repro_cluster.Supervisor.launch
+          ~log:(fun m -> Printf.printf "cluster: %s\n%!" m)
+          ~fsync_every ~root ~shards ~replicas ()
+      with Failure msg | Invalid_argument msg ->
+        Format.eprintf "cluster: %s@." msg;
+        exit 1
+    in
+    Printf.printf "topology: %s\n%!" (Repro_cluster.Supervisor.topology_path sup);
+    if smoke then begin
+      let ok =
+        try
+          cluster_smoke sup ~ops:smoke_ops;
+          true
+        with
+        | Exit -> false
+        | e ->
+          Printf.printf "SMOKE FAIL: %s\n%!" (Printexc.to_string e);
+          false
+      in
+      Repro_cluster.Supervisor.shutdown sup;
+      if not ok then exit 1
+    end
+    else begin
+      Printf.printf
+        "cluster up: %d shard(s), each 1 primary + %d replica(s); Ctrl-C to stop\n%!"
+        shards replicas;
+      let stop = ref false in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+      while not !stop do
+        ignore (Repro_cluster.Supervisor.poll sup);
+        Thread.delay 0.2
+      done;
+      Repro_cluster.Supervisor.shutdown sup;
+      Printf.printf "cluster stopped\n%!"
+    end
+  in
+  let shards =
+    Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N" ~doc:"Number of shards (primaries).")
+  in
+  let replicas =
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"M" ~doc:"Replicas per shard.")
+  in
+  let root =
+    Arg.(
+      value & opt string "xmlrepro-cluster"
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Directory for per-server journal roots, port files and the topology.")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "fsync-every" ] ~docv:"N" ~doc:"Journal group-commit interval per server.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the failover smoke test instead of serving: mixed load, drain \
+             replication, SIGKILL shard 0's primary, verify the promoted replica \
+             serves the acknowledged state byte-for-byte, load again, exit.")
+  in
+  let smoke_ops =
+    Arg.(
+      value & opt int 600
+      & info [ "smoke-ops" ] ~docv:"N" ~doc:"Requests per --smoke loadgen phase.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Launch a replicated, sharded cluster of update servers: N primaries \
+          placed by document-name hash, M journal-shipping replicas each, \
+          automatic promotion when a primary dies. Writes the topology file \
+          routers and loadgen --cluster consume.")
+    Term.(const run $ shards $ replicas $ root $ fsync_every $ smoke $ smoke_ops)
+
+(* ---- failover torture -------------------------------------------- *)
+
+let failover_cmd =
+  let module F = Repro_cluster.Failover in
+  let run seeds ops ship_every checkpoint_every schemes verbose unsafe_no_dir_fsync =
+    if unsafe_no_dir_fsync then Repro_io.Io.unsafe_no_dir_fsync := true;
+    let report =
+      try
+        F.run ~seeds ~ops ~ship_every ~checkpoint_every ~schemes
+          ~progress:(fun c ->
+            Printf.printf
+              "%-8s seed %-3d  %3d rounds  %2d bootstraps  %4d+%4d boundaries  %6d \
+               images  %d violation(s)\n\
+               %!"
+              c.F.c_scheme c.F.c_seed c.F.c_rounds c.F.c_bootstraps
+              c.F.c_promote_boundaries c.F.c_crash_boundaries c.F.c_images
+              c.F.c_violations)
+          ()
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 1
+    in
+    let shown =
+      if verbose then report.F.f_violations
+      else
+        List.rev
+          (List.fold_left
+             (fun acc (v : F.violation) ->
+               let seen (w : F.violation) =
+                 w.F.v_scheme = v.F.v_scheme && w.F.v_seed = v.F.v_seed
+                 && w.F.v_sweep = v.F.v_sweep
+               in
+               if List.exists seen acc then acc else v :: acc)
+             [] report.F.f_violations)
+    in
+    List.iter
+      (fun (v : F.violation) ->
+        Printf.printf "VIOLATION [%s] %s seed %d boundary %d image %d: %s\n"
+          (F.sweep_name v.F.v_sweep) v.F.v_scheme v.F.v_seed v.F.v_boundary v.F.v_image
+          v.F.v_reason)
+      shown;
+    Printf.printf
+      "rounds: %d, bootstraps: %d, promotions checked over %d primary boundaries\n"
+      report.F.f_rounds report.F.f_bootstraps report.F.f_promote_boundaries;
+    Printf.printf "replica crash points: %d, images: %d, recoveries: %d\n"
+      report.F.f_crash_boundaries report.F.f_images report.F.f_recoveries;
+    Printf.printf "violations: %d\n" (List.length report.F.f_violations);
+    if report.F.f_violations <> [] then exit 1
+  in
+  let seeds =
+    Arg.(value & opt int 3
+         & info [ "seeds" ] ~docv:"N" ~doc:"Failover seeds 0 .. $(docv)-1 per scheme.")
+  in
+  let ops =
+    Arg.(value & opt int 120
+         & info [ "ops" ] ~docv:"N" ~doc:"Update operations per workload.")
+  in
+  let ship_every =
+    Arg.(value & opt int 7
+         & info [ "ship-every" ] ~docv:"N" ~doc:"Ship a replication round every $(docv) operations.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 45
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Checkpoint the primary every $(docv) operations (rolls the epoch and \
+                   forces the replica through re-bootstrap).")
+  in
+  let schemes =
+    Arg.(value & opt (list string) [ "QED"; "Vector" ]
+         & info [ "schemes" ] ~docv:"NAMES" ~doc:"Comma-separated scheme names to torture.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every violation, not one per case.")
+  in
+  let unsafe_no_dir_fsync =
+    Arg.(value & flag
+         & info [ "unsafe-no-dir-fsync" ]
+             ~doc:"Skip the directory fsync after atomic renames (reintroduces a real \
+                   crash-consistency bug; the harness should then report violations).")
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Replication failover torture: run a primary and a journal-shipping \
+          replica on separate simulated file systems, power-cut the primary at \
+          every syscall boundary and machine-check that the promoted replica \
+          serves exactly the acknowledged durable prefix; power-cut the replica \
+          at every boundary and machine-check its own recovery.")
+    Term.(
+      const run $ seeds $ ops $ ship_every $ checkpoint_every $ schemes $ verbose
+      $ unsafe_no_dir_fsync)
 
 (* ---- report ------------------------------------------------------ *)
 
@@ -827,6 +1190,8 @@ let subcommand_table =
     ("torture", "crash-consistency torture over a simulated file system");
     ("serve", "serve documents over the framed wire protocol");
     ("loadgen", "drive a server with a seeded multi-client workload");
+    ("cluster", "launch a replicated, sharded cluster with failover");
+    ("failover", "replication failover torture over simulated file systems");
     ("report", "run every experiment and emit a Markdown report");
     ("schemes", "list all registered labelling schemes");
   ]
@@ -859,4 +1224,4 @@ let () =
        (Cmd.group ~default info
           [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
             twig_cmd; store_cmd; restore_cmd; journal_cmd; torture_cmd; serve_cmd;
-            loadgen_cmd; report_cmd; schemes_cmd ]))
+            loadgen_cmd; cluster_cmd; failover_cmd; report_cmd; schemes_cmd ]))

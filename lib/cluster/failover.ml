@@ -1,0 +1,295 @@
+module J = Repro_journal.Journal
+module DS = Repro_journal.Durable_session
+module Ship = Repro_journal.Ship
+module Sim = Repro_io.Crashsim
+module T = Repro_torture.Torture
+
+type sweep = Promote | Replica_crash
+
+let sweep_name = function Promote -> "promote" | Replica_crash -> "replica-crash"
+
+type violation = {
+  v_scheme : string;
+  v_seed : int;
+  v_sweep : sweep;
+  v_boundary : int;
+  v_image : int;
+  v_reason : string;
+}
+
+type case = {
+  c_scheme : string;
+  c_seed : int;
+  c_rounds : int;
+  c_bootstraps : int;
+  c_promotions : int;
+  c_promote_boundaries : int;
+  c_crash_boundaries : int;
+  c_images : int;
+  c_recoveries : int;
+  c_violations : int;
+}
+
+type report = {
+  f_cases : case list;
+  f_rounds : int;
+  f_bootstraps : int;
+  f_promote_boundaries : int;
+  f_crash_boundaries : int;
+  f_images : int;
+  f_recoveries : int;
+  f_violations : violation list;
+}
+
+(* One primary and one follower, each on its own simulated-crash file
+   system, replicating through the real Journal.ship / Ship.apply code
+   path. The primary's syscall counter brackets every workload step and
+   flush; the replica's brackets every locally journaled record. Rounds
+   of shipping run every [ship_every] operations — between rounds the
+   replica's state is frozen, which is what lets the promote sweep map
+   every primary syscall boundary to an exact expected replica state. *)
+let failover_case ~pack ~scheme ~seed ~ops ~ship_every ~checkpoint_every =
+  let p_sim = Sim.create () in
+  let p_io = Sim.io p_sim in
+  let r_sim = Sim.create () in
+  let r_io = Sim.io r_sim in
+  let live = Core.Session.make pack (T.make_doc seed) in
+  let reference = Core.Session.make pack (T.make_doc seed) in
+  let d = DS.create ~io:p_io ~fsync_every:max_int ~base:"primary" live in
+  let j = DS.journal d in
+  let recorded = ref [] and n_recorded = ref 0 in
+  let view =
+    T.recording (DS.session d) (fun op ->
+        recorded := op :: !recorded;
+        incr n_recorded)
+  in
+  (* replica bookkeeping, all in upstream-operation counts *)
+  let follower = ref None in
+  let r_ops = ref 0 in (* upstream ops the replica has durably applied *)
+  let snap_ops = ref 0 in (* ops absorbed by the primary's current epoch snapshot *)
+  let r_written = ref [] and r_synced = ref [] in
+  let n_bootstraps = ref 0 in
+  let first_boot_done = ref max_int in
+  let bootstrap () =
+    (match !follower with
+    | Some f -> ( try Ship.close f with Repro_io.Io.Io_error _ -> ())
+    | None -> ());
+    incr n_bootstraps;
+    (* From here until Ship.bootstrap returns, the replica's disk is
+       allowed to show anything between its old durable state and the
+       incoming snapshot — the written mark moves to [snap_ops] now, the
+       synced mark only once the install's atomic manifest swing is
+       done. *)
+    r_written := (Sim.syscalls r_sim, !snap_ops) :: !r_written;
+    let snapshot = J.snapshot_bytes j in
+    let f =
+      Ship.bootstrap ~io:r_io ~fsync_every:max_int ~base:"replica" ~snapshot
+        ~pos:{ J.p_epoch = J.epoch j; p_offset = J.log_start j }
+        ()
+    in
+    follower := Some f;
+    r_ops := !snap_ops;
+    r_synced := (Sim.syscalls r_sim, !r_ops) :: !r_synced;
+    if !first_boot_done = max_int then first_boot_done := Sim.syscalls r_sim;
+    f
+  in
+  (* (primary syscalls at round completion, acked ops, replica state) *)
+  let rounds = ref [] in
+  let round () =
+    J.flush j;
+    let pc = Sim.syscalls p_sim in
+    let f = ref (match !follower with Some f -> f | None -> bootstrap ()) in
+    let draining = ref true in
+    while !draining do
+      let pos = Ship.position !f in
+      if pos.J.p_epoch <> J.epoch j then f := bootstrap ()
+      else begin
+        let data, _durable = J.ship j ~from:pos.J.p_offset ~limit:512 in
+        if data = "" then draining := false
+        else begin
+          let before = !r_ops in
+          let applied =
+            Ship.apply !f ~epoch:pos.J.p_epoch ~offset:pos.J.p_offset data
+              ~progress:(fun k -> r_written := (Sim.syscalls r_sim, before + k) :: !r_written)
+          in
+          r_ops := before + applied;
+          r_synced := (Sim.syscalls r_sim, !r_ops) :: !r_synced
+        end
+      end
+    done;
+    if Ship.position !f <> J.durable_position j then
+      failwith "failover rig: replica position diverged from the primary's durable prefix";
+    if !r_ops <> !n_recorded then
+      failwith "failover rig: replica operation count diverged from the recorded stream";
+    rounds := (pc, !r_ops, T.flat (Ship.session !f)) :: !rounds
+  in
+  round ();
+  let step_no = ref 0 in
+  let run_pattern pattern pseed n =
+    let drv = Repro_workload.Updates.start pattern ~seed:pseed view in
+    for _ = 1 to n do
+      Repro_workload.Updates.step drv;
+      incr step_no;
+      if !step_no mod ship_every = 0 then round ();
+      if !step_no mod checkpoint_every = 0 then begin
+        DS.checkpoint d;
+        snap_ops := !n_recorded
+      end
+    done
+  in
+  let half = ops / 2 in
+  run_pattern Repro_workload.Updates.Uniform_random ((seed * 7) + 1) half;
+  run_pattern Repro_workload.Updates.Mixed_with_deletes ((seed * 7) + 2) (ops - half);
+  round ();
+  DS.close d;
+  (* Reference states, exactly as the single-node torture builds them. *)
+  let ops_list = List.rev !recorded in
+  let expected = Array.make (!n_recorded + 1) [] in
+  expected.(0) <- T.flat reference;
+  List.iteri
+    (fun i op ->
+      J.apply reference op;
+      expected.(i + 1) <- T.flat reference)
+    ops_list;
+  if expected.(!n_recorded) <> T.flat live then
+    failwith "failover rig: replaying the recorded operations diverged from the live session";
+  (match !follower with
+  | Some f ->
+    if T.flat (Ship.session f) <> expected.(!n_recorded) then
+      failwith "failover rig: fully caught-up replica diverged from the live session"
+  | None -> failwith "failover rig: no follower after the workload");
+  let violations = ref [] in
+  (* Sweep A — power-cut the primary at every syscall boundary and
+     promote. The replica only changes during rounds, and a round runs no
+     primary syscalls after its opening flush, so the replica a boundary-k
+     crash would promote is exactly the one recorded by the latest round
+     with pc <= k. Its state must equal the replay of precisely the
+     operations it acknowledged. *)
+  let rounds_asc = Array.of_list (List.rev !rounds) in
+  let total_p = Sim.syscalls p_sim in
+  let checked = Array.make (Array.length rounds_asc) false in
+  let promotions = ref 0 in
+  let idx = ref (-1) in
+  for k = 0 to total_p do
+    while
+      !idx + 1 < Array.length rounds_asc
+      && (let pc, _, _ = rounds_asc.(!idx + 1) in
+          pc <= k)
+    do
+      incr idx
+    done;
+    if !idx >= 0 && not checked.(!idx) then begin
+      checked.(!idx) <- true;
+      incr promotions;
+      let _, n, fl = rounds_asc.(!idx) in
+      if fl <> expected.(n) then
+        violations :=
+          {
+            v_scheme = scheme;
+            v_seed = seed;
+            v_sweep = Promote;
+            v_boundary = k;
+            v_image = 0;
+            v_reason =
+              Printf.sprintf
+                "promoted replica diverges from the %d operations it acknowledged (of %d \
+                 journaled)"
+                n !n_recorded;
+          }
+          :: !violations
+    end
+  done;
+  (* Sweep B — power-cut the *replica* at every syscall boundary: its
+     local journal must recover to a whole-record prefix of the durable
+     range, including across re-bootstraps (where the range legitimately
+     jumps from the old acked count to the new snapshot's). *)
+  let total_r = Sim.syscalls r_sim in
+  let images = ref 0 and recoveries = ref 0 in
+  let recover_replica img =
+    let sim = Sim.restore img in
+    let t, session, _ = J.recover ~io:(Sim.io sim) ~base:"replica" () in
+    J.close t;
+    T.flat session
+  in
+  let r_written = !r_written and r_synced = !r_synced in
+  for c = 0 to total_r do
+    let lo = T.at r_synced c and hi = T.at r_written c in
+    List.iteri
+      (fun iidx img ->
+        incr images;
+        incr recoveries;
+        let fail reason =
+          violations :=
+            {
+              v_scheme = scheme;
+              v_seed = seed;
+              v_sweep = Replica_crash;
+              v_boundary = c;
+              v_image = iidx;
+              v_reason = reason;
+            }
+            :: !violations
+        in
+        match recover_replica img with
+        | exception J.Corrupt msg ->
+          if c >= !first_boot_done then fail ("recovery raised Corrupt: " ^ msg)
+        | exception e -> fail ("recovery raised " ^ Printexc.to_string e)
+        | got ->
+          let rec matches jx = jx <= hi && (got = expected.(jx) || matches (jx + 1)) in
+          if not (matches lo) then
+            fail
+              (Printf.sprintf
+                 "replica recovered to no whole-record prefix in the durable range [%d, %d] \
+                  of %d upstream operations"
+                 lo hi !n_recorded))
+      (Sim.images r_sim ~boundary:c)
+  done;
+  let violations = List.rev !violations in
+  ( {
+      c_scheme = scheme;
+      c_seed = seed;
+      c_rounds = Array.length rounds_asc;
+      c_bootstraps = !n_bootstraps;
+      c_promotions = !promotions;
+      c_promote_boundaries = total_p + 1;
+      c_crash_boundaries = total_r + 1;
+      c_images = !images;
+      c_recoveries = !recoveries;
+      c_violations = List.length violations;
+    },
+    violations )
+
+let run ?(ops = 120) ?(ship_every = 7) ?(checkpoint_every = 45)
+    ?(schemes = [ "QED"; "Vector" ]) ?progress ~seeds () =
+  let packs =
+    List.map
+      (fun name ->
+        match Repro_schemes.Registry.find name with
+        | Some pack -> (name, pack)
+        | None -> invalid_arg (Printf.sprintf "Failover.run: unknown scheme %S" name))
+      schemes
+  in
+  let cases = ref [] and violations = ref [] in
+  List.iter
+    (fun (scheme, pack) ->
+      for seed = 0 to seeds - 1 do
+        let case, vs =
+          failover_case ~pack ~scheme ~seed ~ops ~ship_every ~checkpoint_every
+        in
+        cases := case :: !cases;
+        violations := List.rev_append vs !violations;
+        Option.iter (fun f -> f case) progress
+      done)
+    packs;
+  let cases = List.rev !cases in
+  let sum f = List.fold_left (fun a c -> a + f c) 0 cases in
+  {
+    f_cases = cases;
+    f_rounds = sum (fun c -> c.c_rounds);
+    f_bootstraps = sum (fun c -> c.c_bootstraps);
+    f_promote_boundaries = sum (fun c -> c.c_promote_boundaries);
+    f_crash_boundaries = sum (fun c -> c.c_crash_boundaries);
+    f_images = sum (fun c -> c.c_images);
+    f_recoveries = sum (fun c -> c.c_recoveries);
+    f_violations = List.rev !violations;
+  }

@@ -1,0 +1,83 @@
+(** The replication failover torture harness — PR 3's crash assay
+    ({!Repro_torture.Torture}) extended across a primary/replica pair.
+
+    One primary {!Repro_journal.Durable_session} and one
+    {!Repro_journal.Ship} follower run on {e separate} simulated-crash
+    file systems ({!Repro_io.Crashsim}), replicating through the real
+    [Journal.ship] / [Ship.apply] code path: rounds of shipping every
+    [ship_every] operations, primary checkpoints every
+    [checkpoint_every] (which roll the epoch and force the follower
+    through the re-bootstrap path). Two sweeps then machine-check the
+    failover story:
+
+    - {b Promote}: power-cut the {e primary} at every mutating-syscall
+      boundary and promote the replica. Between shipping rounds the
+      replica is frozen and a round runs no primary syscalls after its
+      opening flush, so each boundary maps to an exact recorded replica
+      state — which must equal the replay of {e precisely} the
+      operations the replica acknowledged by then: nothing acked lost,
+      nothing unacked invented.
+    - {b Replica_crash}: power-cut the {e replica} at every boundary of
+      its own file system, under every crash image, and recover through
+      the ordinary {!Repro_journal.Journal.recover}. The recovered state
+      must be a whole-record prefix within the durable range — the
+      transitive durable-prefix invariant that justifies promoting a
+      follower's journal into a primary's. Re-bootstraps must stay
+      atomic: until the new manifest swings, the old follower journal
+      recovers untouched.
+
+    Reference states come from an identically-seeded twin, as in the
+    single-node harness. *)
+
+type sweep = Promote | Replica_crash
+
+val sweep_name : sweep -> string
+
+type violation = {
+  v_scheme : string;
+  v_seed : int;
+  v_sweep : sweep;
+  v_boundary : int;  (** syscall boundary on the crashed side's file system *)
+  v_image : int;  (** crash image index ([Replica_crash]); 0 for [Promote] *)
+  v_reason : string;
+}
+
+type case = {
+  c_scheme : string;
+  c_seed : int;
+  c_rounds : int;  (** shipping rounds run *)
+  c_bootstraps : int;  (** snapshot bootstraps, initial + per epoch roll *)
+  c_promotions : int;  (** distinct promoted-replica states checked *)
+  c_promote_boundaries : int;  (** primary boundaries swept *)
+  c_crash_boundaries : int;  (** replica boundaries swept *)
+  c_images : int;
+  c_recoveries : int;
+  c_violations : int;
+}
+
+type report = {
+  f_cases : case list;
+  f_rounds : int;
+  f_bootstraps : int;
+  f_promote_boundaries : int;
+  f_crash_boundaries : int;
+  f_images : int;
+  f_recoveries : int;
+  f_violations : violation list;
+}
+
+val run :
+  ?ops:int ->
+  ?ship_every:int ->
+  ?checkpoint_every:int ->
+  ?schemes:string list ->
+  ?progress:(case -> unit) ->
+  seeds:int ->
+  unit ->
+  report
+(** Torture every (scheme, seed) pair: [schemes] defaults to
+    [["QED"; "Vector"]], [seeds] numbers [0 .. seeds-1], [ops] defaults
+    to 120, [ship_every] to 7, [checkpoint_every] to 45. Raises
+    [Invalid_argument] on an unknown scheme; a harness-internal
+    inconsistency raises [Failure] rather than being reported as a
+    violation. *)

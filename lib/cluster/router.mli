@@ -1,0 +1,41 @@
+(** Shard router: hash a document name to its shard, forward the request
+    to that shard's primary, chase the topology when the cluster moves.
+
+    The router holds one cached connection per shard. A request that
+    bounces — transport failure, [Not_primary] (the peer was demoted or
+    never promoted), [Shutting_down] — drops the cached connection,
+    re-reads the topology file, and retries with a fixed backoff, up to
+    [retries] attempts. That is the entire failover protocol from the
+    client's side: the supervisor rewrites the topology file when it
+    promotes a replica, and routers converge on the next bounce.
+
+    Not thread-safe: one router per thread, mirroring
+    {!Repro_server.Server_client}. *)
+
+type t
+
+val create : ?timeout:float -> ?retries:int -> ?backoff:float -> string -> t
+(** [create path] loads the topology from [path]. [timeout] (default
+    10s) applies per connection; [retries] (default 40) and [backoff]
+    (default 0.25s) bound the chase — 40 × 0.25s rides out a 10-second
+    failover. Raises {!Topology.Bad_topology} when [path] is
+    unreadable. *)
+
+val request : t -> doc:string -> Repro_server.Protocol.req -> (Repro_server.Protocol.resp, string) result
+(** Route by [doc]'s hash; [Error] only after the retry budget is spent.
+    Protocol errors other than [Not_primary]/[Shutting_down] come back
+    as ordinary [Ok (Err _)] — they are answers, not routing failures. *)
+
+val topology : t -> Topology.t
+(** The topology as of the last (re)load. *)
+
+val reroutes : t -> int
+(** How many bounces this router has chased — 0 on a healthy cluster. *)
+
+val reload : t -> unit
+(** Force a topology re-read; a version change drops every cached
+    connection. Unreadable or malformed files are ignored (the old
+    topology stands — the supervisor writes atomically, so this is a
+    race with the writer, not corruption). *)
+
+val close : t -> unit

@@ -1,0 +1,282 @@
+module P = Repro_server.Protocol
+module Client = Repro_server.Server_client
+
+type child = {
+  ch_pid : int;
+  ch_shard : int;
+  ch_tag : string;
+  ch_node : Topology.node;
+  mutable ch_alive : bool;
+}
+
+type event =
+  | Promoted of { ev_shard : int; ev_node : Topology.node }
+  | Shard_down of { ev_shard : int; ev_reason : string }
+  | Replica_lost of { ev_shard : int; ev_node : Topology.node }
+
+type t = {
+  sv_exe : string;
+  sv_root : string;
+  sv_topo_path : string;
+  sv_fsync_every : int;
+  sv_log : string -> unit;
+  mutable sv_topo : Topology.t;
+  mutable sv_children : child list;
+}
+
+let logf t fmt = Printf.ksprintf t.sv_log fmt
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_port_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> int_of_string_opt (String.trim s)
+  | exception Sys_error _ -> None
+
+let wait_port_file path ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match read_port_file path with
+    | Some p when p > 0 -> p
+    | Some _ | None ->
+      if Unix.gettimeofday () > deadline then
+        failwith (Printf.sprintf "server did not write %s within %.0fs" path timeout)
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+  in
+  go ()
+
+(* One server process. Children write their ports to per-child files (we
+   only learn ephemeral ports after the bind) and their chatter to
+   per-child .out files, so the supervisor's own output stays readable. *)
+let spawn t ~shard ~tag ~upstream =
+  let root = Filename.concat t.sv_root tag in
+  let port_file = Filename.concat t.sv_root (tag ^ ".port") in
+  let out_file = Filename.concat t.sv_root (tag ^ ".out") in
+  (try Sys.remove port_file with Sys_error _ -> ());
+  let args =
+    [
+      t.sv_exe; "serve"; "--root"; root; "--port"; "0"; "--port-file"; port_file;
+      "--fsync-every"; string_of_int t.sv_fsync_every;
+    ]
+    @ (match upstream with
+      | None -> []
+      | Some n -> [ "--replica-of"; Topology.node_to_string n; "--replica-name"; tag ])
+  in
+  let out = Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.close out)
+      (fun () -> Unix.create_process t.sv_exe (Array.of_list args) Unix.stdin out out)
+  in
+  let port =
+    try wait_port_file port_file ~timeout:20.
+    with Failure _ as e ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      raise e
+  in
+  logf t "spawned %s (pid %d) on port %d" tag pid port;
+  {
+    ch_pid = pid;
+    ch_shard = shard;
+    ch_tag = tag;
+    ch_node = { Topology.n_host = "127.0.0.1"; n_port = port };
+    ch_alive = true;
+  }
+
+let launch ?(exe = Sys.executable_name) ?(log = ignore) ?(fsync_every = 8) ~root ~shards
+    ~replicas () =
+  if shards < 1 then invalid_arg "Supervisor.launch: shards must be positive";
+  if replicas < 0 then invalid_arg "Supervisor.launch: replicas must be non-negative";
+  mkdir_p root;
+  let t =
+    {
+      sv_exe = exe;
+      sv_root = root;
+      sv_topo_path = Filename.concat root "topology";
+      sv_fsync_every = fsync_every;
+      sv_log = log;
+      sv_topo = { Topology.version = 1; shards = [||] };
+      sv_children = [];
+    }
+  in
+  let shard_defs =
+    List.init shards (fun i ->
+        let primary = spawn t ~shard:i ~tag:(Printf.sprintf "s%d" i) ~upstream:None in
+        let reps =
+          List.init replicas (fun j ->
+              spawn t ~shard:i
+                ~tag:(Printf.sprintf "s%dr%d" i j)
+                ~upstream:(Some primary.ch_node))
+        in
+        (primary, reps))
+  in
+  t.sv_children <-
+    List.concat_map (fun (p, reps) -> p :: reps) shard_defs;
+  t.sv_topo <-
+    {
+      Topology.version = 1;
+      shards =
+        Array.of_list
+          (List.map
+             (fun ((p : child), reps) ->
+               {
+                 Topology.s_primary = p.ch_node;
+                 s_replicas = List.map (fun (r : child) -> r.ch_node) reps;
+               })
+             shard_defs);
+    };
+  Topology.save t.sv_topo_path t.sv_topo;
+  t
+
+let topology t = t.sv_topo
+let topology_path t = t.sv_topo_path
+let children t = t.sv_children
+
+let live_primary t ~shard =
+  let node = t.sv_topo.Topology.shards.(shard).Topology.s_primary in
+  List.find_opt (fun c -> c.ch_alive && c.ch_node = node) t.sv_children
+
+let set_topo t shards =
+  t.sv_topo <- { Topology.version = t.sv_topo.Topology.version + 1; shards };
+  Topology.save t.sv_topo_path t.sv_topo
+
+(* Failover: tell the first live replica of the shard to promote every
+   follower document it carries, then publish it as the shard's primary.
+   The promoted server may be mid-catch-up on documents it never finished
+   bootstrapping — those it re-opens as fresh primaries on first touch,
+   which is the documented cost of async replication: only the durable
+   prefix the replica acknowledged survives the failover. *)
+let promote t ~shard =
+  let in_topo n =
+    List.mem n t.sv_topo.Topology.shards.(shard).Topology.s_replicas
+  in
+  match
+    List.find_opt (fun c -> c.ch_alive && c.ch_shard = shard && in_topo c.ch_node)
+      t.sv_children
+  with
+  | None -> Error "no live replica to promote"
+  | Some c -> (
+    let node = c.ch_node in
+    match
+      Client.connect ~timeout:10. ~host:node.Topology.n_host ~port:node.Topology.n_port ()
+    with
+    | exception Repro_io.Io.Io_error { reason; _ } -> Error ("promote connect: " ^ reason)
+    | cl ->
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          match Client.docs cl with
+          | Ok (P.Docs_r docs) ->
+            List.iter
+              (fun (doc, _scheme, primary) ->
+                if not primary then
+                  match Client.promote cl ~doc with
+                  | Ok (P.Promoted _) -> logf t "promoted %s on %s" doc c.ch_tag
+                  | Ok (P.Err (code, m)) ->
+                    logf t "promote %s on %s: %s %s" doc c.ch_tag (P.err_name code) m
+                  | Ok _ -> logf t "promote %s on %s: unexpected reply" doc c.ch_tag
+                  | Error e -> logf t "promote %s on %s: %s" doc c.ch_tag e)
+              docs;
+            let shards =
+              Array.mapi
+                (fun i s ->
+                  if i <> shard then s
+                  else
+                    {
+                      Topology.s_primary = node;
+                      s_replicas =
+                        List.filter (fun n -> n <> node) s.Topology.s_replicas;
+                    })
+                t.sv_topo.Topology.shards
+            in
+            set_topo t shards;
+            Ok node
+          | Ok (P.Err (code, m)) -> Error ("docs: " ^ P.err_name code ^ " " ^ m)
+          | Ok _ -> Error "unexpected reply to docs"
+          | Error e -> Error ("docs: " ^ e)))
+
+let poll t =
+  let events = ref [] in
+  List.iter
+    (fun c ->
+      if c.ch_alive then
+        match Unix.waitpid [ Unix.WNOHANG ] c.ch_pid with
+        | 0, _ -> ()
+        | exception Unix.Unix_error _ -> c.ch_alive <- false
+        | _, _ ->
+          c.ch_alive <- false;
+          let s = t.sv_topo.Topology.shards.(c.ch_shard) in
+          if c.ch_node = s.Topology.s_primary then begin
+            logf t "primary %s died" c.ch_tag;
+            match promote t ~shard:c.ch_shard with
+            | Ok node ->
+              events := Promoted { ev_shard = c.ch_shard; ev_node = node } :: !events
+            | Error reason ->
+              events :=
+                Shard_down { ev_shard = c.ch_shard; ev_reason = reason } :: !events
+          end
+          else if List.mem c.ch_node s.Topology.s_replicas then begin
+            logf t "replica %s died" c.ch_tag;
+            set_topo t
+              (Array.mapi
+                 (fun i sh ->
+                   if i <> c.ch_shard then sh
+                   else
+                     {
+                       sh with
+                       Topology.s_replicas =
+                         List.filter (fun n -> n <> c.ch_node) sh.Topology.s_replicas;
+                     })
+                 t.sv_topo.Topology.shards);
+            events :=
+              Replica_lost { ev_shard = c.ch_shard; ev_node = c.ch_node } :: !events
+          end)
+    t.sv_children;
+  List.rev !events
+
+let kill_primary t ~shard =
+  match live_primary t ~shard with
+  | None -> Error "no live primary"
+  | Some c ->
+    (match Unix.kill c.ch_pid Sys.sigkill with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ());
+    logf t "killed primary %s (pid %d)" c.ch_tag c.ch_pid;
+    Ok c.ch_node
+
+let shutdown t =
+  let alive () = List.filter (fun c -> c.ch_alive) t.sv_children in
+  List.iter
+    (fun c -> try Unix.kill c.ch_pid Sys.sigint with Unix.Unix_error _ -> ())
+    (alive ());
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec drain () =
+    List.iter
+      (fun c ->
+        match Unix.waitpid [ Unix.WNOHANG ] c.ch_pid with
+        | 0, _ -> ()
+        | _, _ | (exception Unix.Unix_error _) -> c.ch_alive <- false)
+      (alive ());
+    if alive () <> [] && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.05;
+      drain ()
+    end
+  in
+  drain ();
+  List.iter
+    (fun c ->
+      (try Unix.kill c.ch_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] c.ch_pid) with Unix.Unix_error _ -> ());
+      c.ch_alive <- false)
+    (alive ())

@@ -31,6 +31,33 @@
     stream against an identically-seeded twin session, so the check also
     re-proves replay determinism on every run. *)
 
+(** {1 Checking primitives}
+
+    Shared with the replication failover harness
+    ([Repro_cluster.Failover]), which extends this assay across a
+    primary/replica pair. *)
+
+val flat : Core.Session.t -> (string * string option * int * string) list
+(** The state fingerprint every invariant is checked over: name, value,
+    level and {e rendered label} of every node, in document order. *)
+
+val recording :
+  Core.Session.t -> (Repro_journal.Oplog.op -> unit) -> Core.Session.t
+(** A view over a durable session's view that also hands each journaled
+    operation to the callback — the label captured before the mutation,
+    exactly as [Durable_session] itself does — so a harness owns the
+    complete operation stream across checkpoints. *)
+
+val at : (int * int) list -> int -> int
+(** [at marks k]: the largest [n] among [(counter, n)] marks with
+    [counter <= k], or [0] — i.e. how many operations a durability event
+    recorded by syscall counter covered at boundary [k]. *)
+
+val make_doc : int -> Repro_xml.Tree.doc
+(** The seeded 30-node starting document every torture case opens on. *)
+
+(** {1 The assay} *)
+
 type violation = {
   v_scheme : string;
   v_seed : int;

@@ -8,6 +8,8 @@ type t = {
 
 let journal t = t.t_journal
 let session t = t.view
+let position t = Journal.position t.t_journal
+let durable_position t = Journal.durable_position t.t_journal
 
 let checkpoint t =
   Journal.checkpoint t.t_journal t.inner;

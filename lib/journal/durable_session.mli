@@ -17,7 +17,8 @@ type t
 val create :
   ?io:Repro_io.Io.t ->
   ?fsync_every:int -> ?checkpoint_every:int -> base:string -> Core.Session.t -> t
-(** Wrap a live session and start a fresh epoch-1 journal at [base].
+(** Wrap a live session and start a fresh journal at [base], atomically
+    superseding any journal already there ({!Journal.create}).
     [checkpoint_every] (default: never) checkpoints automatically after
     that many journaled operations — the knob the durability benchmark
     sweeps. [fsync_every] and [io] are passed to {!Journal.create}. *)
@@ -39,3 +40,11 @@ val close : t -> unit
 
 val journal : t -> Journal.t
 (** The underlying journal, for stats (records appended, log size). *)
+
+val position : t -> Journal.position
+(** {!Journal.position} of the underlying journal: epoch and written log
+    offset. *)
+
+val durable_position : t -> Journal.position
+(** {!Journal.durable_position}: the fsync-covered prefix — the part of
+    this session's history that replication may ship. *)

@@ -143,20 +143,30 @@ type t = {
   mutable t_pending : int;  (** appends since the last fsync *)
   mutable t_appended : int;
   mutable t_size : int;
+  mutable t_synced : int;  (** log bytes covered by an fsync *)
 }
+
+type position = { p_epoch : int; p_offset : int }
+
+let position_to_string { p_epoch; p_offset } = Printf.sprintf "%d:%d" p_epoch p_offset
 
 let scheme_name t = t.t_scheme
 let epoch t = t.t_epoch
 let appended t = t.t_appended
 let log_size t = t.t_size
 let pending t = t.t_pending
+let position t = { p_epoch = t.t_epoch; p_offset = t.t_size }
+let durable_position t = { p_epoch = t.t_epoch; p_offset = t.t_synced }
 
 let flush t =
   (* On fsync failure [t_pending] stays put: the records are written but
      not durable, and a later flush (or close) will try again — though
      after a failed fsync the bytes' fate is the kernel's secret, which is
      why the Io layer never silently retries fsync itself. *)
-  if t.t_pending > 0 then t.fd.Io.f_fsync ();
+  if t.t_pending > 0 then begin
+    t.fd.Io.f_fsync ();
+    t.t_synced <- t.t_size
+  end;
   t.t_pending <- 0
 
 let append t op =
@@ -194,17 +204,34 @@ let install_epoch ~io ~base ~scheme ~snapshot e =
 let create ?(io = Io.real) ?(fsync_every = 1) ~base session =
   if fsync_every < 1 then invalid_arg "Journal.create: fsync_every must be positive";
   let scheme = session.Core.Session.scheme_name in
-  install_epoch ~io ~base ~scheme ~snapshot:(Repro_storage.Store.save session) 1;
+  (* A journal may already live at [base] — a replica re-bootstrapping onto
+     its previous follower state. Installing epoch 1 over it would pair the
+     fresh snapshot with the stale epoch-1 log, so supersede instead: the
+     new journal takes one epoch past whatever the old manifest names, and
+     the manifest swing (atomic, as always) is the instant the old journal
+     dies. A crash anywhere before the swing recovers the old journal
+     untouched. *)
+  let e =
+    if io.Io.file_exists base then
+      match read_manifest io base with old -> old + 1 | exception Corrupt _ -> 1
+    else 1
+  in
+  install_epoch ~io ~base ~scheme ~snapshot:(Repro_storage.Store.save session) e;
+  if e > 1 then begin
+    (try io.Io.remove (snapshot_path ~base ~epoch:(e - 1)) with Io.Io_error _ -> ());
+    (try io.Io.remove (log_path ~base ~epoch:(e - 1)) with Io.Io_error _ -> ())
+  end;
   {
     base;
     io;
     t_scheme = scheme;
     fsync_every;
-    t_epoch = 1;
-    fd = open_append io (log_path ~base ~epoch:1);
+    t_epoch = e;
+    fd = open_append io (log_path ~base ~epoch:e);
     t_pending = 0;
     t_appended = 0;
     t_size = String.length (log_header scheme);
+    t_synced = String.length (log_header scheme);
   }
 
 let checkpoint t session =
@@ -221,7 +248,8 @@ let checkpoint t session =
   t.t_epoch <- e;
   t.fd <- open_append t.io (log_path ~base:t.base ~epoch:e);
   t.t_pending <- 0;
-  t.t_size <- String.length (log_header t.t_scheme)
+  t.t_size <- String.length (log_header t.t_scheme);
+  t.t_synced <- t.t_size
 
 (* ---- recovery ----------------------------------------------------- *)
 
@@ -297,6 +325,7 @@ let recover ?(io = Io.real) ?scheme ?(fsync_every = 1) ~base () =
       t_pending = 0;
       t_appended = 0;
       t_size;
+      t_synced = t_size;
     }
   in
   let recovery =
@@ -311,6 +340,51 @@ let recover ?(io = Io.real) ?scheme ?(fsync_every = 1) ~base () =
     }
   in
   (t, session, recovery)
+
+(* ---- journal shipping (primary side) ------------------------------ *)
+
+let log_start t = String.length (log_header t.t_scheme)
+
+let snapshot_bytes t =
+  let path = snapshot_path ~base:t.base ~epoch:t.t_epoch in
+  try read_file t.io path
+  with Io.Io_error { op; reason; _ } -> corrupt "snapshot %s unreadable (%s: %s)" path op reason
+
+let ship t ~from ~limit =
+  let hdr = log_start t in
+  if from < hdr || from > t.t_synced then
+    corrupt "ship offset %d outside the durable log [%d, %d] of %s" from hdr t.t_synced t.base;
+  if from = t.t_synced then ("", t.t_synced)
+  else begin
+    let path = log_path ~base:t.base ~epoch:t.t_epoch in
+    let data =
+      try read_file t.io path
+      with Io.Io_error { op; reason; _ } -> corrupt "log %s unreadable (%s: %s)" path op reason
+    in
+    if String.length data < t.t_synced then
+      corrupt "log %s shorter (%d) than its durable prefix (%d)" path (String.length data)
+        t.t_synced;
+    (* Whole records only, durable bytes only. At least one record is
+       always shipped, even when it alone exceeds [limit] — otherwise a
+       record larger than the caller's batch size would wedge a replica
+       at that offset forever. *)
+    let rec walk pos =
+      if pos >= t.t_synced then pos
+      else
+        match Oplog.read_record data pos with
+        | Oplog.Record (_, next) when next <= t.t_synced ->
+          if pos > from && next - from > limit then pos else walk next
+        | Oplog.Record _ | Oplog.End_of_log ->
+          (* a frame straddling the durable boundary is not shippable yet *)
+          pos
+        | Oplog.Torn reason ->
+          corrupt "log %s torn inside its durable prefix at %d: %s" path pos reason
+    in
+    let stop = walk from in
+    if stop = from then
+      corrupt "ship offset %d of %s is not on a record boundary" from t.base;
+    (String.sub data from (stop - from), t.t_synced)
+  end
 
 let inspect ?(io = Io.real) ~base () =
   let e = read_manifest io base in

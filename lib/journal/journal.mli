@@ -53,10 +53,16 @@ type t
 (** An open journal, ready to append. *)
 
 val create : ?io:Repro_io.Io.t -> ?fsync_every:int -> base:string -> Core.Session.t -> t
-(** [create ~base session] starts epoch 1: snapshot the session, write an
-    empty log, write the manifest. [fsync_every] (default 1) batches
-    commits: the log is fsynced after every n-th appended record — larger
-    batches trade the tail of a crash for throughput. *)
+(** [create ~base session] starts a fresh journal: snapshot the session,
+    write an empty log, write the manifest. On a clean [base] that is
+    epoch 1; when a journal already lives there (a replica
+    re-bootstrapping onto its old follower state) the new journal takes
+    one epoch past the old manifest's, so the atomic manifest swing is
+    the instant the old journal is superseded — a crash before it
+    recovers the old journal untouched, never a mixed pair. [fsync_every]
+    (default 1) batches commits: the log is fsynced after every n-th
+    appended record — larger batches trade the tail of a crash for
+    throughput. *)
 
 val append : t -> Oplog.op -> unit
 (** Serialise and write one record; fsyncs when the batch is due. *)
@@ -105,6 +111,42 @@ val log_size : t -> int
 
 val pending : t -> int
 (** Appended records not yet covered by an fsync. *)
+
+type position = { p_epoch : int; p_offset : int }
+(** A point in the journal's history: the epoch and a byte offset into
+    that epoch's log (header included). Positions are only comparable
+    within one epoch — a checkpoint starts a new epoch whose offsets
+    restart at the header. *)
+
+val position_to_string : position -> string
+(** ["<epoch>:<offset>"]. *)
+
+val position : t -> position
+(** The current end of the log — every byte written, fsynced or not. *)
+
+val durable_position : t -> position
+(** The end of the fsync-covered prefix. Everything at or before this
+    position survives power loss; this is the only part of the log that
+    {!ship} will hand to a replica. *)
+
+val log_start : t -> int
+(** Byte offset of the first record in any of this journal's logs (the
+    fixed header length) — where a replica starts applying after
+    installing the epoch's snapshot. *)
+
+val snapshot_bytes : t -> string
+(** The current epoch's snapshot file, verbatim — what a replica needs to
+    bootstrap before pulling the log tail. Raises {!Corrupt} if the file
+    is unreadable. *)
+
+val ship : t -> from:int -> limit:int -> string * int
+(** [ship t ~from ~limit] is [(records, durable_end)]: the raw bytes of
+    whole records in the current epoch's log from offset [from] up to the
+    durable prefix, at most [limit] bytes — except that the first record
+    is always included whole, so a single oversized record cannot wedge a
+    replica. [records] is empty exactly when [from = durable_end]. Raises
+    {!Corrupt} when [from] is outside the durable log or not on a record
+    boundary (a replica shipping against the wrong epoch). *)
 
 val snapshot_path : base:string -> epoch:int -> string
 val log_path : base:string -> epoch:int -> string

@@ -12,6 +12,7 @@ type config = {
   g_doc_prefix : string;
   g_nodes : int;
   g_timeout : float;
+  g_resolve : (string -> string * int) option;
 }
 
 let default_config ~port =
@@ -25,6 +26,7 @@ let default_config ~port =
     g_doc_prefix = "doc";
     g_nodes = 120;
     g_timeout = 30.;
+    g_resolve = None;
   }
 
 type class_report = {
@@ -43,6 +45,8 @@ type report = {
   r_seconds : float;
   r_ops_per_sec : float;
   r_classes : class_report list;
+  r_error_codes : (string * int) list;
+      (** failures by protocol error code (plus ["transport"]), count > 0 only *)
 }
 
 (* ---- label pools ----------------------------------------------------
@@ -59,7 +63,10 @@ type report = {
      label-only queries, which decode whether or not the node is alive.
 
    Clients touch disjoint documents, so no client invalidates another's
-   labels, and the three chosen schemes do not relabel on insert. *)
+   labels. A scheme may still renumber the whole document under enough
+   insertion pressure (Vector overflows a component past 2^21 - 1 and
+   bulk-relabels); the server flags that reply with [up_relabelled], and
+   the client reseeds its pools from the root before going on. *)
 
 type pool = { mutable items : P.label array; mutable len : int }
 
@@ -91,7 +98,12 @@ type tally = {
   mutable t_errors : int;
   mutable t_ops : int;
   mutable t_dead : string option;  (** transport failure, if one killed the client *)
+  t_codes : (string, int) Hashtbl.t;  (** error-code name -> count *)
 }
+
+let count_code tally code =
+  Hashtbl.replace tally.t_codes code
+    (1 + Option.value (Hashtbl.find_opt tally.t_codes code) ~default:0)
 
 let timed tally cls f =
   let t0 = Unix.gettimeofday () in
@@ -100,13 +112,15 @@ let timed tally cls f =
   tally.t_ops <- tally.t_ops + 1;
   let ok =
     match r with
-    | Ok (P.Err _) ->
+    | Ok (P.Err (code, _)) ->
       tally.t_errors <- tally.t_errors + 1;
+      count_code tally (P.err_name code);
       false
     | Ok _ -> true
     | Error reason ->
       tally.t_errors <- tally.t_errors + 1;
       tally.t_dead <- Some reason;
+      count_code tally "transport";
       false
   in
   tally.t_lat <- (cls, max 0 ns, ok) :: tally.t_lat;
@@ -116,9 +130,12 @@ let worker cfg i tally =
   let rng = Prng.create (cfg.g_seed + (1_000_003 * (i + 1))) in
   let doc = Printf.sprintf "%s-%d" cfg.g_doc_prefix i in
   let scheme = List.nth cfg.g_schemes (i mod List.length cfg.g_schemes) in
-  let c =
-    Server_client.connect ~timeout:cfg.g_timeout ~host:cfg.g_host ~port:cfg.g_port ()
+  (* cluster mode: the resolver maps the document name to the shard
+     primary that owns it; single-server mode connects to g_host:g_port *)
+  let host, port =
+    match cfg.g_resolve with Some f -> f doc | None -> (cfg.g_host, cfg.g_port)
   in
+  let c = Server_client.connect ~timeout:cfg.g_timeout ~host ~port () in
   Fun.protect ~finally:(fun () -> Server_client.close c) @@ fun () ->
   let anchors = pool_create () in
   let victims = pool_create () in
@@ -137,6 +154,25 @@ let worker cfg i tally =
   tally.t_ops <- 0;
   (* the open is not one of the measured ops *)
   let quota = cfg.g_ops in
+  (* [up_relabelled] in a reply means the scheme renumbered the document
+     out from under us: every pooled label is stale. Drop the pools and
+     restart from the root's current label (the first preorder entry of a
+     Labels fetch — not a measured op). *)
+  let reseed_pools () =
+    anchors.len <- 0;
+    victims.len <- 0;
+    extras.len <- 0;
+    match Server_client.labels c ~doc ~limit:1 with
+    | Ok (P.Labels_r ((l, _, _) :: _)) -> pool_add anchors l
+    | _ -> ()
+  in
+  let update cls op =
+    let r = timed tally cls (fun () -> Server_client.update c ~doc [ op ]) in
+    (match r with
+    | Ok (P.Updated { up_relabelled = true; _ }) -> reseed_pools ()
+    | _ -> ());
+    r
+  in
   let insert () =
     let payload = Repro_xml.Tree.elt (fresh_name "u") [] in
     let op =
@@ -151,7 +187,7 @@ let worker cfg i tally =
           if k = 2 then Oplog.Insert_before (anchor, payload)
           else Oplog.Insert_after (anchor, payload)
     in
-    match timed tally "insert" (fun () -> Server_client.update c ~doc [ op ]) with
+    match update "insert" op with
     | Ok (P.Updated { up_fresh = [ l ]; _ }) ->
       if Prng.bool rng then pool_add anchors l else pool_add victims l
     | _ -> ()
@@ -161,24 +197,15 @@ let worker cfg i tally =
     if r < 46 then insert ()
     else if r < 56 then
       if victims.len = 0 then insert ()
-      else
-        ignore
-          (timed tally "delete" (fun () ->
-               Server_client.update c ~doc [ Oplog.Delete (pool_take rng victims) ]))
+      else ignore (update "delete" (Oplog.Delete (pool_take rng victims)))
     else if r < 64 then
-      ignore
-        (timed tally "rename" (fun () ->
-             Server_client.update c ~doc
-               [ Oplog.Rename (pool_pick rng anchors, fresh_name "r") ]))
+      ignore (update "rename" (Oplog.Rename (pool_pick rng anchors, fresh_name "r")))
     else if r < 72 then
       ignore
-        (timed tally "set-value" (fun () ->
-             Server_client.update c ~doc
-               [
-                 Oplog.Replace_value
-                   ( pool_pick rng anchors,
-                     if Prng.bool rng then Some (fresh_name "v") else None );
-               ]))
+        (update "set-value"
+           (Oplog.Replace_value
+              ( pool_pick rng anchors,
+                if Prng.bool rng then Some (fresh_name "v") else None )))
     else if r < 87 then begin
       let pick () =
         if extras.len > 0 && Prng.bool rng then pool_pick rng extras
@@ -259,7 +286,7 @@ let run cfg =
   let cfg = { cfg with g_ops = per_client } in
   let tallies =
     List.init cfg.g_clients (fun _ ->
-        { t_lat = []; t_errors = 0; t_ops = 0; t_dead = None })
+        { t_lat = []; t_errors = 0; t_ops = 0; t_dead = None; t_codes = Hashtbl.create 4 })
   in
   let t0 = Unix.gettimeofday () in
   let threads =
@@ -278,6 +305,19 @@ let run cfg =
   let seconds = Unix.gettimeofday () -. t0 in
   let ops = List.fold_left (fun acc t -> acc + t.t_ops) 0 tallies in
   let errors = List.fold_left (fun acc t -> acc + t.t_errors) 0 tallies in
+  let codes = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      Hashtbl.iter
+        (fun code n ->
+          Hashtbl.replace codes code
+            (n + Option.value (Hashtbl.find_opt codes code) ~default:0))
+        t.t_codes)
+    tallies;
+  let error_codes =
+    Hashtbl.fold (fun code n acc -> (code, n) :: acc) codes []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     r_clients = cfg.g_clients;
     r_ops = ops;
@@ -285,6 +325,7 @@ let run cfg =
     r_seconds = seconds;
     r_ops_per_sec = (if seconds > 0. then float_of_int ops /. seconds else 0.);
     r_classes = classes_of tallies;
+    r_error_codes = error_codes;
   }
 
 (* ---- rendering ------------------------------------------------------ *)
@@ -300,6 +341,10 @@ let render report =
     report.r_classes;
   Printf.bprintf buf "%.2fs, %.0f ops/sec over %d client(s)\n" report.r_seconds
     report.r_ops_per_sec report.r_clients;
+  if report.r_error_codes <> [] then
+    Printf.bprintf buf "errors by code: %s\n"
+      (String.concat ", "
+         (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) report.r_error_codes));
   Printf.bprintf buf "RESULT ops=%d errors=%d\n" report.r_ops report.r_errors;
   Buffer.contents buf
 
@@ -320,5 +365,9 @@ let to_json ?(name = "server") report =
         c.cr_class c.cr_count c.cr_errors c.cr_p50_us c.cr_p99_us c.cr_mean_us
         (if i = List.length report.r_classes - 1 then "" else ","))
     report.r_classes;
-  Printf.bprintf buf "  ]\n}\n";
+  Printf.bprintf buf "  ],\n";
+  Printf.bprintf buf "  \"error_codes\": {%s}\n"
+    (String.concat ", "
+       (List.map (fun (c, n) -> Printf.sprintf "%S: %d" c n) report.r_error_codes));
+  Printf.bprintf buf "}\n";
   Buffer.contents buf

@@ -20,6 +20,10 @@ type config = {
   g_doc_prefix : string;
   g_nodes : int;  (** initial generated document size per client *)
   g_timeout : float;
+  g_resolve : (string -> string * int) option;
+      (** cluster mode: map a document name to the (host, port) of the
+          shard primary owning it, consulted at connect time. [None]
+          (the default) connects every client to [g_host:g_port]. *)
 }
 
 val default_config : port:int -> config
@@ -41,6 +45,10 @@ type report = {
   r_seconds : float;
   r_ops_per_sec : float;
   r_classes : class_report list;  (** sorted by class name *)
+  r_error_codes : (string * int) list;
+      (** failures by {!Protocol.err_name} (plus ["transport"] for dead
+          connections), sorted, only codes that occurred — empty on a
+          healthy run *)
 }
 
 val run : config -> report

@@ -21,6 +21,18 @@ type req =
   | Labels of { lb_doc : string; lb_limit : int }
   | Checkpoint of string
   | Metrics
+  | Subscribe of { sb_doc : string; sb_replica : string }
+  | Replicate of {
+      rp_doc : string;
+      rp_replica : string;
+      rp_epoch : int;
+      rp_snap : bool;
+      rp_offset : int;
+      rp_limit : int;
+    }
+  | Ack of { ak_doc : string; ak_replica : string; ak_epoch : int; ak_offset : int }
+  | Promote of string
+  | Docs
 
 type err =
   | Bad_frame
@@ -30,6 +42,8 @@ type err =
   | Bad_request
   | Shutting_down
   | Internal
+  | Not_primary
+  | Stale_pos
 
 type answer = Bool of bool | Int of int | Unsupported
 
@@ -44,6 +58,8 @@ type stats_reply = {
   st_epoch : int;
   st_records : int;
   st_log_bytes : int;
+  st_offset : int;  (** durable log offset: the shippable prefix *)
+  st_lag : (string * int) list;  (** per-replica lag in unacknowledged durable bytes *)
 }
 
 type metric = {
@@ -57,12 +73,23 @@ type metric = {
 type resp =
   | Pong of string
   | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
-  | Updated of { up_applied : int; up_fresh : label list }
+  | Updated of { up_applied : int; up_fresh : label list; up_relabelled : bool }
   | Answer of answer
   | Stats_r of stats_reply
   | Labels_r of (label * Repro_xml.Tree.kind * string) list
   | Checkpointed of int
   | Metrics_r of metric list
+  | Sub_ok of {
+      su_scheme : string;
+      su_epoch : int;
+      su_log_start : int;
+      su_offset : int;  (** durable log offset at subscription time *)
+      su_snap_bytes : int;  (** size of the epoch snapshot to fetch *)
+    }
+  | Shipped of { sh_epoch : int; sh_offset : int; sh_total : int; sh_data : string }
+  | Acked of { ac_lag : int }
+  | Promoted of { pr_epoch : int; pr_offset : int }
+  | Docs_r of (string * string * bool) list  (** doc, scheme, is-primary *)
   | Err of err * string
 
 let magic = "XSRV1"
@@ -75,6 +102,8 @@ let err_name = function
   | Bad_request -> "bad-request"
   | Shutting_down -> "shutting-down"
   | Internal -> "internal"
+  | Not_primary -> "not-primary"
+  | Stale_pos -> "stale-pos"
 
 let err_code = function
   | Bad_frame -> 0
@@ -84,6 +113,8 @@ let err_code = function
   | Bad_request -> 4
   | Shutting_down -> 5
   | Internal -> 6
+  | Not_primary -> 7
+  | Stale_pos -> 8
 
 let err_of_code = function
   | 0 -> Some Bad_frame
@@ -93,6 +124,8 @@ let err_of_code = function
   | 4 -> Some Bad_request
   | 5 -> Some Shutting_down
   | 6 -> Some Internal
+  | 7 -> Some Not_primary
+  | 8 -> Some Stale_pos
   | _ -> None
 
 let req_class = function
@@ -104,6 +137,11 @@ let req_class = function
   | Labels _ -> "labels"
   | Checkpoint _ -> "checkpoint"
   | Metrics -> "metrics"
+  | Subscribe _ -> "subscribe"
+  | Replicate _ -> "replicate"
+  | Ack _ -> "ack"
+  | Promote _ -> "promote"
+  | Docs -> "docs"
 
 (* ---- encoding ------------------------------------------------------
 
@@ -180,7 +218,29 @@ let encode_req req =
   | Checkpoint doc ->
     Buffer.add_char buf '\006';
     add_str buf doc
-  | Metrics -> Buffer.add_char buf '\007');
+  | Metrics -> Buffer.add_char buf '\007'
+  | Subscribe { sb_doc; sb_replica } ->
+    Buffer.add_char buf '\008';
+    add_str buf sb_doc;
+    add_str buf sb_replica
+  | Replicate { rp_doc; rp_replica; rp_epoch; rp_snap; rp_offset; rp_limit } ->
+    Buffer.add_char buf '\009';
+    add_str buf rp_doc;
+    add_str buf rp_replica;
+    add_u64 buf rp_epoch;
+    add_bool buf rp_snap;
+    add_u64 buf rp_offset;
+    add_varint buf rp_limit
+  | Ack { ak_doc; ak_replica; ak_epoch; ak_offset } ->
+    Buffer.add_char buf '\010';
+    add_str buf ak_doc;
+    add_str buf ak_replica;
+    add_u64 buf ak_epoch;
+    add_u64 buf ak_offset
+  | Promote doc ->
+    Buffer.add_char buf '\011';
+    add_str buf doc
+  | Docs -> Buffer.add_char buf '\012');
   Buffer.contents buf
 
 let encode_resp resp =
@@ -195,11 +255,12 @@ let encode_resp resp =
     add_label buf ok_root;
     add_u64 buf ok_nodes;
     add_bool buf ok_fresh
-  | Updated { up_applied; up_fresh } ->
+  | Updated { up_applied; up_fresh; up_relabelled } ->
     Buffer.add_char buf '\002';
     add_varint buf up_applied;
     add_varint buf (List.length up_fresh);
-    List.iter (add_label buf) up_fresh
+    List.iter (add_label buf) up_fresh;
+    add_bool buf up_relabelled
   | Answer a ->
     Buffer.add_char buf '\003';
     (match a with
@@ -222,7 +283,14 @@ let encode_resp resp =
     add_u64 buf st.st_overflow;
     add_u64 buf st.st_epoch;
     add_u64 buf st.st_records;
-    add_u64 buf st.st_log_bytes
+    add_u64 buf st.st_log_bytes;
+    add_u64 buf st.st_offset;
+    add_varint buf (List.length st.st_lag);
+    List.iter
+      (fun (replica, lag) ->
+        add_str buf replica;
+        add_u64 buf lag)
+      st.st_lag
   | Labels_r entries ->
     Buffer.add_char buf '\005';
     add_varint buf (List.length entries);
@@ -247,6 +315,35 @@ let encode_resp resp =
         add_u64 buf m.m_total_ns;
         add_u64 buf m.m_max_ns)
       ms
+  | Sub_ok { su_scheme; su_epoch; su_log_start; su_offset; su_snap_bytes } ->
+    Buffer.add_char buf '\008';
+    add_str buf su_scheme;
+    add_u64 buf su_epoch;
+    add_varint buf su_log_start;
+    add_u64 buf su_offset;
+    add_u64 buf su_snap_bytes
+  | Shipped { sh_epoch; sh_offset; sh_total; sh_data } ->
+    Buffer.add_char buf '\009';
+    add_u64 buf sh_epoch;
+    add_u64 buf sh_offset;
+    add_u64 buf sh_total;
+    add_str buf sh_data
+  | Acked { ac_lag } ->
+    Buffer.add_char buf '\010';
+    add_u64 buf ac_lag
+  | Promoted { pr_epoch; pr_offset } ->
+    Buffer.add_char buf '\011';
+    add_u64 buf pr_epoch;
+    add_u64 buf pr_offset
+  | Docs_r docs ->
+    Buffer.add_char buf '\012';
+    add_varint buf (List.length docs);
+    List.iter
+      (fun (doc, scheme, primary) ->
+        add_str buf doc;
+        add_str buf scheme;
+        add_bool buf primary)
+      docs
   | Err (e, msg) ->
     Buffer.add_char buf '\255';
     Buffer.add_char buf (Char.chr (err_code e));
@@ -378,6 +475,26 @@ let decode_req data =
         Labels { lb_doc; lb_limit = rvarint c }
       | 6 -> Checkpoint (rstr c)
       | 7 -> Metrics
+      | 8 ->
+        let sb_doc = rstr c in
+        let sb_replica = rstr c in
+        Subscribe { sb_doc; sb_replica }
+      | 9 ->
+        let rp_doc = rstr c in
+        let rp_replica = rstr c in
+        let rp_epoch = ru64 c in
+        let rp_snap = rbool c in
+        let rp_offset = ru64 c in
+        let rp_limit = rvarint c in
+        Replicate { rp_doc; rp_replica; rp_epoch; rp_snap; rp_offset; rp_limit }
+      | 10 ->
+        let ak_doc = rstr c in
+        let ak_replica = rstr c in
+        let ak_epoch = ru64 c in
+        let ak_offset = ru64 c in
+        Ack { ak_doc; ak_replica; ak_epoch; ak_offset }
+      | 11 -> Promote (rstr c)
+      | 12 -> Docs
       | t -> bad "unknown request tag %d" t)
 
 let decode_resp data =
@@ -393,7 +510,8 @@ let decode_resp data =
       | 2 ->
         let up_applied = rvarint c in
         let up_fresh = rlist c rlabel in
-        Updated { up_applied; up_fresh }
+        let up_relabelled = rbool c in
+        Updated { up_applied; up_fresh; up_relabelled }
       | 3 ->
         Answer
           (match rbyte c with
@@ -415,6 +533,13 @@ let decode_resp data =
         let st_epoch = ru64 c in
         let st_records = ru64 c in
         let st_log_bytes = ru64 c in
+        let st_offset = ru64 c in
+        let st_lag =
+          rlist c (fun c ->
+              let replica = rstr c in
+              let lag = ru64 c in
+              (replica, lag))
+        in
         Stats_r
           {
             st_nodes;
@@ -427,6 +552,8 @@ let decode_resp data =
             st_epoch;
             st_records;
             st_log_bytes;
+            st_offset;
+            st_lag;
           }
       | 5 ->
         Labels_r
@@ -445,6 +572,31 @@ let decode_resp data =
                let m_total_ns = ru64 c in
                let m_max_ns = ru64 c in
                { m_key; m_count; m_errors; m_total_ns; m_max_ns }))
+      | 8 ->
+        let su_scheme = rstr c in
+        let su_epoch = ru64 c in
+        let su_log_start = rvarint c in
+        let su_offset = ru64 c in
+        let su_snap_bytes = ru64 c in
+        Sub_ok { su_scheme; su_epoch; su_log_start; su_offset; su_snap_bytes }
+      | 9 ->
+        let sh_epoch = ru64 c in
+        let sh_offset = ru64 c in
+        let sh_total = ru64 c in
+        let sh_data = rstr c in
+        Shipped { sh_epoch; sh_offset; sh_total; sh_data }
+      | 10 -> Acked { ac_lag = ru64 c }
+      | 11 ->
+        let pr_epoch = ru64 c in
+        let pr_offset = ru64 c in
+        Promoted { pr_epoch; pr_offset }
+      | 12 ->
+        Docs_r
+          (rlist c (fun c ->
+               let doc = rstr c in
+               let scheme = rstr c in
+               let primary = rbool c in
+               (doc, scheme, primary)))
       | 255 ->
         let code = rbyte c in
         let msg = rstr c in

@@ -43,6 +43,25 @@ type req =
           order — how a client refreshes its label pool *)
   | Checkpoint of string
   | Metrics
+  | Subscribe of { sb_doc : string; sb_replica : string }
+      (** a replica announces itself and asks where to start catching up:
+          the reply names the current epoch, its snapshot size and the
+          durable log offset *)
+  | Replicate of {
+      rp_doc : string;
+      rp_replica : string;
+      rp_epoch : int;
+      rp_snap : bool;  (** fetch snapshot bytes instead of log records *)
+      rp_offset : int;
+      rp_limit : int;  (** max bytes per batch (soft — see {!Journal.ship}) *)
+    }
+      (** pull one batch: snapshot bytes ([rp_snap]) or whole log records
+          from the durable prefix, both addressed by [(epoch, offset)] *)
+  | Ack of { ak_doc : string; ak_replica : string; ak_epoch : int; ak_offset : int }
+      (** the replica has applied and made locally durable everything up
+          to this upstream position — feeds the primary's lag accounting *)
+  | Promote of string  (** turn this server's follower of a doc into a primary *)
+  | Docs  (** list the documents this server is serving *)
 
 (** Typed error replies; the carried string narrows the cause. *)
 type err =
@@ -53,6 +72,10 @@ type err =
   | Bad_request  (** structurally impossible operation, oversized value… *)
   | Shutting_down
   | Internal
+  | Not_primary  (** update sent to a follower — re-route after promotion *)
+  | Stale_pos
+      (** replication position from a past epoch (the primary checkpointed)
+          or off a record boundary — the replica must re-bootstrap *)
 
 type answer = Bool of bool | Int of int | Unsupported
 
@@ -67,6 +90,12 @@ type stats_reply = {
   st_epoch : int;  (** journal epoch *)
   st_records : int;  (** records appended since the journal opened *)
   st_log_bytes : int;
+  st_offset : int;
+      (** {!Journal.durable_position} offset — the fsync-covered prefix
+          replication may ship *)
+  st_lag : (string * int) list;
+      (** per-replica replication lag: durable bytes not yet acknowledged
+          (empty when nothing ever subscribed) *)
 }
 
 type metric = {
@@ -80,13 +109,35 @@ type metric = {
 type resp =
   | Pong of string  (** carries {!magic} — the version handshake *)
   | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
-  | Updated of { up_applied : int; up_fresh : label list }
-      (** [up_fresh]: one label per insert, the inserted fragment's root *)
+  | Updated of { up_applied : int; up_fresh : label list; up_relabelled : bool }
+      (** [up_fresh]: one label per insert, the inserted fragment's root.
+          [up_relabelled]: this update forced the scheme to relabel
+          existing nodes (a bulk renumber on code overflow, or neighbour
+          reassignment), so labels the client fetched before this reply
+          may no longer resolve — refresh them with {!Labels} *)
   | Answer of answer
   | Stats_r of stats_reply
   | Labels_r of (label * Repro_xml.Tree.kind * string) list
   | Checkpointed of int  (** the new epoch *)
   | Metrics_r of metric list
+  | Sub_ok of {
+      su_scheme : string;
+      su_epoch : int;
+      su_log_start : int;  (** first record offset: where to apply from *)
+      su_offset : int;  (** durable log offset at subscription time *)
+      su_snap_bytes : int;  (** size of the epoch snapshot to fetch *)
+    }
+  | Shipped of { sh_epoch : int; sh_offset : int; sh_total : int; sh_data : string }
+      (** one batch starting at [(sh_epoch, sh_offset)]. For log fetches
+          [sh_total] is the durable end offset (caught up when
+          [sh_offset + length sh_data = sh_total]); for snapshot fetches
+          it is the snapshot's full byte size *)
+  | Acked of { ac_lag : int }  (** remaining durable bytes the replica has not acked *)
+  | Promoted of { pr_epoch : int; pr_offset : int }
+      (** the upstream position the follower had applied through when it
+          became a primary (its own journal position for an idempotent
+          re-promotion) *)
+  | Docs_r of (string * string * bool) list  (** doc, scheme, is-primary *)
   | Err of err * string
 
 val magic : string

@@ -17,6 +17,9 @@ type config = {
   max_frag_nodes : int;
   sock : Io.sock;
   log : string -> unit;
+  replica_of : (string * int) option;
+  replica_name : string;
+  poll_interval : float;
 }
 
 let default_config ~root =
@@ -34,6 +37,9 @@ let default_config ~root =
     max_frag_nodes = 4_096;
     sock = Io.real_sock;
     log = ignore;
+    replica_of = None;
+    replica_name = "replica";
+    poll_interval = 0.02;
   }
 
 (* ---- plumbing ------------------------------------------------------ *)
@@ -80,7 +86,16 @@ type published = {
   p_stats : P.stats_reply;
 }
 
-type job = J_update of Oplog.op list | J_labels of int | J_checkpoint
+type role = Primary | Follower
+
+type job =
+  | J_update of Oplog.op list
+  | J_labels of int
+  | J_checkpoint
+  | J_subscribe
+  | J_replicate of { rq_epoch : int; rq_snap : bool; rq_offset : int; rq_limit : int }
+  | J_apply of { ap_epoch : int; ap_offset : int; ap_data : string }
+  | J_promote
 
 type actor = {
   a_doc : string;
@@ -97,6 +112,8 @@ type actor = {
   a_pack : Core.Scheme.packed;
   mutable a_resolver : Journal.Resolver.t;
   a_pub : published Atomic.t;
+  a_role : role Atomic.t;
+  a_ship : Ship.t option;  (** [Some] iff this doc was created as a follower *)
 }
 
 let encoded_label (view : Core.Session.t) n =
@@ -122,6 +139,8 @@ let publish_of (view : Core.Session.t) pack durable =
         st_epoch = Journal.epoch j;
         st_records = Journal.appended j;
         st_log_bytes = Journal.log_size j;
+        st_offset = (Journal.durable_position j).Journal.p_offset;
+        st_lag = [];
       };
   }
 
@@ -162,6 +181,7 @@ let check_op cfg resolver (op : Oplog.op) =
 let exec_update cfg a ops =
   let applied = ref 0 in
   let fresh = ref [] in
+  let before = a.a_view.Core.Session.stats () in
   try
     List.iter
       (fun op ->
@@ -171,7 +191,15 @@ let exec_update cfg a ops =
         | None -> ());
         incr applied)
       ops;
-    P.Updated { up_applied = !applied; up_fresh = List.rev !fresh }
+    (* A scheme that renumbered existing nodes (code overflow, neighbour
+       reassignment) silently broke every label the client holds; say so,
+       so caches get refreshed instead of dying on Unknown_label. *)
+    let now = a.a_view.Core.Session.stats () in
+    let up_relabelled =
+      now.Core.Stats.s_relabelled > before.Core.Stats.s_relabelled
+      || now.Core.Stats.s_overflow > before.Core.Stats.s_overflow
+    in
+    P.Updated { up_applied = !applied; up_fresh = List.rev !fresh; up_relabelled }
   with
   | Reject (e, msg) ->
     (* ops before the rejected one are applied and journaled; the reply
@@ -198,6 +226,74 @@ let exec_labels a limit =
 let exec_checkpoint a =
   Durable_session.checkpoint a.a_durable;
   P.Checkpointed (Journal.epoch (Durable_session.journal a.a_durable))
+
+(* ---- replication jobs ----------------------------------------------
+
+   Served by the same actor thread as updates and checkpoints, so a
+   shipped batch can never interleave with an epoch change: within one
+   job the journal's epoch and durable offset are frozen. *)
+
+let max_ship_batch = 1 lsl 20
+
+let exec_subscribe a =
+  let j = Durable_session.journal a.a_durable in
+  (* flush so the offset we hand out is entirely shippable *)
+  Journal.flush j;
+  let pos = Journal.durable_position j in
+  P.Sub_ok
+    {
+      su_scheme = Journal.scheme_name j;
+      su_epoch = pos.Journal.p_epoch;
+      su_log_start = Journal.log_start j;
+      su_offset = pos.Journal.p_offset;
+      su_snap_bytes = String.length (Journal.snapshot_bytes j);
+    }
+
+let exec_replicate a ~epoch ~snap ~offset ~limit =
+  let j = Durable_session.journal a.a_durable in
+  let limit = max 1 (min limit max_ship_batch) in
+  if epoch <> Journal.epoch j then
+    P.Err
+      ( P.Stale_pos,
+        Printf.sprintf "epoch %d is over (current epoch %d)" epoch (Journal.epoch j) )
+  else if snap then begin
+    let s = Journal.snapshot_bytes j in
+    let total = String.length s in
+    if offset < 0 || offset > total then
+      P.Err (P.Bad_request, Printf.sprintf "snapshot offset %d outside [0, %d]" offset total)
+    else
+      P.Shipped
+        {
+          sh_epoch = epoch;
+          sh_offset = offset;
+          sh_total = total;
+          sh_data = String.sub s offset (min limit (total - offset));
+        }
+  end
+  else begin
+    Journal.flush j;
+    match Journal.ship j ~from:offset ~limit with
+    | data, durable_end ->
+      P.Shipped { sh_epoch = epoch; sh_offset = offset; sh_total = durable_end; sh_data = data }
+    | exception Journal.Corrupt msg -> P.Err (P.Stale_pos, msg)
+  end
+
+let exec_apply a ~epoch ~offset ~data =
+  match a.a_ship with
+  | None -> P.Err (P.Bad_request, a.a_doc ^ " is not a follower")
+  | Some f -> (
+    match Ship.apply f ~epoch ~offset data with
+    | n -> P.Updated { up_applied = n; up_fresh = []; up_relabelled = false }
+    | exception Ship.Out_of_sync msg -> P.Err (P.Stale_pos, msg))
+
+let exec_promote a =
+  Atomic.set a.a_role Primary;
+  let pos =
+    match a.a_ship with
+    | Some f -> Ship.position f
+    | None -> Journal.position (Durable_session.journal a.a_durable)
+  in
+  P.Promoted { pr_epoch = pos.Journal.p_epoch; pr_offset = pos.Journal.p_offset }
 
 let actor_loop cfg a =
   let rec next () =
@@ -236,9 +332,18 @@ let actor_loop cfg a =
       let resp =
         try
           match job with
-          | J_update ops -> exec_update cfg a ops
+          | J_update ops ->
+            if Atomic.get a.a_role = Follower then
+              P.Err (P.Not_primary, a.a_doc ^ " is a follower here")
+            else exec_update cfg a ops
           | J_labels limit -> exec_labels a limit
           | J_checkpoint -> exec_checkpoint a
+          | J_subscribe -> exec_subscribe a
+          | J_replicate { rq_epoch; rq_snap; rq_offset; rq_limit } ->
+            exec_replicate a ~epoch:rq_epoch ~snap:rq_snap ~offset:rq_offset ~limit:rq_limit
+          | J_apply { ap_epoch; ap_offset; ap_data } ->
+            exec_apply a ~epoch:ap_epoch ~offset:ap_offset ~data:ap_data
+          | J_promote -> exec_promote a
         with
         | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
         | e -> P.Err (P.Internal, Printexc.to_string e)
@@ -294,6 +399,10 @@ type t = {
   stop_w : Unix.file_descr;
   mutable accept_thread : Thread.t;
   mutable stopped : bool;
+  acks_mu : Mutex.t;
+  acks : (string * string, int * int) Hashtbl.t;
+      (** (doc, replica) -> last acknowledged (epoch, offset) *)
+  mutable mgr_thread : Thread.t option;  (** the replication manager, on replicas *)
 }
 
 type summary = { s_conns : int; s_docs : int }
@@ -323,6 +432,40 @@ let doc_name_ok name =
    Serialized under [reg_mu]: opens are rare and involve disk IO, and a
    single winner per document name is exactly the ownership invariant the
    actor model needs. *)
+
+(* Construct and register an actor for a live durable session. Caller
+   holds [reg_mu]; the name must be unregistered. *)
+let spawn_actor t name ~durable ~role ~ship =
+  let view = Durable_session.session durable in
+  let pack =
+    match Repro_schemes.Registry.find view.Core.Session.scheme_name with
+    | Some p -> p
+    | None ->
+      reject P.Internal "journal scheme %S is not registered" view.Core.Session.scheme_name
+  in
+  let a =
+    {
+      a_doc = name;
+      a_mu = Mutex.create ();
+      a_nonempty = Condition.create ();
+      a_slot = Condition.create ();
+      a_queue = Queue.create ();
+      a_queue_cap = 128;
+      a_closed = false;
+      a_abandoned = false;
+      a_thread = Thread.self ();
+      a_durable = durable;
+      a_view = view;
+      a_pack = pack;
+      a_resolver = Journal.Resolver.create view;
+      a_pub = Atomic.make (publish_of view pack durable);
+      a_role = Atomic.make role;
+      a_ship = ship;
+    }
+  in
+  a.a_thread <- Thread.create (actor_loop t.cfg) a;
+  Hashtbl.add t.actors name a;
+  a
 
 let open_doc t name scheme nodes seed =
   Mutex.lock t.reg_mu;
@@ -366,34 +509,7 @@ let open_doc t name scheme nodes seed =
                   ?checkpoint_every:t.cfg.checkpoint_every ~base session,
                 true )
         in
-        let view = Durable_session.session durable in
-        let pack =
-          match Repro_schemes.Registry.find view.Core.Session.scheme_name with
-          | Some p -> p
-          | None ->
-            reject P.Internal "journal scheme %S is not registered"
-              view.Core.Session.scheme_name
-        in
-        let a =
-          {
-            a_doc = name;
-            a_mu = Mutex.create ();
-            a_nonempty = Condition.create ();
-            a_slot = Condition.create ();
-            a_queue = Queue.create ();
-            a_queue_cap = 128;
-            a_closed = false;
-            a_abandoned = false;
-            a_thread = Thread.self ();
-            a_durable = durable;
-            a_view = view;
-            a_pack = pack;
-            a_resolver = Journal.Resolver.create view;
-            a_pub = Atomic.make (publish_of view pack durable);
-          }
-        in
-        a.a_thread <- Thread.create (actor_loop t.cfg) a;
-        Hashtbl.add t.actors name a;
+        let a = spawn_actor t name ~durable ~role:Primary ~ship:None in
         let pub = Atomic.get a.a_pub in
         P.Opened
           {
@@ -437,14 +553,35 @@ let eval_query pack (pred : P.pred) =
 (* ---- dispatch ------------------------------------------------------ *)
 
 let doc_of_req = function
-  | P.Ping | P.Metrics -> None
+  | P.Ping | P.Metrics | P.Docs -> None
   | P.Open { o_doc = d; _ }
   | P.Update { u_doc = d; _ }
   | P.Query { q_doc = d; _ }
   | P.Stats d
   | P.Labels { lb_doc = d; _ }
-  | P.Checkpoint d ->
+  | P.Checkpoint d
+  | P.Subscribe { sb_doc = d; _ }
+  | P.Replicate { rp_doc = d; _ }
+  | P.Ack { ak_doc = d; _ }
+  | P.Promote d ->
     Some d
+
+(* Lag of one acknowledged position against the published durable offset:
+   same epoch, the plain byte gap; a past epoch, the whole current log
+   (the replica must re-bootstrap, so everything durable is outstanding). *)
+let lag_of pub (epoch, offset) =
+  let st = pub.p_stats in
+  if epoch = st.P.st_epoch then max 0 (st.P.st_offset - offset) else st.P.st_offset
+
+let doc_lags t doc pub =
+  Mutex.lock t.acks_mu;
+  let lags =
+    Hashtbl.fold
+      (fun (d, replica) pos acc -> if d = doc then (replica, lag_of pub pos) :: acc else acc)
+      t.acks []
+  in
+  Mutex.unlock t.acks_mu;
+  List.sort compare lags
 
 let dispatch t req =
   let with_pub doc f =
@@ -463,10 +600,247 @@ let dispatch t req =
   | P.Open { o_doc; o_scheme; o_nodes; o_seed } -> open_doc t o_doc o_scheme o_nodes o_seed
   | P.Query { q_doc; q_pred } ->
     with_pub q_doc (fun pub -> P.Answer (eval_query pub.p_pack q_pred))
-  | P.Stats doc -> with_pub doc (fun pub -> P.Stats_r pub.p_stats)
+  | P.Stats doc ->
+    with_pub doc (fun pub -> P.Stats_r { pub.p_stats with P.st_lag = doc_lags t doc pub })
   | P.Update { u_doc; u_ops } -> with_actor u_doc (J_update u_ops)
   | P.Labels { lb_doc; lb_limit } -> with_actor lb_doc (J_labels lb_limit)
   | P.Checkpoint doc -> with_actor doc J_checkpoint
+  | P.Subscribe { sb_doc; sb_replica } -> (
+    match with_actor sb_doc J_subscribe with
+    | P.Sub_ok _ as reply ->
+      (* a freshly (re-)subscribed replica has acknowledged nothing of the
+         epoch it is about to pull — record it so lag is visible during
+         bootstrap, not only after the first ack *)
+      Mutex.lock t.acks_mu;
+      Hashtbl.replace t.acks (sb_doc, sb_replica) (0, 0);
+      Mutex.unlock t.acks_mu;
+      reply
+    | reply -> reply)
+  | P.Replicate { rp_doc; rp_replica = _; rp_epoch; rp_snap; rp_offset; rp_limit } ->
+    with_actor rp_doc
+      (J_replicate { rq_epoch = rp_epoch; rq_snap = rp_snap; rq_offset = rp_offset; rq_limit = rp_limit })
+  | P.Ack { ak_doc; ak_replica; ak_epoch; ak_offset } -> (
+    match find_actor t ak_doc with
+    | None -> P.Err (P.Unknown_doc, ak_doc)
+    | Some a ->
+      Mutex.lock t.acks_mu;
+      Hashtbl.replace t.acks (ak_doc, ak_replica) (ak_epoch, ak_offset);
+      Mutex.unlock t.acks_mu;
+      let lag = lag_of (Atomic.get a.a_pub) (ak_epoch, ak_offset) in
+      Metrics.record t.metrics ~key:(Printf.sprintf "repl/%s/lag" ak_doc) ~ok:true ~ns:lag;
+      P.Acked { ac_lag = lag })
+  | P.Promote doc -> with_actor doc J_promote
+  | P.Docs ->
+    Mutex.lock t.reg_mu;
+    let docs =
+      Hashtbl.fold
+        (fun name a acc ->
+          ((name, (Atomic.get a.a_pub).p_scheme, Atomic.get a.a_role = Primary)) :: acc)
+        t.actors []
+    in
+    Mutex.unlock t.reg_mu;
+    P.Docs_r (List.sort compare docs)
+
+(* ---- the replication manager ---------------------------------------
+
+   Runs on a replica server ([config.replica_of]). A pull loop: list the
+   upstream's documents, bootstrap a follower actor for each new one
+   (snapshot chunks, then {!Ship.bootstrap}), then pump durable log
+   records and acknowledge each locally-durable batch. Stale positions
+   (the upstream checkpointed into a new epoch) tear the follower down
+   and re-bootstrap from the fresh checkpoint — catch-up always starts
+   from the latest epoch snapshot plus log offset, never mid-epoch. *)
+
+exception Mgr_drop of string  (** transport trouble: drop the connection, retry *)
+
+exception Mgr_resync  (** stale position: re-bootstrap this document *)
+
+let mgr_chunk = 1 lsl 18
+
+let mgr_request c req =
+  match Server_client.request c req with
+  | Ok (P.Err (P.Stale_pos, _)) -> raise Mgr_resync
+  | Ok resp -> resp
+  | Error reason -> raise (Mgr_drop reason)
+
+(* Tear a follower actor down without checkpointing: the local journal
+   stays as-is on disk (it may be promoted later); the replacement will
+   overwrite it when it re-bootstraps. *)
+let remove_follower t a =
+  Mutex.lock t.reg_mu;
+  Hashtbl.remove t.actors a.a_doc;
+  Mutex.unlock t.reg_mu;
+  Mutex.lock a.a_mu;
+  a.a_closed <- true;
+  a.a_abandoned <- true;
+  Condition.broadcast a.a_nonempty;
+  Condition.broadcast a.a_slot;
+  Mutex.unlock a.a_mu;
+  Thread.join a.a_thread;
+  try Durable_session.close a.a_durable with Io.Io_error _ -> ()
+
+let bootstrap_follower t c doc =
+  match mgr_request c (P.Subscribe { sb_doc = doc; sb_replica = t.cfg.replica_name }) with
+  | P.Sub_ok { su_scheme = _; su_epoch; su_log_start; su_offset = _; su_snap_bytes } -> (
+    let buf = Buffer.create (max 64 su_snap_bytes) in
+    let rec pull () =
+      if Buffer.length buf < su_snap_bytes then (
+        match
+          mgr_request c
+            (P.Replicate
+               {
+                 rp_doc = doc;
+                 rp_replica = t.cfg.replica_name;
+                 rp_epoch = su_epoch;
+                 rp_snap = true;
+                 rp_offset = Buffer.length buf;
+                 rp_limit = mgr_chunk;
+               })
+        with
+        | P.Shipped { sh_epoch = _; sh_offset; sh_total; sh_data } ->
+          if sh_offset <> Buffer.length buf || sh_total <> su_snap_bytes || sh_data = "" then
+            raise Mgr_resync;
+          Buffer.add_string buf sh_data;
+          pull ()
+        | _ -> raise (Mgr_drop "unexpected reply to a snapshot fetch"))
+    in
+    pull ();
+    let base = Filename.concat t.cfg.root (doc ^ ".journal") in
+    let pos = { Journal.p_epoch = su_epoch; p_offset = su_log_start } in
+    match
+      Ship.bootstrap ~fsync_every:t.cfg.fsync_every ?checkpoint_every:t.cfg.checkpoint_every
+        ~base ~snapshot:(Buffer.contents buf) ~pos ()
+    with
+    | f ->
+      Mutex.lock t.reg_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.reg_mu)
+        (fun () ->
+          if Hashtbl.mem t.actors doc then raise Mgr_resync;
+          t.cfg.log (Printf.sprintf "replication: following %s from %d:%d" doc su_epoch su_log_start);
+          spawn_actor t doc ~durable:(Ship.durable f) ~role:Follower ~ship:(Some f))
+    | exception Ship.Out_of_sync msg -> raise (Mgr_drop ("bootstrap " ^ doc ^ ": " ^ msg)))
+  | P.Err (P.Shutting_down, _) -> raise (Mgr_drop "upstream is draining")
+  | _ -> raise (Mgr_drop "unexpected reply to subscribe")
+
+(* Acknowledge [pos] upstream unless it is exactly what we last acked for
+   this document. The dedup matters beyond chatter: after an upstream
+   checkpoint the primary's ack table holds our position in the *old*
+   epoch (reported as full lag), and the new epoch's log may stay empty —
+   the caught-up ack below is what brings the published lag back to 0. *)
+let ack_position t c acked doc (pos : Journal.position) =
+  if Hashtbl.find_opt acked doc <> Some pos then
+    match
+      mgr_request c
+        (P.Ack
+           {
+             ak_doc = doc;
+             ak_replica = t.cfg.replica_name;
+             ak_epoch = pos.Journal.p_epoch;
+             ak_offset = pos.Journal.p_offset;
+           })
+    with
+    | P.Acked _ -> Hashtbl.replace acked doc pos
+    | _ -> ()
+
+let pump_follower t c acked a =
+  match a.a_ship with
+  | None -> ()
+  | Some f ->
+    let rec go budget =
+      if budget > 0 && Atomic.get a.a_role = Follower && not (Atomic.get t.closing) then begin
+        let pos = Ship.position f in
+        match
+          mgr_request c
+            (P.Replicate
+               {
+                 rp_doc = a.a_doc;
+                 rp_replica = t.cfg.replica_name;
+                 rp_epoch = pos.Journal.p_epoch;
+                 rp_snap = false;
+                 rp_offset = pos.Journal.p_offset;
+                 rp_limit = mgr_chunk;
+               })
+        with
+        | P.Shipped { sh_data = ""; _ } -> ack_position t c acked a.a_doc pos
+        | P.Shipped { sh_epoch; sh_offset; sh_total = _; sh_data } -> (
+          match submit a (J_apply { ap_epoch = sh_epoch; ap_offset = sh_offset; ap_data = sh_data }) with
+          | P.Updated _ ->
+            ack_position t c acked a.a_doc (Ship.position f);
+            go (budget - 1)
+          | P.Err (P.Stale_pos, _) -> raise Mgr_resync
+          | P.Err (P.Shutting_down, _) -> ()
+          | resp ->
+            raise
+              (Mgr_drop
+                 (Printf.sprintf "apply on %s failed: %s" a.a_doc
+                    (match resp with P.Err (e, m) -> P.err_name e ^ " " ^ m | _ -> "unexpected reply"))))
+        | P.Err (P.Unknown_doc, _) -> ()  (* upstream dropped it; next Docs pass decides *)
+        | _ -> raise (Mgr_drop "unexpected reply to replicate")
+      end
+    in
+    go 64
+
+let manager_loop t (host, port) =
+  let conn = ref None in
+  let acked = Hashtbl.create 16 in
+  let drop () =
+    (match !conn with Some c -> (try Server_client.close c with _ -> ()) | None -> ());
+    conn := None
+  in
+  let tick () =
+    let c =
+      match !conn with
+      | Some c -> Some c
+      | None -> (
+        match Server_client.connect ~timeout:2.0 ~host ~port () with
+        | c ->
+          conn := Some c;
+          Some c
+        | exception Io.Io_error _ -> None)
+    in
+    match c with
+    | None -> ()
+    | Some c -> (
+      try
+        match mgr_request c P.Docs with
+        | P.Docs_r docs ->
+          List.iter
+            (fun (doc, _scheme, primary) ->
+              if primary && not (Atomic.get t.closing) then begin
+                match find_actor t doc with
+                | Some a when Option.is_some a.a_ship -> (
+                  try pump_follower t c acked a
+                  with Mgr_resync ->
+                    t.cfg.log ("replication: re-bootstrapping " ^ doc);
+                    Hashtbl.remove acked doc;
+                    remove_follower t a)
+                | Some _ -> ()  (* a local primary shadows the name; leave it alone *)
+                | None -> (
+                  Hashtbl.remove acked doc;
+                  match bootstrap_follower t c doc with
+                  | a -> (
+                    try pump_follower t c acked a
+                    with Mgr_resync -> remove_follower t a)
+                  | exception Mgr_resync -> ())
+              end)
+            docs
+        | _ -> raise (Mgr_drop "unexpected reply to docs")
+      with Mgr_drop reason ->
+        t.cfg.log ("replication: " ^ reason);
+        drop ())
+  in
+  let rec sleep dt =
+    if dt > 0. && not (Atomic.get t.closing) then begin
+      Thread.delay (min dt 0.05);
+      sleep (dt -. 0.05)
+    end
+  in
+  while not (Atomic.get t.closing) do
+    tick ();
+    sleep t.cfg.poll_interval
+  done;
+  drop ()
 
 (* ---- connections --------------------------------------------------- *)
 
@@ -617,9 +991,15 @@ let start cfg =
       stop_w;
       accept_thread = Thread.self ();
       stopped = false;
+      acks_mu = Mutex.create ();
+      acks = Hashtbl.create 8;
+      mgr_thread = None;
     }
   in
   t.accept_thread <- Thread.create accept_loop t;
+  (match cfg.replica_of with
+  | Some upstream -> t.mgr_thread <- Some (Thread.create (manager_loop t) upstream)
+  | None -> ());
   t
 
 (* Flip the server into draining; safe from a signal handler. *)
@@ -672,10 +1052,18 @@ let close_actors ~abandon t =
     t.actors;
   Hashtbl.iter (fun _ a -> Thread.join a.a_thread) t.actors
 
+let join_manager t =
+  match t.mgr_thread with
+  | None -> ()
+  | Some th ->
+    t.mgr_thread <- None;
+    Thread.join th
+
 let stop t =
   trigger t;
   if t.stopped then { s_conns = t.served; s_docs = Hashtbl.length t.actors }
   else begin
+    join_manager t;
     (* in-flight requests finish and get their replies: shutting down the
        receive side turns each connection's next read into a clean EOF *)
     drain_conns ~how:Unix.SHUTDOWN_RECEIVE t;
@@ -687,6 +1075,7 @@ let stop t =
 let abort t =
   trigger t;
   if not t.stopped then begin
+    join_manager t;
     drain_conns ~how:Unix.SHUTDOWN_ALL t;
     close_actors ~abandon:true t;
     t.stopped <- true

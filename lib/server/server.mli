@@ -43,6 +43,15 @@ type config = {
   max_frag_nodes : int;  (** cap on a single inserted fragment *)
   sock : Repro_io.Io.sock;
   log : string -> unit;  (** connection-level diagnostics; default drops them *)
+  replica_of : (string * int) option;
+      (** follow every document of this upstream server: a replication
+          manager thread subscribes, bootstraps a follower actor per
+          upstream document (epoch snapshot + log tail through
+          {!Repro_journal.Ship}), pumps durable log records, and
+          acknowledges each locally-durable batch. Followers answer reads
+          and refuse updates with [Not_primary] until promoted. *)
+  replica_name : string;  (** how this replica identifies itself upstream *)
+  poll_interval : float;  (** replication manager idle poll, seconds *)
 }
 
 val default_config : root:string -> config

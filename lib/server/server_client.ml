@@ -68,3 +68,24 @@ let stats t ~doc = request t (P.Stats doc)
 let labels t ~doc ~limit = request t (P.Labels { lb_doc = doc; lb_limit = limit })
 let checkpoint t ~doc = request t (P.Checkpoint doc)
 let metrics t = request t P.Metrics
+
+let subscribe t ~doc ~replica =
+  request t (P.Subscribe { sb_doc = doc; sb_replica = replica })
+
+let replicate t ~doc ~replica ~epoch ~snap ~offset ~limit =
+  request t
+    (P.Replicate
+       {
+         rp_doc = doc;
+         rp_replica = replica;
+         rp_epoch = epoch;
+         rp_snap = snap;
+         rp_offset = offset;
+         rp_limit = limit;
+       })
+
+let ack t ~doc ~replica ~epoch ~offset =
+  request t (P.Ack { ak_doc = doc; ak_replica = replica; ak_epoch = epoch; ak_offset = offset })
+
+let promote t ~doc = request t (P.Promote doc)
+let docs t = request t P.Docs

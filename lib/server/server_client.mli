@@ -35,3 +35,17 @@ val stats : t -> doc:string -> (Protocol.resp, string) result
 val labels : t -> doc:string -> limit:int -> (Protocol.resp, string) result
 val checkpoint : t -> doc:string -> (Protocol.resp, string) result
 val metrics : t -> (Protocol.resp, string) result
+
+val subscribe : t -> doc:string -> replica:string -> (Protocol.resp, string) result
+(** Announce a replica and learn the current epoch, snapshot size and
+    durable offset ({!Protocol.resp.Sub_ok}). *)
+
+val replicate :
+  t -> doc:string -> replica:string -> epoch:int -> snap:bool -> offset:int -> limit:int ->
+  (Protocol.resp, string) result
+(** Pull one batch of snapshot bytes ([snap:true]) or durable log
+    records ({!Protocol.resp.Shipped}). *)
+
+val ack : t -> doc:string -> replica:string -> epoch:int -> offset:int -> (Protocol.resp, string) result
+val promote : t -> doc:string -> (Protocol.resp, string) result
+val docs : t -> (Protocol.resp, string) result

@@ -128,6 +128,12 @@ seeded workload (and would exit non-zero if it did):
   $ xmlrepro torture --seeds 1 --ops 40 --schemes QED | tail -n 1
   violations: 0
 
+So does its replication cousin, which power-cuts a journal-shipping
+primary/replica pair at every syscall boundary:
+
+  $ xmlrepro failover --seeds 1 --ops 60 --schemes QED | tail -n 1
+  violations: 0
+
 Figures match the paper:
 
   $ xmlrepro figures | grep FIG
@@ -166,7 +172,10 @@ A bare invocation lists every subcommand with a one-line description:
     workload   run an update workload and print label metrics
     query      evaluate an XPath expression over a document
   $ xmlrepro | grep -c '^  '
-  15
+  17
+  $ xmlrepro | grep -E 'cluster|failover'
+    cluster    launch a replicated, sharded cluster with failover
+    failover   replication failover torture over simulated file systems
 
 An unknown subcommand gets the same table on stderr and exit code 124:
 

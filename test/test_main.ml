@@ -13,6 +13,7 @@ let () =
       ("io", Test_io.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite);
       ("stream", Test_stream.suite);
       ("btree", Test_btree.suite);
       ("twig", Test_twig.suite);

@@ -47,6 +47,18 @@ let sample_reqs =
     P.Labels { lb_doc = "d"; lb_limit = 500 };
     P.Checkpoint "d";
     P.Metrics;
+    P.Subscribe { sb_doc = "d"; sb_replica = "r1" };
+    P.Subscribe { sb_doc = "a-b.c_9"; sb_replica = "" };
+    P.Replicate
+      { rp_doc = "d"; rp_replica = "r1"; rp_epoch = 3; rp_snap = false; rp_offset = 4096;
+        rp_limit = 262_144 };
+    P.Replicate
+      { rp_doc = "d"; rp_replica = "r2"; rp_epoch = 1; rp_snap = true; rp_offset = 0;
+        rp_limit = 1 };
+    P.Ack { ak_doc = "d"; ak_replica = "r1"; ak_epoch = 3; ak_offset = 8_192 };
+    P.Ack { ak_doc = "d"; ak_replica = ""; ak_epoch = 0; ak_offset = 0 };
+    P.Promote "d";
+    P.Docs;
   ]
 
 let sample_resps =
@@ -54,8 +66,8 @@ let sample_resps =
     P.Pong P.magic;
     P.Opened { ok_scheme = "Vector"; ok_root = l0; ok_nodes = 120; ok_fresh = true };
     P.Opened { ok_scheme = ""; ok_root = l2; ok_nodes = 0; ok_fresh = false };
-    P.Updated { up_applied = 3; up_fresh = [ l0; l1 ] };
-    P.Updated { up_applied = 0; up_fresh = [] };
+    P.Updated { up_applied = 3; up_fresh = [ l0; l1 ]; up_relabelled = false };
+    P.Updated { up_applied = 0; up_fresh = []; up_relabelled = true };
     P.Answer (P.Bool true);
     P.Answer (P.Bool false);
     P.Answer (P.Int 0);
@@ -74,6 +86,23 @@ let sample_resps =
         st_epoch = 5;
         st_records = 4;
         st_log_bytes = 3;
+        st_offset = 2;
+        st_lag = [ ("r1", 0); ("r2", 4_096) ];
+      };
+    P.Stats_r
+      {
+        st_nodes = 0;
+        st_total_bits = 0;
+        st_max_bits = 0;
+        st_inserts = 0;
+        st_deletes = 0;
+        st_relabelled = 0;
+        st_overflow = 0;
+        st_epoch = 1;
+        st_records = 0;
+        st_log_bytes = 9;
+        st_offset = 9;
+        st_lag = [];
       };
     P.Labels_r [ (l0, Tree.Element, "book"); (l1, Tree.Attribute, "id"); (l2, Tree.Element, "") ];
     P.Labels_r [];
@@ -84,6 +113,15 @@ let sample_resps =
         { m_key = "doc/d/query"; m_count = 0; m_errors = 0; m_total_ns = 0; m_max_ns = 0 };
       ];
     P.Metrics_r [];
+    P.Sub_ok { su_scheme = "QED"; su_epoch = 7; su_log_start = 9; su_offset = 120; su_snap_bytes = 4_000 };
+    P.Sub_ok { su_scheme = ""; su_epoch = 1; su_log_start = 0; su_offset = 0; su_snap_bytes = 0 };
+    P.Shipped { sh_epoch = 7; sh_offset = 9; sh_total = 120; sh_data = "\x00\xffraw record bytes" };
+    P.Shipped { sh_epoch = 1; sh_offset = 0; sh_total = 0; sh_data = "" };
+    P.Acked { ac_lag = 0 };
+    P.Acked { ac_lag = 123_456_789 };
+    P.Promoted { pr_epoch = 7; pr_offset = 120 };
+    P.Docs_r [ ("a", "QED", true); ("b", "Vector", false); ("c", "", true) ];
+    P.Docs_r [];
     P.Err (P.Bad_frame, "torn");
     P.Err (P.Unknown_doc, "");
     P.Err (P.Unknown_scheme, "x");
@@ -91,6 +129,8 @@ let sample_resps =
     P.Err (P.Bad_request, "z");
     P.Err (P.Shutting_down, "");
     P.Err (P.Internal, "boom");
+    P.Err (P.Not_primary, "d is a follower here");
+    P.Err (P.Stale_pos, "epoch 2 is over");
   ]
 
 (* ---- round trips --------------------------------------------------- *)
@@ -132,7 +172,7 @@ let err_codes_roundtrip () =
     (fun e ->
       check Alcotest.bool (P.err_name e) true (P.err_of_code (P.err_code e) = Some e))
     [ P.Bad_frame; P.Unknown_doc; P.Unknown_scheme; P.Unknown_label; P.Bad_request;
-      P.Shutting_down; P.Internal ];
+      P.Shutting_down; P.Internal; P.Not_primary; P.Stale_pos ];
   check Alcotest.bool "unused code is None" true (P.err_of_code 250 = None)
 
 (* ---- mutation fuzz: the decoder never raises ------------------------ *)

@@ -79,7 +79,7 @@ let happy_path () =
                          Tree.elt ~value:"v" "fresh" [] );
                    ])
             with
-            | P.Updated { up_applied = 1; up_fresh = [ l ] } -> l
+            | P.Updated { up_applied = 1; up_fresh = [ l ]; _ } -> l
             | _ -> Alcotest.fail "insert did not confirm one fresh label"
           in
           (match
@@ -93,7 +93,7 @@ let happy_path () =
                         Some "w" );
                   ])
            with
-          | P.Updated { up_applied = 2; up_fresh = [] } -> ()
+          | P.Updated { up_applied = 2; up_fresh = []; _ } -> ()
           | _ -> Alcotest.fail "batch of two did not confirm");
           (* label-only structural reads *)
           (match ok (Client.query c ~doc:"book" (P.Order (o.o_root, fresh))) with
