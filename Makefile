@@ -31,13 +31,15 @@ torture-smoke: build
 	dune exec bin/xmlrepro.exe -- torture --seeds 2 --ops 200
 
 # Network server smoke: an in-process loopback serve driven by the seeded
-# load generator (4 clients, 10k mixed ops over QED/Vector/ORDPATH — any
-# protocol error fails the run), then offline recovery of a journal the
-# server wrote, proving its on-disk state is an ordinary durable journal.
+# load generator (6 clients ganged up on 2 shared documents so the
+# group-commit flusher has appends to coalesce — any protocol error
+# fails the run), then offline recovery of a journal the server wrote,
+# proving its on-disk state is an ordinary durable journal.
 server-smoke: build
 	rm -rf _build/server-smoke
 	dune exec bin/xmlrepro.exe -- loadgen --self-serve --root _build/server-smoke \
-	  --clients 4 --ops 10000 --seed 1 --schemes QED,Vector,ORDPATH
+	  --clients 6 --docs 2 --ops 10000 --seed 1 --schemes QED,Vector,ORDPATH \
+	  --commit-interval 800 --commit-max 32
 	dune exec bin/xmlrepro.exe -- journal recover _build/server-smoke/doc-0.journal
 
 # Replication failover torture: a primary/replica pair on simulated file
@@ -54,7 +56,8 @@ failover-smoke: build
 cluster-smoke: build
 	rm -rf _build/cluster-smoke
 	dune exec bin/xmlrepro.exe -- cluster --root _build/cluster-smoke \
-	  --shards 3 --replicas 1 --smoke --smoke-ops 600
+	  --shards 3 --replicas 1 --smoke --smoke-ops 600 \
+	  --commit-interval 1000 --commit-max 32
 
 check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke
 

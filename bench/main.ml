@@ -569,47 +569,7 @@ let run_torture () =
   if report.Repro_torture.Torture.t_violations <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
-(* Network server: loopback throughput and latency                     *)
-(* ------------------------------------------------------------------ *)
-
-(* The acceptance workload: an in-process server on an ephemeral loopback
-   port, four concurrent clients, 10k seeded mixed requests across QED,
-   Vector and ORDPATH. A healthy server answers every one without a
-   protocol error; throughput and p50/p99 per op class go to
-   BENCH_server.json. *)
-let run_server () =
-  section "SERVER — loopback throughput and per-op-class latency";
-  let root =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "xsrv-bench-%d" (Unix.getpid ()))
-  in
-  let t =
-    Repro_server.Server.start
-      { (Repro_server.Server.default_config ~root) with fsync_every = 8 }
-  in
-  let report =
-    Fun.protect
-      ~finally:(fun () -> ignore (Repro_server.Server.stop t))
-      (fun () ->
-        Repro_server.Loadgen.run
-          {
-            (Repro_server.Loadgen.default_config ~port:(Repro_server.Server.port t)) with
-            Repro_server.Loadgen.g_clients = 4;
-            g_ops = 10_000;
-            g_seed = 1;
-            g_nodes = 120;
-          })
-  in
-  (try
-     Array.iter (fun f -> Sys.remove (Filename.concat root f)) (Sys.readdir root);
-     Sys.rmdir root
-   with Sys_error _ -> ());
-  print_string (Repro_server.Loadgen.render report);
-  write_json "BENCH_server.json" (Repro_server.Loadgen.to_json report);
-  if report.Repro_server.Loadgen.r_errors > 0 then exit 1
-
-(* ------------------------------------------------------------------ *)
-(* Cluster: sharded replication — throughput, lag, failover time       *)
+(* Network server: group-commit core vs legacy core, one build          *)
 (* ------------------------------------------------------------------ *)
 
 let rec rm_rf path =
@@ -619,6 +579,70 @@ let rec rm_rf path =
       (try Sys.rmdir path with Sys_error _ -> ())
   | false -> ( try Sys.remove path with Sys_error _ -> ())
   | exception Sys_error _ -> ()
+
+(* Both cores of the same binary, same seeded loadgen mix, same root
+   substrate. The root prefers tmpfs when the host has one so the section
+   measures core + commit-protocol overhead rather than the device's
+   fsync latency; the legacy run uses the old defaults (thread per
+   connection, fsync every 8th append, synchronous checkpoints), the
+   group-commit run the new ones (event loop, flusher-owned durability).
+   The headline report — throughput and p50/p99 per op class, plus the
+   scraped commit/loop gauges — is the group-commit run and goes to
+   BENCH_server.json. *)
+let run_server () =
+  section "SERVER-GROUPCOMMIT — event-loop core vs legacy core";
+  let base =
+    let shm = "/dev/shm" in
+    if (try Sys.is_directory shm with Sys_error _ -> false) then shm
+    else Filename.get_temp_dir_name ()
+  in
+  let drive ~tag ~clients ~docs ~ops ~mk_cfg =
+    let root = Filename.concat base (Printf.sprintf "xsrv-bench-%s-%d" tag (Unix.getpid ())) in
+    rm_rf root;
+    let t = Repro_server.Server.start (mk_cfg root) in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> ignore (Repro_server.Server.stop t))
+        (fun () ->
+          Repro_server.Loadgen.run
+            {
+              (Repro_server.Loadgen.default_config ~port:(Repro_server.Server.port t)) with
+              Repro_server.Loadgen.g_clients = clients;
+              g_ops = ops;
+              g_seed = 1;
+              g_nodes = 120;
+              g_docs = docs;
+            })
+    in
+    rm_rf root;
+    report
+  in
+  let legacy =
+    drive ~tag:"legacy" ~clients:4 ~docs:0 ~ops:10_000 ~mk_cfg:(fun root ->
+        {
+          (Repro_server.Server.default_config ~root) with
+          Repro_server.Server.legacy_core = true;
+          fsync_every = 8;
+        })
+  in
+  Printf.printf "legacy core (thread per connection, fsync every 8):\n";
+  print_string (Repro_server.Loadgen.render legacy);
+  let gc =
+    drive ~tag:"gc" ~clients:4 ~docs:0 ~ops:20_000 ~mk_cfg:(fun root ->
+        Repro_server.Server.default_config ~root)
+  in
+  Printf.printf "\ngroup-commit core (event loop, flusher-owned durability):\n";
+  print_string (Repro_server.Loadgen.render gc);
+  Printf.printf "\nspeedup: %.1fx (%.0f -> %.0f ops/sec, same mix, same build, root on %s)\n"
+    (gc.Repro_server.Loadgen.r_ops_per_sec /. legacy.Repro_server.Loadgen.r_ops_per_sec)
+    legacy.Repro_server.Loadgen.r_ops_per_sec gc.Repro_server.Loadgen.r_ops_per_sec base;
+  write_json "BENCH_server.json" (Repro_server.Loadgen.to_json gc);
+  if legacy.Repro_server.Loadgen.r_errors > 0 || gc.Repro_server.Loadgen.r_errors > 0 then
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: sharded replication — throughput, lag, failover time       *)
+(* ------------------------------------------------------------------ *)
 
 (* A 3-shard, 1-replica-per-shard cluster, all six servers in-process:
    each primary ships every document's durable oplog to its replica, and
@@ -644,15 +668,13 @@ let run_cluster () =
   let sub tag = Filename.concat root tag in
   let primaries =
     Array.init n_shards (fun i ->
-        S.start
-          { (S.default_config ~root:(sub (Printf.sprintf "s%d" i))) with fsync_every = 8 })
+        S.start (S.default_config ~root:(sub (Printf.sprintf "s%d" i))))
   in
   let replicas =
     Array.init n_shards (fun i ->
         S.start
           {
             (S.default_config ~root:(sub (Printf.sprintf "s%dr0" i))) with
-            fsync_every = 8;
             replica_of = Some ("127.0.0.1", S.port primaries.(i));
             replica_name = Printf.sprintf "s%dr0" i;
           })

@@ -605,8 +605,8 @@ let host_arg =
 let port_arg ~default ~doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
 
 let serve_cmd =
-  let run host port root max_conns fsync_every checkpoint_every port_file replica_of
-      replica_name =
+  let run host port root max_conns fsync_every checkpoint_every commit_interval
+      commit_max loop_domains legacy_core port_file replica_of replica_name =
     let checkpoint_every = if checkpoint_every <= 0 then None else Some checkpoint_every in
     let replica_of =
       match replica_of with
@@ -626,6 +626,10 @@ let serve_cmd =
         max_conns;
         fsync_every;
         checkpoint_every;
+        commit_interval_us = commit_interval;
+        commit_max;
+        loop_domains;
+        legacy_core;
         replica_of;
         replica_name;
       }
@@ -655,15 +659,51 @@ let serve_cmd =
   in
   let fsync_every =
     Arg.(
-      value & opt int 8
+      value & opt int 0
       & info [ "fsync-every" ] ~docv:"N"
-          ~doc:"Fsync each document's log every $(docv)-th record (group commit).")
+          ~doc:
+            "Journal-level fsync cadence. 0 (the default) leaves durability to the \
+             cross-document group-commit flusher; 1 fsyncs every append before its \
+             reply; N>=2 batches inside each journal.")
   in
   let checkpoint_every =
     Arg.(
-      value & opt int 512
+      value & opt int 4096
       & info [ "checkpoint-every" ] ~docv:"N"
-          ~doc:"Checkpoint a document every $(docv) records (0 disables).")
+          ~doc:
+            "Checkpoint a document every $(docv) records, off the request path \
+             (0 disables).")
+  in
+  let commit_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "commit-interval" ] ~docv:"MICROS"
+          ~doc:
+            "Upper bound, in microseconds, on how long a confirmed update may wait \
+             for its group fsync. 0 self-clocks: each commit cycle starts as soon \
+             as the previous one ends.")
+  in
+  let commit_max =
+    Arg.(
+      value & opt int 64
+      & info [ "commit-max" ] ~docv:"N"
+          ~doc:"Start a commit cycle early once $(docv) replies are parked.")
+  in
+  let loop_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "loop-domains" ] ~docv:"N"
+          ~doc:
+            "Event-loop domains multiplexing the connections (0 sizes from the \
+             hardware).")
+  in
+  let legacy_core =
+    Arg.(
+      value & flag
+      & info [ "legacy-core" ]
+          ~doc:
+            "Run the previous thread-per-connection, actor-per-document core — \
+             kept for same-build old-vs-new benchmarking.")
   in
   let port_file =
     Arg.(
@@ -691,18 +731,20 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve documents over the framed wire protocol: one actor per open \
-          document, every confirmed update journaled. SIGINT drains and \
+         "Serve documents over the framed wire protocol: event-loop domains \
+          multiplex the connections, every confirmed update is journaled, and a \
+          cross-document group-commit flusher amortizes fsync. SIGINT drains and \
           checkpoints.")
     Term.(
       const run $ host_arg
       $ port_arg ~default:0 ~doc:"Port to bind (0 picks an ephemeral one)."
-      $ root $ max_conns $ fsync_every $ checkpoint_every $ port_file $ replica_of
+      $ root $ max_conns $ fsync_every $ checkpoint_every $ commit_interval
+      $ commit_max $ loop_domains $ legacy_core $ port_file $ replica_of
       $ replica_name)
 
 let loadgen_cmd =
-  let run host port clients ops seed schemes nodes doc_prefix json self_serve root
-      fsync_every cluster =
+  let run host port clients ops seed schemes nodes docs doc_prefix json self_serve root
+      fsync_every commit_interval commit_max loop_domains cluster =
     let resolve =
       match cluster with
       | None -> None
@@ -726,6 +768,7 @@ let loadgen_cmd =
           g_schemes = schemes;
           g_doc_prefix = doc_prefix;
           g_nodes = nodes;
+          g_docs = docs;
           g_resolve = resolve;
         }
       in
@@ -733,7 +776,15 @@ let loadgen_cmd =
     in
     let report =
       if self_serve then begin
-        let scfg = { (Repro_server.Server.default_config ~root) with fsync_every } in
+        let scfg =
+          {
+            (Repro_server.Server.default_config ~root) with
+            fsync_every;
+            commit_interval_us = commit_interval;
+            commit_max;
+            loop_domains;
+          }
+        in
         let t = Repro_server.Server.start scfg in
         Fun.protect
           ~finally:(fun () -> ignore (Repro_server.Server.stop t))
@@ -775,6 +826,16 @@ let loadgen_cmd =
       value & opt int 120
       & info [ "nodes" ] ~docv:"N" ~doc:"Initial generated document size per client.")
   in
+  let docs =
+    Arg.(
+      value & opt int 0
+      & info [ "docs" ] ~docv:"N"
+          ~doc:
+            "Share $(docv) documents across all clients (client $(i,i) works on \
+             document $(i,i) mod N) instead of one private document per client — \
+             the contended mix that exercises cross-client group commit. 0 keeps \
+             the private-document default.")
+  in
   let doc_prefix =
     Arg.(
       value & opt string "doc"
@@ -799,8 +860,27 @@ let loadgen_cmd =
   in
   let fsync_every =
     Arg.(
-      value & opt int 8
-      & info [ "fsync-every" ] ~docv:"N" ~doc:"Journal group-commit interval for --self-serve.")
+      value & opt int 0
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"Journal fsync cadence for --self-serve (0 = flusher-owned durability).")
+  in
+  let commit_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "commit-interval" ] ~docv:"MICROS"
+          ~doc:"Group-commit interval bound for --self-serve, in microseconds.")
+  in
+  let commit_max =
+    Arg.(
+      value & opt int 64
+      & info [ "commit-max" ] ~docv:"N"
+          ~doc:"Parked replies that start a commit cycle early, for --self-serve.")
+  in
+  let loop_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "loop-domains" ] ~docv:"N"
+          ~doc:"Event-loop domains for --self-serve (0 sizes from the hardware).")
   in
   let cluster =
     Arg.(
@@ -820,8 +900,9 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg
       $ port_arg ~default:0 ~doc:"Port of the server to load."
-      $ clients $ ops $ seed_arg $ schemes $ nodes $ doc_prefix $ json $ self_serve
-      $ root $ fsync_every $ cluster)
+      $ clients $ ops $ seed_arg $ schemes $ nodes $ docs $ doc_prefix $ json
+      $ self_serve $ root $ fsync_every $ commit_interval $ commit_max $ loop_domains
+      $ cluster)
 
 (* ---- cluster ----------------------------------------------------- *)
 
@@ -963,12 +1044,13 @@ let cluster_smoke sup ~ops =
   Printf.printf "SMOKE OK\n%!"
 
 let cluster_cmd =
-  let run shards replicas root fsync_every smoke smoke_ops =
+  let run shards replicas root fsync_every commit_interval commit_max smoke smoke_ops =
     let sup =
       try
         Repro_cluster.Supervisor.launch
           ~log:(fun m -> Printf.printf "cluster: %s\n%!" m)
-          ~fsync_every ~root ~shards ~replicas ()
+          ~fsync_every ~commit_interval_us:commit_interval ~commit_max ~root ~shards
+          ~replicas ()
       with Failure msg | Invalid_argument msg ->
         Format.eprintf "cluster: %s@." msg;
         exit 1
@@ -1016,8 +1098,21 @@ let cluster_cmd =
   in
   let fsync_every =
     Arg.(
-      value & opt int 8
-      & info [ "fsync-every" ] ~docv:"N" ~doc:"Journal group-commit interval per server.")
+      value & opt int 0
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"Journal fsync cadence per server (0 = flusher-owned durability).")
+  in
+  let commit_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "commit-interval" ] ~docv:"MICROS"
+          ~doc:"Group-commit interval bound per server, in microseconds.")
+  in
+  let commit_max =
+    Arg.(
+      value & opt int 64
+      & info [ "commit-max" ] ~docv:"N"
+          ~doc:"Parked replies that start a commit cycle early, per server.")
   in
   let smoke =
     Arg.(
@@ -1040,7 +1135,9 @@ let cluster_cmd =
           placed by document-name hash, M journal-shipping replicas each, \
           automatic promotion when a primary dies. Writes the topology file \
           routers and loadgen --cluster consume.")
-    Term.(const run $ shards $ replicas $ root $ fsync_every $ smoke $ smoke_ops)
+    Term.(
+      const run $ shards $ replicas $ root $ fsync_every $ commit_interval $ commit_max
+      $ smoke $ smoke_ops)
 
 (* ---- failover torture -------------------------------------------- *)
 

@@ -19,6 +19,8 @@ type t = {
   sv_root : string;
   sv_topo_path : string;
   sv_fsync_every : int;
+  sv_commit_interval_us : int;
+  sv_commit_max : int;
   sv_log : string -> unit;
   mutable sv_topo : Topology.t;
   mutable sv_children : child list;
@@ -67,6 +69,8 @@ let spawn t ~shard ~tag ~upstream =
     [
       t.sv_exe; "serve"; "--root"; root; "--port"; "0"; "--port-file"; port_file;
       "--fsync-every"; string_of_int t.sv_fsync_every;
+      "--commit-interval"; string_of_int t.sv_commit_interval_us;
+      "--commit-max"; string_of_int t.sv_commit_max;
     ]
     @ (match upstream with
       | None -> []
@@ -94,8 +98,8 @@ let spawn t ~shard ~tag ~upstream =
     ch_alive = true;
   }
 
-let launch ?(exe = Sys.executable_name) ?(log = ignore) ?(fsync_every = 8) ~root ~shards
-    ~replicas () =
+let launch ?(exe = Sys.executable_name) ?(log = ignore) ?(fsync_every = 0)
+    ?(commit_interval_us = 0) ?(commit_max = 64) ~root ~shards ~replicas () =
   if shards < 1 then invalid_arg "Supervisor.launch: shards must be positive";
   if replicas < 0 then invalid_arg "Supervisor.launch: replicas must be non-negative";
   mkdir_p root;
@@ -105,6 +109,8 @@ let launch ?(exe = Sys.executable_name) ?(log = ignore) ?(fsync_every = 8) ~root
       sv_root = root;
       sv_topo_path = Filename.concat root "topology";
       sv_fsync_every = fsync_every;
+      sv_commit_interval_us = commit_interval_us;
+      sv_commit_max = commit_max;
       sv_log = log;
       sv_topo = { Topology.version = 1; shards = [||] };
       sv_children = [];

@@ -38,6 +38,8 @@ val launch :
   ?exe:string ->
   ?log:(string -> unit) ->
   ?fsync_every:int ->
+  ?commit_interval_us:int ->
+  ?commit_max:int ->
   root:string ->
   shards:int ->
   replicas:int ->
@@ -46,8 +48,12 @@ val launch :
 (** Spawn [shards] primaries and [shards * replicas] followers under
     [root] and write the topology file. [exe] defaults to
     [Sys.executable_name] (the supervisor re-executes its own binary's
-    [serve] subcommand). Raises [Failure] when a child fails to report
-    a port within 20s. *)
+    [serve] subcommand). [fsync_every], [commit_interval_us] and
+    [commit_max] are forwarded verbatim to every child's
+    [--fsync-every] / [--commit-interval] / [--commit-max]; the
+    defaults (0, 0, 64) leave durability entirely to each server's
+    group-commit flusher. Raises [Failure] when a child fails to
+    report a port within 20s. *)
 
 val topology : t -> Topology.t
 val topology_path : t -> string

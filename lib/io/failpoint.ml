@@ -122,6 +122,13 @@ let wrap_sock (module M : Io.SOCK) =
         generic "send" f;
         M.send fd s off len
 
+    (* Readiness polls are counted like any other socket syscall so a
+       plan can hit the event loop's select; Short_write degrades to a
+       plain injected errno check (there is no short select). *)
+    let select fds timeout =
+      generic "select" (fire t);
+      M.select fds timeout
+
     let close fd =
       generic "close" (fire t);
       M.close fd

@@ -151,6 +151,7 @@ module type SOCK = sig
   val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
   val recv : Unix.file_descr -> bytes -> int -> int -> int
   val send : Unix.file_descr -> string -> int -> int -> int
+  val select : Unix.file_descr list -> float -> Unix.file_descr list
   val close : Unix.file_descr -> unit
 end
 
@@ -158,6 +159,7 @@ type sock = {
   s_accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
   s_recv : Unix.file_descr -> bytes -> int -> int -> int;
   s_send_all : Unix.file_descr -> string -> unit;
+  s_select : Unix.file_descr list -> float -> Unix.file_descr list;
   s_close : Unix.file_descr -> unit;
 }
 
@@ -180,6 +182,16 @@ let pack_sock (module M : SOCK) =
   {
     s_accept = (fun fd -> retry "accept" (fun () -> M.accept fd));
     s_recv = (fun fd buf off len -> retry "recv" (fun () -> M.recv fd buf off len));
+    s_select =
+      (fun fds timeout ->
+        (* An interrupted poll is indistinguishable from a timeout to the
+           caller: it re-polls with fresh interest anyway, so report
+           "nothing ready" instead of burning the remaining timeout. *)
+        match M.select fds timeout with
+        | ready -> ready
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        | exception Unix.Unix_error (e, _, _) ->
+          io_error ~op:"select" ~path:"socket" (Unix.error_message e));
     s_send_all =
       (fun fd s ->
         let n = String.length s in
@@ -205,11 +217,43 @@ module Unix_sock = struct
   let accept fd = Unix.accept ~cloexec:true fd
   let recv fd buf off len = Unix.recv fd buf off len []
   let send fd s off len = Unix.send_substring fd s off len []
+
+  let select fds timeout =
+    let ready, _, _ = Unix.select fds [] [] timeout in
+    ready
+
   let close = Unix.close
 end
 
 let unix_sock = (module Unix_sock : SOCK)
 let real_sock = pack_sock unix_sock
+
+(* ---- serialization wrapper ---------------------------------------- *)
+
+(* Backends like Crashsim keep mutable simulation state with no internal
+   locking. The multithreaded server drives several journals over one
+   backend at once, so tests that want Crashsim (or Failpoint counters)
+   under the server wrap the packed value in a single mutex. *)
+let serialized io =
+  let mu = Mutex.create () in
+  let guard f = Mutex.protect mu f in
+  let open_file path mode =
+    let f = guard (fun () -> io.open_file path mode) in
+    {
+      f_write = (fun s -> guard (fun () -> f.f_write s));
+      f_fsync = (fun () -> guard f.f_fsync);
+      f_truncate = (fun n -> guard (fun () -> f.f_truncate n));
+      f_close = (fun () -> guard f.f_close);
+    }
+  in
+  {
+    open_file;
+    rename = (fun ~src ~dst -> guard (fun () -> io.rename ~src ~dst));
+    fsync_dir = (fun p -> guard (fun () -> io.fsync_dir p));
+    remove = (fun p -> guard (fun () -> io.remove p));
+    read_file = (fun p -> guard (fun () -> io.read_file p));
+    file_exists = (fun p -> guard (fun () -> io.file_exists p));
+  }
 
 (* ---- atomic replacement ------------------------------------------- *)
 

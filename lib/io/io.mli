@@ -100,6 +100,12 @@ module type SOCK = sig
   val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
   val recv : Unix.file_descr -> bytes -> int -> int -> int
   val send : Unix.file_descr -> string -> int -> int -> int
+
+  val select : Unix.file_descr list -> float -> Unix.file_descr list
+  (** [select fds timeout] blocks until at least one of [fds] is readable
+      or [timeout] seconds pass, returning the readable subset (empty on
+      timeout). The event-loop server's readiness syscall. *)
+
   val close : Unix.file_descr -> unit
 end
 
@@ -110,6 +116,9 @@ type sock = {
           still be short — framing above completes it *)
   s_send_all : Unix.file_descr -> string -> unit;
       (** the whole string, short sends completed, [EINTR] retried *)
+  s_select : Unix.file_descr list -> float -> Unix.file_descr list;
+      (** readiness poll; an interrupted poll reports as a timeout (empty
+          list) so the caller re-polls with fresh interest *)
   s_close : Unix.file_descr -> unit;
 }
 (** A packaged socket backend: what the server and client program
@@ -128,6 +137,15 @@ val unix_sock : (module SOCK)
 
 val real_sock : sock
 (** [pack_sock unix_sock], shared. *)
+
+val serialized : t -> t
+(** [serialized io] wraps every operation of [io] (including per-file
+    calls on files it opens) in one shared mutex. Backends like Crashsim
+    and Failpoint keep mutable bookkeeping with no internal locking; the
+    multithreaded server drives several journals over a single backend
+    concurrently, so tests interpose them through this wrapper. Blocking
+    calls (fsync) hold the mutex — fine for tests, not for the real
+    backend. *)
 
 val unsafe_no_dir_fsync : bool ref
 (** Debug knob for the torture harness's self-test: when set,

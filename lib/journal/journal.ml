@@ -82,6 +82,16 @@ module Resolver = struct
     let prev = Option.value (Hashtbl.find_opt r.table key) ~default:[] in
     Hashtbl.replace r.table key (n :: prev)
 
+  (* Remove one physical node from its bucket. The key is captured by the
+     caller before the node leaves the document (its label is gone after). *)
+  let remove_key r key (n : Tree.node) =
+    match Hashtbl.find_opt r.table key with
+    | None -> ()
+    | Some nodes -> (
+      match List.filter (fun m -> m != n) nodes with
+      | [] -> Hashtbl.remove r.table key
+      | rest -> Hashtbl.replace r.table key rest)
+
   let rebuild r =
     Hashtbl.reset r.table;
     Tree.iter_preorder (add_node r) r.rs.Core.Session.doc;
@@ -118,8 +128,21 @@ module Resolver = struct
     | Insert_before (l, f) -> settled (s.Core.Session.insert_before (resolve r l) f)
     | Insert_after (l, f) -> settled (s.Core.Session.insert_after (resolve r l) f)
     | Delete l ->
-      s.Core.Session.delete (resolve r l);
-      r.dirty <- true;
+      let victim = resolve r l in
+      (* Capture the subtree's keys before the delete invalidates the
+         labels, so a churn-free delete shrinks the table in place
+         instead of flagging a full O(n) rebuild (the old behaviour —
+         ruinous under a delete-heavy network workload). *)
+      let removed = ref [] in
+      if not r.dirty then begin
+        let key n = (s.Core.Session.label_encoded n, n) in
+        removed := [ key victim ];
+        Tree.iter_descendants (fun n -> removed := key n :: !removed) victim
+      end;
+      s.Core.Session.delete victim;
+      if churn s <> before then r.dirty <- true
+      else if not r.dirty then
+        List.iter (fun (k, n) -> remove_key r k n) !removed;
       None
     | Replace_value (l, v) ->
       s.Core.Session.set_value (resolve r l) v;
@@ -144,33 +167,79 @@ type t = {
   mutable t_appended : int;
   mutable t_size : int;
   mutable t_synced : int;  (** log bytes covered by an fsync *)
+  (* Group commit runs [flush] from a flusher thread concurrently with
+     [append] from the thread holding the document lock. [jmu] guards
+     every counter; the fsync itself runs {e outside} the lock (it is
+     the slow part and the whole point of flushing concurrently), with
+     [syncing] serializing overlapping flushes. The caller contract is
+     unchanged for single-threaded use: one appender at a time, and
+     [checkpoint]/[close] never concurrent with [append]. *)
+  jmu : Mutex.t;
+  mutable syncing : bool;
+  sync_done : Condition.t;
 }
 
 type position = { p_epoch : int; p_offset : int }
 
 let position_to_string { p_epoch; p_offset } = Printf.sprintf "%d:%d" p_epoch p_offset
 
+let covers ~durable p =
+  (* A later epoch means a checkpoint happened: the snapshot that opened
+     it captured every earlier append, so the whole prior epoch is
+     durable by construction. *)
+  durable.p_epoch > p.p_epoch
+  || (durable.p_epoch = p.p_epoch && durable.p_offset >= p.p_offset)
+
 let scheme_name t = t.t_scheme
 let epoch t = t.t_epoch
 let appended t = t.t_appended
 let log_size t = t.t_size
 let pending t = t.t_pending
-let position t = { p_epoch = t.t_epoch; p_offset = t.t_size }
-let durable_position t = { p_epoch = t.t_epoch; p_offset = t.t_synced }
+
+let position t =
+  Mutex.protect t.jmu (fun () -> { p_epoch = t.t_epoch; p_offset = t.t_size })
+
+let durable_position t =
+  Mutex.protect t.jmu (fun () -> { p_epoch = t.t_epoch; p_offset = t.t_synced })
+
+let behind t = Mutex.protect t.jmu (fun () -> t.t_synced < t.t_size)
 
 let flush t =
-  (* On fsync failure [t_pending] stays put: the records are written but
+  (* On fsync failure the counters stay put: the records are written but
      not durable, and a later flush (or close) will try again — though
      after a failed fsync the bytes' fate is the kernel's secret, which is
      why the Io layer never silently retries fsync itself. *)
-  if t.t_pending > 0 then begin
-    t.fd.Io.f_fsync ();
-    t.t_synced <- t.t_size
-  end;
-  t.t_pending <- 0
+  Mutex.lock t.jmu;
+  while t.syncing do
+    Condition.wait t.sync_done t.jmu
+  done;
+  if t.t_synced >= t.t_size then begin
+    t.t_pending <- 0;
+    Mutex.unlock t.jmu
+  end
+  else begin
+    (* fsync makes durable everything written before the call, so any
+       append racing in after this point simply isn't covered yet *)
+    let target = t.t_size in
+    let covered = t.t_pending in
+    t.syncing <- true;
+    Mutex.unlock t.jmu;
+    let outcome = try Ok (t.fd.Io.f_fsync ()) with e -> Error e in
+    Mutex.lock t.jmu;
+    t.syncing <- false;
+    (match outcome with
+    | Ok () ->
+      if target > t.t_synced then t.t_synced <- target;
+      t.t_pending <- max 0 (t.t_pending - covered)
+    | Error _ -> ());
+    Condition.broadcast t.sync_done;
+    Mutex.unlock t.jmu;
+    match outcome with Ok () -> () | Error e -> raise e
+  end
 
 let append t op =
   let r = Oplog.encode_record op in
+  let size_before = Mutex.protect t.jmu (fun () -> t.t_size) in
   (try t.fd.Io.f_write r
    with Io.Io_error _ as e ->
      (* The write may have landed partially, which would leave a torn
@@ -178,14 +247,18 @@ let append t op =
         appended after it. Cut the log back to the last whole record so
         the journal stays appendable, then surface the failure. *)
      (try
-        t.fd.Io.f_truncate t.t_size;
+        t.fd.Io.f_truncate size_before;
         t.fd.Io.f_fsync ()
       with Io.Io_error _ -> ());
      raise e);
-  t.t_size <- t.t_size + String.length r;
-  t.t_appended <- t.t_appended + 1;
-  t.t_pending <- t.t_pending + 1;
-  if t.t_pending >= t.fsync_every then flush t
+  let do_flush =
+    Mutex.protect t.jmu (fun () ->
+        t.t_size <- t.t_size + String.length r;
+        t.t_appended <- t.t_appended + 1;
+        t.t_pending <- t.t_pending + 1;
+        t.t_pending >= t.fsync_every)
+  in
+  if do_flush then flush t
 
 let close t =
   (* Always release the descriptor, even when the final flush fails. *)
@@ -232,6 +305,9 @@ let create ?(io = Io.real) ?(fsync_every = 1) ~base session =
     t_appended = 0;
     t_size = String.length (log_header scheme);
     t_synced = String.length (log_header scheme);
+    jmu = Mutex.create ();
+    syncing = false;
+    sync_done = Condition.create ();
   }
 
 let checkpoint t session =
@@ -242,6 +318,11 @@ let checkpoint t session =
   let e = old + 1 in
   install_epoch ~io:t.io ~base:t.base ~scheme:t.t_scheme
     ~snapshot:(Repro_storage.Store.save session) e;
+  (* don't close the descriptor out from under a concurrent flush *)
+  Mutex.lock t.jmu;
+  while t.syncing do
+    Condition.wait t.sync_done t.jmu
+  done;
   (try t.fd.Io.f_close () with Io.Io_error _ -> ());
   (try t.io.Io.remove (snapshot_path ~base:t.base ~epoch:old) with Io.Io_error _ -> ());
   (try t.io.Io.remove (log_path ~base:t.base ~epoch:old) with Io.Io_error _ -> ());
@@ -249,7 +330,8 @@ let checkpoint t session =
   t.fd <- open_append t.io (log_path ~base:t.base ~epoch:e);
   t.t_pending <- 0;
   t.t_size <- String.length (log_header t.t_scheme);
-  t.t_synced <- t.t_size
+  t.t_synced <- t.t_size;
+  Mutex.unlock t.jmu
 
 (* ---- recovery ----------------------------------------------------- *)
 
@@ -326,6 +408,9 @@ let recover ?(io = Io.real) ?scheme ?(fsync_every = 1) ~base () =
       t_appended = 0;
       t_size;
       t_synced = t_size;
+      jmu = Mutex.create ();
+      syncing = false;
+      sync_done = Condition.create ();
     }
   in
   let recovery =
@@ -352,6 +437,10 @@ let snapshot_bytes t =
 
 let ship t ~from ~limit =
   let hdr = log_start t in
+  (* capture the watermark once: appends may race the file read below,
+     but only past [synced], which the walk never crosses *)
+  let synced = Mutex.protect t.jmu (fun () -> t.t_synced) in
+  let t = { t with t_synced = synced } in
   if from < hdr || from > t.t_synced then
     corrupt "ship offset %d outside the durable log [%d, %d] of %s" from hdr t.t_synced t.base;
   if from = t.t_synced then ("", t.t_synced)

@@ -65,10 +65,19 @@ val create : ?io:Repro_io.Io.t -> ?fsync_every:int -> base:string -> Core.Sessio
     throughput. *)
 
 val append : t -> Oplog.op -> unit
-(** Serialise and write one record; fsyncs when the batch is due. *)
+(** Serialise and write one record; fsyncs when the batch is due.
+
+    Thread-safety contract (the group-commit server relies on it): one
+    appender at a time, but {!flush} may run concurrently from another
+    thread — counters are lock-protected and the fsync itself runs
+    outside the lock. {!checkpoint} and {!close} must never race
+    [append]. *)
 
 val flush : t -> unit
-(** Force the log to disk now, regardless of the batch counter. *)
+(** Force the log to disk now, regardless of the batch counter. Safe to
+    call from a thread other than the appender's: overlapping flushes
+    serialize, and the durable watermark only advances to cover bytes
+    written before the fsync began. *)
 
 val checkpoint : t -> Core.Session.t -> unit
 (** Absorb the log into a fresh snapshot and reset it (see above for the
@@ -128,6 +137,18 @@ val durable_position : t -> position
 (** The end of the fsync-covered prefix. Everything at or before this
     position survives power loss; this is the only part of the log that
     {!ship} will hand to a replica. *)
+
+val covers : durable:position -> position -> bool
+(** [covers ~durable p]: is everything at or before [p] inside the
+    durable prefix named by [durable]? True when [durable] is at or past
+    [p] in the same epoch, or in any later epoch — a checkpoint's
+    snapshot captures every append of the epochs before it. The
+    group-commit ack gate: a parked reply is released exactly when its
+    append position is covered by the journal's durable position. *)
+
+val behind : t -> bool
+(** Bytes have been appended past the durable watermark — a flush would
+    do real work. *)
 
 val log_start : t -> int
 (** Byte offset of the first record in any of this journal's logs (the

@@ -154,6 +154,25 @@ let parallel_iter pool f input = ignore (parallel_map pool f input)
 let parallel_map_list pool f l =
   Array.to_list (parallel_map pool f (Array.of_list l))
 
+(* Long-running loop domains: the event-loop server wants domains that
+   each own a loop for the process lifetime, not a broadcast pool that
+   re-runs a closure per call. Same spawn/join discipline, marked busy so
+   a loop that reaches evaluation code degrades any nested pool use to
+   sequential instead of deadlocking against the global pool. *)
+
+module Loops = struct
+  type nonrec t = unit Domain.t array
+
+  let spawn ~domains body =
+    if domains < 1 then invalid_arg "Pool.Loops.spawn: domains must be >= 1";
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set busy_key true;
+            body i))
+
+  let join t = Array.iter Domain.join t
+end
+
 (* The shared pool: sized on demand, torn down at exit so the worker
    domains are joined before the runtime shuts down. *)
 

@@ -55,3 +55,21 @@ val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
 val parallel_map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** List clothing over {!parallel_map}; same ordering and exception
     contract. *)
+
+(** Long-running loop domains — the event-loop server's substrate. Where
+    the pool above broadcasts one closure per call, these domains each own
+    a loop for the lifetime of the process (or server). They are marked
+    busy like pool workers, so evaluation code reached from inside a loop
+    degrades nested pool use to sequential instead of deadlocking. *)
+module Loops : sig
+  type t
+
+  val spawn : domains:int -> (int -> unit) -> t
+  (** [spawn ~domains body] starts [domains] domains, domain [i] running
+      [body i] to completion. Raises [Invalid_argument] when
+      [domains < 1]. *)
+
+  val join : t -> unit
+  (** Wait for every loop body to return. The caller is responsible for
+      telling the loops to stop first. *)
+end

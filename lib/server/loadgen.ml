@@ -11,6 +11,7 @@ type config = {
   g_schemes : string list;
   g_doc_prefix : string;
   g_nodes : int;
+  g_docs : int;
   g_timeout : float;
   g_resolve : (string -> string * int) option;
 }
@@ -25,6 +26,7 @@ let default_config ~port =
     g_schemes = [ "QED"; "Vector"; "ORDPATH" ];
     g_doc_prefix = "doc";
     g_nodes = 120;
+    g_docs = 0;
     g_timeout = 30.;
     g_resolve = None;
   }
@@ -42,11 +44,16 @@ type report = {
   r_clients : int;
   r_ops : int;
   r_errors : int;
+  r_reseeds : int;
   r_seconds : float;
   r_ops_per_sec : float;
   r_classes : class_report list;
   r_error_codes : (string * int) list;
       (** failures by protocol error code (plus ["transport"]), count > 0 only *)
+  r_server : (string * int) list;
+      (** group-commit and event-loop gauges scraped from the server's
+          Metrics reply after the run ("commit/...", "loop/...",
+          "cfg/..."), latest sample each *)
 }
 
 (* ---- label pools ----------------------------------------------------
@@ -98,12 +105,27 @@ type tally = {
   mutable t_errors : int;
   mutable t_ops : int;
   mutable t_dead : string option;  (** transport failure, if one killed the client *)
+  mutable t_reseeds : int;  (** pool rebuilds after relabelling or shared churn *)
   t_codes : (string, int) Hashtbl.t;  (** error-code name -> count *)
 }
 
 let count_code tally code =
   Hashtbl.replace tally.t_codes code
     (1 + Option.value (Hashtbl.find_opt tally.t_codes code) ~default:0)
+
+(* Retract the error bookkeeping [timed] just did for the newest request:
+   used when a shared-document run classifies an Unknown_label reply as
+   benign churn (another client renumbered the document) rather than a
+   server fault. *)
+let uncount_error tally code =
+  tally.t_errors <- tally.t_errors - 1;
+  (match Hashtbl.find_opt tally.t_codes code with
+  | Some 1 -> Hashtbl.remove tally.t_codes code
+  | Some n -> Hashtbl.replace tally.t_codes code (n - 1)
+  | None -> ());
+  match tally.t_lat with
+  | (cls, ns, false) :: rest -> tally.t_lat <- (cls, ns, true) :: rest
+  | _ -> ()
 
 let timed tally cls f =
   let t0 = Unix.gettimeofday () in
@@ -128,8 +150,15 @@ let timed tally cls f =
 
 let worker cfg i tally =
   let rng = Prng.create (cfg.g_seed + (1_000_003 * (i + 1))) in
-  let doc = Printf.sprintf "%s-%d" cfg.g_doc_prefix i in
-  let scheme = List.nth cfg.g_schemes (i mod List.length cfg.g_schemes) in
+  (* shared mode ([g_docs > 0]): clients gang up on a fixed set of
+     documents instead of one each — the workload that gives cross-
+     document group commit something to coalesce. Document identity
+     (name, scheme, generator seed) depends only on the doc index, so
+     every client of a document agrees on what it opens. *)
+  let shared = cfg.g_docs > 0 in
+  let docidx = if shared then i mod cfg.g_docs else i in
+  let doc = Printf.sprintf "%s-%d" cfg.g_doc_prefix docidx in
+  let scheme = List.nth cfg.g_schemes (docidx mod List.length cfg.g_schemes) in
   (* cluster mode: the resolver maps the document name to the shard
      primary that owns it; single-server mode connects to g_host:g_port *)
   let host, port =
@@ -147,7 +176,8 @@ let worker cfg i tally =
   in
   (match
      timed tally "open" (fun () ->
-         Server_client.open_doc c ~doc ~scheme ~nodes:cfg.g_nodes ~seed:(cfg.g_seed + i))
+         Server_client.open_doc c ~doc ~scheme ~nodes:cfg.g_nodes
+           ~seed:(cfg.g_seed + docidx))
    with
   | Ok (P.Opened { ok_root; _ }) -> pool_add anchors ok_root
   | _ -> ());
@@ -159,6 +189,7 @@ let worker cfg i tally =
      restart from the root's current label (the first preorder entry of a
      Labels fetch — not a measured op). *)
   let reseed_pools () =
+    tally.t_reseeds <- tally.t_reseeds + 1;
     anchors.len <- 0;
     victims.len <- 0;
     extras.len <- 0;
@@ -170,6 +201,11 @@ let worker cfg i tally =
     let r = timed tally cls (fun () -> Server_client.update c ~doc [ op ]) in
     (match r with
     | Ok (P.Updated { up_relabelled = true; _ }) -> reseed_pools ()
+    | Ok (P.Err (P.Unknown_label, _)) when shared ->
+      (* another client's churn renumbered the document out from under
+         us: a stale label, not a server fault *)
+      uncount_error tally (P.err_name P.Unknown_label);
+      reseed_pools ()
     | _ -> ());
     r
   in
@@ -279,14 +315,53 @@ let classes_of tallies =
     by_class []
   |> List.sort (fun a b -> String.compare a.cr_class b.cr_class)
 
+(* Scrape the group-commit / event-loop gauges from the server once the
+   run is over. Best-effort: a server that is already gone, or a cluster
+   run (per-shard metrics, no single server to ask), yields []. *)
+let fetch_server_gauges cfg =
+  match cfg.g_resolve with
+  | Some _ -> []
+  | None -> (
+    match Server_client.connect ~timeout:2.0 ~host:cfg.g_host ~port:cfg.g_port () with
+    | exception _ -> []
+    | c -> (
+      Fun.protect ~finally:(fun () -> Server_client.close c) @@ fun () ->
+      match Server_client.metrics c with
+      | Ok (P.Metrics_r ms) ->
+        List.filter_map
+          (fun (m : P.metric) ->
+            if
+              List.exists
+                (fun prefix -> String.starts_with ~prefix m.P.m_key)
+                [ "commit/"; "loop/"; "cfg/" ]
+            then
+              (* gauges carry their sample in m_total_ns; the one plain
+                 counter in the family, commit/flush, carries cycles in
+                 m_count *)
+              Some
+                ( m.P.m_key,
+                  if m.P.m_key = "commit/flush" then m.P.m_count
+                  else m.P.m_total_ns )
+            else None)
+          ms
+      | _ -> []))
+
 let run cfg =
   if cfg.g_clients < 1 then invalid_arg "Loadgen.run: need at least one client";
   if cfg.g_schemes = [] then invalid_arg "Loadgen.run: need at least one scheme";
+  if cfg.g_docs < 0 then invalid_arg "Loadgen.run: g_docs must be >= 0";
   let per_client = max 1 (cfg.g_ops / cfg.g_clients) in
   let cfg = { cfg with g_ops = per_client } in
   let tallies =
     List.init cfg.g_clients (fun _ ->
-        { t_lat = []; t_errors = 0; t_ops = 0; t_dead = None; t_codes = Hashtbl.create 4 })
+        {
+          t_lat = [];
+          t_errors = 0;
+          t_ops = 0;
+          t_dead = None;
+          t_reseeds = 0;
+          t_codes = Hashtbl.create 4;
+        })
   in
   let t0 = Unix.gettimeofday () in
   let threads =
@@ -303,8 +378,10 @@ let run cfg =
   in
   List.iter Thread.join threads;
   let seconds = Unix.gettimeofday () -. t0 in
+  let server = fetch_server_gauges cfg in
   let ops = List.fold_left (fun acc t -> acc + t.t_ops) 0 tallies in
   let errors = List.fold_left (fun acc t -> acc + t.t_errors) 0 tallies in
+  let reseeds = List.fold_left (fun acc t -> acc + t.t_reseeds) 0 tallies in
   let codes = Hashtbl.create 8 in
   List.iter
     (fun t ->
@@ -322,10 +399,12 @@ let run cfg =
     r_clients = cfg.g_clients;
     r_ops = ops;
     r_errors = errors;
+    r_reseeds = reseeds;
     r_seconds = seconds;
     r_ops_per_sec = (if seconds > 0. then float_of_int ops /. seconds else 0.);
     r_classes = classes_of tallies;
     r_error_codes = error_codes;
+    r_server = server;
   }
 
 (* ---- rendering ------------------------------------------------------ *)
@@ -345,6 +424,12 @@ let render report =
     Printf.bprintf buf "errors by code: %s\n"
       (String.concat ", "
          (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) report.r_error_codes));
+  if report.r_reseeds > 0 then
+    Printf.bprintf buf "label pool reseeds: %d\n" report.r_reseeds;
+  if report.r_server <> [] then
+    Printf.bprintf buf "server: %s\n"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) report.r_server));
   Printf.bprintf buf "RESULT ops=%d errors=%d\n" report.r_ops report.r_errors;
   Buffer.contents buf
 
@@ -354,6 +439,7 @@ let to_json ?(name = "server") report =
   Printf.bprintf buf "  \"clients\": %d,\n" report.r_clients;
   Printf.bprintf buf "  \"ops\": %d,\n" report.r_ops;
   Printf.bprintf buf "  \"errors\": %d,\n" report.r_errors;
+  Printf.bprintf buf "  \"reseeds\": %d,\n" report.r_reseeds;
   Printf.bprintf buf "  \"seconds\": %.3f,\n" report.r_seconds;
   Printf.bprintf buf "  \"ops_per_sec\": %.1f,\n" report.r_ops_per_sec;
   Printf.bprintf buf "  \"classes\": [\n";
@@ -366,8 +452,11 @@ let to_json ?(name = "server") report =
         (if i = List.length report.r_classes - 1 then "" else ","))
     report.r_classes;
   Printf.bprintf buf "  ],\n";
-  Printf.bprintf buf "  \"error_codes\": {%s}\n"
+  Printf.bprintf buf "  \"error_codes\": {%s},\n"
     (String.concat ", "
        (List.map (fun (c, n) -> Printf.sprintf "%S: %d" c n) report.r_error_codes));
+  Printf.bprintf buf "  \"server\": {%s}\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) report.r_server));
   Printf.bprintf buf "}\n";
   Buffer.contents buf

@@ -1,14 +1,21 @@
 (** Seeded multi-client load generator for the update server.
 
-    Each client runs on its own thread with its own connection and its
-    own document ([<prefix>-<i>], scheme cycling through [g_schemes]),
+    Each client runs on its own thread with its own connection and (by
+    default) its own document ([<prefix>-<i>], scheme cycling through
+    [g_schemes]); with [g_docs > 0] clients share a fixed set of
+    documents instead — the shape that exercises cross-document group
+    commit,
     replaying a deterministic mixed workload: inserts, deletes, renames,
     value updates, label-only queries, stats reads, label refreshes and
     checkpoints. The generator tracks which labels are still safe to use
     (the root and half its inserts are never deleted; the other half are
     childless delete victims), so a correct server answers every request
     without a protocol error — [r_errors > 0] means the server, not the
-    workload, misbehaved. *)
+    workload, misbehaved. In shared-document mode one benign interference
+    remains: another client's inserts can make a labelling scheme
+    renumber the document, stranding this client's pooled labels. Those
+    [Unknown_label] replies are counted as {e reseeds}, not errors, and
+    the client restarts from the root. *)
 
 type config = {
   g_host : string;
@@ -19,6 +26,10 @@ type config = {
   g_schemes : string list;  (** client [i] uses [i mod length] *)
   g_doc_prefix : string;
   g_nodes : int;  (** initial generated document size per client *)
+  g_docs : int;
+      (** [0] (default): every client gets its own document. [n > 0]:
+          client [i] works on shared document [i mod n]; name, scheme and
+          generator seed then depend only on the document index. *)
   g_timeout : float;
   g_resolve : (string -> string * int) option;
       (** cluster mode: map a document name to the (host, port) of the
@@ -42,6 +53,9 @@ type report = {
   r_clients : int;
   r_ops : int;  (** requests actually sent (opens excluded) *)
   r_errors : int;  (** protocol + transport errors; 0 on a healthy run *)
+  r_reseeds : int;
+      (** label-pool rebuilds: relabelling flagged by the server, plus
+          benign shared-document [Unknown_label] churn *)
   r_seconds : float;
   r_ops_per_sec : float;
   r_classes : class_report list;  (** sorted by class name *)
@@ -49,6 +63,11 @@ type report = {
       (** failures by {!Protocol.err_name} (plus ["transport"] for dead
           connections), sorted, only codes that occurred — empty on a
           healthy run *)
+  r_server : (string * int) list;
+      (** the server's group-commit and event-loop gauges
+          (["commit/..."], ["loop/..."], ["cfg/..."]) scraped over one
+          extra Metrics request after the run; empty in cluster mode or
+          when the server is unreachable *)
 }
 
 val run : config -> report

@@ -32,6 +32,23 @@ let record t ~key ~ok ~ns =
       c.c_total_ns <- c.c_total_ns + ns;
       if ns > c.c_max_ns then c.c_max_ns <- ns)
 
+(* A gauge is a sampled value, not an accumulating counter: the cell is
+   replaced wholesale, so [m_total_ns] carries the latest sample and
+   [m_max_ns] the high-water mark. Used for the group-commit instruments
+   (batch-size percentiles, parked depth, loop utilisation) and for
+   echoing effective config values. *)
+let gauge t ~key ~value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cells key with
+      | Some c ->
+        c.c_count <- 1;
+        c.c_errors <- 0;
+        c.c_total_ns <- value;
+        if value > c.c_max_ns then c.c_max_ns <- value
+      | None ->
+        Hashtbl.add t.cells key
+          { c_count = 1; c_errors = 0; c_total_ns = value; c_max_ns = value })
+
 let snapshot t =
   locked t (fun () ->
       Hashtbl.fold

@@ -10,5 +10,11 @@ val record : t -> key:string -> ok:bool -> ns:int -> unit
 (** Count one request under [key] ("req/<class>" or
     "doc/<name>/<class>") with its latency. *)
 
+val gauge : t -> key:string -> value:int -> unit
+(** Set a sampled value under [key]: the cell reads back with
+    [m_count = 1], [m_total_ns] = the latest sample and [m_max_ns] its
+    high-water mark. For the group-commit instruments ("commit/...",
+    "loop/...") and effective-config echoes ("cfg/..."). *)
+
 val snapshot : t -> Protocol.metric list
 (** Sorted by key, for deterministic rendering. *)

@@ -2,6 +2,7 @@ open Repro_xml
 open Repro_io
 open Repro_journal
 module P = Protocol
+module Pool = Repro_parallel.Pool
 
 type config = {
   host : string;
@@ -13,13 +14,19 @@ type config = {
   send_timeout : float;
   fsync_every : int;
   checkpoint_every : int option;
+  checkpoint_min_records : int;
   max_doc_nodes : int;
   max_frag_nodes : int;
+  commit_interval_us : int;
+  commit_max : int;
+  loop_domains : int;
+  io : Io.t;
   sock : Io.sock;
   log : string -> unit;
   replica_of : (string * int) option;
   replica_name : string;
   poll_interval : float;
+  legacy_core : bool;
 }
 
 let default_config ~root =
@@ -31,15 +38,25 @@ let default_config ~root =
     backlog = 64;
     recv_timeout = 30.;
     send_timeout = 30.;
-    fsync_every = 8;
-    checkpoint_every = Some 512;
+    (* 0 = the journal never self-fsyncs: durability comes entirely from
+       the group-commit flusher. Positive values restore per-journal
+       batch fsync (1 = every append, the strict mode the abort tests
+       rely on). *)
+    fsync_every = 0;
+    checkpoint_every = Some 4096;
+    checkpoint_min_records = 1024;
     max_doc_nodes = 50_000;
     max_frag_nodes = 4_096;
+    commit_interval_us = 0;
+    commit_max = 64;
+    loop_domains = 1;
+    io = Io.real;
     sock = Io.real_sock;
     log = ignore;
     replica_of = None;
     replica_name = "replica";
     poll_interval = 0.02;
+    legacy_core = false;
   }
 
 (* ---- plumbing ------------------------------------------------------ *)
@@ -48,36 +65,33 @@ exception Reject of P.err * string
 
 let reject e fmt = Printf.ksprintf (fun s -> raise (Reject (e, s))) fmt
 
-(* one-shot rendezvous between a connection thread and a document actor *)
-module Mailbox = struct
-  type 'a t = { mu : Mutex.t; cond : Condition.t; mutable v : 'a option }
+let ns_since t0 =
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt <= 0. then 0 else int_of_float (dt *. 1e9)
 
-  let create () = { mu = Mutex.create (); cond = Condition.create (); v = None }
+(* ---- connections ---------------------------------------------------
 
-  let put mb v =
-    Mutex.lock mb.mu;
-    mb.v <- Some v;
-    Condition.signal mb.cond;
-    Mutex.unlock mb.mu
+   A connection is owned by one event-loop domain for reading; writes can
+   come from that loop (reads, direct acks) or from the flusher (parked
+   replies), serialized by [c_send_mu]. The parked-reply bookkeeping
+   ([c_parked]/[c_draining]/[c_closed]) lives under the flusher mutex: a
+   connection that reaches EOF with replies still parked is handed to the
+   flusher, which closes it after the last release — an ack, once owed,
+   is always sent before the socket dies. *)
 
-  let take mb =
-    Mutex.lock mb.mu;
-    while Option.is_none mb.v do
-      Condition.wait mb.cond mb.mu
-    done;
-    let v = Option.get mb.v in
-    Mutex.unlock mb.mu;
-    v
-end
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Wire.Decoder.t;
+  c_send_mu : Mutex.t;
+  mutable c_alive : bool;  (** send side usable; under [c_send_mu] *)
+  mutable c_parked : int;  (** replies owed by the flusher; under [f_mu] *)
+  mutable c_draining : bool;
+      (** EOF seen, close after the last release; under [f_mu] *)
+  mutable c_closed : bool;  (** fd closed; under [f_mu] *)
+  mutable c_last : float;  (** loop-private: last activity, for idle drop *)
+}
 
-(* ---- the per-document actor ----------------------------------------
-
-   One document, one owner: every mutation (and every read that walks
-   the tree) is a job executed by this single thread, serialized onto
-   the Durable_session. Connection threads only ever see the [published]
-   snapshot — an immutable record swapped atomically after each job — so
-   label-only queries and stats reads proceed concurrently with writes,
-   which is the paper's whole argument for label-based protocols. *)
+(* ---- published snapshots ------------------------------------------- *)
 
 type published = {
   p_scheme : string;
@@ -88,33 +102,39 @@ type published = {
 
 type role = Primary | Follower
 
-type job =
-  | J_update of Oplog.op list
-  | J_labels of int
-  | J_checkpoint
-  | J_subscribe
-  | J_replicate of { rq_epoch : int; rq_snap : bool; rq_offset : int; rq_limit : int }
-  | J_apply of { ap_epoch : int; ap_offset : int; ap_data : string }
-  | J_promote
+type parked = { pk_conn : conn; pk_resp : P.resp; pk_pos : Journal.position }
 
-type actor = {
-  a_doc : string;
-  a_mu : Mutex.t;
-  a_nonempty : Condition.t;
-  a_slot : Condition.t;
-  a_queue : (job * P.resp Mailbox.t) Queue.t;
-  a_queue_cap : int;
-  mutable a_closed : bool;  (** no new jobs; drain, checkpoint, exit *)
-  mutable a_abandoned : bool;  (** simulated kill: exit without checkpointing *)
-  mutable a_thread : Thread.t;
-  a_durable : Durable_session.t;
-  a_view : Core.Session.t;
-  a_pack : Core.Scheme.packed;
-  mutable a_resolver : Journal.Resolver.t;
-  a_pub : published Atomic.t;
-  a_role : role Atomic.t;
-  a_ship : Ship.t option;  (** [Some] iff this doc was created as a follower *)
+(* ---- documents ------------------------------------------------------
+
+   One document, one lock — but nobody queues behind it. The event loop
+   takes [d_mu] with [try_lock]; on contention the job closure is pushed
+   onto [d_deferred] and executed by whoever holds the lock when it
+   releases (a combining lock). Loops therefore never block on a
+   document; the only blocking acquirers are the flusher (checkpoints)
+   and the replication manager, each on its own thread. *)
+
+type doc = {
+  d_name : string;
+  d_mu : Mutex.t;
+  d_q_mu : Mutex.t;  (** guards [d_deferred] only *)
+  d_deferred : (unit -> unit) Queue.t;
+  d_durable : Durable_session.t;
+  d_view : Core.Session.t;
+  d_pack : Core.Scheme.packed;
+  mutable d_resolver : Journal.Resolver.t;
+  d_pub : published Atomic.t;
+  d_role : role Atomic.t;
+  d_ship : Ship.t option;  (** [Some] iff this doc was created as a follower *)
+  mutable d_records : int;
+      (** records journaled since the last checkpoint; under [d_mu] *)
+  mutable d_closed : bool;  (** under [d_mu] *)
+  (* flusher-owned state, under [f_mu] *)
+  d_parked : parked Queue.t;
+  mutable d_ckpt_waiters : conn list;
+  mutable d_enrolled : bool;
 }
+
+let journal_of d = Durable_session.journal d.d_durable
 
 let encoded_label (view : Core.Session.t) n =
   let l_bytes, l_bits = view.Core.Session.label_encoded n in
@@ -144,10 +164,53 @@ let publish_of (view : Core.Session.t) pack durable =
       };
   }
 
-(* Validate before applying: the durable view journals each operation
+let publish d = Atomic.set d.d_pub (publish_of d.d_view d.d_pack d.d_durable)
+
+(* ---- the combining lock -------------------------------------------- *)
+
+let rec drain_and_release d =
+  (* caller holds [d_mu] *)
+  match Mutex.protect d.d_q_mu (fun () -> Queue.take_opt d.d_deferred) with
+  | Some job ->
+    (try job () with _ -> ());
+    drain_and_release d
+  | None ->
+    Mutex.unlock d.d_mu;
+    (* A producer may have enqueued between the empty check and the
+       unlock, while its own try_lock failed against us. Whoever wins
+       this re-acquire drains it; if both lose, the current holder will. *)
+    if
+      (not (Mutex.protect d.d_q_mu (fun () -> Queue.is_empty d.d_deferred)))
+      && Mutex.try_lock d.d_mu
+    then drain_and_release d
+
+(* Run [job] under the document lock without ever blocking: on contention
+   it is deferred to the lock holder. [job] must do its own replying. *)
+let run_or_defer d job =
+  if Mutex.try_lock d.d_mu then begin
+    (try job () with _ -> ());
+    drain_and_release d
+  end
+  else begin
+    Mutex.protect d.d_q_mu (fun () -> Queue.push job d.d_deferred);
+    if Mutex.try_lock d.d_mu then drain_and_release d
+  end
+
+(* Blocking variant for the flusher and the replication manager — threads
+   that may wait. *)
+let run_sync d job =
+  Mutex.lock d.d_mu;
+  let out = try Ok (job ()) with e -> Error e in
+  drain_and_release d;
+  match out with Ok v -> v | Error e -> raise e
+
+(* ---- validation and execution --------------------------------------
+
+   Validate before applying: the durable view journals each operation
    before the tree mutates, so an op the tree would reject must be turned
    away here — otherwise the journal records a mutation that never
    happened and recovery replays a lie. *)
+
 let check_op cfg resolver (op : Oplog.op) =
   let resolve l =
     try Journal.Resolver.resolve resolver l
@@ -178,23 +241,23 @@ let check_op cfg resolver (op : Oplog.op) =
     | Some _ -> ())
   | Oplog.Replace_value (l, _) | Oplog.Rename (l, _) -> ignore (resolve l)
 
-let exec_update cfg a ops =
+let exec_update cfg d ops =
   let applied = ref 0 in
   let fresh = ref [] in
-  let before = a.a_view.Core.Session.stats () in
+  let before = d.d_view.Core.Session.stats () in
   try
     List.iter
       (fun op ->
-        check_op cfg a.a_resolver op;
-        (match Journal.Resolver.apply a.a_resolver op with
-        | Some n -> fresh := encoded_label a.a_view n :: !fresh
+        check_op cfg d.d_resolver op;
+        (match Journal.Resolver.apply d.d_resolver op with
+        | Some n -> fresh := encoded_label d.d_view n :: !fresh
         | None -> ());
         incr applied)
       ops;
     (* A scheme that renumbered existing nodes (code overflow, neighbour
        reassignment) silently broke every label the client holds; say so,
        so caches get refreshed instead of dying on Unknown_label. *)
-    let now = a.a_view.Core.Session.stats () in
+    let now = d.d_view.Core.Session.stats () in
     let up_relabelled =
       now.Core.Stats.s_relabelled > before.Core.Stats.s_relabelled
       || now.Core.Stats.s_overflow > before.Core.Stats.s_overflow
@@ -206,10 +269,10 @@ let exec_update cfg a ops =
        names the offender so the client can account for the prefix *)
     P.Err (e, Printf.sprintf "op %d: %s" (!applied + 1) msg)
   | Journal.Replay_error msg ->
-    a.a_resolver <- Journal.Resolver.create a.a_view;
+    d.d_resolver <- Journal.Resolver.create d.d_view;
     P.Err (P.Unknown_label, msg)
 
-let exec_labels a limit =
+let exec_labels d limit =
   let limit = max 0 (min limit 20_000) in
   let acc = ref [] in
   let count = ref 0 in
@@ -217,26 +280,22 @@ let exec_labels a limit =
      Tree.iter_preorder
        (fun n ->
          if !count >= limit then raise Exit;
-         acc := (encoded_label a.a_view n, n.Tree.kind, n.Tree.name) :: !acc;
+         acc := (encoded_label d.d_view n, n.Tree.kind, n.Tree.name) :: !acc;
          incr count)
-       a.a_view.Core.Session.doc
+       d.d_view.Core.Session.doc
    with Exit -> ());
   P.Labels_r (List.rev !acc)
 
-let exec_checkpoint a =
-  Durable_session.checkpoint a.a_durable;
-  P.Checkpointed (Journal.epoch (Durable_session.journal a.a_durable))
-
 (* ---- replication jobs ----------------------------------------------
 
-   Served by the same actor thread as updates and checkpoints, so a
-   shipped batch can never interleave with an epoch change: within one
-   job the journal's epoch and durable offset are frozen. *)
+   Run under the document lock like updates and checkpoints, so a shipped
+   batch can never interleave with an epoch change: within one job the
+   journal's epoch and durable offset are frozen. *)
 
 let max_ship_batch = 1 lsl 20
 
-let exec_subscribe a =
-  let j = Durable_session.journal a.a_durable in
+let exec_subscribe d =
+  let j = journal_of d in
   (* flush so the offset we hand out is entirely shippable *)
   Journal.flush j;
   let pos = Journal.durable_position j in
@@ -249,8 +308,8 @@ let exec_subscribe a =
       su_snap_bytes = String.length (Journal.snapshot_bytes j);
     }
 
-let exec_replicate a ~epoch ~snap ~offset ~limit =
-  let j = Durable_session.journal a.a_durable in
+let exec_replicate d ~epoch ~snap ~offset ~limit =
+  let j = journal_of d in
   let limit = max 1 (min limit max_ship_batch) in
   if epoch <> Journal.epoch j then
     P.Err
@@ -260,7 +319,8 @@ let exec_replicate a ~epoch ~snap ~offset ~limit =
     let s = Journal.snapshot_bytes j in
     let total = String.length s in
     if offset < 0 || offset > total then
-      P.Err (P.Bad_request, Printf.sprintf "snapshot offset %d outside [0, %d]" offset total)
+      P.Err
+        (P.Bad_request, Printf.sprintf "snapshot offset %d outside [0, %d]" offset total)
     else
       P.Shipped
         {
@@ -274,141 +334,83 @@ let exec_replicate a ~epoch ~snap ~offset ~limit =
     Journal.flush j;
     match Journal.ship j ~from:offset ~limit with
     | data, durable_end ->
-      P.Shipped { sh_epoch = epoch; sh_offset = offset; sh_total = durable_end; sh_data = data }
+      P.Shipped
+        { sh_epoch = epoch; sh_offset = offset; sh_total = durable_end; sh_data = data }
     | exception Journal.Corrupt msg -> P.Err (P.Stale_pos, msg)
   end
 
-let exec_apply a ~epoch ~offset ~data =
-  match a.a_ship with
-  | None -> P.Err (P.Bad_request, a.a_doc ^ " is not a follower")
+let exec_apply d ~epoch ~offset ~data =
+  match d.d_ship with
+  | None -> P.Err (P.Bad_request, d.d_name ^ " is not a follower")
   | Some f -> (
     match Ship.apply f ~epoch ~offset data with
     | n -> P.Updated { up_applied = n; up_fresh = []; up_relabelled = false }
     | exception Ship.Out_of_sync msg -> P.Err (P.Stale_pos, msg))
 
-let exec_promote a =
-  Atomic.set a.a_role Primary;
+let exec_promote d =
+  Atomic.set d.d_role Primary;
   let pos =
-    match a.a_ship with
+    match d.d_ship with
     | Some f -> Ship.position f
-    | None -> Journal.position (Durable_session.journal a.a_durable)
+    | None -> Journal.position (journal_of d)
   in
   P.Promoted { pr_epoch = pos.Journal.p_epoch; pr_offset = pos.Journal.p_offset }
 
-let actor_loop cfg a =
-  let rec next () =
-    Mutex.lock a.a_mu;
-    let rec take () =
-      if a.a_abandoned then begin
-        (* simulated kill: bounce whatever is queued, touch nothing *)
-        Queue.iter
-          (fun (_, mb) -> Mailbox.put mb (P.Err (P.Shutting_down, "server aborted")))
-          a.a_queue;
-        Queue.clear a.a_queue;
-        Mutex.unlock a.a_mu;
-        None
-      end
-      else if not (Queue.is_empty a.a_queue) then begin
-        let job = Queue.pop a.a_queue in
-        Condition.signal a.a_slot;
-        Mutex.unlock a.a_mu;
-        Some job
-      end
-      else if a.a_closed then begin
-        Mutex.unlock a.a_mu;
-        (* graceful exit: absorb the log into a snapshot, then close *)
-        (try Durable_session.checkpoint a.a_durable with Io.Io_error _ -> ());
-        (try Durable_session.close a.a_durable with Io.Io_error _ -> ());
-        None
-      end
-      else begin
-        Condition.wait a.a_nonempty a.a_mu;
-        take ()
-      end
-    in
-    match take () with
-    | None -> ()
-    | Some (job, mb) ->
-      let resp =
-        try
-          match job with
-          | J_update ops ->
-            if Atomic.get a.a_role = Follower then
-              P.Err (P.Not_primary, a.a_doc ^ " is a follower here")
-            else exec_update cfg a ops
-          | J_labels limit -> exec_labels a limit
-          | J_checkpoint -> exec_checkpoint a
-          | J_subscribe -> exec_subscribe a
-          | J_replicate { rq_epoch; rq_snap; rq_offset; rq_limit } ->
-            exec_replicate a ~epoch:rq_epoch ~snap:rq_snap ~offset:rq_offset ~limit:rq_limit
-          | J_apply { ap_epoch; ap_offset; ap_data } ->
-            exec_apply a ~epoch:ap_epoch ~offset:ap_offset ~data:ap_data
-          | J_promote -> exec_promote a
-        with
-        | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
-        | e -> P.Err (P.Internal, Printexc.to_string e)
-      in
-      Atomic.set a.a_pub (publish_of a.a_view a.a_pack a.a_durable);
-      Mailbox.put mb resp;
-      next ()
-  in
-  next ()
-
-(* Enqueue under the queue cap — a full queue blocks the connection
-   thread, which stops reading its socket: backpressure all the way to
-   the client's TCP window. *)
-let submit a job =
-  let mb = Mailbox.create () in
-  Mutex.lock a.a_mu;
-  let rec push () =
-    if a.a_closed || a.a_abandoned then begin
-      Mutex.unlock a.a_mu;
-      None
-    end
-    else if Queue.length a.a_queue >= a.a_queue_cap then begin
-      Condition.wait a.a_slot a.a_mu;
-      push ()
-    end
-    else begin
-      Queue.push (job, mb) a.a_queue;
-      Condition.signal a.a_nonempty;
-      Mutex.unlock a.a_mu;
-      Some (Mailbox.take mb)
-    end
-  in
-  match push () with
-  | Some resp -> resp
-  | None -> P.Err (P.Shutting_down, "document actor is closing")
-
 (* ---- the server ---------------------------------------------------- *)
 
-type t = {
+type loop_state = {
+  l_idx : int;
+  l_wake_r : Unix.file_descr;
+  l_wake_w : Unix.file_descr;
+  l_mu : Mutex.t;
+  mutable l_incoming : conn list;
+}
+
+(* ring size for the flush-cycle instruments *)
+let ring_size = 512
+
+type core = {
   cfg : config;
   lfd : Unix.file_descr;
   t_port : int;
   metrics : Metrics.t;
   reg_mu : Mutex.t;
-  actors : (string, actor) Hashtbl.t;
+  docs : (string, doc) Hashtbl.t;
   conns_mu : Mutex.t;
   conns_cond : Condition.t;
-  mutable live_conns : Unix.file_descr list;
+  mutable live_conns : conn list;
   mutable n_conns : int;
   mutable served : int;
   closing : bool Atomic.t;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   mutable accept_thread : Thread.t;
+  mutable loops : loop_state array;
+  mutable loop_handle : Pool.Loops.t option;
   mutable stopped : bool;
   acks_mu : Mutex.t;
   acks : (string * string, int * int) Hashtbl.t;
       (** (doc, replica) -> last acknowledged (epoch, offset) *)
   mutable mgr_thread : Thread.t option;  (** the replication manager, on replicas *)
+  (* ---- flusher state, under [f_mu] ---- *)
+  f_mu : Mutex.t;
+  mutable f_pending : int;  (** parked replies not yet released *)
+  mutable f_first : float;  (** arrival of the oldest parked reply *)
+  mutable f_dirty : doc list;  (** docs with parked replies or due checkpoints *)
+  mutable f_stop : bool;
+  mutable f_sleeping : bool;
+  f_wake_r : Unix.file_descr;
+  f_wake_w : Unix.file_descr;
+  mutable flusher_thread : Thread.t option;
+  (* flush-cycle instruments, flusher-private *)
+  ring_batch : int array;
+  ring_flush_us : int array;
+  mutable ring_n : int;
 }
 
-type summary = { s_conns : int; s_docs : int }
+type t = Loop of core | Legacy of Server_legacy.t
 
-let port t = t.t_port
-let metrics t = t.metrics
+type summary = { s_conns : int; s_docs : int }
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -427,54 +429,179 @@ let doc_name_ok name =
          || ch = '-' || ch = '_' || ch = '.')
        name
 
+(* journal-level fsync batching: 0 means "the flusher owns durability",
+   which the journal spells [max_int] (never self-fsync) *)
+let journal_fsync_every cfg = if cfg.fsync_every <= 0 then max_int else cfg.fsync_every
+
+(* ---- sending -------------------------------------------------------- *)
+
+let send_resp t conn resp =
+  Mutex.lock conn.c_send_mu;
+  (if conn.c_alive then
+     match Wire.send_frame t.cfg.sock conn.c_fd (P.encode_resp resp) with
+     | () -> ()
+     | exception Io.Io_error { reason; _ } ->
+       conn.c_alive <- false;
+       t.cfg.log ("conn send: " ^ reason));
+  Mutex.unlock conn.c_send_mu
+
+let record t ?doc cls ~ok ~ns =
+  Metrics.record t.metrics ~key:("req/" ^ cls) ~ok ~ns;
+  match doc with
+  | Some d -> Metrics.record t.metrics ~key:(Printf.sprintf "doc/%s/%s" d cls) ~ok ~ns
+  | None -> ()
+
+(* record the request's metrics and send its reply *)
+let respond t conn ?doc cls t0 resp =
+  let ok = match resp with P.Err _ -> false | _ -> true in
+  record t ?doc cls ~ok ~ns:(ns_since t0);
+  send_resp t conn resp
+
+(* ---- connection accounting ------------------------------------------ *)
+
+let conn_acquire t =
+  Mutex.lock t.conns_mu;
+  let rec wait () =
+    if Atomic.get t.closing then begin
+      Mutex.unlock t.conns_mu;
+      false
+    end
+    else if t.n_conns >= t.cfg.max_conns then begin
+      Condition.wait t.conns_cond t.conns_mu;
+      wait ()
+    end
+    else begin
+      t.n_conns <- t.n_conns + 1;
+      Mutex.unlock t.conns_mu;
+      true
+    end
+  in
+  wait ()
+
+let conn_register t conn =
+  Mutex.lock t.conns_mu;
+  t.live_conns <- conn :: t.live_conns;
+  t.served <- t.served + 1;
+  Mutex.unlock t.conns_mu
+
+let conn_finish t conn =
+  Mutex.lock t.conns_mu;
+  t.live_conns <- List.filter (fun c -> c != conn) t.live_conns;
+  t.n_conns <- t.n_conns - 1;
+  Condition.broadcast t.conns_cond;
+  Mutex.unlock t.conns_mu
+
+(* Close now, or hand off to the flusher when replies are still owed. The
+   accept slot is released only at the actual close. *)
+let retire t conn =
+  Mutex.lock t.f_mu;
+  if conn.c_closed then Mutex.unlock t.f_mu
+  else if conn.c_parked > 0 then begin
+    conn.c_draining <- true;
+    Mutex.unlock t.f_mu
+  end
+  else begin
+    conn.c_closed <- true;
+    Mutex.unlock t.f_mu;
+    (try t.cfg.sock.Io.s_close conn.c_fd with Io.Io_error _ -> ());
+    conn_finish t conn
+  end
+
+(* ---- flusher signalling ---------------------------------------------- *)
+
+let wake_flusher t =
+  (* caller holds [f_mu] *)
+  if t.f_sleeping then
+    try ignore (Unix.write t.f_wake_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let enroll t d =
+  (* caller holds [f_mu] *)
+  if not d.d_enrolled then begin
+    d.d_enrolled <- true;
+    t.f_dirty <- d :: t.f_dirty
+  end
+
+(* Park a reply behind the durable watermark. Caller holds [d_mu]; the
+   position is the journal's current end, i.e. just past this request's
+   own appends. *)
+let park t d conn resp =
+  let pos = Journal.position (journal_of d) in
+  Mutex.lock t.f_mu;
+  Queue.push { pk_conn = conn; pk_resp = resp; pk_pos = pos } d.d_parked;
+  conn.c_parked <- conn.c_parked + 1;
+  if t.f_pending = 0 then t.f_first <- Unix.gettimeofday ();
+  t.f_pending <- t.f_pending + 1;
+  enroll t d;
+  wake_flusher t;
+  Mutex.unlock t.f_mu
+
+let park_ckpt t d conn =
+  Mutex.lock t.f_mu;
+  d.d_ckpt_waiters <- conn :: d.d_ckpt_waiters;
+  conn.c_parked <- conn.c_parked + 1;
+  enroll t d;
+  wake_flusher t;
+  Mutex.unlock t.f_mu
+
+(* send a released reply, closing a draining connection after its last one *)
+let deliver t conn resp =
+  send_resp t conn resp;
+  Mutex.lock t.f_mu;
+  conn.c_parked <- conn.c_parked - 1;
+  let close_now = conn.c_draining && conn.c_parked = 0 && not conn.c_closed in
+  if close_now then conn.c_closed <- true;
+  Mutex.unlock t.f_mu;
+  if close_now then begin
+    (try t.cfg.sock.Io.s_close conn.c_fd with Io.Io_error _ -> ());
+    conn_finish t conn
+  end
+
 (* ---- opening documents --------------------------------------------
 
    Serialized under [reg_mu]: opens are rare and involve disk IO, and a
-   single winner per document name is exactly the ownership invariant the
-   actor model needs. *)
+   single registrant per document name is the ownership invariant. *)
 
-(* Construct and register an actor for a live durable session. Caller
-   holds [reg_mu]; the name must be unregistered. *)
-let spawn_actor t name ~durable ~role ~ship =
+let register_doc t name ~durable ~role ~ship =
   let view = Durable_session.session durable in
   let pack =
     match Repro_schemes.Registry.find view.Core.Session.scheme_name with
     | Some p -> p
     | None ->
-      reject P.Internal "journal scheme %S is not registered" view.Core.Session.scheme_name
+      reject P.Internal "journal scheme %S is not registered"
+        view.Core.Session.scheme_name
   in
-  let a =
+  let d =
     {
-      a_doc = name;
-      a_mu = Mutex.create ();
-      a_nonempty = Condition.create ();
-      a_slot = Condition.create ();
-      a_queue = Queue.create ();
-      a_queue_cap = 128;
-      a_closed = false;
-      a_abandoned = false;
-      a_thread = Thread.self ();
-      a_durable = durable;
-      a_view = view;
-      a_pack = pack;
-      a_resolver = Journal.Resolver.create view;
-      a_pub = Atomic.make (publish_of view pack durable);
-      a_role = Atomic.make role;
-      a_ship = ship;
+      d_name = name;
+      d_mu = Mutex.create ();
+      d_q_mu = Mutex.create ();
+      d_deferred = Queue.create ();
+      d_durable = durable;
+      d_view = view;
+      d_pack = pack;
+      d_resolver = Journal.Resolver.create view;
+      d_pub = Atomic.make (publish_of view pack durable);
+      d_role = Atomic.make role;
+      d_ship = ship;
+      d_records = 0;
+      d_closed = false;
+      d_parked = Queue.create ();
+      d_ckpt_waiters = [];
+      d_enrolled = false;
     }
   in
-  a.a_thread <- Thread.create (actor_loop t.cfg) a;
-  Hashtbl.add t.actors name a;
-  a
+  Hashtbl.add t.docs name d;
+  d
 
 let open_doc t name scheme nodes seed =
   Mutex.lock t.reg_mu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.reg_mu)
     (fun () ->
-      match Hashtbl.find_opt t.actors name with
-      | Some a ->
-        let pub = Atomic.get a.a_pub in
+      match Hashtbl.find_opt t.docs name with
+      | Some d ->
+        let pub = Atomic.get d.d_pub in
         P.Opened
           {
             ok_scheme = pub.p_scheme;
@@ -488,10 +615,10 @@ let open_doc t name scheme nodes seed =
           reject P.Bad_request "document names are [A-Za-z0-9._-]{1,128}";
         let base = Filename.concat t.cfg.root (name ^ ".journal") in
         let durable, fresh =
-          if Sys.file_exists base then (
+          if t.cfg.io.Io.file_exists base then (
             match
-              Durable_session.recover ~fsync_every:t.cfg.fsync_every
-                ?checkpoint_every:t.cfg.checkpoint_every ~base ()
+              Durable_session.recover ~io:t.cfg.io
+                ~fsync_every:(journal_fsync_every t.cfg) ~base ()
             with
             | d, _recovery -> (d, false)
             | exception Journal.Corrupt msg -> reject P.Internal "recovery: %s" msg)
@@ -505,12 +632,12 @@ let open_doc t name scheme nodes seed =
                   { Repro_workload.Docgen.default_shape with target_nodes = nodes }
               in
               let session = Core.Session.make pack doc in
-              ( Durable_session.create ~fsync_every:t.cfg.fsync_every
-                  ?checkpoint_every:t.cfg.checkpoint_every ~base session,
+              ( Durable_session.create ~io:t.cfg.io
+                  ~fsync_every:(journal_fsync_every t.cfg) ~base session,
                 true )
         in
-        let a = spawn_actor t name ~durable ~role:Primary ~ship:None in
-        let pub = Atomic.get a.a_pub in
+        let d = register_doc t name ~durable ~role:Primary ~ship:None in
+        let pub = Atomic.get d.d_pub in
         P.Opened
           {
             ok_scheme = pub.p_scheme;
@@ -519,11 +646,11 @@ let open_doc t name scheme nodes seed =
             ok_fresh = fresh;
           })
 
-let find_actor t doc =
+let find_doc t doc =
   Mutex.lock t.reg_mu;
-  let a = Hashtbl.find_opt t.actors doc in
+  let d = Hashtbl.find_opt t.docs doc in
   Mutex.unlock t.reg_mu;
-  a
+  d
 
 (* ---- concurrent reads ---------------------------------------------- *)
 
@@ -577,74 +704,484 @@ let doc_lags t doc pub =
   Mutex.lock t.acks_mu;
   let lags =
     Hashtbl.fold
-      (fun (d, replica) pos acc -> if d = doc then (replica, lag_of pub pos) :: acc else acc)
+      (fun (d, replica) pos acc ->
+        if d = doc then (replica, lag_of pub pos) :: acc else acc)
       t.acks []
   in
   Mutex.unlock t.acks_mu;
   List.sort compare lags
 
-let dispatch t req =
-  let with_pub doc f =
-    match find_actor t doc with
-    | None -> P.Err (P.Unknown_doc, doc)
-    | Some a -> f (Atomic.get a.a_pub)
+(* is an auto-checkpoint due? (racy read is fine — re-checked under the
+   doc lock before acting) *)
+let auto_ckpt_due t d =
+  match t.cfg.checkpoint_every with Some k -> d.d_records >= k | None -> false
+
+(* The update path: validate + apply + journal-append under the doc lock,
+   then either acknowledge immediately (the batch is already inside the
+   durable prefix and nothing is queued ahead of it) or park the reply
+   for the flusher. Error replies to partially applied batches are parked
+   too: they confirm a journaled prefix. *)
+let job_update t conn d ops t0 =
+  if d.d_closed then
+    respond t conn ~doc:d.d_name "update" t0 (P.Err (P.Shutting_down, "document is closing"))
+  else if Atomic.get d.d_role = Follower then
+    respond t conn ~doc:d.d_name "update" t0
+      (P.Err (P.Not_primary, d.d_name ^ " is a follower here"))
+  else begin
+    let j = journal_of d in
+    let appended0 = Journal.appended j in
+    let resp =
+      try exec_update t.cfg d ops with
+      | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
+      | e -> P.Err (P.Internal, Printexc.to_string e)
+    in
+    let delta = Journal.appended j - appended0 in
+    d.d_records <- d.d_records + delta;
+    publish d;
+    let ok = match resp with P.Err _ -> false | _ -> true in
+    record t ~doc:d.d_name "update" ~ok ~ns:(ns_since t0);
+    (if delta = 0 then send_resp t conn resp
+     else begin
+       let durable = Journal.durable_position j in
+       let pos = Journal.position j in
+       (* even a durable batch must park behind earlier parked replies of
+          the same connection, or pipelined acks would reorder *)
+       let clear =
+         Journal.covers ~durable pos
+         && Mutex.protect t.f_mu (fun () -> Queue.is_empty d.d_parked)
+       in
+       if clear then send_resp t conn resp else park t d conn resp
+     end);
+    if auto_ckpt_due t d then
+      Mutex.protect t.f_mu (fun () ->
+          enroll t d;
+          wake_flusher t)
+  end
+
+(* Explicit checkpoints are debounced: below [checkpoint_min_records]
+   fresh records the reply is an immediate no-op naming the current
+   epoch — the flusher's auto-checkpoint ([checkpoint_every]) still
+   bounds log growth. Past the threshold the requester parks until the
+   flusher has really absorbed the log into a snapshot. *)
+let job_checkpoint t conn d t0 =
+  if d.d_closed then
+    respond t conn ~doc:d.d_name "checkpoint" t0
+      (P.Err (P.Shutting_down, "document is closing"))
+  else begin
+    record t ~doc:d.d_name "checkpoint" ~ok:true ~ns:(ns_since t0);
+    if d.d_records < t.cfg.checkpoint_min_records then
+      send_resp t conn (P.Checkpointed (Journal.epoch (journal_of d)))
+    else park_ckpt t d conn
+  end
+
+let dispatch_doc t conn d req t0 =
+  let direct cls job =
+    run_or_defer d (fun () ->
+        let resp =
+          if d.d_closed then P.Err (P.Shutting_down, "document is closing")
+          else
+            try job () with
+            | Reject (e, msg) -> P.Err (e, msg)
+            | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
+            | e -> P.Err (P.Internal, Printexc.to_string e)
+        in
+        publish d;
+        respond t conn ~doc:d.d_name cls t0 resp)
   in
-  let with_actor doc job =
-    match find_actor t doc with
-    | None -> P.Err (P.Unknown_doc, doc)
-    | Some a -> submit a job
-  in
+  match req with
+  | P.Update { u_ops; _ } -> run_or_defer d (fun () -> job_update t conn d u_ops t0)
+  | P.Labels { lb_limit; _ } -> direct "labels" (fun () -> exec_labels d lb_limit)
+  | P.Checkpoint _ -> run_or_defer d (fun () -> job_checkpoint t conn d t0)
+  | P.Subscribe { sb_replica; _ } ->
+    direct "subscribe" (fun () ->
+        match exec_subscribe d with
+        | P.Sub_ok _ as reply ->
+          (* a freshly (re-)subscribed replica has acknowledged nothing of
+             the epoch it is about to pull — record it so lag is visible
+             during bootstrap, not only after the first ack *)
+          Mutex.lock t.acks_mu;
+          Hashtbl.replace t.acks (d.d_name, sb_replica) (0, 0);
+          Mutex.unlock t.acks_mu;
+          reply
+        | reply -> reply)
+  | P.Replicate { rp_epoch; rp_snap; rp_offset; rp_limit; _ } ->
+    direct "replicate" (fun () ->
+        exec_replicate d ~epoch:rp_epoch ~snap:rp_snap ~offset:rp_offset ~limit:rp_limit)
+  | P.Promote _ -> direct "promote" (fun () -> exec_promote d)
+  | _ -> assert false
+
+let dispatch_inline t req =
   match req with
   | P.Ping -> P.Pong P.magic
   | P.Metrics -> P.Metrics_r (Metrics.snapshot t.metrics)
   | P.Open { o_doc; o_scheme; o_nodes; o_seed } -> open_doc t o_doc o_scheme o_nodes o_seed
-  | P.Query { q_doc; q_pred } ->
-    with_pub q_doc (fun pub -> P.Answer (eval_query pub.p_pack q_pred))
-  | P.Stats doc ->
-    with_pub doc (fun pub -> P.Stats_r { pub.p_stats with P.st_lag = doc_lags t doc pub })
-  | P.Update { u_doc; u_ops } -> with_actor u_doc (J_update u_ops)
-  | P.Labels { lb_doc; lb_limit } -> with_actor lb_doc (J_labels lb_limit)
-  | P.Checkpoint doc -> with_actor doc J_checkpoint
-  | P.Subscribe { sb_doc; sb_replica } -> (
-    match with_actor sb_doc J_subscribe with
-    | P.Sub_ok _ as reply ->
-      (* a freshly (re-)subscribed replica has acknowledged nothing of the
-         epoch it is about to pull — record it so lag is visible during
-         bootstrap, not only after the first ack *)
-      Mutex.lock t.acks_mu;
-      Hashtbl.replace t.acks (sb_doc, sb_replica) (0, 0);
-      Mutex.unlock t.acks_mu;
-      reply
-    | reply -> reply)
-  | P.Replicate { rp_doc; rp_replica = _; rp_epoch; rp_snap; rp_offset; rp_limit } ->
-    with_actor rp_doc
-      (J_replicate { rq_epoch = rp_epoch; rq_snap = rp_snap; rq_offset = rp_offset; rq_limit = rp_limit })
+  | P.Query { q_doc; q_pred } -> (
+    match find_doc t q_doc with
+    | None -> P.Err (P.Unknown_doc, q_doc)
+    | Some d -> P.Answer (eval_query (Atomic.get d.d_pub).p_pack q_pred))
+  | P.Stats doc -> (
+    match find_doc t doc with
+    | None -> P.Err (P.Unknown_doc, doc)
+    | Some d ->
+      let pub = Atomic.get d.d_pub in
+      P.Stats_r { pub.p_stats with P.st_lag = doc_lags t doc pub })
   | P.Ack { ak_doc; ak_replica; ak_epoch; ak_offset } -> (
-    match find_actor t ak_doc with
+    match find_doc t ak_doc with
     | None -> P.Err (P.Unknown_doc, ak_doc)
-    | Some a ->
+    | Some d ->
       Mutex.lock t.acks_mu;
       Hashtbl.replace t.acks (ak_doc, ak_replica) (ak_epoch, ak_offset);
       Mutex.unlock t.acks_mu;
-      let lag = lag_of (Atomic.get a.a_pub) (ak_epoch, ak_offset) in
+      let lag = lag_of (Atomic.get d.d_pub) (ak_epoch, ak_offset) in
       Metrics.record t.metrics ~key:(Printf.sprintf "repl/%s/lag" ak_doc) ~ok:true ~ns:lag;
       P.Acked { ac_lag = lag })
-  | P.Promote doc -> with_actor doc J_promote
   | P.Docs ->
     Mutex.lock t.reg_mu;
     let docs =
       Hashtbl.fold
-        (fun name a acc ->
-          ((name, (Atomic.get a.a_pub).p_scheme, Atomic.get a.a_role = Primary)) :: acc)
-        t.actors []
+        (fun name d acc ->
+          (name, (Atomic.get d.d_pub).p_scheme, Atomic.get d.d_role = Primary) :: acc)
+        t.docs []
     in
     Mutex.unlock t.reg_mu;
     P.Docs_r (List.sort compare docs)
+  | P.Update _ | P.Labels _ | P.Checkpoint _ | P.Subscribe _ | P.Replicate _ | P.Promote _
+    ->
+    assert false
+
+let handle_frame t conn payload =
+  let t0 = Unix.gettimeofday () in
+  match P.decode_req payload with
+  | Error reason ->
+    (* frame boundary held, only the payload is bad — the stream is still
+       in sync, so reply and keep going *)
+    record t "bad-frame" ~ok:false ~ns:(ns_since t0);
+    send_resp t conn (P.Err (P.Bad_frame, reason))
+  | Ok req -> (
+    match req with
+    | P.Ping | P.Metrics | P.Open _ | P.Query _ | P.Stats _ | P.Ack _ | P.Docs ->
+      let resp =
+        try dispatch_inline t req with
+        | Reject (e, msg) -> P.Err (e, msg)
+        | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
+        | e -> P.Err (P.Internal, Printexc.to_string e)
+      in
+      respond t conn ?doc:(doc_of_req req) (P.req_class req) t0 resp
+    | P.Update _ | P.Labels _ | P.Checkpoint _ | P.Subscribe _ | P.Replicate _
+    | P.Promote _ -> (
+      let doc = Option.get (doc_of_req req) in
+      match find_doc t doc with
+      | None -> respond t conn ~doc (P.req_class req) t0 (P.Err (P.Unknown_doc, doc))
+      | Some d -> dispatch_doc t conn d req t0))
+
+(* ---- the event loop ------------------------------------------------- *)
+
+(* Service one readable connection: read what the socket has, feed the
+   decoder, handle every whole frame. Returns [false] when the connection
+   should leave the poll set. *)
+let service t buf conn =
+  match t.cfg.sock.Io.s_recv conn.c_fd buf 0 (Bytes.length buf) with
+  | exception Io.Io_error { reason; _ } ->
+    t.cfg.log ("conn recv: " ^ reason);
+    false
+  | 0 -> false
+  | n ->
+    conn.c_last <- Unix.gettimeofday ();
+    Wire.Decoder.feed conn.c_dec buf 0 n;
+    let rec pump () =
+      match Wire.Decoder.next conn.c_dec with
+      | `More -> true
+      | `Bad reason ->
+        (* a torn frame means the stream is out of sync: answer once so
+           the client learns why, then hang up *)
+        record t "bad-frame" ~ok:false ~ns:0;
+        send_resp t conn (P.Err (P.Bad_frame, reason));
+        false
+      | `Frame payload ->
+        (try handle_frame t conn payload
+         with e -> t.cfg.log ("conn: " ^ Printexc.to_string e));
+        pump ()
+    in
+    pump () && Mutex.protect conn.c_send_mu (fun () -> conn.c_alive)
+
+let gauge_loop_util t idx ~busy ~total ~polls =
+  if total > 0. then
+    Metrics.gauge t.metrics
+      ~key:(Printf.sprintf "loop/%d/util_pct" idx)
+      ~value:(int_of_float (100. *. busy /. total));
+  Metrics.gauge t.metrics ~key:(Printf.sprintf "loop/%d/polls" idx) ~value:polls
+
+let event_loop t ls =
+  let buf = Bytes.create 65536 in
+  let wake_buf = Bytes.create 64 in
+  let conns = ref [] in
+  let busy = ref 0. and idle = ref 0. and polls = ref 0 in
+  let last_gauge = ref (Unix.gettimeofday ()) in
+  let take_incoming () =
+    Mutex.lock ls.l_mu;
+    let fresh = ls.l_incoming in
+    ls.l_incoming <- [];
+    Mutex.unlock ls.l_mu;
+    conns := !conns @ fresh
+  in
+  let rec run () =
+    let t_enter = Unix.gettimeofday () in
+    let fds = ls.l_wake_r :: List.map (fun c -> c.c_fd) !conns in
+    let ready =
+      try t.cfg.sock.Io.s_select fds 0.25
+      with Io.Io_error { reason; _ } ->
+        t.cfg.log ("loop select: " ^ reason);
+        []
+    in
+    let t_awake = Unix.gettimeofday () in
+    idle := !idle +. (t_awake -. t_enter);
+    incr polls;
+    if List.mem ls.l_wake_r ready then begin
+      (try ignore (Unix.read ls.l_wake_r wake_buf 0 (Bytes.length wake_buf))
+       with Unix.Unix_error _ -> ());
+      take_incoming ()
+    end;
+    let now = Unix.gettimeofday () in
+    conns :=
+      List.filter
+        (fun c ->
+          let keep =
+            if List.mem c.c_fd ready then service t buf c
+            else
+              t.cfg.recv_timeout <= 0.
+              || now -. c.c_last <= t.cfg.recv_timeout
+              ||
+              (t.cfg.log "conn recv: timed out";
+               false)
+          in
+          if not keep then retire t c;
+          keep)
+        !conns;
+    busy := !busy +. (Unix.gettimeofday () -. now);
+    if now -. !last_gauge > 0.5 then begin
+      last_gauge := now;
+      gauge_loop_util t ls.l_idx ~busy:!busy ~total:(!busy +. !idle) ~polls:!polls
+    end;
+    if Atomic.get t.closing then begin
+      take_incoming ();
+      if !conns <> [] then run ()
+      else gauge_loop_util t ls.l_idx ~busy:!busy ~total:(!busy +. !idle) ~polls:!polls
+    end
+    else run ()
+  in
+  run ()
+
+(* ---- the group-commit flusher ---------------------------------------
+
+   One thread owns the commit cycle: take the dirty-document set, fsync
+   every journal that is behind (fanning the fsyncs out across helper
+   threads — they really run in parallel because the runtime lock is
+   released around the syscall), release every parked reply the new
+   durable watermark covers, then run coalesced checkpoints off the
+   request path. With [commit_interval_us = 0] the cycle is
+   self-clocking: the next batch accumulates for exactly as long as the
+   previous fsync takes. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0 else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let flush_gauges t =
+  let n = min t.ring_n ring_size in
+  if n > 0 then begin
+    let batch = Array.sub t.ring_batch 0 n in
+    let fl = Array.sub t.ring_flush_us 0 n in
+    Array.sort compare batch;
+    Array.sort compare fl;
+    Metrics.gauge t.metrics ~key:"commit/batch_p50" ~value:(percentile batch 0.50);
+    Metrics.gauge t.metrics ~key:"commit/batch_p99" ~value:(percentile batch 0.99);
+    Metrics.gauge t.metrics ~key:"commit/flush_us_p50" ~value:(percentile fl 0.50);
+    Metrics.gauge t.metrics ~key:"commit/flush_us_p99" ~value:(percentile fl 0.99)
+  end;
+  Metrics.gauge t.metrics ~key:"commit/parked"
+    ~value:(Mutex.protect t.f_mu (fun () -> t.f_pending))
+
+(* release every parked reply of [d] covered by its durable watermark *)
+let release_covered t d =
+  let durable = Journal.durable_position (journal_of d) in
+  Mutex.lock t.f_mu;
+  let rel = ref [] in
+  let rec pop () =
+    match Queue.peek_opt d.d_parked with
+    | Some pk when Journal.covers ~durable pk.pk_pos ->
+      ignore (Queue.pop d.d_parked);
+      rel := pk :: !rel;
+      pop ()
+    | _ -> ()
+  in
+  pop ();
+  let released = List.rev !rel in
+  t.f_pending <- t.f_pending - List.length released;
+  if t.f_pending > 0 then t.f_first <- Unix.gettimeofday ();
+  Mutex.unlock t.f_mu;
+  List.iter (fun pk -> deliver t pk.pk_conn pk.pk_resp) released;
+  List.length released
+
+(* Coalesced checkpoint of one document, under the doc lock (deferred
+   mutations run right after, off the request path). Explicit waiters —
+   all of them — get the one resulting epoch. *)
+let checkpoint_doc t d =
+  run_sync d (fun () ->
+      let waiters =
+        Mutex.protect t.f_mu (fun () ->
+            let w = d.d_ckpt_waiters in
+            d.d_ckpt_waiters <- [];
+            w)
+      in
+      if d.d_closed then
+        List.iter
+          (fun conn -> deliver t conn (P.Err (P.Shutting_down, "document is closing")))
+          waiters
+      else begin
+        let due = waiters <> [] || auto_ckpt_due t d in
+        let resp =
+          if not due then P.Checkpointed (Journal.epoch (journal_of d))
+          else
+            match Durable_session.checkpoint d.d_durable with
+            | () ->
+              d.d_records <- 0;
+              publish d;
+              P.Checkpointed (Journal.epoch (journal_of d))
+            | exception Io.Io_error { op; reason; _ } ->
+              P.Err (P.Internal, op ^ ": " ^ reason)
+        in
+        List.iter (fun conn -> deliver t conn resp) waiters;
+        (* the epoch advance covers everything parked before it *)
+        if due then ignore (release_covered t d)
+      end)
+
+let flush_docs t docs =
+  let behind = List.filter (fun d -> Journal.behind (journal_of d)) docs in
+  let flush1 d =
+    try Journal.flush (journal_of d)
+    with Io.Io_error { op; reason; _ } -> t.cfg.log ("flush: " ^ op ^ ": " ^ reason)
+  in
+  match behind with
+  | [] -> ()
+  | [ d ] -> flush1 d
+  | d0 :: rest when Pool.cores () > 1 ->
+    (* fan the fsyncs out: each helper thread blocks in the kernel with
+       the runtime lock released, so independent journals sync in
+       parallel on a multi-queue device *)
+    let helpers = List.map (fun d -> Thread.create flush1 d) rest in
+    flush1 d0;
+    List.iter Thread.join helpers
+  | docs ->
+    (* one core: fan-out buys no device parallelism and costs a thread
+       spawn per dirty journal per cycle *)
+    List.iter flush1 docs
+
+let flush_cycle t docs =
+  let t0 = Unix.gettimeofday () in
+  flush_docs t docs;
+  let flush_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let released = List.fold_left (fun acc d -> acc + release_covered t d) 0 docs in
+  let need_ckpt =
+    List.filter
+      (fun d ->
+        auto_ckpt_due t d
+        || Mutex.protect t.f_mu (fun () -> d.d_ckpt_waiters <> []))
+      docs
+  in
+  List.iter (checkpoint_doc t) need_ckpt;
+  if released > 0 || flush_us > 0 then begin
+    let slot = t.ring_n mod ring_size in
+    t.ring_batch.(slot) <- released;
+    t.ring_flush_us.(slot) <- flush_us;
+    t.ring_n <- t.ring_n + 1;
+    Metrics.record t.metrics ~key:"commit/flush" ~ok:true ~ns:(flush_us * 1000);
+    if t.ring_n mod 16 = 0 then flush_gauges t
+  end
+
+let flusher_loop t =
+  let interval_s = float_of_int t.cfg.commit_interval_us /. 1e6 in
+  let wake_buf = Bytes.create 64 in
+  let sleep dt =
+    match Unix.select [ t.f_wake_r ] [] [] dt with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+      try ignore (Unix.read t.f_wake_r wake_buf 0 (Bytes.length wake_buf))
+      with Unix.Unix_error _ -> ())
+  in
+  (* [skip_if_dirty] closes the lost-wakeup race on the idle nap: a park
+     that fired before [f_sleeping] was set wrote no wake byte, so
+     re-check the dirty list under the same lock that sets the flag. The
+     interval nap deliberately sleeps regardless — it is bounded, and a
+     batch reaching [commit_max] mid-nap does write a byte. *)
+  let nap ~skip_if_dirty dt =
+    Mutex.lock t.f_mu;
+    let skip = t.f_stop || (skip_if_dirty && t.f_dirty <> []) in
+    if not skip then t.f_sleeping <- true;
+    Mutex.unlock t.f_mu;
+    if not skip then begin
+      sleep dt;
+      Mutex.lock t.f_mu;
+      t.f_sleeping <- false;
+      Mutex.unlock t.f_mu
+    end
+  in
+  (* Between cycles under sustained load, the next park arrives within
+     microseconds: burn a few scheduler yields looking for it before
+     paying for the select nap — the parker is spared the wake-pipe
+     write (it only writes when [f_sleeping] is set) and the flusher the
+     select round-trip, which at batch size ~1 would otherwise tax every
+     mutation with a pipe-and-context-switch cycle. *)
+  let spin_for_work () =
+    let rec go n =
+      if n = 0 then false
+      else begin
+        Thread.yield ();
+        Mutex.lock t.f_mu;
+        let found = t.f_stop || t.f_dirty <> [] in
+        Mutex.unlock t.f_mu;
+        found || go (n - 1)
+      end
+    in
+    go 16
+  in
+  let rec run () =
+    Mutex.lock t.f_mu;
+    if t.f_stop then Mutex.unlock t.f_mu
+    else if t.f_dirty = [] then begin
+      Mutex.unlock t.f_mu;
+      if not (spin_for_work ()) then nap ~skip_if_dirty:true 0.2;
+      run ()
+    end
+    else begin
+      (* batch growing: wait out the commit interval unless it is full *)
+      let age = Unix.gettimeofday () -. t.f_first in
+      if
+        interval_s > 0.
+        && t.f_pending > 0
+        && t.f_pending < t.cfg.commit_max
+        && age < interval_s
+      then begin
+        Mutex.unlock t.f_mu;
+        nap ~skip_if_dirty:false (max 0.0002 (interval_s -. age));
+        run ()
+      end
+      else begin
+        let docs = t.f_dirty in
+        t.f_dirty <- [];
+        List.iter (fun d -> d.d_enrolled <- false) docs;
+        Mutex.unlock t.f_mu;
+        flush_cycle t docs;
+        run ()
+      end
+    end
+  in
+  run ()
 
 (* ---- the replication manager ---------------------------------------
 
    Runs on a replica server ([config.replica_of]). A pull loop: list the
-   upstream's documents, bootstrap a follower actor for each new one
+   upstream's documents, bootstrap a follower doc for each new one
    (snapshot chunks, then {!Ship.bootstrap}), then pump durable log
    records and acknowledge each locally-durable batch. Stale positions
    (the upstream checkpointed into a new epoch) tear the follower down
@@ -663,24 +1200,21 @@ let mgr_request c req =
   | Ok resp -> resp
   | Error reason -> raise (Mgr_drop reason)
 
-(* Tear a follower actor down without checkpointing: the local journal
+(* Tear a follower doc down without checkpointing: the local journal
    stays as-is on disk (it may be promoted later); the replacement will
    overwrite it when it re-bootstraps. *)
-let remove_follower t a =
+let remove_follower t d =
   Mutex.lock t.reg_mu;
-  Hashtbl.remove t.actors a.a_doc;
+  Hashtbl.remove t.docs d.d_name;
   Mutex.unlock t.reg_mu;
-  Mutex.lock a.a_mu;
-  a.a_closed <- true;
-  a.a_abandoned <- true;
-  Condition.broadcast a.a_nonempty;
-  Condition.broadcast a.a_slot;
-  Mutex.unlock a.a_mu;
-  Thread.join a.a_thread;
-  try Durable_session.close a.a_durable with Io.Io_error _ -> ()
+  run_sync d (fun () ->
+      d.d_closed <- true;
+      try Durable_session.close d.d_durable with Io.Io_error _ -> ())
 
 let bootstrap_follower t c doc =
-  match mgr_request c (P.Subscribe { sb_doc = doc; sb_replica = t.cfg.replica_name }) with
+  match
+    mgr_request c (P.Subscribe { sb_doc = doc; sb_replica = t.cfg.replica_name })
+  with
   | P.Sub_ok { su_scheme = _; su_epoch; su_log_start; su_offset = _; su_snap_bytes } -> (
     let buf = Buffer.create (max 64 su_snap_bytes) in
     let rec pull () =
@@ -698,8 +1232,8 @@ let bootstrap_follower t c doc =
                })
         with
         | P.Shipped { sh_epoch = _; sh_offset; sh_total; sh_data } ->
-          if sh_offset <> Buffer.length buf || sh_total <> su_snap_bytes || sh_data = "" then
-            raise Mgr_resync;
+          if sh_offset <> Buffer.length buf || sh_total <> su_snap_bytes || sh_data = ""
+          then raise Mgr_resync;
           Buffer.add_string buf sh_data;
           pull ()
         | _ -> raise (Mgr_drop "unexpected reply to a snapshot fetch"))
@@ -708,17 +1242,19 @@ let bootstrap_follower t c doc =
     let base = Filename.concat t.cfg.root (doc ^ ".journal") in
     let pos = { Journal.p_epoch = su_epoch; p_offset = su_log_start } in
     match
-      Ship.bootstrap ~fsync_every:t.cfg.fsync_every ?checkpoint_every:t.cfg.checkpoint_every
-        ~base ~snapshot:(Buffer.contents buf) ~pos ()
+      Ship.bootstrap ~io:t.cfg.io ~fsync_every:(journal_fsync_every t.cfg) ~base
+        ~snapshot:(Buffer.contents buf) ~pos ()
     with
     | f ->
       Mutex.lock t.reg_mu;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.reg_mu)
         (fun () ->
-          if Hashtbl.mem t.actors doc then raise Mgr_resync;
-          t.cfg.log (Printf.sprintf "replication: following %s from %d:%d" doc su_epoch su_log_start);
-          spawn_actor t doc ~durable:(Ship.durable f) ~role:Follower ~ship:(Some f))
+          if Hashtbl.mem t.docs doc then raise Mgr_resync;
+          t.cfg.log
+            (Printf.sprintf "replication: following %s from %d:%d" doc su_epoch
+               su_log_start);
+          register_doc t doc ~durable:(Ship.durable f) ~role:Follower ~ship:(Some f))
     | exception Ship.Out_of_sync msg -> raise (Mgr_drop ("bootstrap " ^ doc ^ ": " ^ msg)))
   | P.Err (P.Shutting_down, _) -> raise (Mgr_drop "upstream is draining")
   | _ -> raise (Mgr_drop "unexpected reply to subscribe")
@@ -743,18 +1279,19 @@ let ack_position t c acked doc (pos : Journal.position) =
     | P.Acked _ -> Hashtbl.replace acked doc pos
     | _ -> ()
 
-let pump_follower t c acked a =
-  match a.a_ship with
+let pump_follower t c acked d =
+  match d.d_ship with
   | None -> ()
   | Some f ->
     let rec go budget =
-      if budget > 0 && Atomic.get a.a_role = Follower && not (Atomic.get t.closing) then begin
+      if budget > 0 && Atomic.get d.d_role = Follower && not (Atomic.get t.closing)
+      then begin
         let pos = Ship.position f in
         match
           mgr_request c
             (P.Replicate
                {
-                 rp_doc = a.a_doc;
+                 rp_doc = d.d_name;
                  rp_replica = t.cfg.replica_name;
                  rp_epoch = pos.Journal.p_epoch;
                  rp_snap = false;
@@ -762,19 +1299,34 @@ let pump_follower t c acked a =
                  rp_limit = mgr_chunk;
                })
         with
-        | P.Shipped { sh_data = ""; _ } -> ack_position t c acked a.a_doc pos
+        | P.Shipped { sh_data = ""; _ } -> ack_position t c acked d.d_name pos
         | P.Shipped { sh_epoch; sh_offset; sh_total = _; sh_data } -> (
-          match submit a (J_apply { ap_epoch = sh_epoch; ap_offset = sh_offset; ap_data = sh_data }) with
+          let resp =
+            run_sync d (fun () ->
+                if d.d_closed then P.Err (P.Shutting_down, "document is closing")
+                else begin
+                  let r =
+                    try exec_apply d ~epoch:sh_epoch ~offset:sh_offset ~data:sh_data with
+                    | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
+                    | e -> P.Err (P.Internal, Printexc.to_string e)
+                  in
+                  publish d;
+                  r
+                end)
+          in
+          match resp with
           | P.Updated _ ->
-            ack_position t c acked a.a_doc (Ship.position f);
+            ack_position t c acked d.d_name (Ship.position f);
             go (budget - 1)
           | P.Err (P.Stale_pos, _) -> raise Mgr_resync
           | P.Err (P.Shutting_down, _) -> ()
           | resp ->
             raise
               (Mgr_drop
-                 (Printf.sprintf "apply on %s failed: %s" a.a_doc
-                    (match resp with P.Err (e, m) -> P.err_name e ^ " " ^ m | _ -> "unexpected reply"))))
+                 (Printf.sprintf "apply on %s failed: %s" d.d_name
+                    (match resp with
+                    | P.Err (e, m) -> P.err_name e ^ " " ^ m
+                    | _ -> "unexpected reply"))))
         | P.Err (P.Unknown_doc, _) -> ()  (* upstream dropped it; next Docs pass decides *)
         | _ -> raise (Mgr_drop "unexpected reply to replicate")
       end
@@ -808,20 +1360,20 @@ let manager_loop t (host, port) =
           List.iter
             (fun (doc, _scheme, primary) ->
               if primary && not (Atomic.get t.closing) then begin
-                match find_actor t doc with
-                | Some a when Option.is_some a.a_ship -> (
-                  try pump_follower t c acked a
+                match find_doc t doc with
+                | Some d when Option.is_some d.d_ship -> (
+                  try pump_follower t c acked d
                   with Mgr_resync ->
                     t.cfg.log ("replication: re-bootstrapping " ^ doc);
                     Hashtbl.remove acked doc;
-                    remove_follower t a)
+                    remove_follower t d)
                 | Some _ -> ()  (* a local primary shadows the name; leave it alone *)
                 | None -> (
                   Hashtbl.remove acked doc;
                   match bootstrap_follower t c doc with
-                  | a -> (
-                    try pump_follower t c acked a
-                    with Mgr_resync -> remove_follower t a)
+                  | d -> (
+                    try pump_follower t c acked d
+                    with Mgr_resync -> remove_follower t d)
                   | exception Mgr_resync -> ())
               end)
             docs
@@ -842,100 +1394,14 @@ let manager_loop t (host, port) =
   done;
   drop ()
 
-(* ---- connections --------------------------------------------------- *)
-
-let ns_since t0 =
-  let dt = Unix.gettimeofday () -. t0 in
-  if dt <= 0. then 0 else int_of_float (dt *. 1e9)
-
-let handle_conn t fd =
-  (try
-     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.recv_timeout;
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout
-   with Unix.Unix_error _ -> ());
-  let reader = Wire.reader t.cfg.sock fd in
-  let send resp =
-    match Wire.send_frame t.cfg.sock fd (P.encode_resp resp) with
-    | () -> true
-    | exception Io.Io_error { reason; _ } ->
-      t.cfg.log ("conn send: " ^ reason);
-      false
-  in
-  let record ?doc cls ~ok ~ns =
-    Metrics.record t.metrics ~key:("req/" ^ cls) ~ok ~ns;
-    match doc with
-    | Some d -> Metrics.record t.metrics ~key:(Printf.sprintf "doc/%s/%s" d cls) ~ok ~ns
-    | None -> ()
-  in
-  let rec loop () =
-    if not (Atomic.get t.closing) then
-      match Wire.recv_frame reader with
-      | Wire.Eof -> ()
-      | Wire.Io_fail reason -> t.cfg.log ("conn recv: " ^ reason)
-      | Wire.Bad reason ->
-        (* a torn frame means the stream is out of sync: answer once so
-           the client learns why, then hang up *)
-        record "bad-frame" ~ok:false ~ns:0;
-        ignore (send (P.Err (P.Bad_frame, reason)))
-      | Wire.Frame payload -> (
-        let t0 = Unix.gettimeofday () in
-        match P.decode_req payload with
-        | Error reason ->
-          (* frame boundary held, only the payload is bad — the stream is
-             still in sync, so reply and keep going *)
-          record "bad-frame" ~ok:false ~ns:(ns_since t0);
-          if send (P.Err (P.Bad_frame, reason)) then loop ()
-        | Ok req ->
-          let resp =
-            try dispatch t req with
-            | Reject (e, msg) -> P.Err (e, msg)
-            | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
-            | e -> P.Err (P.Internal, Printexc.to_string e)
-          in
-          let ok = match resp with P.Err _ -> false | _ -> true in
-          record ?doc:(doc_of_req req) (P.req_class req) ~ok ~ns:(ns_since t0);
-          if send resp then loop ())
-  in
-  (try loop () with e -> t.cfg.log ("conn: " ^ Printexc.to_string e));
-  try t.cfg.sock.Io.s_close fd with Io.Io_error _ -> ()
-
 (* ---- accept loop, lifecycle ---------------------------------------- *)
 
-let conn_acquire t =
-  Mutex.lock t.conns_mu;
-  let rec wait () =
-    if Atomic.get t.closing then begin
-      Mutex.unlock t.conns_mu;
-      false
-    end
-    else if t.n_conns >= t.cfg.max_conns then begin
-      Condition.wait t.conns_cond t.conns_mu;
-      wait ()
-    end
-    else begin
-      t.n_conns <- t.n_conns + 1;
-      Mutex.unlock t.conns_mu;
-      true
-    end
-  in
-  wait ()
-
-let conn_register t fd =
-  Mutex.lock t.conns_mu;
-  t.live_conns <- fd :: t.live_conns;
-  t.served <- t.served + 1;
-  Mutex.unlock t.conns_mu
-
-let conn_finish ?fd t =
-  Mutex.lock t.conns_mu;
-  (match fd with
-  | Some fd -> t.live_conns <- List.filter (fun f -> f <> fd) t.live_conns
-  | None -> ());
-  t.n_conns <- t.n_conns - 1;
-  Condition.broadcast t.conns_cond;
-  Mutex.unlock t.conns_mu
+let wake_loop ls =
+  try ignore (Unix.write ls.l_wake_w (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error _ -> ()
 
 let accept_loop t =
+  let next_loop = ref 0 in
   let rec loop () =
     if not (Atomic.get t.closing) then
       match Unix.select [ t.lfd; t.stop_r ] [] [] 1.0 with
@@ -947,22 +1413,45 @@ let accept_loop t =
              if conn_acquire t then (
                match t.cfg.sock.Io.s_accept t.lfd with
                | fd, _ ->
-                 conn_register t fd;
-                 ignore
-                   (Thread.create
-                      (fun () ->
-                        (try handle_conn t fd with _ -> ());
-                        conn_finish ~fd t)
-                      ())
+                 (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout
+                  with Unix.Unix_error _ -> ());
+                 let conn =
+                   {
+                     c_fd = fd;
+                     c_dec = Wire.Decoder.create ();
+                     c_send_mu = Mutex.create ();
+                     c_alive = true;
+                     c_parked = 0;
+                     c_draining = false;
+                     c_closed = false;
+                     c_last = Unix.gettimeofday ();
+                   }
+                 in
+                 conn_register t conn;
+                 let ls = t.loops.(!next_loop mod Array.length t.loops) in
+                 incr next_loop;
+                 Mutex.lock ls.l_mu;
+                 ls.l_incoming <- conn :: ls.l_incoming;
+                 Mutex.unlock ls.l_mu;
+                 wake_loop ls
                | exception Io.Io_error { reason; _ } ->
-                 conn_finish t;
+                 Mutex.lock t.conns_mu;
+                 t.n_conns <- t.n_conns - 1;
+                 Condition.broadcast t.conns_cond;
+                 Mutex.unlock t.conns_mu;
                  if not (Atomic.get t.closing) then t.cfg.log ("accept: " ^ reason)));
           loop ()
         end
   in
   loop ()
 
-let start cfg =
+let gauge_config t =
+  Metrics.gauge t.metrics ~key:"cfg/fsync_every" ~value:t.cfg.fsync_every;
+  Metrics.gauge t.metrics ~key:"cfg/commit_interval_us" ~value:t.cfg.commit_interval_us;
+  Metrics.gauge t.metrics ~key:"cfg/commit_max" ~value:t.cfg.commit_max;
+  Metrics.gauge t.metrics ~key:"cfg/loop_domains" ~value:(Array.length t.loops)
+
+let start_core cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   mkdir_p cfg.root;
   let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -973,6 +1462,19 @@ let start cfg =
     match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
   in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let f_wake_r, f_wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock f_wake_r;
+  Unix.set_nonblock f_wake_w;
+  let n_loops =
+    if cfg.loop_domains >= 1 then cfg.loop_domains else max 1 (Pool.cores () - 1)
+  in
+  let loops =
+    Array.init n_loops (fun i ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock r;
+        Unix.set_nonblock w;
+        { l_idx = i; l_wake_r = r; l_wake_w = w; l_mu = Mutex.create (); l_incoming = [] })
+  in
   let t =
     {
       cfg;
@@ -980,7 +1482,7 @@ let start cfg =
       t_port;
       metrics = Metrics.create ();
       reg_mu = Mutex.create ();
-      actors = Hashtbl.create 16;
+      docs = Hashtbl.create 16;
       conns_mu = Mutex.create ();
       conns_cond = Condition.create ();
       live_conns = [];
@@ -990,12 +1492,30 @@ let start cfg =
       stop_r;
       stop_w;
       accept_thread = Thread.self ();
+      loops;
+      loop_handle = None;
       stopped = false;
       acks_mu = Mutex.create ();
       acks = Hashtbl.create 8;
       mgr_thread = None;
+      f_mu = Mutex.create ();
+      f_pending = 0;
+      f_first = 0.;
+      f_dirty = [];
+      f_stop = false;
+      f_sleeping = false;
+      f_wake_r;
+      f_wake_w;
+      flusher_thread = None;
+      ring_batch = Array.make ring_size 0;
+      ring_flush_us = Array.make ring_size 0;
+      ring_n = 0;
     }
   in
+  gauge_config t;
+  t.loop_handle <-
+    Some (Pool.Loops.spawn ~domains:n_loops (fun i -> event_loop t t.loops.(i)));
+  t.flusher_thread <- Some (Thread.create flusher_loop t);
   t.accept_thread <- Thread.create accept_loop t;
   (match cfg.replica_of with
   | Some upstream -> t.mgr_thread <- Some (Thread.create (manager_loop t) upstream)
@@ -1003,7 +1523,7 @@ let start cfg =
   t
 
 (* Flip the server into draining; safe from a signal handler. *)
-let trigger t =
+let trigger_core t =
   if not (Atomic.exchange t.closing true) then begin
     (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
      with Unix.Unix_error _ -> ());
@@ -1013,10 +1533,7 @@ let trigger t =
     Mutex.unlock t.conns_mu
   end
 
-let install_sigint t =
-  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> trigger t))
-
-let wait t =
+let wait_core t =
   (* the trigger byte stays in the pipe (select does not consume), so
      this works whether the trigger fired before or after the call; the
      SIGINT that fires the trigger also interrupts this very select *)
@@ -1028,30 +1545,6 @@ let wait t =
   in
   go ()
 
-let drain_conns ~how t =
-  Thread.join t.accept_thread;
-  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
-  Mutex.lock t.conns_mu;
-  List.iter
-    (fun fd -> try Unix.shutdown fd how with Unix.Unix_error _ -> ())
-    t.live_conns;
-  while t.n_conns > 0 do
-    Condition.wait t.conns_cond t.conns_mu
-  done;
-  Mutex.unlock t.conns_mu
-
-let close_actors ~abandon t =
-  Hashtbl.iter
-    (fun _ a ->
-      Mutex.lock a.a_mu;
-      a.a_closed <- true;
-      if abandon then a.a_abandoned <- true;
-      Condition.broadcast a.a_nonempty;
-      Condition.broadcast a.a_slot;
-      Mutex.unlock a.a_mu)
-    t.actors;
-  Hashtbl.iter (fun _ a -> Thread.join a.a_thread) t.actors
-
 let join_manager t =
   match t.mgr_thread with
   | None -> ()
@@ -1059,24 +1552,157 @@ let join_manager t =
     t.mgr_thread <- None;
     Thread.join th
 
-let stop t =
-  trigger t;
-  if t.stopped then { s_conns = t.served; s_docs = Hashtbl.length t.actors }
+(* Shut the transport down: stop accepting, shut the connections' [how]
+   side, join the loop domains (every connection EOFs out of its poll
+   set), then stop and join the flusher — which keeps releasing parked
+   acks for draining connections while the loops empty out. *)
+let drain_transport ~how t =
+  Thread.join t.accept_thread;
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_mu;
+  List.iter
+    (fun c -> try Unix.shutdown c.c_fd how with Unix.Unix_error _ -> ())
+    t.live_conns;
+  Mutex.unlock t.conns_mu;
+  Array.iter wake_loop t.loops;
+  (match t.loop_handle with
+  | Some ls ->
+    t.loop_handle <- None;
+    Pool.Loops.join ls
+  | None -> ());
+  Mutex.lock t.f_mu;
+  t.f_stop <- true;
+  wake_flusher t;
+  Mutex.unlock t.f_mu;
+  match t.flusher_thread with
+  | Some th ->
+    t.flusher_thread <- None;
+    Thread.join th
+  | None -> ()
+
+(* Graceful close of every document: final flush, release whatever the
+   watermark covers, checkpoint, close. Runs after every loop and the
+   flusher have been joined — no concurrency left. *)
+let close_docs_graceful t =
+  Hashtbl.iter
+    (fun _ d ->
+      (try Journal.flush (journal_of d) with Io.Io_error _ -> ());
+      ignore (release_covered t d);
+      (* an fsync failure above leaves uncovered parked replies: the
+         journal never made their bytes durable, so the honest answer is
+         a shutdown error, not an ack *)
+      Mutex.lock t.f_mu;
+      let orphans = List.of_seq (Queue.to_seq d.d_parked) in
+      Queue.clear d.d_parked;
+      t.f_pending <- t.f_pending - List.length orphans;
+      let waiters = d.d_ckpt_waiters in
+      d.d_ckpt_waiters <- [];
+      Mutex.unlock t.f_mu;
+      List.iter
+        (fun pk ->
+          deliver t pk.pk_conn (P.Err (P.Shutting_down, "server stopped before fsync")))
+        orphans;
+      d.d_closed <- true;
+      (try Durable_session.checkpoint d.d_durable with Io.Io_error _ -> ());
+      List.iter
+        (fun conn -> deliver t conn (P.Checkpointed (Journal.epoch (journal_of d))))
+        waiters;
+      try Durable_session.close d.d_durable with Io.Io_error _ -> ())
+    t.docs
+
+let close_remaining_conns t =
+  Mutex.lock t.conns_mu;
+  let left = t.live_conns in
+  Mutex.unlock t.conns_mu;
+  List.iter
+    (fun c ->
+      let close_now =
+        Mutex.protect t.f_mu (fun () ->
+            if c.c_closed then false
+            else begin
+              c.c_closed <- true;
+              true
+            end)
+      in
+      if close_now then begin
+        (try t.cfg.sock.Io.s_close c.c_fd with Io.Io_error _ -> ());
+        conn_finish t c
+      end)
+    left
+
+let stop_core t =
+  trigger_core t;
+  if t.stopped then { s_conns = t.served; s_docs = Hashtbl.length t.docs }
   else begin
     join_manager t;
     (* in-flight requests finish and get their replies: shutting down the
        receive side turns each connection's next read into a clean EOF *)
-    drain_conns ~how:Unix.SHUTDOWN_RECEIVE t;
-    close_actors ~abandon:false t;
+    drain_transport ~how:Unix.SHUTDOWN_RECEIVE t;
+    close_docs_graceful t;
+    close_remaining_conns t;
     t.stopped <- true;
-    { s_conns = t.served; s_docs = Hashtbl.length t.actors }
+    { s_conns = t.served; s_docs = Hashtbl.length t.docs }
   end
 
-let abort t =
-  trigger t;
+let abort_core t =
+  trigger_core t;
   if not t.stopped then begin
     join_manager t;
-    drain_conns ~how:Unix.SHUTDOWN_ALL t;
-    close_actors ~abandon:true t;
+    drain_transport ~how:Unix.SHUTDOWN_ALL t;
+    (* simulated kill: drop every parked reply unreleased, checkpoint and
+       close nothing — recovery makes do with what fsync already covered *)
+    Mutex.lock t.f_mu;
+    Hashtbl.iter
+      (fun _ d ->
+        Queue.clear d.d_parked;
+        d.d_ckpt_waiters <- [])
+      t.docs;
+    t.f_pending <- 0;
+    Mutex.unlock t.f_mu;
+    close_remaining_conns t;
     t.stopped <- true
   end
+
+(* ---- public face: new core or legacy -------------------------------- *)
+
+let legacy_config cfg =
+  {
+    Server_legacy.host = cfg.host;
+    port = cfg.port;
+    root = cfg.root;
+    max_conns = cfg.max_conns;
+    backlog = cfg.backlog;
+    recv_timeout = cfg.recv_timeout;
+    send_timeout = cfg.send_timeout;
+    fsync_every = max 1 cfg.fsync_every;
+    checkpoint_every = cfg.checkpoint_every;
+    max_doc_nodes = cfg.max_doc_nodes;
+    max_frag_nodes = cfg.max_frag_nodes;
+    sock = cfg.sock;
+    log = cfg.log;
+    replica_of = cfg.replica_of;
+    replica_name = cfg.replica_name;
+    poll_interval = cfg.poll_interval;
+  }
+
+let start cfg =
+  if cfg.legacy_core then Legacy (Server_legacy.start (legacy_config cfg))
+  else Loop (start_core cfg)
+
+let port = function Loop t -> t.t_port | Legacy l -> Server_legacy.port l
+let metrics = function Loop t -> t.metrics | Legacy l -> Server_legacy.metrics l
+let trigger = function Loop t -> trigger_core t | Legacy l -> Server_legacy.trigger l
+
+let install_sigint = function
+  | Loop t -> Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> trigger_core t))
+  | Legacy l -> Server_legacy.install_sigint l
+
+let wait = function Loop t -> wait_core t | Legacy l -> Server_legacy.wait l
+
+let stop = function
+  | Loop t -> stop_core t
+  | Legacy l ->
+    let s = Server_legacy.stop l in
+    { s_conns = s.Server_legacy.s_conns; s_docs = s.Server_legacy.s_docs }
+
+let abort = function Loop t -> abort_core t | Legacy l -> Server_legacy.abort l

@@ -1,33 +1,50 @@
-(** The network update server: framed wire protocol over TCP, one actor
-    thread per open document, durable sessions underneath.
+(** The network update server: framed wire protocol over TCP, a small set
+    of event-loop domains multiplexing every connection, durable sessions
+    underneath, and one group-commit flusher amortizing fsync across all
+    of them.
 
-    Ownership model: each open document is owned by exactly one actor
-    thread. Mutations (Update), tree walks (Labels) and checkpoints are
-    jobs serialized through the actor's bounded queue onto a
-    {!Repro_journal.Durable_session} — so every confirmed update is
-    journaled with the journal's crash guarantees, and no lock covers the
-    tree itself. Label-only queries ({!Protocol.Query}) and stats reads
-    are answered on the connection thread from an atomically published
-    snapshot, concurrently with writes — the paper's point that a good
-    labelling scheme needs no document access for structural predicates,
-    turned into server architecture.
+    Threading model (the multicore core, [legacy_core = false]):
 
-    Backpressure, bounded everywhere: at most [max_conns] connections
-    (the accept loop blocks past that), at most 128 queued jobs per actor
-    (the connection thread blocks, which stops reading its socket and
-    pushes back through TCP), per-connection receive/send timeouts.
+    - [loop_domains] OCaml 5 domains each run a poll-style event loop
+      over the {!Repro_io.Io.sock} [s_select] seam. Connections are dealt
+      to loops round-robin at accept; a loop reads whatever its sockets
+      have, cuts frames with an incremental {!Wire.Decoder}, and executes
+      requests inline.
+    - Each document carries a {e combining lock}: a loop takes it with
+      [try_lock] and, on contention, defers the job closure to the
+      current holder instead of blocking — an event loop never sleeps on
+      a document, no matter how many clients hammer one doc.
+    - Mutations are validated and journal-appended immediately, but their
+      replies are {e parked} until the journal's durable watermark covers
+      their append position ({!Repro_journal.Journal.covers}). A
+      dedicated flusher thread coalesces pending appends across {e all}
+      documents into one fsync cycle — bounded by [commit_interval_us]
+      and [commit_max] — then releases every covered reply. An ack is
+      never sent ahead of the durable prefix; group commit changes who
+      pays for the fsync, not what it promises.
+    - Checkpoints run from the flusher, off the request path. Explicit
+      [Checkpoint] requests under [checkpoint_min_records] fresh records
+      are answered immediately as no-ops; heavier ones park like
+      mutations and are coalesced.
+    - Label-only queries ({!Protocol.Query}) and stats reads are answered
+      straight from an atomically published snapshot, concurrently with
+      writes — the paper's point that a good labelling scheme needs no
+      document access for structural predicates, turned into server
+      architecture.
 
     Shutdown: {!trigger} (installed on SIGINT by {!install_sigint}) flips
-    the server into draining; {!stop} then stops accepting, lets in-flight
-    requests answer, shuts down each connection's receive side so idle
-    readers see EOF, drains every actor queue, and checkpoints + closes
-    every journal. {!abort} is the torture-test variant: it abandons the
-    actors without checkpointing or flushing — a simulated [kill -9] whose
-    on-disk state must still recover to a durable prefix.
+    the server into draining; {!stop} then stops accepting, shuts down
+    each connection's receive side so readers see EOF, joins the loops
+    while the flusher keeps releasing parked acks, and finally flushes,
+    checkpoints and closes every journal. {!abort} is the torture-test
+    variant: no flush, no checkpoint, parked replies dropped — a
+    simulated [kill -9] whose on-disk state must still recover to exactly
+    the acknowledged prefix.
 
     All socket syscalls go through the {!Repro_io.Io.sock} seam in
-    [config], so {!Repro_io.Failpoint.wrap_sock} can inject EINTR, short
-    reads/writes and EIO on the wire path. *)
+    [config] and all file IO through [config.io], so
+    {!Repro_io.Failpoint} and {!Repro_io.Crashsim} can interpose on both
+    paths. *)
 
 type config = {
   host : string;  (** numeric address to bind, default ["127.0.0.1"] *)
@@ -37,21 +54,47 @@ type config = {
   backlog : int;
   recv_timeout : float;  (** seconds; an idle connection is dropped *)
   send_timeout : float;
-  fsync_every : int;  (** journal batch commit, as in {!Repro_journal.Journal.create} *)
+  fsync_every : int;
+      (** journal-level batch commit. [<= 0] (the default) means the
+          journal never fsyncs on its own — the group-commit flusher owns
+          durability entirely. [1] restores fsync-per-append (every
+          update is durable before its reply, no parking); [>= 2] batches
+          inside each journal as before. *)
   checkpoint_every : int option;
+      (** auto-checkpoint a document after this many journaled records,
+          executed by the flusher off the request path; [None] disables *)
+  checkpoint_min_records : int;
+      (** explicit [Checkpoint] requests below this many fresh records
+          are answered as immediate no-ops (the current epoch). Set [0]
+          to make every explicit checkpoint real. *)
   max_doc_nodes : int;  (** cap on [Open]'s generated document size *)
   max_frag_nodes : int;  (** cap on a single inserted fragment *)
+  commit_interval_us : int;
+      (** upper bound on how long a parked reply may wait for its fsync,
+          in microseconds. [0] (the default) self-clocks: each commit
+          cycle starts as soon as the previous one ends. *)
+  commit_max : int;
+      (** a commit cycle starts early once this many replies are parked *)
+  loop_domains : int;
+      (** event-loop domains; [<= 0] sizes from the hardware
+          ([recommended_domain_count - 1], min 1) *)
+  io : Repro_io.Io.t;  (** file-IO seam for every journal this server opens *)
   sock : Repro_io.Io.sock;
   log : string -> unit;  (** connection-level diagnostics; default drops them *)
   replica_of : (string * int) option;
       (** follow every document of this upstream server: a replication
-          manager thread subscribes, bootstraps a follower actor per
+          manager thread subscribes, bootstraps a follower document per
           upstream document (epoch snapshot + log tail through
           {!Repro_journal.Ship}), pumps durable log records, and
           acknowledges each locally-durable batch. Followers answer reads
           and refuse updates with [Not_primary] until promoted. *)
   replica_name : string;  (** how this replica identifies itself upstream *)
   poll_interval : float;  (** replication manager idle poll, seconds *)
+  legacy_core : bool;
+      (** run the previous thread-per-connection, actor-per-document core
+          ({!Server_legacy}) behind the same API — kept for same-build
+          old-vs-new benchmarking. [fsync_every <= 0] is clamped to [1]
+          there; the group-commit knobs are ignored. *)
 }
 
 val default_config : root:string -> config
@@ -62,14 +105,22 @@ type summary = { s_conns : int; s_docs : int }
 (** Connections served and documents open over the server's lifetime. *)
 
 val start : config -> t
-(** Bind, listen, spawn the accept thread, return immediately. Creates
-    [root] if needed. Ignores SIGPIPE process-wide (a peer that hangs up
-    mid-reply must surface as a typed error, not kill the process). *)
+(** Bind, listen, spawn the loop domains, the flusher and the accept
+    thread, return immediately. Creates [root] if needed. Ignores SIGPIPE
+    process-wide (a peer that hangs up mid-reply must surface as a typed
+    error, not kill the process). *)
 
 val port : t -> int
 (** The bound port — the ephemeral one when [config.port] was 0. *)
 
 val metrics : t -> Metrics.t
+(** Counters and gauges. Beyond the per-request keys, the multicore core
+    publishes ["commit/batch_p50"]/["commit/batch_p99"] (replies retired
+    per fsync cycle), ["commit/flush_us_p50"]/["commit/flush_us_p99"]
+    (cycle latency), ["commit/parked"] (current depth),
+    ["loop/<i>/util_pct"] per event-loop domain, and the effective
+    ["cfg/fsync_every"], ["cfg/commit_interval_us"], ["cfg/commit_max"],
+    ["cfg/loop_domains"]. *)
 
 val trigger : t -> unit
 (** Begin draining: stop accepting, refuse new opens. Async-signal-safe;
@@ -84,9 +135,10 @@ val wait : t -> unit
 
 val stop : t -> summary
 (** Graceful drain: see the module description. Idempotent; safe after
-    {!trigger} from anywhere. *)
+    {!trigger} from anywhere. Every reply still parked at a journal that
+    flushes cleanly is released before its connection closes. *)
 
 val abort : t -> unit
-(** Simulated kill for crash tests: connections are torn down and actors
-    abandoned with {e no} checkpoint, flush or close — recovery must make
-    do with what the journal's fsync policy already made durable. *)
+(** Simulated kill for crash tests: connections are torn down, parked
+    replies dropped, with {e no} checkpoint, flush or close — recovery
+    must make do with what the fsync cycles already made durable. *)

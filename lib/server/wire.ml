@@ -119,3 +119,78 @@ let recv_frame r =
   with Io.Io_error { reason; _ } -> Io_fail reason
 
 let send_frame sock fd payload = sock.Io.s_send_all fd (frame payload)
+
+(* ---- incremental decoding ------------------------------------------
+
+   The event-loop server cannot block inside a frame: it reads whatever
+   the socket has and returns to the poll. The decoder accumulates those
+   chunks and hands back whole frames as they complete. *)
+
+module Decoder = struct
+  type t = {
+    mutable d_buf : Bytes.t;
+    mutable d_start : int;  (* first unconsumed byte *)
+    mutable d_len : int;  (* one past the last valid byte *)
+  }
+
+  let create () = { d_buf = Bytes.create 8192; d_start = 0; d_len = 0 }
+
+  let feed d src off n =
+    if n > 0 then begin
+      let used = d.d_len - d.d_start in
+      if d.d_len + n > Bytes.length d.d_buf then begin
+        (* compact first; grow (amortised doubling) only when the live
+           region itself outgrows the buffer *)
+        let nb =
+          if used + n > Bytes.length d.d_buf then
+            Bytes.create (max (2 * Bytes.length d.d_buf) (used + n))
+          else d.d_buf
+        in
+        Bytes.blit d.d_buf d.d_start nb 0 used;
+        d.d_buf <- nb;
+        d.d_start <- 0;
+        d.d_len <- used
+      end;
+      Bytes.blit src off d.d_buf d.d_len n;
+      d.d_len <- d.d_len + n
+    end
+
+  (* One whole frame if buffered, [`More] if bytes are missing, [`Bad]
+     if the stream can no longer be trusted. Mirrors [recv_frame]'s
+     checks byte for byte. *)
+  let next d =
+    let avail = d.d_len - d.d_start in
+    if avail = 0 then `More
+    else begin
+      let first = Bytes.get d.d_buf d.d_start in
+      match seq_len first with
+      | None -> `Bad "bad frame length byte"
+      | Some k ->
+        if avail < k then `More
+        else begin
+          let header = Bytes.sub_string d.d_buf d.d_start k in
+          match Repro_codes.Varint.decode header 0 with
+          | exception Invalid_argument m -> `Bad m
+          | n, _ ->
+            if avail < k + n + 4 then `More
+            else begin
+              let payload = Bytes.sub_string d.d_buf (d.d_start + k) n in
+              let c = ref 0 in
+              for i = 3 downto 0 do
+                c := (!c lsl 8) lor Char.code (Bytes.get d.d_buf (d.d_start + k + n + i))
+              done;
+              if !c <> crc payload then `Bad "frame checksum mismatch"
+              else begin
+                d.d_start <- d.d_start + k + n + 4;
+                if d.d_start = d.d_len then begin
+                  d.d_start <- 0;
+                  d.d_len <- 0
+                end;
+                `Frame payload
+              end
+            end
+        end
+    end
+
+  let pending d = d.d_len - d.d_start > 0
+end

@@ -34,3 +34,22 @@ val recv_frame : reader -> event
 val send_frame : Repro_io.Io.sock -> Unix.file_descr -> string -> unit
 (** Frame and send a payload, short writes completed by the seam. Raises
     {!Repro_io.Io.Io_error} on transport failure. *)
+
+(** Non-blocking frame accumulator for the event-loop server: feed it
+    whatever the socket handed over, pop whole frames as they complete.
+    Same framing checks as {!recv_frame}. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed d buf off n] appends [n] bytes of [buf] starting at [off]. *)
+
+  val next : t -> [ `Frame of string | `More | `Bad of string ]
+  (** One whole payload, or [`More] while bytes are missing. [`Bad]
+      means the stream is out of sync and must be hung up. *)
+
+  val pending : t -> bool
+  (** Buffered bytes not yet consumed by a whole frame. *)
+end

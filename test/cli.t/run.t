@@ -205,7 +205,7 @@ journal (the server checkpointed on shutdown, so the log tail is empty):
   $ xmlrepro journal recover srv/doc-0.journal | grep -c 'from the snapshot'
   1
   $ xmlrepro journal recover srv/doc-0.journal | grep 'replayed'
-  recovered epoch 3 under QED: 82 nodes from the snapshot, 0 record(s) replayed (0 bytes)
+  recovered epoch 2 under QED: 82 nodes from the snapshot, 0 record(s) replayed (0 bytes)
 
 The load generator can also spin its own in-process server:
 

@@ -388,6 +388,212 @@ let draining_refuses_opens () =
           expect_err P.Shutting_down
             (Client.open_doc c ~doc:"late" ~scheme:"QED" ~nodes:10 ~seed:1)))
 
+(* ---- group commit ---------------------------------------------------- *)
+
+(* An Io backend that counts fsyncs — aimed at the group-commit claim
+   itself: many concurrent durable updates must cost far fewer fsyncs
+   than updates, because one flusher cycle retires a whole batch. *)
+let counting_fsync_io () =
+  let fsyncs = Atomic.make 0 in
+  let module Raw = (val Repro_io.Io.unix_syscalls : Repro_io.Io.S) in
+  let module Counted = struct
+    type fd = Raw.fd
+
+    let openfile = Raw.openfile
+    let write = Raw.write
+
+    let fsync fd =
+      Atomic.incr fsyncs;
+      Raw.fsync fd
+
+    let ftruncate = Raw.ftruncate
+    let close = Raw.close
+    let rename = Raw.rename
+    let fsync_dir = Raw.fsync_dir
+    let remove = Raw.remove
+    let read_file = Raw.read_file
+    let file_exists = Raw.file_exists
+  end in
+  (fsyncs, Repro_io.Io.pack (module Counted : Repro_io.Io.S))
+
+let group_commit_batches_fsyncs () =
+  let root = fresh_root () in
+  let fsyncs, io = counting_fsync_io () in
+  let t =
+    Server.start
+      {
+        (Server.default_config ~root) with
+        fsync_every = 0;
+        commit_interval_us = 1_500;
+        commit_max = 64;
+        io;
+      }
+  in
+  let clients = 8 and per_client = 30 in
+  let failures = Atomic.make 0 in
+  let o =
+    with_client t (fun c -> open_doc c ~doc:"batched" ~scheme:"QED")
+  in
+  let root_l = { Oplog.l_bytes = o.o_root.P.l_bytes; l_bits = o.o_root.P.l_bits } in
+  let worker i () =
+    with_client t (fun c ->
+        for k = 1 to per_client do
+          match
+            Client.update c ~doc:"batched"
+              [ Oplog.Insert_last (root_l, Tree.elt (Printf.sprintf "b%d_%d" i k) []) ]
+          with
+          | Ok (P.Updated _) -> ()
+          | _ -> Atomic.incr failures
+        done)
+  in
+  let before = Atomic.get fsyncs in
+  let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  let spent = Atomic.get fsyncs - before in
+  let updates = clients * per_client in
+  check Alcotest.int "every durable update confirmed" 0 (Atomic.get failures);
+  (* fsync-per-append would cost one fsync per update; group commit must
+     amortize. Half is a deliberately loose bound — in practice a cycle
+     retires several replies and the count is far lower. *)
+  check Alcotest.bool
+    (Printf.sprintf "%d acked updates cost %d fsyncs (expected < %d)" updates spent
+       (updates / 2))
+    true
+    (spent < updates / 2);
+  (match with_client t (fun c -> ok (Client.metrics c)) with
+  | P.Metrics_r ms ->
+    let gauge key =
+      match List.find_opt (fun m -> m.P.m_key = key) ms with
+      | Some m -> m.P.m_total_ns
+      | None -> -1
+    in
+    check Alcotest.bool "batch p50 gauge published" true (gauge "commit/batch_p50" >= 1);
+    check Alcotest.int "effective fsync_every echoed" 0 (gauge "cfg/fsync_every");
+    check Alcotest.int "effective commit_interval echoed" 1_500
+      (gauge "cfg/commit_interval_us")
+  | _ -> Alcotest.fail "metrics");
+  ignore (Server.stop t);
+  rm_rf root
+
+(* Abort with a commit cycle mid-batch: pipeline updates so some replies
+   are parked and unflushed at the kill, then demand that *every* crash
+   image the simulated file system can surface recovers to a state
+   containing the full acked prefix — acks never outrun the fsync. *)
+let abort_mid_batch_serves_acked_prefix () =
+  let root = fresh_root () in
+  let sim = Repro_io.Crashsim.create () in
+  let io = Repro_io.Io.serialized (Repro_io.Crashsim.io sim) in
+  let t =
+    Server.start
+      {
+        (Server.default_config ~root) with
+        fsync_every = 0;
+        commit_interval_us = 200_000;
+        (* only the commit-max overflow can trigger a flush in test time *)
+        commit_max = 3;
+        io;
+      }
+  in
+  let o =
+    with_client t (fun c -> open_doc ~nodes:20 ~seed:7 c ~doc:"pipelined" ~scheme:"QED")
+  in
+  let root_l = { Oplog.l_bytes = o.o_root.P.l_bytes; l_bits = o.o_root.P.l_bits } in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port t));
+  let reader = Repro_server.Wire.reader Repro_io.Io.real_sock fd in
+  let send_update k =
+    let payload =
+      P.encode_req
+        (P.Update
+           {
+             u_doc = "pipelined";
+             u_ops = [ Oplog.Insert_last (root_l, Tree.elt (Printf.sprintf "a%d" k) []) ];
+           })
+    in
+    let f = Repro_server.Wire.frame payload in
+    let b = Bytes.of_string f in
+    ignore (Unix.write fd b 0 (Bytes.length b))
+  in
+  let recv_updated what =
+    match Repro_server.Wire.recv_frame reader with
+    | Repro_server.Wire.Frame payload -> (
+      match P.decode_resp payload with
+      | Ok (P.Updated _) -> ()
+      | _ -> Alcotest.fail (what ^ ": expected Updated"))
+    | _ -> Alcotest.fail (what ^ ": no reply")
+  in
+  (* three pipelined updates overflow commit_max and come back acked... *)
+  send_update 1;
+  send_update 2;
+  send_update 3;
+  recv_updated "first";
+  recv_updated "second";
+  recv_updated "third";
+  (* ...two more are appended and parked, but their cycle (200ms away)
+     never runs: the server dies first *)
+  send_update 4;
+  send_update 5;
+  Thread.delay 0.02;
+  Server.abort t;
+  Unix.close fd;
+  let boundary = Repro_io.Crashsim.syscalls sim in
+  let images = Repro_io.Crashsim.images sim ~boundary in
+  check Alcotest.bool "the sim surfaced crash images" true (images <> []);
+  List.iter
+    (fun image ->
+      let sim' = Repro_io.Crashsim.restore image in
+      let j, recovered, r =
+        Journal.recover ~io:(Repro_io.Crashsim.io sim')
+          ~base:(Filename.concat root "pipelined.journal") ()
+      in
+      Journal.close j;
+      check Alcotest.bool "at least the acked records survive" true (r.Journal.r_records >= 3);
+      check Alcotest.bool "no phantom records" true (r.Journal.r_records <= 5);
+      let names =
+        List.map (fun (n : Tree.node) -> n.Tree.name)
+          (Tree.preorder recovered.Core.Session.doc)
+      in
+      List.iter
+        (fun k ->
+          let want = Printf.sprintf "a%d" k in
+          check Alcotest.bool ("acked insert " ^ want ^ " survives the crash") true
+            (List.mem want names))
+        [ 1; 2; 3 ])
+    images;
+  rm_rf root
+
+(* The contended mix: several clients share a small set of documents, so
+   one flusher cycle commits appends from many connections at once. A
+   seeded end-to-end soak — zero errors, and the group-commit gauges are
+   scrapeable afterwards. *)
+let shared_docs_soak () =
+  let root = fresh_root () in
+  let t =
+    Server.start
+      { (Server.default_config ~root) with commit_interval_us = 800; commit_max = 32 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Server.stop t);
+      rm_rf root)
+    (fun () ->
+      let report =
+        Loadgen.run
+          {
+            (Loadgen.default_config ~port:(Server.port t)) with
+            Loadgen.g_clients = 6;
+            g_ops = 900;
+            g_seed = 77;
+            g_nodes = 50;
+            g_docs = 2;
+          }
+      in
+      check Alcotest.int "every op sent" 900 report.Loadgen.r_ops;
+      check Alcotest.int "zero errors" 0 report.Loadgen.r_errors;
+      check Alcotest.bool "group-commit gauges scraped" true
+        (List.mem_assoc "cfg/fsync_every" report.Loadgen.r_server
+        && List.mem_assoc "commit/batch_p50" report.Loadgen.r_server))
+
 let suite =
   [
     Alcotest.test_case "happy path over loopback" `Quick happy_path;
@@ -399,4 +605,8 @@ let suite =
       abort_then_recover_matches_twin;
     Alcotest.test_case "graceful stop checkpoints" `Quick graceful_stop_checkpoints;
     Alcotest.test_case "draining refuses opens" `Quick draining_refuses_opens;
+    Alcotest.test_case "group commit batches fsyncs" `Slow group_commit_batches_fsyncs;
+    Alcotest.test_case "abort mid-batch serves the acked prefix" `Quick
+      abort_mid_batch_serves_acked_prefix;
+    Alcotest.test_case "shared-document soak, zero errors" `Slow shared_docs_soak;
   ]
