@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke check clean
+.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke check clean
 
 all: build
 
@@ -59,7 +59,16 @@ cluster-smoke: build
 	  --shards 3 --replicas 1 --smoke --smoke-ops 600 \
 	  --commit-interval 1000 --commit-max 32
 
-check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke
+# Network-fault torture smoke: the exactly-once update path with a
+# deterministic fault (drop/reset/truncate/partition/delay) injected at a
+# sampled set of socket-syscall coordinates, on both server cores, plus
+# the dedup-disabled negative control and the crash-recovery dedup check.
+# Exits non-zero on any double- or lost-apply, or if the control fails to
+# catch doubles.
+nettorture-smoke: build
+	dune exec bin/xmlrepro.exe -- nettorture --ops 8 --seeds 1 --points 120
+
+check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke
 
 clean:
 	dune clean

@@ -606,7 +606,8 @@ let port_arg ~default ~doc = Arg.(value & opt int default & info [ "port" ] ~doc
 
 let serve_cmd =
   let run host port root max_conns fsync_every checkpoint_every commit_interval
-      commit_max loop_domains legacy_core port_file replica_of replica_name =
+      commit_max loop_domains legacy_core dedup_window shed_parked port_file
+      replica_of replica_name =
     let checkpoint_every = if checkpoint_every <= 0 then None else Some checkpoint_every in
     let replica_of =
       match replica_of with
@@ -630,6 +631,8 @@ let serve_cmd =
         commit_max;
         loop_domains;
         legacy_core;
+        dedup_window;
+        shed_parked;
         replica_of;
         replica_name;
       }
@@ -705,6 +708,24 @@ let serve_cmd =
             "Run the previous thread-per-connection, actor-per-document core — \
              kept for same-build old-vs-new benchmarking.")
   in
+  let dedup_window =
+    Arg.(
+      value & opt int 128
+      & info [ "dedup-window" ] ~docv:"N"
+          ~doc:
+            "Remember the last reply of up to $(docv) identified clients per \
+             document, so a retried (client, seq) is answered without re-applying \
+             — exactly-once retries. 0 disables dedup.")
+  in
+  let shed_parked =
+    Arg.(
+      value & opt int 4096
+      & info [ "shed-parked" ] ~docv:"N"
+          ~doc:
+            "Refuse further mutations with a typed Overloaded error once $(docv) \
+             replies are parked awaiting fsync server-wide — nothing is applied \
+             or journaled, so the refusal is always safe to retry. 0 disables.")
+  in
   let port_file =
     Arg.(
       value
@@ -739,12 +760,24 @@ let serve_cmd =
       const run $ host_arg
       $ port_arg ~default:0 ~doc:"Port to bind (0 picks an ephemeral one)."
       $ root $ max_conns $ fsync_every $ checkpoint_every $ commit_interval
-      $ commit_max $ loop_domains $ legacy_core $ port_file $ replica_of
-      $ replica_name)
+      $ commit_max $ loop_domains $ legacy_core $ dedup_window $ shed_parked
+      $ port_file $ replica_of $ replica_name)
 
 let loadgen_cmd =
   let run host port clients ops seed schemes nodes docs doc_prefix json self_serve root
-      fsync_every commit_interval commit_max loop_domains cluster =
+      fsync_every commit_interval commit_max loop_domains cluster retries backoff
+      net_drop net_delay =
+    let g_sock =
+      if net_drop > 0. || net_delay > 0. then begin
+        (* every worker dials through one seeded fault injector: the
+           flaky-network drill that the retry/dedup machinery must absorb
+           without a single client-visible error *)
+        let ns, faulty = Repro_io.Netsim.wrap Repro_io.Io.unix_sock in
+        Repro_io.Netsim.arm_mix ns ~seed ~drop:net_drop ~delay:net_delay ();
+        Repro_io.Io.pack_sock faulty
+      end
+      else Repro_io.Io.real_sock
+    in
     let resolve =
       match cluster with
       | None -> None
@@ -769,6 +802,9 @@ let loadgen_cmd =
           g_doc_prefix = doc_prefix;
           g_nodes = nodes;
           g_docs = docs;
+          g_retries = retries;
+          g_backoff = backoff;
+          g_sock;
           g_resolve = resolve;
         }
       in
@@ -891,6 +927,34 @@ let loadgen_cmd =
             "Route each client to the shard primary owning its document, per this \
              topology file (written by $(b,xmlrepro cluster)); --port is ignored.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Per-request resend budget for each worker's client; workers carry a \
+             stable identity, so retried mutations are exactly-once against the \
+             server's dedup window.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.02
+      & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Base retry backoff (doubles per attempt).")
+  in
+  let net_drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "net-drop" ] ~docv:"P"
+          ~doc:
+            "Seeded Netsim fault injection: each client socket syscall is dropped \
+             (ETIMEDOUT) with this probability. Pair with --retries.")
+  in
+  let net_delay =
+    Arg.(
+      value & opt float 0.
+      & info [ "net-delay" ] ~docv:"P"
+          ~doc:"Seeded Netsim fault injection: delay probability per client socket syscall.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -902,7 +966,86 @@ let loadgen_cmd =
       $ port_arg ~default:0 ~doc:"Port of the server to load."
       $ clients $ ops $ seed_arg $ schemes $ nodes $ docs $ doc_prefix $ json
       $ self_serve $ root $ fsync_every $ commit_interval $ commit_max $ loop_domains
-      $ cluster)
+      $ cluster $ retries $ backoff $ net_drop $ net_delay)
+
+(* ---- network torture --------------------------------------------- *)
+
+let nettorture_cmd =
+  let run ops seeds core points root verbose =
+    let module N = Repro_server.Nettorture in
+    let nt_cores =
+      match core with
+      | "both" -> `Both
+      | "event" -> `Event
+      | "legacy" -> `Legacy
+      | c ->
+        Format.eprintf "nettorture: unknown core %S (both|event|legacy)@." c;
+        exit 2
+    in
+    let root =
+      match root with
+      | Some r -> r
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "xmlrepro-nettorture-%d" (Unix.getpid ()))
+    in
+    let cfg =
+      {
+        (N.default_config ~root) with
+        N.nt_ops = ops;
+        nt_seeds = seeds;
+        nt_cores;
+        nt_points = points;
+        nt_log = (if verbose then fun m -> Printf.printf "%s\n%!" m else ignore);
+      }
+    in
+    let r = N.run cfg in
+    print_string (N.render r);
+    if not (N.passed r) then exit 1
+  in
+  let ops =
+    Arg.(
+      value & opt int 24
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Update requests per fault-point scenario.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeded sweeps per server core.")
+  in
+  let core =
+    Arg.(
+      value & opt string "both"
+      & info [ "core" ] ~docv:"CORE"
+          ~doc:"Which server core to torture: $(b,both), $(b,event) or $(b,legacy).")
+  in
+  let points =
+    Arg.(
+      value & opt int 0
+      & info [ "points" ] ~docv:"N"
+          ~doc:
+            "Cap fault points per sweep, sampled evenly across the (syscall, fault) \
+             grid; 0 sweeps every point.")
+  in
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Scratch directory for the per-sweep server roots (default under /tmp).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each sweep as it runs.")
+  in
+  Cmd.v
+    (Cmd.info "nettorture"
+       ~doc:
+         "Network-fault torture for the exactly-once update path: sweep a seeded \
+          client scenario with a fault injected at every socket syscall, verify \
+          every acked op applied exactly once and none twice, prove the harness \
+          catches double-application when dedup is disabled, and check the dedup \
+          window survives crash recovery. Exits nonzero on any violation.")
+    Term.(const run $ ops $ seeds $ core $ points $ root $ verbose)
 
 (* ---- cluster ----------------------------------------------------- *)
 
@@ -1287,6 +1430,7 @@ let subcommand_table =
     ("torture", "crash-consistency torture over a simulated file system");
     ("serve", "serve documents over the framed wire protocol");
     ("loadgen", "drive a server with a seeded multi-client workload");
+    ("nettorture", "network-fault torture for the exactly-once update path");
     ("cluster", "launch a replicated, sharded cluster with failover");
     ("failover", "replication failover torture over simulated file systems");
     ("report", "run every experiment and emit a Markdown report");
@@ -1321,4 +1465,5 @@ let () =
        (Cmd.group ~default info
           [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
             twig_cmd; store_cmd; restore_cmd; journal_cmd; torture_cmd; serve_cmd;
-            loadgen_cmd; cluster_cmd; failover_cmd; report_cmd; schemes_cmd ]))
+            loadgen_cmd; nettorture_cmd; cluster_cmd; failover_cmd; report_cmd;
+            schemes_cmd ]))

@@ -7,17 +7,21 @@ type t = {
   rt_timeout : float;
   rt_retries : int;
   rt_backoff : float;
+  rt_backoff_cap : float;
+  rt_rng : Random.State.t;
   mutable rt_topo : Topology.t;
   rt_conns : (int, Client.t) Hashtbl.t;
   mutable rt_reroutes : int;
 }
 
-let create ?(timeout = 10.) ?(retries = 40) ?(backoff = 0.25) path =
+let create ?(timeout = 10.) ?(retries = 40) ?(backoff = 0.05) ?(backoff_cap = 0.5) path =
   {
     rt_path = path;
     rt_timeout = timeout;
     rt_retries = retries;
     rt_backoff = backoff;
+    rt_backoff_cap = max backoff backoff_cap;
+    rt_rng = Random.State.make [| Hashtbl.hash path; 0x726f7574 |];
     rt_topo = Topology.load path;
     rt_conns = Hashtbl.create 8;
     rt_reroutes = 0;
@@ -65,11 +69,20 @@ let request t ~doc req =
     else begin
       (* re-resolve per attempt: a reload may have moved the primary *)
       let shard = Topology.shard_of t.rt_topo doc in
+      (* capped exponential with full jitter: early bounces re-probe fast
+         (the primary may just be restarting), a real failover is waited
+         out near the cap without the routers re-arriving in lockstep *)
+      let backoff () =
+        if t.rt_backoff > 0. then begin
+          let d = min t.rt_backoff_cap (t.rt_backoff *. (2. ** float_of_int n)) in
+          Thread.delay (d *. (0.5 +. Random.State.float t.rt_rng 1.0))
+        end
+      in
       let again reason =
         drop t shard;
         reload t;
         t.rt_reroutes <- t.rt_reroutes + 1;
-        if t.rt_backoff > 0. then Thread.delay t.rt_backoff;
+        backoff ();
         attempt (n + 1) reason
       in
       match conn_for t shard with
@@ -78,6 +91,11 @@ let request t ~doc req =
         match Client.request c req with
         | Ok (P.Err (P.Not_primary, m)) -> again ("not primary: " ^ m)
         | Ok (P.Err (P.Shutting_down, m)) -> again ("shutting down: " ^ m)
+        | Ok (P.Err (P.Overloaded, m)) when n < t.rt_retries ->
+          (* the shard applied nothing — same primary, just busy: back off
+             and re-ask without tearing the connection down *)
+          backoff ();
+          attempt (n + 1) ("overloaded: " ^ m)
         | Ok resp -> Ok resp
         | Error reason -> again reason)
     end

@@ -4,22 +4,26 @@
     The router holds one cached connection per shard. A request that
     bounces — transport failure, [Not_primary] (the peer was demoted or
     never promoted), [Shutting_down] — drops the cached connection,
-    re-reads the topology file, and retries with a fixed backoff, up to
-    [retries] attempts. That is the entire failover protocol from the
-    client's side: the supervisor rewrites the topology file when it
-    promotes a replica, and routers converge on the next bounce.
+    re-reads the topology file, and retries under capped exponential
+    backoff with jitter, up to [retries] attempts. That is the entire
+    failover protocol from the client's side: the supervisor rewrites
+    the topology file when it promotes a replica, and routers converge
+    on the next bounce. An [Overloaded] reply backs off and retries too,
+    but keeps the connection — the shard is healthy, just busy.
 
     Not thread-safe: one router per thread, mirroring
     {!Repro_server.Server_client}. *)
 
 type t
 
-val create : ?timeout:float -> ?retries:int -> ?backoff:float -> string -> t
+val create :
+  ?timeout:float -> ?retries:int -> ?backoff:float -> ?backoff_cap:float -> string -> t
 (** [create path] loads the topology from [path]. [timeout] (default
-    10s) applies per connection; [retries] (default 40) and [backoff]
-    (default 0.25s) bound the chase — 40 × 0.25s rides out a 10-second
-    failover. Raises {!Topology.Bad_topology} when [path] is
-    unreadable. *)
+    10s) applies per connection; [retries] (default 40) bounds the
+    chase, attempt [n] sleeping jittered [min (backoff_cap, backoff *
+    2^n)] (defaults 50ms and 0.5s) — fast first re-probes, then
+    cap-paced waiting that rides out a >15-second failover. Raises
+    {!Topology.Bad_topology} when [path] is unreadable. *)
 
 val request : t -> doc:string -> Repro_server.Protocol.req -> (Repro_server.Protocol.resp, string) result
 (** Route by [doc]'s hash; [Error] only after the retry budget is spent.

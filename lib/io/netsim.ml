@@ -1,0 +1,170 @@
+type fault =
+  | Drop
+  | Delay of float
+  | Truncate of int
+  | Reset
+  | Partition of int
+
+type trigger = At of int | From of int
+
+type mix = {
+  mix_drop : float;
+  mix_delay : float;
+  mix_delay_s : float;
+  mix_reset : float;
+}
+
+type t = {
+  mu : Mutex.t;
+  mutable plan : (trigger * fault) list;
+  mutable mix : mix option;
+  mutable rng : Random.State.t;
+  mutable t_calls : int;
+  mutable t_injected : int;
+  mutable t_partition : int;  (** data syscalls still to swallow *)
+  mutable t_broken : Unix.file_descr option;
+      (** a truncated connection: every later op on this fd resets *)
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    plan = [];
+    mix = None;
+    rng = Random.State.make [| 0 |];
+    t_calls = 0;
+    t_injected = 0;
+    t_partition = 0;
+    t_broken = None;
+  }
+
+let arm t plan =
+  Mutex.lock t.mu;
+  t.plan <- plan;
+  t.mix <- None;
+  t.t_calls <- 0;
+  t.t_injected <- 0;
+  t.t_partition <- 0;
+  t.t_broken <- None;
+  Mutex.unlock t.mu
+
+let arm_mix t ~seed ?(drop = 0.) ?(delay = 0.) ?(delay_s = 0.002) ?(reset = 0.) () =
+  Mutex.lock t.mu;
+  t.plan <- [];
+  t.mix <- Some { mix_drop = drop; mix_delay = delay; mix_delay_s = delay_s; mix_reset = reset };
+  t.rng <- Random.State.make [| seed; 0x6e657473 |];
+  t.t_calls <- 0;
+  t.t_injected <- 0;
+  t.t_partition <- 0;
+  t.t_broken <- None;
+  Mutex.unlock t.mu
+
+let clear t = arm t []
+
+let calls t =
+  Mutex.lock t.mu;
+  let n = t.t_calls in
+  Mutex.unlock t.mu;
+  n
+
+let injected t =
+  Mutex.lock t.mu;
+  let n = t.t_injected in
+  Mutex.unlock t.mu;
+  n
+
+let unix_err e op = raise (Unix.Unix_error (e, op, ""))
+
+(* What a counted data syscall on [fd] should do, decided under the lock:
+   raise an errno, sleep first, or run the real call (possibly short).
+   The errno is raised {e below} {!Io.pack_sock}, so the policy layer is
+   what turns it into the typed error the client must cope with. *)
+type verdict = Err of Unix.error | Sleep of float | Short of int | Pass
+
+let fire t op fd =
+  Mutex.lock t.mu;
+  let verdict =
+    if t.t_broken = Some fd then Err Unix.ECONNRESET
+    else begin
+      t.t_calls <- t.t_calls + 1;
+      let n = t.t_calls in
+      if t.t_partition > 0 then begin
+        t.t_partition <- t.t_partition - 1;
+        t.t_injected <- t.t_injected + 1;
+        Err Unix.ETIMEDOUT
+      end
+      else begin
+        let fault =
+          match
+            List.find_opt
+              (fun (trg, _) -> match trg with At k -> k = n | From k -> n >= k)
+              t.plan
+          with
+          | Some (_, f) -> Some f
+          | None -> (
+            match t.mix with
+            | None -> None
+            | Some m ->
+              let d = Random.State.float t.rng 1.0 in
+              if d < m.mix_drop then Some Drop
+              else if d < m.mix_drop +. m.mix_reset then Some Reset
+              else if d < m.mix_drop +. m.mix_reset +. m.mix_delay then
+                Some (Delay m.mix_delay_s)
+              else None)
+        in
+        match fault with
+        | None -> Pass
+        | Some f -> (
+          t.t_injected <- t.t_injected + 1;
+          match f with
+          | Drop -> Err Unix.ETIMEDOUT
+          | Reset -> Err Unix.ECONNRESET
+          | Delay s -> Sleep s
+          | Truncate k ->
+            (* hand over a short prefix, then the connection is gone: the
+               peer sees a torn frame, this side sees resets *)
+            t.t_broken <- Some fd;
+            Short (max 1 k)
+          | Partition n ->
+            t.t_partition <- max 0 (n - 1);
+            Err Unix.ETIMEDOUT)
+      end
+    end
+  in
+  Mutex.unlock t.mu;
+  match verdict with
+  | Err e -> unix_err e op
+  | Sleep s ->
+    Thread.delay s;
+    Pass
+  | v -> v
+
+let wrap (module M : Io.SOCK) =
+  let t = create () in
+  let module F = struct
+    (* accept and select pass through uncounted: the sweep's fault points
+       are the data path of the wrapped side's connections, and counting
+       the server's readiness polls would make the schedule depend on
+       poll timing instead of on the request stream *)
+    let accept = M.accept
+    let select = M.select
+
+    let recv fd buf off len =
+      match fire t "recv" fd with
+      | Short k -> M.recv fd buf off (min k len)
+      | _ -> M.recv fd buf off len
+
+    let send fd s off len =
+      match fire t "send" fd with
+      | Short k -> M.send fd s off (min k len)
+      | _ -> M.send fd s off len
+
+    let close fd =
+      (* closing a truncated connection clears the wreckage: a redial gets
+         a working socket, which is exactly what a real reconnect gets *)
+      Mutex.lock t.mu;
+      if t.t_broken = Some fd then t.t_broken <- None;
+      Mutex.unlock t.mu;
+      M.close fd
+  end in
+  (t, (module F : Io.SOCK))

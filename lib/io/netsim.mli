@@ -1,0 +1,73 @@
+(** Deterministic network-fault injection on the {!Io.SOCK} seam — the
+    network twin of {!Failpoint} (files) and {!Crashsim} (power cuts).
+
+    {!wrap} interposes on a raw socket backend and counts its {e data}
+    syscalls ([recv] and [send]; [accept], [select] and [close] pass
+    through uncounted). A plan names fault points by that count, so "the
+    3rd socket syscall of this run" is a stable, replayable coordinate:
+    the nettorture harness probes a scenario once to learn how many
+    syscalls it takes, then replays it with a fault at every single one.
+
+    Faults are raised {e below} {!Io.pack_sock} as the errnos a real
+    network produces ([ETIMEDOUT], [ECONNRESET]), so the policy layer —
+    and everything above it — is exercised exactly as a real failure
+    would: clients see typed {!Io.Io_error}s, never bare [Unix_error]s.
+
+    Alternatively {!arm_mix} draws faults probabilistically from a seeded
+    RNG — the load generator's "flaky 5% network" mode. The two modes are
+    exclusive; arming one clears the other.
+
+    All state is behind one mutex; a single [t] may be shared by several
+    client threads. *)
+
+type fault =
+  | Drop  (** this syscall fails [ETIMEDOUT] — the packet went nowhere *)
+  | Delay of float  (** sleep this many seconds, then perform the call *)
+  | Truncate of int
+      (** this call moves at most [k] bytes ([k >= 1]); every later call
+          on the {e same descriptor} fails [ECONNRESET] until it is
+          closed — a connection torn mid-frame *)
+  | Reset  (** this syscall fails [ECONNRESET] *)
+  | Partition of int
+      (** this and the next [n-1] data syscalls fail [ETIMEDOUT] — a
+          network hole spanning several calls *)
+
+type trigger =
+  | At of int  (** exactly the [n]-th counted syscall (1-based) *)
+  | From of int  (** the [n]-th and every one after *)
+
+type t
+
+val wrap : (module Io.SOCK) -> t * (module Io.SOCK)
+(** Interpose on a raw socket backend; feed the result through
+    {!Io.pack_sock} to get the {!Io.sock} a client or server consumes.
+    Starts disarmed (every call passes through, still counted). *)
+
+val create : unit -> t
+(** A disarmed controller ({!wrap} makes one for you). *)
+
+val arm : t -> (trigger * fault) list -> unit
+(** Install a deterministic plan (first matching trigger wins) and reset
+    the syscall/injection counters and partition/truncation state — each
+    [arm] starts a fresh run, so [At n] always means "the [n]-th data
+    syscall after arming". *)
+
+val arm_mix :
+  t -> seed:int -> ?drop:float -> ?delay:float -> ?delay_s:float -> ?reset:float ->
+  unit -> unit
+(** Probabilistic mode: each counted syscall independently draws a fault
+    — [drop]/[reset]/[delay] are probabilities (defaults 0), [delay_s]
+    the sleep per delayed call (default 2ms). Same [seed], same fault
+    sequence. Resets the counters like {!arm}. *)
+
+val clear : t -> unit
+(** Disarm both modes and reset counters and partition/truncation
+    state. *)
+
+val calls : t -> int
+(** Data syscalls counted since the last [arm]/[arm_mix]/[clear]
+    (consequential [ECONNRESET]s after a truncation do not count — fault
+    points stay stable). *)
+
+val injected : t -> int
+(** Faults actually injected since the last [arm]/[arm_mix]/[clear]. *)

@@ -150,6 +150,10 @@ module Resolver = struct
     | Rename (l, name) ->
       s.Core.Session.rename (resolve r l) name;
       None
+    | Mark _ ->
+      (* dedup watermark: no tree effect, carried for the server's
+         exactly-once window *)
+      None
 end
 
 let apply session op = ignore (Resolver.apply (Resolver.create session) op)

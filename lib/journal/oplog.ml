@@ -10,6 +10,7 @@ type op =
   | Delete of label
   | Replace_value of label * string option
   | Rename of label * string
+  | Mark of { mk_client : string; mk_seq : int; mk_applied : int; mk_err : (int * string) option }
 
 (* ---- payload encoding -------------------------------------------- *)
 
@@ -29,6 +30,13 @@ let add_opt buf = function
     Buffer.add_char buf '\001';
     add_str buf v
 
+(* Sequence numbers outlive the varint's 21-bit ceiling on a long-lived
+   client, so they travel as fixed 8-byte little-endian. *)
+let add_u64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
 let rec add_frag buf (f : Tree.frag) =
   Buffer.add_char buf (match f.f_kind with Tree.Element -> '\000' | Tree.Attribute -> '\001');
   add_str buf f.f_name;
@@ -44,6 +52,7 @@ let opcode = function
   | Delete _ -> 4
   | Replace_value _ -> 5
   | Rename _ -> 6
+  | Mark _ -> 7
 
 let payload op =
   let buf = Buffer.create 64 in
@@ -58,7 +67,17 @@ let payload op =
     add_opt buf v
   | Rename (l, n) ->
     add_label buf l;
-    add_str buf n);
+    add_str buf n
+  | Mark { mk_client; mk_seq; mk_applied; mk_err } ->
+    add_str buf mk_client;
+    add_u64 buf mk_seq;
+    add_varint buf mk_applied;
+    (match mk_err with
+    | None -> Buffer.add_char buf '\000'
+    | Some (code, msg) ->
+      Buffer.add_char buf '\001';
+      Buffer.add_char buf (Char.chr (code land 0xFF));
+      add_str buf msg));
   Buffer.contents buf
 
 let crc s = Int32.to_int (Repro_codes.Crc32.string s) land 0xFFFFFFFF
@@ -119,6 +138,15 @@ let ropt c =
   | 1 -> Some (rstr c)
   | f -> bad "bad option flag %d" f
 
+let ru64 c =
+  if c.pos + 8 > c.limit then bad "truncated u64";
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code c.data.[c.pos + i]
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
 let rec rfrag c =
   let kind = match rbyte c with 0 -> Tree.Element | 1 -> Tree.Attribute | k -> bad "bad node kind %d" k in
   let name = rstr c in
@@ -157,6 +185,19 @@ let decode_payload data ~pos ~limit =
     | 6 ->
       let l = rlabel c in
       Rename (l, rstr c)
+    | 7 ->
+      let mk_client = rstr c in
+      let mk_seq = ru64 c in
+      let mk_applied = rvarint c in
+      let mk_err =
+        match rbyte c with
+        | 0 -> None
+        | 1 ->
+          let code = rbyte c in
+          Some (code, rstr c)
+        | f -> bad "bad mark error flag %d" f
+      in
+      Mark { mk_client; mk_seq; mk_applied; mk_err }
     | o -> bad "unknown opcode %d" o
   in
   if c.pos <> limit then bad "trailing bytes inside the record payload";
@@ -220,3 +261,8 @@ let op_to_string = function
     Printf.sprintf "replace value of %s with %s" (label_to_string l)
       (match v with None -> "(none)" | Some v -> Printf.sprintf "%S" v)
   | Rename (l, n) -> Printf.sprintf "rename %s as %s" (label_to_string l) n
+  | Mark { mk_client; mk_seq; mk_applied; mk_err } ->
+    Printf.sprintf "mark client %S seq %d applied %d%s" mk_client mk_seq mk_applied
+      (match mk_err with
+      | None -> ""
+      | Some (code, msg) -> Printf.sprintf " err %d %S" code msg)

@@ -22,7 +22,7 @@
 
     Payload layout (all varints {!Repro_codes.Varint}):
     {v
-    opcode   u8 — 0..6 for the seven operations
+    opcode   u8 — 0..6 for the seven operations, 7 for the dedup mark
     label    varint bit count, varint byte count, bytes
     insert   fragment: u8 kind, varint name length + name,
              u8 value flag (+ varint length + bytes),
@@ -42,6 +42,14 @@ type op =
   | Delete of label
   | Replace_value of label * string option
   | Rename of label * string
+  | Mark of { mk_client : string; mk_seq : int; mk_applied : int; mk_err : (int * string) option }
+      (** Opcode 7: a dedup watermark, not a tree mutation. Journalled by the
+          server right after a client-identified update batch so that the
+          exactly-once window survives recovery (and ships to replicas with
+          the ops it covers). [mk_applied] is how many ops of the batch
+          applied; [mk_err] carries the wire error (code byte, message) when
+          the batch stopped early. Replay treats it as a no-op; clients may
+          not send it inside an update batch. *)
 
 val encode_record : op -> string
 (** The full frame: varint length, payload, CRC-32. *)

@@ -13,6 +13,9 @@ type config = {
   g_nodes : int;
   g_docs : int;
   g_timeout : float;
+  g_retries : int;
+  g_backoff : float;
+  g_sock : Repro_io.Io.sock;
   g_resolve : (string -> string * int) option;
 }
 
@@ -28,6 +31,9 @@ let default_config ~port =
     g_nodes = 120;
     g_docs = 0;
     g_timeout = 30.;
+    g_retries = 0;
+    g_backoff = 0.02;
+    g_sock = Repro_io.Io.real_sock;
     g_resolve = None;
   }
 
@@ -45,6 +51,10 @@ type report = {
   r_ops : int;
   r_errors : int;
   r_reseeds : int;
+  r_retries : int;
+  r_reconnects : int;
+  r_dedup_hits : int;
+  r_overloaded : int;
   r_seconds : float;
   r_ops_per_sec : float;
   r_classes : class_report list;
@@ -53,7 +63,7 @@ type report = {
   r_server : (string * int) list;
       (** group-commit and event-loop gauges scraped from the server's
           Metrics reply after the run ("commit/...", "loop/...",
-          "cfg/..."), latest sample each *)
+          "cfg/...", "shed/...", "dedup/..."), latest sample each *)
 }
 
 (* ---- label pools ----------------------------------------------------
@@ -104,8 +114,12 @@ type tally = {
       (** class, latency ns, ok — one per request *)
   mutable t_errors : int;
   mutable t_ops : int;
-  mutable t_dead : string option;  (** transport failure, if one killed the client *)
+  mutable t_dead : string option;  (** what killed the client, if anything did *)
   mutable t_reseeds : int;  (** pool rebuilds after relabelling or shared churn *)
+  mutable t_retries : int;  (** {!Server_client.counters}, read when the client ends *)
+  mutable t_reconnects : int;
+  mutable t_dedup_hits : int;
+  mutable t_overloaded : int;
   t_codes : (string, int) Hashtbl.t;  (** error-code name -> count *)
 }
 
@@ -139,9 +153,11 @@ let timed tally cls f =
       count_code tally (P.err_name code);
       false
     | Ok _ -> true
-    | Error reason ->
+    | Error _ ->
+      (* the resilient client already redialed and resent per its retry
+         budget; what surfaces here is a client-visible failure to count,
+         not a reason to kill the worker — the next request redials *)
       tally.t_errors <- tally.t_errors + 1;
-      tally.t_dead <- Some reason;
       count_code tally "transport";
       false
   in
@@ -164,8 +180,22 @@ let worker cfg i tally =
   let host, port =
     match cfg.g_resolve with Some f -> f doc | None -> (cfg.g_host, cfg.g_port)
   in
-  let c = Server_client.connect ~timeout:cfg.g_timeout ~host ~port () in
-  Fun.protect ~finally:(fun () -> Server_client.close c) @@ fun () ->
+  (* a stable per-worker identity: retried mutations carry the same
+     (client, seq) and the server's dedup window makes them exactly-once *)
+  let c =
+    Server_client.connect ~sock:cfg.g_sock ~timeout:cfg.g_timeout
+      ~client:(Printf.sprintf "%s-w%d-%d" cfg.g_doc_prefix i cfg.g_seed)
+      ~retries:cfg.g_retries ~backoff:cfg.g_backoff ~host ~port ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let cs = Server_client.counters c in
+      tally.t_retries <- cs.Server_client.c_retries;
+      tally.t_reconnects <- cs.Server_client.c_reconnects;
+      tally.t_dedup_hits <- cs.Server_client.c_dedup_hits;
+      tally.t_overloaded <- cs.Server_client.c_overloaded;
+      Server_client.close c)
+  @@ fun () ->
   let anchors = pool_create () in
   let victims = pool_create () in
   let extras = pool_create () in
@@ -271,7 +301,12 @@ let worker cfg i tally =
   in
   let rec go () =
     if tally.t_ops < quota && tally.t_dead = None then begin
-      step ();
+      (* an empty anchor pool means the open (or the last reseed) failed:
+         try once more to find the root, and only a second failure kills
+         the worker — a flaky network is survivable, a gone server not *)
+      if anchors.len = 0 then reseed_pools ();
+      if anchors.len = 0 then tally.t_dead <- Some "no usable root label"
+      else step ();
       go ()
     end
   in
@@ -333,14 +368,15 @@ let fetch_server_gauges cfg =
             if
               List.exists
                 (fun prefix -> String.starts_with ~prefix m.P.m_key)
-                [ "commit/"; "loop/"; "cfg/" ]
+                [ "commit/"; "loop/"; "cfg/"; "shed/"; "dedup/" ]
             then
-              (* gauges carry their sample in m_total_ns; the one plain
-                 counter in the family, commit/flush, carries cycles in
-                 m_count *)
+              (* gauges carry their sample in m_total_ns; the plain
+                 counters in the family (commit/flush cycles, dedup hits,
+                 shed refusals) carry theirs in m_count *)
               Some
                 ( m.P.m_key,
-                  if m.P.m_key = "commit/flush" then m.P.m_count
+                  if List.mem m.P.m_key [ "commit/flush"; "dedup/hit"; "shed/update" ]
+                  then m.P.m_count
                   else m.P.m_total_ns )
             else None)
           ms
@@ -360,6 +396,10 @@ let run cfg =
           t_ops = 0;
           t_dead = None;
           t_reseeds = 0;
+          t_retries = 0;
+          t_reconnects = 0;
+          t_dedup_hits = 0;
+          t_overloaded = 0;
           t_codes = Hashtbl.create 4;
         })
   in
@@ -379,9 +419,10 @@ let run cfg =
   List.iter Thread.join threads;
   let seconds = Unix.gettimeofday () -. t0 in
   let server = fetch_server_gauges cfg in
-  let ops = List.fold_left (fun acc t -> acc + t.t_ops) 0 tallies in
-  let errors = List.fold_left (fun acc t -> acc + t.t_errors) 0 tallies in
-  let reseeds = List.fold_left (fun acc t -> acc + t.t_reseeds) 0 tallies in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let ops = sum (fun t -> t.t_ops) in
+  let errors = sum (fun t -> t.t_errors) in
+  let reseeds = sum (fun t -> t.t_reseeds) in
   let codes = Hashtbl.create 8 in
   List.iter
     (fun t ->
@@ -400,6 +441,10 @@ let run cfg =
     r_ops = ops;
     r_errors = errors;
     r_reseeds = reseeds;
+    r_retries = sum (fun t -> t.t_retries);
+    r_reconnects = sum (fun t -> t.t_reconnects);
+    r_dedup_hits = sum (fun t -> t.t_dedup_hits);
+    r_overloaded = sum (fun t -> t.t_overloaded);
     r_seconds = seconds;
     r_ops_per_sec = (if seconds > 0. then float_of_int ops /. seconds else 0.);
     r_classes = classes_of tallies;
@@ -426,6 +471,12 @@ let render report =
          (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) report.r_error_codes));
   if report.r_reseeds > 0 then
     Printf.bprintf buf "label pool reseeds: %d\n" report.r_reseeds;
+  if
+    report.r_retries + report.r_reconnects + report.r_dedup_hits + report.r_overloaded
+    > 0
+  then
+    Printf.bprintf buf "resilience: retries=%d reconnects=%d dedup_hits=%d overloaded=%d\n"
+      report.r_retries report.r_reconnects report.r_dedup_hits report.r_overloaded;
   if report.r_server <> [] then
     Printf.bprintf buf "server: %s\n"
       (String.concat ", "
@@ -440,6 +491,10 @@ let to_json ?(name = "server") report =
   Printf.bprintf buf "  \"ops\": %d,\n" report.r_ops;
   Printf.bprintf buf "  \"errors\": %d,\n" report.r_errors;
   Printf.bprintf buf "  \"reseeds\": %d,\n" report.r_reseeds;
+  Printf.bprintf buf "  \"retries\": %d,\n" report.r_retries;
+  Printf.bprintf buf "  \"reconnects\": %d,\n" report.r_reconnects;
+  Printf.bprintf buf "  \"dedup_hits\": %d,\n" report.r_dedup_hits;
+  Printf.bprintf buf "  \"overloaded\": %d,\n" report.r_overloaded;
   Printf.bprintf buf "  \"seconds\": %.3f,\n" report.r_seconds;
   Printf.bprintf buf "  \"ops_per_sec\": %.1f,\n" report.r_ops_per_sec;
   Printf.bprintf buf "  \"classes\": [\n";

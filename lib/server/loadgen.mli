@@ -31,6 +31,16 @@ type config = {
           client [i] works on shared document [i mod n]; name, scheme and
           generator seed then depend only on the document index. *)
   g_timeout : float;
+  g_retries : int;
+      (** per-request resend budget handed to each worker's
+          {!Server_client} (default 0). Workers always connect with a
+          stable client identity, so retried mutations are exactly-once
+          against the server's dedup window. *)
+  g_backoff : float;  (** base retry backoff, seconds (default 20ms) *)
+  g_sock : Repro_io.Io.sock;
+      (** the socket seam every worker dials through; default the real
+          one. A {!Repro_io.Netsim} wrap turns the run into a
+          flaky-network drill. *)
   g_resolve : (string -> string * int) option;
       (** cluster mode: map a document name to the (host, port) of the
           shard primary owning it, consulted at connect time. [None]
@@ -56,6 +66,10 @@ type report = {
   r_reseeds : int;
       (** label-pool rebuilds: relabelling flagged by the server, plus
           benign shared-document [Unknown_label] churn *)
+  r_retries : int;  (** resends across all workers ({!Server_client.counters}) *)
+  r_reconnects : int;  (** successful redials across all workers *)
+  r_dedup_hits : int;  (** retried mutations answered from the dedup window *)
+  r_overloaded : int;  (** [Overloaded] shed replies received (before retry) *)
   r_seconds : float;
   r_ops_per_sec : float;
   r_classes : class_report list;  (** sorted by class name *)
@@ -64,15 +78,18 @@ type report = {
           connections), sorted, only codes that occurred — empty on a
           healthy run *)
   r_server : (string * int) list;
-      (** the server's group-commit and event-loop gauges
-          (["commit/..."], ["loop/..."], ["cfg/..."]) scraped over one
-          extra Metrics request after the run; empty in cluster mode or
-          when the server is unreachable *)
+      (** the server's group-commit, event-loop and resilience gauges
+          (["commit/..."], ["loop/..."], ["cfg/..."], ["shed/..."],
+          ["dedup/..."]) scraped over one extra Metrics request after the
+          run; empty in cluster mode or when the server is unreachable *)
 }
 
 val run : config -> report
-(** Blocks until every client finishes its share of the ops (or dies on
-    a transport failure, which counts as an error and stops that client). *)
+(** Blocks until every client finishes its share of the ops. Transport
+    failures are not fatal to a worker: the resilient client redials and
+    (within [g_retries]) resends, anything that still surfaces counts as
+    a ["transport"] error, and the worker carries on — only a server
+    that stays unreachable stops it. *)
 
 val render : report -> string
 (** Human-readable table ending in a machine-greppable

@@ -15,7 +15,12 @@ type pred =
 type req =
   | Ping
   | Open of { o_doc : string; o_scheme : string; o_nodes : int; o_seed : int }
-  | Update of { u_doc : string; u_ops : Repro_journal.Oplog.op list }
+  | Update of {
+      u_doc : string;
+      u_client : string;  (** "" = anonymous: no dedup, at-most-once only *)
+      u_seq : int;  (** per-client request sequence; retries resend the same seq *)
+      u_ops : Repro_journal.Oplog.op list;
+    }
   | Query of { q_doc : string; q_pred : pred }
   | Stats of string
   | Labels of { lb_doc : string; lb_limit : int }
@@ -44,6 +49,7 @@ type err =
   | Internal
   | Not_primary
   | Stale_pos
+  | Overloaded
 
 type answer = Bool of bool | Int of int | Unsupported
 
@@ -73,7 +79,12 @@ type metric = {
 type resp =
   | Pong of string
   | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
-  | Updated of { up_applied : int; up_fresh : label list; up_relabelled : bool }
+  | Updated of {
+      up_applied : int;
+      up_fresh : label list;
+      up_relabelled : bool;
+      up_dedup : bool;  (** true: cached reply for a retried (client, seq) *)
+    }
   | Answer of answer
   | Stats_r of stats_reply
   | Labels_r of (label * Repro_xml.Tree.kind * string) list
@@ -104,6 +115,7 @@ let err_name = function
   | Internal -> "internal"
   | Not_primary -> "not-primary"
   | Stale_pos -> "stale-pos"
+  | Overloaded -> "overloaded"
 
 let err_code = function
   | Bad_frame -> 0
@@ -115,6 +127,7 @@ let err_code = function
   | Internal -> 6
   | Not_primary -> 7
   | Stale_pos -> 8
+  | Overloaded -> 9
 
 let err_of_code = function
   | 0 -> Some Bad_frame
@@ -126,6 +139,7 @@ let err_of_code = function
   | 6 -> Some Internal
   | 7 -> Some Not_primary
   | 8 -> Some Stale_pos
+  | 9 -> Some Overloaded
   | _ -> None
 
 let req_class = function
@@ -177,9 +191,11 @@ let encode_req req =
     add_str buf o_scheme;
     add_varint buf o_nodes;
     add_varint buf o_seed
-  | Update { u_doc; u_ops } ->
+  | Update { u_doc; u_client; u_seq; u_ops } ->
     Buffer.add_char buf '\002';
     add_str buf u_doc;
+    add_str buf u_client;
+    add_u64 buf u_seq;
     add_varint buf (List.length u_ops);
     (* each op rides as a whole Oplog record — frame, CRC and all — so
        the update payload is bit-compatible with the journal that will
@@ -255,12 +271,13 @@ let encode_resp resp =
     add_label buf ok_root;
     add_u64 buf ok_nodes;
     add_bool buf ok_fresh
-  | Updated { up_applied; up_fresh; up_relabelled } ->
+  | Updated { up_applied; up_fresh; up_relabelled; up_dedup } ->
     Buffer.add_char buf '\002';
     add_varint buf up_applied;
     add_varint buf (List.length up_fresh);
     List.iter (add_label buf) up_fresh;
-    add_bool buf up_relabelled
+    add_bool buf up_relabelled;
+    add_bool buf up_dedup
   | Answer a ->
     Buffer.add_char buf '\003';
     (match a with
@@ -437,6 +454,8 @@ let decode_req data =
         Open { o_doc; o_scheme; o_nodes; o_seed }
       | 2 ->
         let u_doc = rstr c in
+        let u_client = rstr c in
+        let u_seq = ru64 c in
         let n = rvarint c in
         let ops = ref [] in
         for _ = 1 to n do
@@ -448,7 +467,7 @@ let decode_req data =
           | Repro_journal.Oplog.End_of_log -> bad "truncated op record"
           | Repro_journal.Oplog.Torn reason -> bad "op record: %s" reason
         done;
-        Update { u_doc; u_ops = List.rev !ops }
+        Update { u_doc; u_client; u_seq; u_ops = List.rev !ops }
       | 3 ->
         let q_doc = rstr c in
         let q_pred =
@@ -511,7 +530,8 @@ let decode_resp data =
         let up_applied = rvarint c in
         let up_fresh = rlist c rlabel in
         let up_relabelled = rbool c in
-        Updated { up_applied; up_fresh; up_relabelled }
+        let up_dedup = rbool c in
+        Updated { up_applied; up_fresh; up_relabelled; up_dedup }
       | 3 ->
         Answer
           (match rbyte c with

@@ -35,7 +35,18 @@ type req =
   | Open of { o_doc : string; o_scheme : string; o_nodes : int; o_seed : int }
       (** open or create [o_doc]; a fresh document is generated with
           [o_nodes] nodes from [o_seed] under [o_scheme] *)
-  | Update of { u_doc : string; u_ops : Repro_journal.Oplog.op list }
+  | Update of {
+      u_doc : string;
+      u_client : string;
+          (** stable client identity for exactly-once retries; [""] means
+              anonymous — the server keeps no dedup state and a retry may
+              double-apply *)
+      u_seq : int;
+          (** per-client sequence number, strictly increasing per fresh
+              request; a retry resends the original's [u_seq] so the server
+              can recognise it *)
+      u_ops : Repro_journal.Oplog.op list;
+    }
   | Query of { q_doc : string; q_pred : pred }
   | Stats of string
   | Labels of { lb_doc : string; lb_limit : int }
@@ -76,6 +87,10 @@ type err =
   | Stale_pos
       (** replication position from a past epoch (the primary checkpointed)
           or off a record boundary — the replica must re-bootstrap *)
+  | Overloaded
+      (** the server shed this request instead of queueing it: parked
+          replies or per-connection in-flight bytes hit the configured
+          bound. Back off and retry — nothing was applied or journalled *)
 
 type answer = Bool of bool | Int of int | Unsupported
 
@@ -109,12 +124,22 @@ type metric = {
 type resp =
   | Pong of string  (** carries {!magic} — the version handshake *)
   | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
-  | Updated of { up_applied : int; up_fresh : label list; up_relabelled : bool }
+  | Updated of {
+      up_applied : int;
+      up_fresh : label list;
+      up_relabelled : bool;
+      up_dedup : bool;
+    }
       (** [up_fresh]: one label per insert, the inserted fragment's root.
           [up_relabelled]: this update forced the scheme to relabel
           existing nodes (a bulk renumber on code overflow, or neighbour
           reassignment), so labels the client fetched before this reply
-          may no longer resolve — refresh them with {!Labels} *)
+          may no longer resolve — refresh them with {!Labels}.
+          [up_dedup]: the server recognised a retry of an already-applied
+          [(u_client, u_seq)] and answered from its dedup window without
+          re-applying; after a recovery-rebuilt hit, [up_fresh] is empty
+          and [up_relabelled] is forced true (fresh labels are not
+          recoverable from the journalled watermark) *)
   | Answer of answer
   | Stats_r of stats_reply
   | Labels_r of (label * Repro_xml.Tree.kind * string) list

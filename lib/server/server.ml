@@ -20,6 +20,10 @@ type config = {
   commit_interval_us : int;
   commit_max : int;
   loop_domains : int;
+  dedup_window : int;
+  shed_parked : int;
+  shed_conn_bytes : int;
+  peer_timeout : float;
   io : Io.t;
   sock : Io.sock;
   log : string -> unit;
@@ -50,6 +54,16 @@ let default_config ~root =
     commit_interval_us = 0;
     commit_max = 64;
     loop_domains = 1;
+    (* exactly-once window: remember the last reply of up to this many
+       identified clients per document; 0 disables dedup entirely *)
+    dedup_window = 128;
+    (* overload shedding: refuse new mutations with Overloaded once this
+       many replies are parked server-wide / this many reply bytes are
+       owed to one connection; 0 disables the bound *)
+    shed_parked = 4096;
+    shed_conn_bytes = 1 lsl 20;
+    (* connect/request timeout for talking to the replication upstream *)
+    peer_timeout = 2.0;
     io = Io.real;
     sock = Io.real_sock;
     log = ignore;
@@ -85,6 +99,9 @@ type conn = {
   c_send_mu : Mutex.t;
   mutable c_alive : bool;  (** send side usable; under [c_send_mu] *)
   mutable c_parked : int;  (** replies owed by the flusher; under [f_mu] *)
+  mutable c_inflight : int;
+      (** encoded bytes of parked (non-checkpoint) replies owed to this
+          connection — the shed bound's input; under [f_mu] *)
   mutable c_draining : bool;
       (** EOF seen, close after the last release; under [f_mu] *)
   mutable c_closed : bool;  (** fd closed; under [f_mu] *)
@@ -102,7 +119,23 @@ type published = {
 
 type role = Primary | Follower
 
-type parked = { pk_conn : conn; pk_resp : P.resp; pk_pos : Journal.position }
+type parked = {
+  pk_conn : conn;
+  pk_resp : P.resp;
+  pk_pos : Journal.position;
+  pk_bytes : int;  (** encoded reply size, for the per-connection shed bound *)
+}
+
+(* One identified client's last mutation against one document: enough to
+   answer a retry without re-applying, and to re-journal the watermark
+   when a checkpoint swallows the log that carried it. *)
+type dedup_entry = {
+  mutable de_seq : int;
+  mutable de_resp : P.resp;
+  mutable de_applied : int;  (** ops the original batch applied (for the Mark) *)
+  mutable de_pos : Journal.position;  (** durability gate for the cached reply *)
+  mutable de_tick : int;  (** LRU clock for window eviction *)
+}
 
 (* ---- documents ------------------------------------------------------
 
@@ -127,6 +160,8 @@ type doc = {
   d_ship : Ship.t option;  (** [Some] iff this doc was created as a follower *)
   mutable d_records : int;
       (** records journaled since the last checkpoint; under [d_mu] *)
+  d_dedup : (string, dedup_entry) Hashtbl.t;  (** client -> watermark; under [d_mu] *)
+  mutable d_dedup_tick : int;  (** under [d_mu] *)
   mutable d_closed : bool;  (** under [d_mu] *)
   (* flusher-owned state, under [f_mu] *)
   d_parked : parked Queue.t;
@@ -240,6 +275,10 @@ let check_op cfg resolver (op : Oplog.op) =
     | None -> reject P.Bad_request "cannot delete the root"
     | Some _ -> ())
   | Oplog.Replace_value (l, _) | Oplog.Rename (l, _) -> ignore (resolve l)
+  | Oplog.Mark _ ->
+    (* the dedup watermark is journal bookkeeping the server writes itself;
+       a client has no business smuggling one into a batch *)
+    reject P.Bad_request "reserved opcode in update batch"
 
 let exec_update cfg d ops =
   let applied = ref 0 in
@@ -262,7 +301,8 @@ let exec_update cfg d ops =
       now.Core.Stats.s_relabelled > before.Core.Stats.s_relabelled
       || now.Core.Stats.s_overflow > before.Core.Stats.s_overflow
     in
-    P.Updated { up_applied = !applied; up_fresh = List.rev !fresh; up_relabelled }
+    P.Updated
+      { up_applied = !applied; up_fresh = List.rev !fresh; up_relabelled; up_dedup = false }
   with
   | Reject (e, msg) ->
     (* ops before the rejected one are applied and journaled; the reply
@@ -344,7 +384,7 @@ let exec_apply d ~epoch ~offset ~data =
   | None -> P.Err (P.Bad_request, d.d_name ^ " is not a follower")
   | Some f -> (
     match Ship.apply f ~epoch ~offset data with
-    | n -> P.Updated { up_applied = n; up_fresh = []; up_relabelled = false }
+    | n -> P.Updated { up_applied = n; up_fresh = []; up_relabelled = false; up_dedup = false }
     | exception Ship.Out_of_sync msg -> P.Err (P.Stale_pos, msg))
 
 let exec_promote d =
@@ -491,6 +531,17 @@ let conn_finish t conn =
   Condition.broadcast t.conns_cond;
   Mutex.unlock t.conns_mu
 
+(* Kill the send side before the fd is closed: a job deferred through the
+   combining lock can still hold this [conn] record, and once the fd is
+   recycled by [accept] a late [send_resp] through it would write the dead
+   connection's reply into an unrelated one. Marking [c_alive] under
+   [c_send_mu] makes the late send a silent no-op instead. *)
+let kill_conn t conn =
+  Mutex.lock conn.c_send_mu;
+  conn.c_alive <- false;
+  Mutex.unlock conn.c_send_mu;
+  try t.cfg.sock.Io.s_close conn.c_fd with Io.Io_error _ -> ()
+
 (* Close now, or hand off to the flusher when replies are still owed. The
    accept slot is released only at the actual close. *)
 let retire t conn =
@@ -503,7 +554,7 @@ let retire t conn =
   else begin
     conn.c_closed <- true;
     Mutex.unlock t.f_mu;
-    (try t.cfg.sock.Io.s_close conn.c_fd with Io.Io_error _ -> ());
+    kill_conn t conn;
     conn_finish t conn
   end
 
@@ -523,13 +574,16 @@ let enroll t d =
   end
 
 (* Park a reply behind the durable watermark. Caller holds [d_mu]; the
-   position is the journal's current end, i.e. just past this request's
-   own appends. *)
-let park t d conn resp =
-  let pos = Journal.position (journal_of d) in
+   position defaults to the journal's current end, i.e. just past this
+   request's own appends — a dedup retry parks at the original batch's
+   stored position instead. *)
+let park ?pos t d conn resp =
+  let pos = match pos with Some p -> p | None -> Journal.position (journal_of d) in
+  let bytes = String.length (P.encode_resp resp) in
   Mutex.lock t.f_mu;
-  Queue.push { pk_conn = conn; pk_resp = resp; pk_pos = pos } d.d_parked;
+  Queue.push { pk_conn = conn; pk_resp = resp; pk_pos = pos; pk_bytes = bytes } d.d_parked;
   conn.c_parked <- conn.c_parked + 1;
+  conn.c_inflight <- conn.c_inflight + bytes;
   if t.f_pending = 0 then t.f_first <- Unix.gettimeofday ();
   t.f_pending <- t.f_pending + 1;
   enroll t d;
@@ -553,9 +607,101 @@ let deliver t conn resp =
   if close_now then conn.c_closed <- true;
   Mutex.unlock t.f_mu;
   if close_now then begin
-    (try t.cfg.sock.Io.s_close conn.c_fd with Io.Io_error _ -> ());
+    kill_conn t conn;
     conn_finish t conn
   end
+
+(* ---- the exactly-once dedup window ----------------------------------
+
+   Per document, the last mutation of up to [dedup_window] identified
+   clients, all under [d_mu]. A fresh batch journals an {!Oplog.Mark}
+   right after its ops — same epoch, same flush cycle — so the window
+   survives recovery (rebuilt from the live log) and ships to replicas
+   with the ops it covers. Checkpoints absorb the log, so
+   [rejournal_marks] rewrites the live watermarks into the fresh epoch. *)
+
+let dedup_touch d e =
+  d.d_dedup_tick <- d.d_dedup_tick + 1;
+  e.de_tick <- d.d_dedup_tick
+
+let dedup_store cfg d client e =
+  if
+    (not (Hashtbl.mem d.d_dedup client))
+    && Hashtbl.length d.d_dedup >= cfg.dedup_window
+  then begin
+    (* evict the least-recently-touched client; the window is small, so a
+       scan on overflow beats maintaining an order structure on every hit *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun c e ->
+        match !victim with
+        | Some (_, tick) when tick <= e.de_tick -> ()
+        | _ -> victim := Some (c, e.de_tick))
+      d.d_dedup;
+    match !victim with Some (c, _) -> Hashtbl.remove d.d_dedup c | None -> ()
+  end;
+  Hashtbl.replace d.d_dedup client e
+
+let mark_of_entry client e =
+  let mk_err =
+    match e.de_resp with P.Err (err, msg) -> Some (P.err_code err, msg) | _ -> None
+  in
+  Oplog.Mark { mk_client = client; mk_seq = e.de_seq; mk_applied = e.de_applied; mk_err }
+
+(* a cached reply goes back flagged, so clients (and the torture harness)
+   can tell a dedup hit from a fresh application *)
+let flag_dedup = function
+  | P.Updated { up_applied; up_fresh; up_relabelled; up_dedup = _ } ->
+    P.Updated { up_applied; up_fresh; up_relabelled; up_dedup = true }
+  | resp -> resp
+
+(* After [Durable_session.recover] the ops list is gone, but the live log
+   is still on disk: scan it for Marks and rebuild the window. Fresh
+   labels are not recoverable from a Mark, so a rebuilt hit answers with
+   [up_fresh = []] and [up_relabelled = true] — the client must reseed. *)
+let dedup_rebuild cfg d ~base =
+  if cfg.dedup_window > 0 then
+    match Journal.inspect ~io:cfg.io ~base () with
+    | exception Journal.Corrupt _ -> ()
+    | _, ops, _ ->
+      let pos = Journal.durable_position (journal_of d) in
+      List.iter
+        (function
+          | Oplog.Mark { mk_client; mk_seq; mk_applied; mk_err } ->
+            let de_resp =
+              match mk_err with
+              | Some (code, msg) -> (
+                match P.err_of_code code with
+                | Some e -> P.Err (e, msg)
+                | None -> P.Err (P.Internal, msg))
+              | None ->
+                P.Updated
+                  {
+                    up_applied = mk_applied;
+                    up_fresh = [];
+                    up_relabelled = true;
+                    up_dedup = false;
+                  }
+            in
+            (* later Marks for the same client supersede earlier ones *)
+            let e =
+              { de_seq = mk_seq; de_resp; de_applied = mk_applied; de_pos = pos; de_tick = 0 }
+            in
+            dedup_touch d e;
+            dedup_store cfg d mk_client e
+          | _ -> ())
+        ops
+
+(* After a checkpoint swallowed the log, rewrite every live watermark into
+   the fresh epoch so a crash-and-recover still knows them. Caller holds
+   [d_mu]. *)
+let rejournal_marks d =
+  let j = journal_of d in
+  Hashtbl.iter
+    (fun client e ->
+      Journal.append j (mark_of_entry client e);
+      e.de_pos <- Journal.position j)
+    d.d_dedup
 
 (* ---- opening documents --------------------------------------------
 
@@ -585,6 +731,8 @@ let register_doc t name ~durable ~role ~ship =
       d_role = Atomic.make role;
       d_ship = ship;
       d_records = 0;
+      d_dedup = Hashtbl.create 16;
+      d_dedup_tick = 0;
       d_closed = false;
       d_parked = Queue.create ();
       d_ckpt_waiters = [];
@@ -637,6 +785,7 @@ let open_doc t name scheme nodes seed =
                 true )
         in
         let d = register_doc t name ~durable ~role:Primary ~ship:None in
+        if not fresh then dedup_rebuild t.cfg d ~base;
         let pub = Atomic.get d.d_pub in
         P.Opened
           {
@@ -716,12 +865,44 @@ let doc_lags t doc pub =
 let auto_ckpt_due t d =
   match t.cfg.checkpoint_every with Some k -> d.d_records >= k | None -> false
 
+(* ---- overload shedding ----------------------------------------------
+
+   A typed refusal beats an unbounded queue: when the flusher is drowning
+   in parked replies (server-wide) or one connection has too many reply
+   bytes owed (per-connection), new mutations bounce with [Overloaded]
+   before validating or journaling anything — the client backs off and
+   retries. *)
+
+let shed_reason t conn =
+  if t.cfg.shed_parked <= 0 && t.cfg.shed_conn_bytes <= 0 then None
+  else
+    Mutex.protect t.f_mu (fun () ->
+        if t.cfg.shed_parked > 0 && t.f_pending >= t.cfg.shed_parked then
+          Some (Printf.sprintf "%d replies parked (bound %d)" t.f_pending t.cfg.shed_parked)
+        else if t.cfg.shed_conn_bytes > 0 && conn.c_inflight >= t.cfg.shed_conn_bytes then
+          Some
+            (Printf.sprintf "%d reply bytes in flight on this connection (bound %d)"
+               conn.c_inflight t.cfg.shed_conn_bytes)
+        else None)
+
+let shed t conn d t0 =
+  match shed_reason t conn with
+  | None -> false
+  | Some why ->
+    Metrics.record t.metrics ~key:"shed/update" ~ok:false ~ns:0;
+    Metrics.gauge t.metrics ~key:"shed/parked"
+      ~value:(Mutex.protect t.f_mu (fun () -> t.f_pending));
+    Metrics.gauge t.metrics ~key:"shed/conn_bytes"
+      ~value:(Mutex.protect t.f_mu (fun () -> conn.c_inflight));
+    respond t conn ~doc:d.d_name "update" t0 (P.Err (P.Overloaded, why));
+    true
+
 (* The update path: validate + apply + journal-append under the doc lock,
    then either acknowledge immediately (the batch is already inside the
    durable prefix and nothing is queued ahead of it) or park the reply
    for the flusher. Error replies to partially applied batches are parked
    too: they confirm a journaled prefix. *)
-let job_update t conn d ops t0 =
+let job_update t conn d ~client ~seq ops t0 =
   if d.d_closed then
     respond t conn ~doc:d.d_name "update" t0 (P.Err (P.Shutting_down, "document is closing"))
   else if Atomic.get d.d_role = Follower then
@@ -729,33 +910,83 @@ let job_update t conn d ops t0 =
       (P.Err (P.Not_primary, d.d_name ^ " is a follower here"))
   else begin
     let j = journal_of d in
-    let appended0 = Journal.appended j in
-    let resp =
-      try exec_update t.cfg d ops with
-      | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
-      | e -> P.Err (P.Internal, Printexc.to_string e)
-    in
-    let delta = Journal.appended j - appended0 in
-    d.d_records <- d.d_records + delta;
-    publish d;
-    let ok = match resp with P.Err _ -> false | _ -> true in
-    record t ~doc:d.d_name "update" ~ok ~ns:(ns_since t0);
-    (if delta = 0 then send_resp t conn resp
-     else begin
-       let durable = Journal.durable_position j in
-       let pos = Journal.position j in
-       (* even a durable batch must park behind earlier parked replies of
-          the same connection, or pipelined acks would reorder *)
-       let clear =
-         Journal.covers ~durable pos
-         && Mutex.protect t.f_mu (fun () -> Queue.is_empty d.d_parked)
-       in
-       if clear then send_resp t conn resp else park t d conn resp
-     end);
-    if auto_ckpt_due t d then
-      Mutex.protect t.f_mu (fun () ->
-          enroll t d;
-          wake_flusher t)
+    let dedup = client <> "" && t.cfg.dedup_window > 0 in
+    let prior = if dedup then Hashtbl.find_opt d.d_dedup client else None in
+    match prior with
+    | Some e when dedup && seq = e.de_seq ->
+      (* a retry of an applied batch: answer from the window, gated on the
+         original's durability like any other ack *)
+      dedup_touch d e;
+      Metrics.record t.metrics ~key:"dedup/hit" ~ok:true ~ns:0;
+      let resp = flag_dedup e.de_resp in
+      let ok = match resp with P.Err _ -> false | _ -> true in
+      record t ~doc:d.d_name "update" ~ok ~ns:(ns_since t0);
+      let durable = Journal.durable_position j in
+      let clear =
+        Journal.covers ~durable e.de_pos
+        && Mutex.protect t.f_mu (fun () -> Queue.is_empty d.d_parked)
+      in
+      if clear then send_resp t conn resp else park ~pos:e.de_pos t d conn resp
+    | Some e when dedup && seq < e.de_seq ->
+      respond t conn ~doc:d.d_name "update" t0
+        (P.Err
+           ( P.Bad_request,
+             Printf.sprintf "stale sequence %d for client %S (last %d)" seq client
+               e.de_seq ))
+    | _ when shed t conn d t0 -> ()
+    | _ ->
+      let appended0 = Journal.appended j in
+      let resp =
+        try exec_update t.cfg d ops with
+        | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
+        | e -> P.Err (P.Internal, Printexc.to_string e)
+      in
+      let applied =
+        match resp with P.Updated { up_applied; _ } -> up_applied | _ -> List.length ops
+      in
+      let delta0 = Journal.appended j - appended0 in
+      (if dedup then begin
+         let e =
+           {
+             de_seq = seq;
+             de_resp = resp;
+             de_applied = (match resp with P.Err _ -> delta0 | _ -> applied);
+             de_pos = Journal.position j;
+             de_tick = 0;
+           }
+         in
+         dedup_touch d e;
+         (* the Mark rides the same flush cycle as the batch it covers; a
+            batch that journaled nothing needs no Mark — re-running it on
+            retry is either impossible (it will fail the same validation)
+            or a no-op *)
+         if delta0 > 0 then begin
+           Journal.append j (mark_of_entry client e);
+           e.de_pos <- Journal.position j
+         end;
+         dedup_store t.cfg d client e
+       end);
+      let delta = Journal.appended j - appended0 in
+      d.d_records <- d.d_records + delta;
+      publish d;
+      let ok = match resp with P.Err _ -> false | _ -> true in
+      record t ~doc:d.d_name "update" ~ok ~ns:(ns_since t0);
+      (if delta = 0 then send_resp t conn resp
+       else begin
+         let durable = Journal.durable_position j in
+         let pos = Journal.position j in
+         (* even a durable batch must park behind earlier parked replies of
+            the same connection, or pipelined acks would reorder *)
+         let clear =
+           Journal.covers ~durable pos
+           && Mutex.protect t.f_mu (fun () -> Queue.is_empty d.d_parked)
+         in
+         if clear then send_resp t conn resp else park t d conn resp
+       end);
+      if auto_ckpt_due t d then
+        Mutex.protect t.f_mu (fun () ->
+            enroll t d;
+            wake_flusher t)
   end
 
 (* Explicit checkpoints are debounced: below [checkpoint_min_records]
@@ -789,7 +1020,8 @@ let dispatch_doc t conn d req t0 =
         respond t conn ~doc:d.d_name cls t0 resp)
   in
   match req with
-  | P.Update { u_ops; _ } -> run_or_defer d (fun () -> job_update t conn d u_ops t0)
+  | P.Update { u_client; u_seq; u_ops; _ } ->
+    run_or_defer d (fun () -> job_update t conn d ~client:u_client ~seq:u_seq u_ops t0)
   | P.Labels { lb_limit; _ } -> direct "labels" (fun () -> exec_labels d lb_limit)
   | P.Checkpoint _ -> run_or_defer d (fun () -> job_checkpoint t conn d t0)
   | P.Subscribe { sb_replica; _ } ->
@@ -1010,6 +1242,7 @@ let release_covered t d =
     match Queue.peek_opt d.d_parked with
     | Some pk when Journal.covers ~durable pk.pk_pos ->
       ignore (Queue.pop d.d_parked);
+      pk.pk_conn.c_inflight <- pk.pk_conn.c_inflight - pk.pk_bytes;
       rel := pk :: !rel;
       pop ()
     | _ -> ()
@@ -1045,6 +1278,12 @@ let checkpoint_doc t d =
             match Durable_session.checkpoint d.d_durable with
             | () ->
               d.d_records <- 0;
+              (* the checkpoint absorbed the Marks into the snapshot where
+                 recovery cannot see them: rewrite the live watermarks into
+                 the fresh epoch's log *)
+              (try rejournal_marks d
+               with Io.Io_error { op; reason; _ } ->
+                 t.cfg.log ("rejournal marks: " ^ op ^ ": " ^ reason));
               publish d;
               P.Checkpointed (Journal.epoch (journal_of d))
             | exception Io.Io_error { op; reason; _ } ->
@@ -1345,7 +1584,7 @@ let manager_loop t (host, port) =
       match !conn with
       | Some c -> Some c
       | None -> (
-        match Server_client.connect ~timeout:2.0 ~host ~port () with
+        match Server_client.connect ~timeout:t.cfg.peer_timeout ~host ~port () with
         | c ->
           conn := Some c;
           Some c
@@ -1422,6 +1661,7 @@ let accept_loop t =
                      c_send_mu = Mutex.create ();
                      c_alive = true;
                      c_parked = 0;
+                     c_inflight = 0;
                      c_draining = false;
                      c_closed = false;
                      c_last = Unix.gettimeofday ();
@@ -1625,7 +1865,7 @@ let close_remaining_conns t =
             end)
       in
       if close_now then begin
-        (try t.cfg.sock.Io.s_close c.c_fd with Io.Io_error _ -> ());
+        kill_conn t c;
         conn_finish t c
       end)
     left
@@ -1678,6 +1918,9 @@ let legacy_config cfg =
     checkpoint_every = cfg.checkpoint_every;
     max_doc_nodes = cfg.max_doc_nodes;
     max_frag_nodes = cfg.max_frag_nodes;
+    dedup_window = cfg.dedup_window;
+    shed_waiters = cfg.shed_parked;
+    peer_timeout = cfg.peer_timeout;
     sock = cfg.sock;
     log = cfg.log;
     replica_of = cfg.replica_of;

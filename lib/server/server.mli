@@ -78,6 +78,28 @@ type config = {
   loop_domains : int;
       (** event-loop domains; [<= 0] sizes from the hardware
           ([recommended_domain_count - 1], min 1) *)
+  dedup_window : int;
+      (** identified clients remembered per document for exactly-once
+          retries: the last sequence number and cached reply of up to this
+          many clients, LRU-evicted past the window; 0 disables dedup.
+          Watermarks are journalled as {!Repro_journal.Oplog.op.Mark}
+          records right behind the batch they cover — same epoch, same
+          flush cycle — so the window survives recovery and ships to
+          replicas. *)
+  shed_parked : int;
+      (** refuse further mutations with {!Protocol.err.Overloaded} once
+          this many replies are parked awaiting fsync server-wide
+          (nothing validated or journalled — always safe to retry);
+          0 disables. The legacy core maps this to its bound on
+          connection threads blocked at a full actor queue
+          ({!Server_legacy.config.shed_waiters}). *)
+  shed_conn_bytes : int;
+      (** refuse further mutations from one connection once its parked
+          replies hold this many encoded bytes — a single pipelining
+          client cannot monopolize the park; 0 disables *)
+  peer_timeout : float;
+      (** connect/receive timeout for the replication manager's upstream
+          connections, seconds *)
   io : Repro_io.Io.t;  (** file-IO seam for every journal this server opens *)
   sock : Repro_io.Io.sock;
   log : string -> unit;  (** connection-level diagnostics; default drops them *)
@@ -120,7 +142,11 @@ val metrics : t -> Metrics.t
     (cycle latency), ["commit/parked"] (current depth),
     ["loop/<i>/util_pct"] per event-loop domain, and the effective
     ["cfg/fsync_every"], ["cfg/commit_interval_us"], ["cfg/commit_max"],
-    ["cfg/loop_domains"]. *)
+    ["cfg/loop_domains"]. Resilience keys: ["dedup/hit"] counts retries
+    answered from the dedup window, ["shed/update"] counts mutations
+    refused with [Overloaded], with gauges ["shed/parked"] and
+    ["shed/conn_bytes"] (["shed/waiters"] on the legacy core) recording
+    the pressure at the last shed. *)
 
 val trigger : t -> unit
 (** Begin draining: stop accepting, refuse new opens. Async-signal-safe;

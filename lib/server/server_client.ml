@@ -1,56 +1,175 @@
 open Repro_io
 module P = Protocol
 
-type t = {
-  fd : Unix.file_descr;
-  sock : Io.sock;
-  reader : Wire.reader;
-  mutable alive : bool;
+type counters = {
+  c_retries : int;
+  c_reconnects : int;
+  c_dedup_hits : int;
+  c_overloaded : int;
 }
 
-let connect ?(sock = Io.real_sock) ?(timeout = 30.) ~host ~port () =
+type conn = { fd : Unix.file_descr; reader : Wire.reader }
+
+type t = {
+  host : string;
+  port : int;
+  sock : Io.sock;
+  timeout : float;
+  client : string;
+  retries : int;
+  backoff : float;
+  backoff_cap : float;
+  rng : Random.State.t;
+  mutable conn : conn option;
+  mutable closed : bool;
+  mutable seq : int;
+  mutable n_retries : int;
+  mutable n_reconnects : int;
+  mutable n_dedup_hits : int;
+  mutable n_overloaded : int;
+}
+
+let dial t =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port));
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout
   with
-  | () -> { fd; sock; reader = Wire.reader sock fd; alive = true }
+  | () -> { fd; reader = Wire.reader t.sock fd }
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise (Io.Io_error { op = "connect"; path = host; reason = Unix.error_message e })
+    raise (Io.Io_error { op = "connect"; path = t.host; reason = Unix.error_message e })
+
+let connect ?(sock = Io.real_sock) ?(timeout = 30.) ?(client = "") ?(retries = 0)
+    ?(backoff = 0.05) ?(backoff_cap = 1.0) ~host ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t =
+    {
+      host;
+      port;
+      sock;
+      timeout;
+      client;
+      retries = max 0 retries;
+      backoff = max 0. backoff;
+      backoff_cap = max 0. backoff_cap;
+      rng = Random.State.make [| Hashtbl.hash (host, port, client); 0x5eed |];
+      conn = None;
+      closed = false;
+      seq = 0;
+      n_retries = 0;
+      n_reconnects = 0;
+      n_dedup_hits = 0;
+      n_overloaded = 0;
+    }
+  in
+  t.conn <- Some (dial t);
+  t
 
 let close t =
-  if t.alive then begin
-    t.alive <- false;
-    try t.sock.Io.s_close t.fd with Io.Io_error _ -> ()
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.conn with
+    | Some c -> ( try t.sock.Io.s_close c.fd with Io.Io_error _ -> ())
+    | None -> ());
+    t.conn <- None
   end
 
+let counters t =
+  {
+    c_retries = t.n_retries;
+    c_reconnects = t.n_reconnects;
+    c_dedup_hits = t.n_dedup_hits;
+    c_overloaded = t.n_overloaded;
+  }
+
+(* Capped exponential backoff with full jitter: attempt n sleeps
+   uniform(0.5, 1.5) * min(cap, base * 2^n), so a thundering herd of
+   retrying clients decorrelates instead of re-arriving in lockstep. *)
+let sleep_backoff t n =
+  let d = min t.backoff_cap (t.backoff *. (2. ** float_of_int n)) in
+  let d = d *. (0.5 +. Random.State.float t.rng 1.0) in
+  if d > 0. then Thread.delay d
+
+(* A fresh mutation from an identified client gets the next sequence
+   number; everything else travels as built. Retries inside [request]
+   reuse the stamped value, which is the whole point: the server sees the
+   same (client, seq) and answers from its dedup window. *)
+let stamp t req =
+  match req with
+  | P.Update { u_doc; u_client = ""; u_seq = _; u_ops } when t.client <> "" ->
+    t.seq <- t.seq + 1;
+    P.Update { u_doc; u_client = t.client; u_seq = t.seq; u_ops }
+  | _ -> req
+
 let request t req =
-  if not t.alive then Error "connection closed"
-  else
-    match Wire.send_frame t.sock t.fd (P.encode_req req) with
-    | exception Io.Io_error { reason; _ } ->
-      t.alive <- false;
-      Error ("send: " ^ reason)
-    | () -> (
-      match Wire.recv_frame t.reader with
-      | Wire.Frame payload -> (
-        match P.decode_resp payload with
-        | Ok resp -> Ok resp
-        | Error reason ->
-          t.alive <- false;
-          Error ("bad response payload: " ^ reason))
-      | Wire.Eof ->
-        t.alive <- false;
-        Error "server closed the connection"
-      | Wire.Bad reason ->
-        t.alive <- false;
-        Error ("bad response frame: " ^ reason)
-      | Wire.Io_fail reason ->
-        t.alive <- false;
-        Error ("recv: " ^ reason))
+  if t.closed then Error "connection closed"
+  else begin
+    let req = stamp t req in
+    (* An anonymous mutation is not idempotent: once the request bytes may
+       have reached the server, resending risks double-application, so
+       only connect-phase failures are retried for it. *)
+    let anon_mutation =
+      match req with P.Update { u_client = ""; _ } -> true | _ -> false
+    in
+    let rec go n =
+      let retry ~sent reason =
+        if n >= t.retries || (sent && anon_mutation) then Error reason
+        else begin
+          t.n_retries <- t.n_retries + 1;
+          sleep_backoff t n;
+          go (n + 1)
+        end
+      in
+      let conn =
+        match t.conn with
+        | Some c -> Ok c
+        | None -> (
+          match dial t with
+          | c ->
+            t.n_reconnects <- t.n_reconnects + 1;
+            t.conn <- Some c;
+            Ok c
+          | exception Io.Io_error { reason; _ } -> Error reason)
+      in
+      match conn with
+      | Error reason -> retry ~sent:false ("connect: " ^ reason)
+      | Ok c -> (
+        let fail reason =
+          t.conn <- None;
+          (try t.sock.Io.s_close c.fd with Io.Io_error _ -> ());
+          retry ~sent:true reason
+        in
+        match Wire.send_frame t.sock c.fd (P.encode_req req) with
+        | exception Io.Io_error { reason; _ } -> fail ("send: " ^ reason)
+        | () -> (
+          match Wire.recv_frame c.reader with
+          | Wire.Frame payload -> (
+            match P.decode_resp payload with
+            | Ok (P.Err (P.Overloaded, _) as resp) ->
+              (* the server applied nothing: always safe to back off and
+                 retry, even for an anonymous mutation *)
+              t.n_overloaded <- t.n_overloaded + 1;
+              if n >= t.retries then Ok resp
+              else begin
+                t.n_retries <- t.n_retries + 1;
+                sleep_backoff t n;
+                go (n + 1)
+              end
+            | Ok resp ->
+              (match resp with
+              | P.Updated { up_dedup = true; _ } ->
+                t.n_dedup_hits <- t.n_dedup_hits + 1
+              | _ -> ());
+              Ok resp
+            | Error reason -> fail ("bad response payload: " ^ reason))
+          | Wire.Eof -> fail "server closed the connection"
+          | Wire.Bad reason -> fail ("bad response frame: " ^ reason)
+          | Wire.Io_fail reason -> fail ("recv: " ^ reason)))
+    in
+    go 0
+  end
 
 let ping t =
   match request t P.Ping with
@@ -62,7 +181,9 @@ let ping t =
 let open_doc t ~doc ~scheme ~nodes ~seed =
   request t (P.Open { o_doc = doc; o_scheme = scheme; o_nodes = nodes; o_seed = seed })
 
-let update t ~doc ops = request t (P.Update { u_doc = doc; u_ops = ops })
+let update t ~doc ops =
+  request t (P.Update { u_doc = doc; u_client = ""; u_seq = 0; u_ops = ops })
+
 let query t ~doc pred = request t (P.Query { q_doc = doc; q_pred = pred })
 let stats t ~doc = request t (P.Stats doc)
 let labels t ~doc ~limit = request t (P.Labels { lb_doc = doc; lb_limit = limit })

@@ -1,26 +1,66 @@
-(** Client side of the wire protocol: one connection, synchronous
-    request/response.
+(** Client side of the wire protocol: one connection at a time,
+    synchronous request/response, optional reconnect + retry.
 
     Transport failures (reset, timeout, torn frame, undecodable reply)
-    come back as [Error reason] and mark the connection dead; protocol
-    errors the server chose to send are an ordinary [Ok (Err (code, msg))]
-    — the connection is still usable. Not thread-safe: one connection per
-    thread, which is also how the load generator uses it. *)
+    close the underlying connection; with [retries = 0] (the default)
+    they come back as [Error reason] immediately, and the next request
+    transparently redials. With [retries > 0] the client redials and
+    resends under capped exponential backoff with jitter before giving
+    up. Protocol errors the server chose to send are an ordinary
+    [Ok (Err (code, msg))] — the connection is still usable — except
+    {!Protocol.err.Overloaded}, which is backed off and retried like a
+    transport failure (the server applied nothing).
+
+    Retry safety: requests carrying a [client] identity stamp each fresh
+    mutation with a per-client sequence number, and a retry resends the
+    same one, so the server's dedup window makes the retry idempotent —
+    retried freely. An anonymous mutation ([client = ""], the default) is
+    only retried while it is provably unsent (connect-phase failures);
+    after the bytes may have reached the server, the failure surfaces as
+    [Error] instead of risking double-application. Reads and the
+    replication requests are idempotent and always retried.
+
+    Not thread-safe: one client per thread, which is also how the load
+    generator uses it. *)
 
 type t
 
+type counters = {
+  c_retries : int;  (** resends after a transport failure or Overloaded *)
+  c_reconnects : int;  (** successful redials after the initial connect *)
+  c_dedup_hits : int;  (** replies answered from the server's dedup window *)
+  c_overloaded : int;  (** Overloaded replies received (before retry) *)
+}
+
 val connect :
-  ?sock:Repro_io.Io.sock -> ?timeout:float -> host:string -> port:int -> unit -> t
+  ?sock:Repro_io.Io.sock ->
+  ?timeout:float ->
+  ?client:string ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
 (** [host] is a numeric address. [timeout] (default 30s) sets both
-    receive and send timeouts. Raises {!Repro_io.Io.Io_error} when the
-    connection is refused. The [sock] seam defaults to the real one;
-    tests pass a fault-injecting wrap. *)
+    receive and send timeouts. [client] (default [""] = anonymous) is the
+    stable identity for exactly-once retries; make it unique per logical
+    client, not per connection. [retries] (default 0) caps resends per
+    request; attempt [n] sleeps jittered [min (backoff_cap, backoff * 2^n)]
+    (defaults 50ms, cap 1s). Raises {!Repro_io.Io.Io_error} when the
+    initial connection is refused. The [sock] seam defaults to the real
+    one; tests pass a fault-injecting wrap. *)
 
 val close : t -> unit
-(** Idempotent. *)
+(** Idempotent. A closed client stays closed: no redial. *)
+
+val counters : t -> counters
+(** Cumulative resilience counters since [connect]. *)
 
 val request : t -> Protocol.req -> (Protocol.resp, string) result
-(** One framed round trip. Never raises on transport failure. *)
+(** One framed round trip (plus redials/resends per the retry policy).
+    Never raises on transport failure. *)
 
 val ping : t -> (unit, string) result
 (** Round-trip plus protocol-version check ({!Protocol.magic}). *)
@@ -30,6 +70,10 @@ val open_doc :
   (Protocol.resp, string) result
 
 val update : t -> doc:string -> Repro_journal.Oplog.op list -> (Protocol.resp, string) result
+(** Builds the Update with [u_client = ""]; when the client was connected
+    with a [client] identity, {!request} stamps it and the next sequence
+    number automatically. *)
+
 val query : t -> doc:string -> Protocol.pred -> (Protocol.resp, string) result
 val stats : t -> doc:string -> (Protocol.resp, string) result
 val labels : t -> doc:string -> limit:int -> (Protocol.resp, string) result

@@ -15,6 +15,9 @@ type config = {
   checkpoint_every : int option;
   max_doc_nodes : int;
   max_frag_nodes : int;
+  dedup_window : int;
+  shed_waiters : int;
+  peer_timeout : float;
   sock : Io.sock;
   log : string -> unit;
   replica_of : (string * int) option;
@@ -35,6 +38,14 @@ let default_config ~root =
     checkpoint_every = Some 512;
     max_doc_nodes = 50_000;
     max_frag_nodes = 4_096;
+    (* last (client, seq, reply) watermarks kept per document; 0 disables
+       the exactly-once dedup window entirely *)
+    dedup_window = 128;
+    (* refuse further mutations with Overloaded once this many connection
+       threads are already blocked on a full actor queue; 0 disables *)
+    shed_waiters = 4096;
+    (* connect timeout for the replication manager's upstream dials *)
+    peer_timeout = 2.0;
     sock = Io.real_sock;
     log = ignore;
     replica_of = None;
@@ -89,13 +100,22 @@ type published = {
 type role = Primary | Follower
 
 type job =
-  | J_update of Oplog.op list
+  | J_update of { uj_client : string; uj_seq : int; uj_ops : Oplog.op list }
   | J_labels of int
   | J_checkpoint
   | J_subscribe
   | J_replicate of { rq_epoch : int; rq_snap : bool; rq_offset : int; rq_limit : int }
   | J_apply of { ap_epoch : int; ap_offset : int; ap_data : string }
   | J_promote
+
+(* the dedup watermark for one identified client: its last sequence
+   number and the reply it got, so a retry is answered without re-applying *)
+type dedup_entry = {
+  mutable de_seq : int;
+  mutable de_resp : P.resp;
+  mutable de_applied : int;  (** journalled op-prefix length, for the Mark *)
+  mutable de_tick : int;  (** LRU clock for window eviction *)
+}
 
 type actor = {
   a_doc : string;
@@ -106,11 +126,15 @@ type actor = {
   a_queue_cap : int;
   mutable a_closed : bool;  (** no new jobs; drain, checkpoint, exit *)
   mutable a_abandoned : bool;  (** simulated kill: exit without checkpointing *)
+  mutable a_waiters : int;  (** submitters blocked on a full queue; under [a_mu] *)
   mutable a_thread : Thread.t;
   a_durable : Durable_session.t;
   a_view : Core.Session.t;
   a_pack : Core.Scheme.packed;
   mutable a_resolver : Journal.Resolver.t;
+  a_dedup : (string, dedup_entry) Hashtbl.t;
+      (** client -> watermark; only the actor thread touches it *)
+  mutable a_dedup_tick : int;
   a_pub : published Atomic.t;
   a_role : role Atomic.t;
   a_ship : Ship.t option;  (** [Some] iff this doc was created as a follower *)
@@ -177,6 +201,10 @@ let check_op cfg resolver (op : Oplog.op) =
     | None -> reject P.Bad_request "cannot delete the root"
     | Some _ -> ())
   | Oplog.Replace_value (l, _) | Oplog.Rename (l, _) -> ignore (resolve l)
+  | Oplog.Mark _ ->
+    (* the dedup watermark is journal bookkeeping the server writes itself;
+       a client has no business smuggling one into a batch *)
+    reject P.Bad_request "reserved opcode in update batch"
 
 let exec_update cfg a ops =
   let applied = ref 0 in
@@ -199,7 +227,8 @@ let exec_update cfg a ops =
       now.Core.Stats.s_relabelled > before.Core.Stats.s_relabelled
       || now.Core.Stats.s_overflow > before.Core.Stats.s_overflow
     in
-    P.Updated { up_applied = !applied; up_fresh = List.rev !fresh; up_relabelled }
+    P.Updated
+      { up_applied = !applied; up_fresh = List.rev !fresh; up_relabelled; up_dedup = false }
   with
   | Reject (e, msg) ->
     (* ops before the rejected one are applied and journaled; the reply
@@ -208,6 +237,131 @@ let exec_update cfg a ops =
   | Journal.Replay_error msg ->
     a.a_resolver <- Journal.Resolver.create a.a_view;
     P.Err (P.Unknown_label, msg)
+
+(* ---- the exactly-once dedup window ----------------------------------
+
+   The legacy twin of the event-loop core's window: per document, the
+   last mutation of up to [dedup_window] identified clients. Only the
+   actor thread reads or writes it, so no lock. A fresh batch journals an
+   {!Oplog.Mark} right after its ops so the window survives recovery and
+   ships to replicas with the ops it covers; checkpoints (explicit or the
+   automatic every-N kind, which shows up as an epoch change) absorb the
+   log, so the live watermarks are rewritten into the fresh epoch. *)
+
+let dedup_touch a e =
+  a.a_dedup_tick <- a.a_dedup_tick + 1;
+  e.de_tick <- a.a_dedup_tick
+
+let dedup_store cfg a client e =
+  if
+    (not (Hashtbl.mem a.a_dedup client))
+    && Hashtbl.length a.a_dedup >= cfg.dedup_window
+  then begin
+    (* evict the least-recently-touched client; the window is small, so a
+       scan on overflow beats maintaining an order structure on every hit *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun c e ->
+        match !victim with
+        | Some (_, tick) when tick <= e.de_tick -> ()
+        | _ -> victim := Some (c, e.de_tick))
+      a.a_dedup;
+    match !victim with Some (c, _) -> Hashtbl.remove a.a_dedup c | None -> ()
+  end;
+  Hashtbl.replace a.a_dedup client e
+
+let mark_of_entry client e =
+  let mk_err =
+    match e.de_resp with P.Err (err, msg) -> Some (P.err_code err, msg) | _ -> None
+  in
+  Oplog.Mark { mk_client = client; mk_seq = e.de_seq; mk_applied = e.de_applied; mk_err }
+
+(* a cached reply goes back flagged, so clients (and the torture harness)
+   can tell a dedup hit from a fresh application *)
+let flag_dedup = function
+  | P.Updated { up_applied; up_fresh; up_relabelled; up_dedup = _ } ->
+    P.Updated { up_applied; up_fresh; up_relabelled; up_dedup = true }
+  | resp -> resp
+
+(* rewrite every live watermark into the journal's current epoch *)
+let rejournal_marks a =
+  let j = Durable_session.journal a.a_durable in
+  Hashtbl.iter (fun client e -> Journal.append j (mark_of_entry client e)) a.a_dedup
+
+(* After [Durable_session.recover] the ops list is gone, but the live log
+   is still on disk: scan it for Marks and rebuild the window. Fresh
+   labels are not recoverable from a Mark, so a rebuilt hit answers with
+   [up_fresh = []] and [up_relabelled = true] — the client must reseed. *)
+let dedup_rebuild cfg a ~base =
+  if cfg.dedup_window > 0 then
+    match Journal.inspect ~base () with
+    | exception Journal.Corrupt _ -> ()
+    | _, ops, _ ->
+      List.iter
+        (function
+          | Oplog.Mark { mk_client; mk_seq; mk_applied; mk_err } ->
+            let de_resp =
+              match mk_err with
+              | Some (code, msg) -> (
+                match P.err_of_code code with
+                | Some e -> P.Err (e, msg)
+                | None -> P.Err (P.Internal, msg))
+              | None ->
+                P.Updated
+                  {
+                    up_applied = mk_applied;
+                    up_fresh = [];
+                    up_relabelled = true;
+                    up_dedup = false;
+                  }
+            in
+            (* later Marks for the same client supersede earlier ones *)
+            let e = { de_seq = mk_seq; de_resp; de_applied = mk_applied; de_tick = 0 } in
+            dedup_touch a e;
+            dedup_store cfg a mk_client e
+          | _ -> ())
+        ops
+
+(* The update path the actor runs: answer retries from the window, shed
+   stale sequence numbers, and journal a Mark behind every fresh batch
+   that appended anything. *)
+let exec_update_dedup cfg metrics a ~client ~seq ops =
+  let dedup = client <> "" && cfg.dedup_window > 0 in
+  match (if dedup then Hashtbl.find_opt a.a_dedup client else None) with
+  | Some e when seq = e.de_seq ->
+    dedup_touch a e;
+    Metrics.record metrics ~key:"dedup/hit" ~ok:true ~ns:0;
+    flag_dedup e.de_resp
+  | Some e when seq < e.de_seq ->
+    P.Err
+      ( P.Bad_request,
+        Printf.sprintf "stale sequence %d for client %S (last %d)" seq client e.de_seq )
+  | _ ->
+    let j = Durable_session.journal a.a_durable in
+    let appended0 = Journal.appended j and epoch0 = Journal.epoch j in
+    let resp = exec_update cfg a ops in
+    if dedup then begin
+      (* for an errored batch the journalled prefix is what replays, so
+         that is the applied count the Mark must carry *)
+      let applied =
+        match resp with
+        | P.Updated { up_applied; _ } -> up_applied
+        | _ -> Journal.appended j - appended0
+      in
+      let e = { de_seq = seq; de_resp = resp; de_applied = applied; de_tick = 0 } in
+      dedup_touch a e;
+      dedup_store cfg a client e;
+      try
+        if Journal.epoch j <> epoch0 then
+          (* an automatic checkpoint swallowed the log mid-batch: the old
+             Marks went with it, so rewrite the whole window (the fresh
+             entry included) into the new epoch *)
+          rejournal_marks a
+        else if Journal.appended j > appended0 then
+          Journal.append j (mark_of_entry client e)
+      with Io.Io_error { op; reason; _ } -> cfg.log ("journal mark: " ^ op ^ ": " ^ reason)
+    end;
+    resp
 
 let exec_labels a limit =
   let limit = max 0 (min limit 20_000) in
@@ -223,8 +377,12 @@ let exec_labels a limit =
    with Exit -> ());
   P.Labels_r (List.rev !acc)
 
-let exec_checkpoint a =
+let exec_checkpoint cfg a =
   Durable_session.checkpoint a.a_durable;
+  (* the checkpoint absorbed the log — and the Marks riding in it — into
+     the snapshot, so rewrite the live watermarks into the fresh epoch *)
+  (try rejournal_marks a
+   with Io.Io_error { op; reason; _ } -> cfg.log ("rejournal marks: " ^ op ^ ": " ^ reason));
   P.Checkpointed (Journal.epoch (Durable_session.journal a.a_durable))
 
 (* ---- replication jobs ----------------------------------------------
@@ -283,7 +441,7 @@ let exec_apply a ~epoch ~offset ~data =
   | None -> P.Err (P.Bad_request, a.a_doc ^ " is not a follower")
   | Some f -> (
     match Ship.apply f ~epoch ~offset data with
-    | n -> P.Updated { up_applied = n; up_fresh = []; up_relabelled = false }
+    | n -> P.Updated { up_applied = n; up_fresh = []; up_relabelled = false; up_dedup = false }
     | exception Ship.Out_of_sync msg -> P.Err (P.Stale_pos, msg))
 
 let exec_promote a =
@@ -295,7 +453,7 @@ let exec_promote a =
   in
   P.Promoted { pr_epoch = pos.Journal.p_epoch; pr_offset = pos.Journal.p_offset }
 
-let actor_loop cfg a =
+let actor_loop cfg metrics a =
   let rec next () =
     Mutex.lock a.a_mu;
     let rec take () =
@@ -332,12 +490,12 @@ let actor_loop cfg a =
       let resp =
         try
           match job with
-          | J_update ops ->
+          | J_update { uj_client; uj_seq; uj_ops } ->
             if Atomic.get a.a_role = Follower then
               P.Err (P.Not_primary, a.a_doc ^ " is a follower here")
-            else exec_update cfg a ops
+            else exec_update_dedup cfg metrics a ~client:uj_client ~seq:uj_seq uj_ops
           | J_labels limit -> exec_labels a limit
-          | J_checkpoint -> exec_checkpoint a
+          | J_checkpoint -> exec_checkpoint cfg a
           | J_subscribe -> exec_subscribe a
           | J_replicate { rq_epoch; rq_snap; rq_offset; rq_limit } ->
             exec_replicate a ~epoch:rq_epoch ~snap:rq_snap ~offset:rq_offset ~limit:rq_limit
@@ -356,19 +514,37 @@ let actor_loop cfg a =
 
 (* Enqueue under the queue cap — a full queue blocks the connection
    thread, which stops reading its socket: backpressure all the way to
-   the client's TCP window. *)
-let submit a job =
+   the client's TCP window. Mutations stop queueing behind that wall once
+   [shed_waiters] threads are already blocked: they get a typed
+   [Overloaded] refusal instead, before anything validates or journals,
+   so a shed request is always safe to retry. *)
+let submit cfg metrics a job =
   let mb = Mailbox.create () in
+  let sheddable = match job with J_update _ -> true | _ -> false in
   Mutex.lock a.a_mu;
   let rec push () =
     if a.a_closed || a.a_abandoned then begin
       Mutex.unlock a.a_mu;
       None
     end
-    else if Queue.length a.a_queue >= a.a_queue_cap then begin
-      Condition.wait a.a_slot a.a_mu;
-      push ()
-    end
+    else if Queue.length a.a_queue >= a.a_queue_cap then
+      if sheddable && cfg.shed_waiters > 0 && a.a_waiters >= cfg.shed_waiters then begin
+        let waiters = a.a_waiters in
+        Mutex.unlock a.a_mu;
+        Metrics.record metrics ~key:"shed/update" ~ok:false ~ns:0;
+        Metrics.gauge metrics ~key:"shed/waiters" ~value:waiters;
+        Some
+          (P.Err
+             ( P.Overloaded,
+               Printf.sprintf "%d submitters waiting on %s (bound %d)" waiters a.a_doc
+                 cfg.shed_waiters ))
+      end
+      else begin
+        a.a_waiters <- a.a_waiters + 1;
+        Condition.wait a.a_slot a.a_mu;
+        a.a_waiters <- a.a_waiters - 1;
+        push ()
+      end
     else begin
       Queue.push (job, mb) a.a_queue;
       Condition.signal a.a_nonempty;
@@ -434,8 +610,10 @@ let doc_name_ok name =
    actor model needs. *)
 
 (* Construct and register an actor for a live durable session. Caller
-   holds [reg_mu]; the name must be unregistered. *)
-let spawn_actor t name ~durable ~role ~ship =
+   holds [reg_mu]; the name must be unregistered. [rebuild] scans the
+   recovered log for dedup Marks before the actor thread starts — the
+   only moment the window can be touched without racing it. *)
+let spawn_actor t name ~durable ~role ~ship ~rebuild =
   let view = Durable_session.session durable in
   let pack =
     match Repro_schemes.Registry.find view.Core.Session.scheme_name with
@@ -453,17 +631,22 @@ let spawn_actor t name ~durable ~role ~ship =
       a_queue_cap = 128;
       a_closed = false;
       a_abandoned = false;
+      a_waiters = 0;
       a_thread = Thread.self ();
       a_durable = durable;
       a_view = view;
       a_pack = pack;
       a_resolver = Journal.Resolver.create view;
+      a_dedup = Hashtbl.create 16;
+      a_dedup_tick = 0;
       a_pub = Atomic.make (publish_of view pack durable);
       a_role = Atomic.make role;
       a_ship = ship;
     }
   in
-  a.a_thread <- Thread.create (actor_loop t.cfg) a;
+  if rebuild then
+    dedup_rebuild t.cfg a ~base:(Filename.concat t.cfg.root (name ^ ".journal"));
+  a.a_thread <- Thread.create (actor_loop t.cfg t.metrics) a;
   Hashtbl.add t.actors name a;
   a
 
@@ -509,7 +692,7 @@ let open_doc t name scheme nodes seed =
                   ?checkpoint_every:t.cfg.checkpoint_every ~base session,
                 true )
         in
-        let a = spawn_actor t name ~durable ~role:Primary ~ship:None in
+        let a = spawn_actor t name ~durable ~role:Primary ~ship:None ~rebuild:(not fresh) in
         let pub = Atomic.get a.a_pub in
         P.Opened
           {
@@ -592,7 +775,7 @@ let dispatch t req =
   let with_actor doc job =
     match find_actor t doc with
     | None -> P.Err (P.Unknown_doc, doc)
-    | Some a -> submit a job
+    | Some a -> submit t.cfg t.metrics a job
   in
   match req with
   | P.Ping -> P.Pong P.magic
@@ -602,7 +785,8 @@ let dispatch t req =
     with_pub q_doc (fun pub -> P.Answer (eval_query pub.p_pack q_pred))
   | P.Stats doc ->
     with_pub doc (fun pub -> P.Stats_r { pub.p_stats with P.st_lag = doc_lags t doc pub })
-  | P.Update { u_doc; u_ops } -> with_actor u_doc (J_update u_ops)
+  | P.Update { u_doc; u_client; u_seq; u_ops } ->
+    with_actor u_doc (J_update { uj_client = u_client; uj_seq = u_seq; uj_ops = u_ops })
   | P.Labels { lb_doc; lb_limit } -> with_actor lb_doc (J_labels lb_limit)
   | P.Checkpoint doc -> with_actor doc J_checkpoint
   | P.Subscribe { sb_doc; sb_replica } -> (
@@ -718,7 +902,8 @@ let bootstrap_follower t c doc =
         (fun () ->
           if Hashtbl.mem t.actors doc then raise Mgr_resync;
           t.cfg.log (Printf.sprintf "replication: following %s from %d:%d" doc su_epoch su_log_start);
-          spawn_actor t doc ~durable:(Ship.durable f) ~role:Follower ~ship:(Some f))
+          spawn_actor t doc ~durable:(Ship.durable f) ~role:Follower ~ship:(Some f)
+            ~rebuild:false)
     | exception Ship.Out_of_sync msg -> raise (Mgr_drop ("bootstrap " ^ doc ^ ": " ^ msg)))
   | P.Err (P.Shutting_down, _) -> raise (Mgr_drop "upstream is draining")
   | _ -> raise (Mgr_drop "unexpected reply to subscribe")
@@ -764,7 +949,10 @@ let pump_follower t c acked a =
         with
         | P.Shipped { sh_data = ""; _ } -> ack_position t c acked a.a_doc pos
         | P.Shipped { sh_epoch; sh_offset; sh_total = _; sh_data } -> (
-          match submit a (J_apply { ap_epoch = sh_epoch; ap_offset = sh_offset; ap_data = sh_data }) with
+          match
+            submit t.cfg t.metrics a
+              (J_apply { ap_epoch = sh_epoch; ap_offset = sh_offset; ap_data = sh_data })
+          with
           | P.Updated _ ->
             ack_position t c acked a.a_doc (Ship.position f);
             go (budget - 1)
@@ -793,7 +981,7 @@ let manager_loop t (host, port) =
       match !conn with
       | Some c -> Some c
       | None -> (
-        match Server_client.connect ~timeout:2.0 ~host ~port () with
+        match Server_client.connect ~timeout:t.cfg.peer_timeout ~host ~port () with
         | c ->
           conn := Some c;
           Some c

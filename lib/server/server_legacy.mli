@@ -41,6 +41,21 @@ type config = {
   checkpoint_every : int option;
   max_doc_nodes : int;  (** cap on [Open]'s generated document size *)
   max_frag_nodes : int;  (** cap on a single inserted fragment *)
+  dedup_window : int;
+      (** identified clients remembered per document for exactly-once
+          retries (last sequence number + cached reply, LRU-evicted past
+          the window); 0 disables dedup. Watermarks are journalled as
+          {!Repro_journal.Oplog.op.Mark} records, so they survive
+          recovery and ship to replicas. *)
+  shed_waiters : int;
+      (** refuse further mutations with {!Protocol.err.Overloaded} once
+          this many connection threads are blocked on a document's full
+          job queue (nothing validated or journalled — always safe to
+          retry); 0 disables shedding and restores pure blocking
+          backpressure *)
+  peer_timeout : float;
+      (** connect/receive timeout for the replication manager's upstream
+          connections, seconds *)
   sock : Repro_io.Io.sock;
   log : string -> unit;  (** connection-level diagnostics; default drops them *)
   replica_of : (string * int) option;

@@ -172,7 +172,7 @@ A bare invocation lists every subcommand with a one-line description:
     workload   run an update workload and print label metrics
     query      evaluate an XPath expression over a document
   $ xmlrepro | grep -c '^  '
-  17
+  18
   $ xmlrepro | grep -E 'cluster|failover'
     cluster    launch a replicated, sharded cluster with failover
     failover   replication failover torture over simulated file systems

@@ -25,4 +25,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("framework", Test_framework.suite);
       ("xml", Test_xml.suite);
+      ("resilience", Test_resilience.suite);
     ]

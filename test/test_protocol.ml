@@ -66,8 +66,9 @@ let sample_resps =
     P.Pong P.magic;
     P.Opened { ok_scheme = "Vector"; ok_root = l0; ok_nodes = 120; ok_fresh = true };
     P.Opened { ok_scheme = ""; ok_root = l2; ok_nodes = 0; ok_fresh = false };
-    P.Updated { up_applied = 3; up_fresh = [ l0; l1 ]; up_relabelled = false };
-    P.Updated { up_applied = 0; up_fresh = []; up_relabelled = true };
+    P.Updated { up_applied = 3; up_fresh = [ l0; l1 ]; up_relabelled = false; up_dedup = false };
+    P.Updated { up_applied = 0; up_fresh = []; up_relabelled = true; up_dedup = false };
+    P.Updated { up_applied = 2; up_fresh = []; up_relabelled = true; up_dedup = true };
     P.Answer (P.Bool true);
     P.Answer (P.Bool false);
     P.Answer (P.Int 0);
@@ -131,6 +132,7 @@ let sample_resps =
     P.Err (P.Internal, "boom");
     P.Err (P.Not_primary, "d is a follower here");
     P.Err (P.Stale_pos, "epoch 2 is over");
+    P.Err (P.Overloaded, "4096 replies parked (bound 4096)");
   ]
 
 (* ---- round trips --------------------------------------------------- *)
@@ -146,11 +148,16 @@ let req_roundtrip () =
 (* Update requests carry tree fragments, whose nodes have cyclic parent
    pointers and fresh ids on decode — compare through the op printer. *)
 let update_roundtrip () =
-  let req = P.Update { u_doc = "the-doc"; u_ops = sample_ops () } in
+  let req =
+    P.Update
+      { u_doc = "the-doc"; u_client = "c-42"; u_seq = 9_000_000_000; u_ops = sample_ops () }
+  in
   match P.decode_req (P.encode_req req) with
   | Error e -> Alcotest.fail e
-  | Ok (P.Update { u_doc; u_ops }) ->
+  | Ok (P.Update { u_doc; u_client; u_seq; u_ops }) ->
     check Alcotest.string "doc" "the-doc" u_doc;
+    check Alcotest.string "client" "c-42" u_client;
+    check Alcotest.int "seq survives the u64 codec" 9_000_000_000 u_seq;
     check
       Alcotest.(list string)
       "ops survive"
@@ -172,13 +179,13 @@ let err_codes_roundtrip () =
     (fun e ->
       check Alcotest.bool (P.err_name e) true (P.err_of_code (P.err_code e) = Some e))
     [ P.Bad_frame; P.Unknown_doc; P.Unknown_scheme; P.Unknown_label; P.Bad_request;
-      P.Shutting_down; P.Internal; P.Not_primary; P.Stale_pos ];
+      P.Shutting_down; P.Internal; P.Not_primary; P.Stale_pos; P.Overloaded ];
   check Alcotest.bool "unused code is None" true (P.err_of_code 250 = None)
 
 (* ---- mutation fuzz: the decoder never raises ------------------------ *)
 
 let all_payloads () =
-  P.encode_req (P.Update { u_doc = "d"; u_ops = sample_ops () })
+  P.encode_req (P.Update { u_doc = "d"; u_client = "c"; u_seq = 3; u_ops = sample_ops () })
   :: List.map P.encode_req sample_reqs
   @ List.map P.encode_resp sample_resps
 
@@ -205,7 +212,7 @@ let truncation_is_typed () =
             Alcotest.fail
               (Printf.sprintf "truncated payload decoded as %s" (P.req_class req))
           | Error _ -> ()))
-    (P.encode_req (P.Update { u_doc = "d"; u_ops = sample_ops () })
+    (P.encode_req (P.Update { u_doc = "d"; u_client = "c"; u_seq = 3; u_ops = sample_ops () })
     :: List.map P.encode_req sample_reqs);
   List.iter
     (fun payload ->

@@ -507,6 +507,8 @@ let abort_mid_batch_serves_acked_prefix () =
         (P.Update
            {
              u_doc = "pipelined";
+             u_client = "";
+             u_seq = 0;
              u_ops = [ Oplog.Insert_last (root_l, Tree.elt (Printf.sprintf "a%d" k) []) ];
            })
     in
