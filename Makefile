@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke check clean
+.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke query-smoke check clean
 
 all: build
 
@@ -68,7 +68,17 @@ cluster-smoke: build
 nettorture-smoke: build
 	dune exec bin/xmlrepro.exe -- nettorture --ops 8 --seeds 1 --points 120
 
-check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke
+# Wire-query smoke: a paranoid in-process server (every served XPath/twig
+# answer re-verified against the scan evaluator over the same snapshot
+# rows) under the read-heavy 95/5 query/mutation mix. Any protocol error
+# or paranoid divergence fails the run.
+query-smoke: build
+	rm -rf _build/query-smoke
+	dune exec bin/xmlrepro.exe -- loadgen --self-serve --paranoid \
+	  --root _build/query-smoke --clients 4 --docs 2 --ops 4000 --seed 3 \
+	  --nodes 60 --query-pct 95 --schemes QED,ORDPATH
+
+check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke query-smoke
 
 clean:
 	dune clean

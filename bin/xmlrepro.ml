@@ -607,7 +607,7 @@ let port_arg ~default ~doc = Arg.(value & opt int default & info [ "port" ] ~doc
 let serve_cmd =
   let run host port root max_conns fsync_every checkpoint_every commit_interval
       commit_max loop_domains legacy_core dedup_window shed_parked port_file
-      replica_of replica_name =
+      replica_of replica_name paranoid =
     let checkpoint_every = if checkpoint_every <= 0 then None else Some checkpoint_every in
     let replica_of =
       match replica_of with
@@ -635,6 +635,7 @@ let serve_cmd =
         shed_parked;
         replica_of;
         replica_name;
+        paranoid;
       }
     in
     let t = Repro_server.Server.start cfg in
@@ -749,6 +750,15 @@ let serve_cmd =
       & info [ "replica-name" ] ~docv:"NAME"
           ~doc:"How this replica identifies itself upstream (shows up in stats lag).")
   in
+  let serve_paranoid =
+    Arg.(
+      value & flag
+      & info [ "paranoid" ]
+          ~doc:
+            "Re-derive every served XPath/twig answer through the scan reference \
+             evaluator over the same published snapshot; a divergence is answered \
+             as an Internal error instead of served.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -761,12 +771,12 @@ let serve_cmd =
       $ port_arg ~default:0 ~doc:"Port to bind (0 picks an ephemeral one)."
       $ root $ max_conns $ fsync_every $ checkpoint_every $ commit_interval
       $ commit_max $ loop_domains $ legacy_core $ dedup_window $ shed_parked
-      $ port_file $ replica_of $ replica_name)
+      $ port_file $ replica_of $ replica_name $ serve_paranoid)
 
 let loadgen_cmd =
   let run host port clients ops seed schemes nodes docs doc_prefix json self_serve root
       fsync_every commit_interval commit_max loop_domains cluster retries backoff
-      net_drop net_delay =
+      net_drop net_delay query_pct paranoid =
     let g_sock =
       if net_drop > 0. || net_delay > 0. then begin
         (* every worker dials through one seeded fault injector: the
@@ -806,6 +816,7 @@ let loadgen_cmd =
           g_backoff = backoff;
           g_sock;
           g_resolve = resolve;
+          g_query_pct = query_pct;
         }
       in
       Repro_server.Loadgen.run cfg
@@ -819,6 +830,7 @@ let loadgen_cmd =
             commit_interval_us = commit_interval;
             commit_max;
             loop_domains;
+            paranoid;
           }
         in
         let t = Repro_server.Server.start scfg in
@@ -955,6 +967,25 @@ let loadgen_cmd =
       & info [ "net-delay" ] ~docv:"P"
           ~doc:"Seeded Netsim fault injection: delay probability per client socket syscall.")
   in
+  let query_pct =
+    Arg.(
+      value & opt int (-1)
+      & info [ "query-pct" ] ~docv:"PCT"
+          ~doc:
+            "Switch to the read-heavy mix: $(docv) percent of ops are served \
+             XPath/twig queries against the document's published incremental index, \
+             the rest structural mutations (95 is the canonical web-traffic ratio). \
+             -1 (the default) keeps the classic mixed workload.")
+  in
+  let loadgen_paranoid =
+    Arg.(
+      value & flag
+      & info [ "paranoid" ]
+          ~doc:
+            "For --self-serve: the server re-verifies every served query answer \
+             against the scan evaluator over the same snapshot rows, failing the \
+             request on any divergence.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -966,7 +997,8 @@ let loadgen_cmd =
       $ port_arg ~default:0 ~doc:"Port of the server to load."
       $ clients $ ops $ seed_arg $ schemes $ nodes $ docs $ doc_prefix $ json
       $ self_serve $ root $ fsync_every $ commit_interval $ commit_max $ loop_domains
-      $ cluster $ retries $ backoff $ net_drop $ net_delay)
+      $ cluster $ retries $ backoff $ net_drop $ net_delay $ query_pct
+      $ loadgen_paranoid)
 
 (* ---- network torture --------------------------------------------- *)
 

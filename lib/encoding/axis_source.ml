@@ -1,0 +1,32 @@
+open Encoding
+
+type t = {
+  all : unit -> row list;
+  root : unit -> row;
+  children : row -> row list;
+  attributes : row -> row list;
+  parent : row -> row option;
+  ancestors : row -> row list;
+  descendants : row -> row list;
+  following : row -> row list;
+  preceding : row -> row list;
+  following_siblings : row -> row list;
+  preceding_siblings : row -> row list;
+  by_name : string -> row list;
+}
+
+let of_index idx =
+  {
+    all = (fun () -> Axis_index.all idx);
+    root = (fun () -> Axis_index.root idx);
+    children = Axis_index.children idx;
+    attributes = Axis_index.attributes idx;
+    parent = Axis_index.parent idx;
+    ancestors = Axis_index.ancestors idx;
+    descendants = Axis_index.descendants idx;
+    following = Axis_index.following idx;
+    preceding = Axis_index.preceding idx;
+    following_siblings = Axis_index.following_siblings idx;
+    preceding_siblings = Axis_index.preceding_siblings idx;
+    by_name = Axis_index.by_name idx;
+  }

@@ -1,0 +1,32 @@
+(** Axis evaluation abstracted over the backing structure.
+
+    {!Axis_index} answers the §3.1.1 region queries from a dense array
+    rebuilt per revision; {!Axis_inc} answers the same queries from
+    persistent maps maintained incrementally under updates. Both plug into
+    the XPath engine and the twig matcher through this record of axis
+    functions, so query evaluation is written once against whatever index
+    happens to back it.
+
+    Contracts carried over from {!Axis_index}: every function returns rows
+    in document order; [children] and the sibling axes yield element rows
+    only; [descendants], [following] and [preceding] exclude attributes;
+    [ancestors] is root-first; [by_name] includes attribute rows. Rows may
+    carry {e sparse} pre/post ranks — only their relative order is
+    meaningful, which is all the region predicates need. *)
+
+type t = {
+  all : unit -> Encoding.row list;
+  root : unit -> Encoding.row;
+  children : Encoding.row -> Encoding.row list;
+  attributes : Encoding.row -> Encoding.row list;
+  parent : Encoding.row -> Encoding.row option;
+  ancestors : Encoding.row -> Encoding.row list;
+  descendants : Encoding.row -> Encoding.row list;
+  following : Encoding.row -> Encoding.row list;
+  preceding : Encoding.row -> Encoding.row list;
+  following_siblings : Encoding.row -> Encoding.row list;
+  preceding_siblings : Encoding.row -> Encoding.row list;
+  by_name : string -> Encoding.row list;
+}
+
+val of_index : Axis_index.t -> t

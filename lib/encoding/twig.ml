@@ -103,17 +103,20 @@ let matches_xpath_equivalent t =
 (* Matching: one semijoin per pattern edge, bottom-up                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec matches idx t =
+(* Only the name index is needed: the semijoins and the parent test are
+   purely rank-relational, so any axis source — dense or incremental —
+   drives the same plan. *)
+let rec matches_src (src : Axis_source.t) t =
   let base =
     List.filter
       (fun (r : Encoding.row) -> r.Encoding.kind = Encoding.Element)
-      (Axis_index.by_name idx t.name)
+      (src.Axis_source.by_name t.name)
   in
   List.fold_left
     (fun candidates (axis, branch) ->
       if candidates = [] then []
       else begin
-        let branch_matches = matches idx branch in
+        let branch_matches = matches_src src branch in
         match axis with
         | Descendant ->
           Axis_index.semijoin_ancestors ~candidates ~descendants:branch_matches
@@ -130,3 +133,5 @@ let rec matches idx t =
             candidates
       end)
     base t.branches
+
+let matches idx t = matches_src (Axis_source.of_index idx) t

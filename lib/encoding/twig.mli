@@ -32,5 +32,10 @@ val to_string : t -> string
 val matches : Axis_index.t -> t -> Encoding.row list
 (** In document order. *)
 
+val matches_src : Axis_source.t -> t -> Encoding.row list
+(** Same plan over any axis source — only its name index is consulted; the
+    semijoins are rank-relational, so an {!Axis_inc} snapshot's sparse
+    ranks work unchanged. *)
+
 val matches_xpath_equivalent : t -> string
 (** The XPath expression computing the same result navigationally. *)

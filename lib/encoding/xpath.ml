@@ -493,121 +493,318 @@ let dedup_doc_order rows =
       end)
     (List.sort (fun (a : row) b -> Int.compare a.pre b.pre) rows)
 
-(* Candidate generation through the region-query index (§3.1.1): each
-   axis is an O(log n + answer) lookup instead of a document scan. The
-   virtual document node is handled specially — it is not in the index. *)
-let indexed_candidates idx (ctx : row) axis =
-  let non_attribute () =
-    List.filter (fun (r : row) -> r.kind <> Attribute) (Axis_index.all idx)
-  in
+(* ------------------------------------------------------------------ *)
+(* Path optimisation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether an expression's value can depend on position()/last(). Path
+   and Count sub-paths re-scope the position, so they never do. *)
+let rec positional_expr = function
+  | Position | Last -> true
+  | Compare (_, a, b) | And (a, b) | Or (a, b) -> positional_expr a || positional_expr b
+  | Not e -> positional_expr e
+  | Path _ | Literal _ | Number _ | Count _ -> false
+
+(* A bare number predicate [2] abbreviates [position() = 2]. *)
+let positional_pred = function Number _ -> true | e -> positional_expr e
+
+(* Collapse the '//' expansion — descendant-or-self::node()/child::T[ps]
+   into descendant::T[ps] — whenever no predicate is positional. The two
+   spellings select the same node set (both axes exclude attributes and a
+   child of some descendant-or-self node is exactly a descendant), but
+   positions differ: the abbreviation numbers candidates per intermediate
+   context, the collapsed step numbers them across the whole subtree. The
+   collapsed form is what the name index answers in O(occurrences). *)
+let rec collapse_steps = function
+  | { axis = Descendant_or_self; test = Node; predicates = [] }
+    :: ({ axis = Child; _ } as s)
+    :: rest
+    when not (List.exists positional_pred s.predicates) ->
+    collapse_step { s with axis = Descendant } :: collapse_steps rest
+  | s :: rest -> collapse_step s :: collapse_steps rest
+  | [] -> []
+
+and collapse_step s = { s with predicates = List.map collapse_expr s.predicates }
+
+and collapse_expr = function
+  | Path p -> Path (collapse_path p)
+  | Count p -> Count (collapse_path p)
+  | Compare (c, a, b) -> Compare (c, collapse_expr a, collapse_expr b)
+  | And (a, b) -> And (collapse_expr a, collapse_expr b)
+  | Or (a, b) -> Or (collapse_expr a, collapse_expr b)
+  | Not e -> Not (collapse_expr e)
+  | (Literal _ | Number _ | Position | Last) as e -> e
+
+and collapse_path p = { p with steps = collapse_steps p.steps }
+
+(* ------------------------------------------------------------------ *)
+(* The evaluation engine                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Either a document scan over a materialised row list (the reference
+   semantics) or an axis source (§3.1.1 region queries, backed by the
+   batch or the incremental index). *)
+type engine =
+  | Scan of row list (* virtual root first, then document order *)
+  | Src of Axis_source.t
+
+(* Candidate generation through an axis source: each axis is an
+   O(log n + answer) lookup instead of a document scan. The virtual
+   document node is handled specially — it is not in any index. *)
+let source_candidates (src : Axis_source.t) (ctx : row) axis =
+  let non_attribute rs = List.filter (fun (r : row) -> r.kind <> Attribute) rs in
   if is_virtual ctx then
     match axis with
-    | Child -> [ Axis_index.root idx ]
-    | Descendant -> non_attribute ()
-    | Descendant_or_self -> ctx :: non_attribute ()
+    | Child -> [ src.root () ]
+    | Descendant -> non_attribute (src.all ())
+    | Descendant_or_self -> ctx :: non_attribute (src.all ())
     | Self | Ancestor_or_self -> [ ctx ]
     | Attribute | Parent | Ancestor | Following | Preceding | Following_sibling
     | Preceding_sibling ->
       []
   else
     match axis with
-    | Child -> Axis_index.children idx ctx
-    | Attribute -> Axis_index.attributes idx ctx
-    | Descendant ->
-      List.filter (fun (r : row) -> r.kind <> Attribute) (Axis_index.descendants idx ctx)
-    | Descendant_or_self ->
-      ctx
-      :: List.filter (fun (r : row) -> r.kind <> Attribute) (Axis_index.descendants idx ctx)
+    | Child -> src.children ctx
+    | Attribute -> src.attributes ctx
+    | Descendant -> non_attribute (src.descendants ctx)
+    | Descendant_or_self -> ctx :: non_attribute (src.descendants ctx)
     | Self -> [ ctx ]
     | Parent -> (
-      match Axis_index.parent idx ctx with
-      | Some p -> [ p ]
-      | None -> [ virtual_root ])
-    | Ancestor -> virtual_root :: Axis_index.ancestors idx ctx
-    | Ancestor_or_self -> (virtual_root :: Axis_index.ancestors idx ctx) @ [ ctx ]
-    | Following -> Axis_index.following idx ctx
-    | Preceding -> Axis_index.preceding idx ctx
-    | Following_sibling -> Axis_index.following_siblings idx ctx
-    | Preceding_sibling -> Axis_index.preceding_siblings idx ctx
+      match src.parent ctx with Some p -> [ p ] | None -> [ virtual_root ])
+    | Ancestor -> virtual_root :: src.ancestors ctx
+    | Ancestor_or_self -> (virtual_root :: src.ancestors ctx) @ [ ctx ]
+    | Following -> src.following ctx
+    | Preceding -> src.preceding ctx
+    | Following_sibling -> src.following_siblings ctx
+    | Preceding_sibling -> src.preceding_siblings ctx
 
-let rec eval_path enc idx (ctx : row) (p : path) =
+(* descendant::name through the name index: O(occurrences of the name)
+   instead of O(subtree). by_name is in document order and the subtree
+   test is a pre/post region check, so order is preserved. *)
+let by_name_descendants (src : Axis_source.t) (ctx : row) name =
+  List.filter
+    (fun (r : row) ->
+      r.kind <> Attribute
+      && if is_virtual ctx then not (is_virtual r)
+         else r.pre > ctx.pre && r.post < ctx.post)
+    (src.by_name name)
+
+let rec eval_path eng (ctx : row) (p : path) =
   let start = if p.absolute then [ virtual_root ] else [ ctx ] in
-  List.fold_left (fun nodes step -> eval_step enc idx nodes step) start p.steps
+  let rec go nodes = function
+    | [] -> nodes
+    | s1 :: s2 :: rest when fusable_pair eng s1 s2 ->
+      go (eval_fused_descendant_child eng nodes s2) rest
+    | s :: rest -> go (eval_step eng nodes s) rest
+  in
+  go start p.steps
 
-and eval_step enc idx context_nodes step =
-  let all = virtual_root :: rows enc in
+(* The '//name[k]' positional form cannot be collapsed onto a single
+   descendant step (position() is per-parent), but its expansion
+   descendant-or-self::node()/child::name[..] doesn't have to materialise
+   every node as a context either: child-of-descendant-or-self(c) is
+   exactly descendant-of(c), grouped by parent. Fusing the step pair
+   turns it into one name-index probe. *)
+and fusable_pair eng s1 s2 =
+  match eng with
+  | Scan _ -> false
+  | Src _ -> (
+    s1.axis = Descendant_or_self && s1.test = Node && s1.predicates = []
+    && s2.axis = Child
+    && match s2.test with Name _ -> true | _ -> false)
+
+and eval_fused_descendant_child eng context_nodes step =
+  match (eng, step.test) with
+  | Src src, Name n ->
+    let any_virtual = List.exists is_virtual context_nodes in
+    (* a parent qualifies iff it is-or-descends-from some context *)
+    let parent_ok (p : row option) =
+      match p with
+      | None -> any_virtual (* the document element's parent is the virtual root *)
+      | Some p ->
+        any_virtual
+        || List.exists
+             (fun (c : row) -> p.pre = c.pre || (p.pre > c.pre && p.post < c.post))
+             context_nodes
+    in
+    let groups = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (r : row) ->
+        if r.kind <> Attribute then begin
+          let p = src.Axis_source.parent r in
+          let key = match p with Some p -> p.pre | None -> virtual_root.pre in
+          match Hashtbl.find_opt groups key with
+          | Some (ok, rs) -> Hashtbl.replace groups key (ok, r :: rs)
+          | None ->
+            order := key :: !order;
+            Hashtbl.replace groups key (parent_ok p, [ r ])
+        end)
+      (src.Axis_source.by_name n);
+    dedup_doc_order
+      (List.concat_map
+         (fun key ->
+           match Hashtbl.find groups key with
+           | true, rs -> apply_predicates eng step (List.rev rs)
+           | false, _ -> [])
+         (List.rev !order))
+  | _ -> assert false
+
+and eval_step eng context_nodes step =
+  match (eng, step.axis, step.test, step.predicates) with
+  | Src src, Descendant, Name n, [] ->
+    (* One name-index probe for the whole context set; the per-context
+       path below would re-materialise the occurrence list from the
+       persistent maps for each context. An occurrence qualifies if some
+       context properly contains it — checked by walking its ancestor
+       chain against a hash of the context ranks, O(depth) per
+       occurrence. Only sound without predicates: position() is
+       per-context. *)
+    let any_virtual = List.exists is_virtual context_nodes in
+    let ctx_pre = Hashtbl.create (List.length context_nodes) in
+    List.iter
+      (fun (c : row) -> if not (is_virtual c) then Hashtbl.replace ctx_pre c.pre ())
+      context_nodes;
+    let under_ctx (r : row) =
+      any_virtual
+      || let rec up node =
+           match src.Axis_source.parent node with
+           | None -> false
+           | Some p -> Hashtbl.mem ctx_pre p.pre || up p
+         in
+         up r
+    in
+    dedup_doc_order
+      (List.filter (fun (r : row) -> r.kind <> Attribute && under_ctx r) (src.by_name n))
+  | Src src, Child, Name n, _ when List.length context_nodes > 8 ->
+    (* child::name over a large context set (e.g. the uncollapsed
+       positional '//name[k]', whose first step yields every node):
+       probe the name index once and group the occurrences by parent
+       instead of calling children() per context. Each group is that
+       parent's name-matching children in document order, which is
+       exactly the per-context candidate list, so position()/last()
+       predicates keep their meaning. *)
+    let in_ctx = Hashtbl.create (List.length context_nodes) in
+    let virtual_ctx = ref false in
+    List.iter
+      (fun (c : row) ->
+        if is_virtual c then virtual_ctx := true else Hashtbl.replace in_ctx c.pre ())
+      context_nodes;
+    let groups = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (r : row) ->
+        if r.kind <> Attribute then
+          let key =
+            match src.Axis_source.parent r with
+            | Some p -> p.pre
+            | None -> virtual_root.pre
+          in
+          let wanted =
+            if key = virtual_root.pre then !virtual_ctx else Hashtbl.mem in_ctx key
+          in
+          if wanted then (
+            if not (Hashtbl.mem groups key) then order := key :: !order;
+            Hashtbl.replace groups key (r :: Option.value (Hashtbl.find_opt groups key) ~default:[])))
+      (src.Axis_source.by_name n);
+    dedup_doc_order
+      (List.concat_map
+         (fun key ->
+           apply_predicates eng step (List.rev (Hashtbl.find groups key)))
+         (List.rev !order))
+  | _ -> eval_step_general eng context_nodes step
+
+and eval_step_general eng context_nodes step =
   let from_ctx ctx =
     let candidates =
-      match idx with
-      | Some idx ->
-        List.filter
-          (fun r ->
-            (not (r.kind = Attribute && not (axis_reaches_attributes step.axis)))
-            && test_pred step.test r)
-          (indexed_candidates idx ctx step.axis)
-      | None ->
+      match eng with
+      | Src src -> (
+        match (step.axis, step.test) with
+        | Descendant, Name n -> by_name_descendants src ctx n
+        | _ ->
+          List.filter
+            (fun r ->
+              (not (r.kind = Attribute && not (axis_reaches_attributes step.axis)))
+              && test_pred step.test r)
+            (source_candidates src ctx step.axis))
+      | Scan all ->
         List.filter (fun r -> axis_pred step.axis ctx r && test_pred step.test r) all
     in
     let ordered =
       if reverse_axis step.axis then List.rev candidates else candidates
     in
-    (* Each predicate filters with position()/last() relative to the
-       current candidate list. *)
-    let apply_pred cands pred =
-      let last = List.length cands in
-      List.filteri
-        (fun i r ->
-          let v = eval_expr enc idx r ~position:(i + 1) ~last pred in
-          match v with
-          | Num f -> f = float_of_int (i + 1) (* [2] means position()=2 *)
-          | v -> to_bool v)
-        cands
-    in
-    List.fold_left apply_pred ordered step.predicates
+    apply_predicates eng step ordered
   in
   dedup_doc_order (List.concat_map from_ctx context_nodes)
 
-and eval_expr enc idx ctx ~position ~last = function
-  | Path p -> Nodes (eval_path enc idx ctx p)
+(* Each predicate filters with position()/last() relative to the current
+   candidate list. *)
+and apply_predicates eng step ordered =
+  let apply_pred cands pred =
+    let last = List.length cands in
+    List.filteri
+      (fun i r ->
+        let v = eval_expr eng r ~position:(i + 1) ~last pred in
+        match v with
+        | Num f -> f = float_of_int (i + 1) (* [2] means position()=2 *)
+        | v -> to_bool v)
+      cands
+  in
+  List.fold_left apply_pred ordered step.predicates
+
+and eval_expr eng ctx ~position ~last = function
+  | Path p -> Nodes (eval_path eng ctx p)
   | Literal s -> Str s
   | Number f -> Num f
   | Compare (c, a, b) ->
     Bool
       (compare_values c
-         (eval_expr enc idx ctx ~position ~last a)
-         (eval_expr enc idx ctx ~position ~last b))
+         (eval_expr eng ctx ~position ~last a)
+         (eval_expr eng ctx ~position ~last b))
   | And (a, b) ->
     Bool
-      (to_bool (eval_expr enc idx ctx ~position ~last a)
-      && to_bool (eval_expr enc idx ctx ~position ~last b))
+      (to_bool (eval_expr eng ctx ~position ~last a)
+      && to_bool (eval_expr eng ctx ~position ~last b))
   | Or (a, b) ->
     Bool
-      (to_bool (eval_expr enc idx ctx ~position ~last a)
-      || to_bool (eval_expr enc idx ctx ~position ~last b))
-  | Not e -> Bool (not (to_bool (eval_expr enc idx ctx ~position ~last e)))
+      (to_bool (eval_expr eng ctx ~position ~last a)
+      || to_bool (eval_expr eng ctx ~position ~last b))
+  | Not e -> Bool (not (to_bool (eval_expr eng ctx ~position ~last e)))
   | Position -> Num (float_of_int position)
   | Last -> Num (float_of_int last)
-  | Count p -> Num (float_of_int (List.length (eval_path enc idx ctx p)))
+  | Count p -> Num (float_of_int (List.length (eval_path eng ctx p)))
 
-let eval_with enc idx (p : ast) =
-  match rows enc with
+let eval_from eng root p =
+  List.filter (fun r -> not (is_virtual r)) (dedup_doc_order (eval_path eng root p))
+
+let eval_src_ast src (p : ast) = eval_from (Src src) (src.Axis_source.root ()) (collapse_path p)
+
+let eval_src src q = eval_src_ast src (parse q)
+
+(* The document-scan evaluator over an explicit row list: every axis as a
+   filter over all rows. The reference implementation the source-backed
+   engine is checked against (notably by the server's --paranoid mode,
+   which re-runs every served answer through it), and the baseline of the
+   region-query benchmark. Runs the AST as written — no collapse — so the
+   two engines take genuinely different routes to the same answer. *)
+let eval_scan_rows all_rows (p : ast) =
+  match all_rows with
   | [] -> []
-  | root :: _ ->
-    List.filter
-      (fun r -> not (is_virtual r))
-      (dedup_doc_order (eval_path enc idx root p))
+  | root :: _ -> eval_from (Scan (virtual_root :: all_rows)) root p
 
-let eval_ast enc (p : ast) = eval_with enc (Some (Axis_index.build enc)) p
+let eval_ast enc (p : ast) =
+  eval_src_ast (Axis_source.of_index (Axis_index.build enc)) p
 
 let eval enc src = eval_ast enc (parse src)
 
-(* The document-scan evaluator: every axis as a filter over all rows.
-   Kept as the reference implementation the indexed engine is checked
-   against, and as the baseline of the region-query benchmark. *)
-let eval_scan_ast enc (p : ast) = eval_with enc None p
+let eval_scan_ast enc (p : ast) = eval_scan_rows (rows enc) p
 
 let eval_scan enc src = eval_scan_ast enc (parse src)
 
+let collapse = collapse_path
+
 (* Re-evaluation against a prebuilt index, for callers issuing many
    queries over one encoding. *)
-let eval_indexed enc idx src = eval_with enc (Some idx) (parse src)
+let eval_indexed enc idx src =
+  ignore enc;
+  eval_src_ast (Axis_source.of_index idx) (parse src)

@@ -29,6 +29,12 @@ val parse : string -> ast
 val to_string : ast -> string
 (** Canonical unabbreviated form of the parsed path. *)
 
+val collapse : ast -> ast
+(** Rewrite each non-positional ['//'] expansion
+    (descendant-or-self::node()/child::T) onto a single descendant step.
+    The indexed evaluators do this internally; exposed so a scan baseline
+    can be timed on the collapsed form too. *)
+
 val eval : Encoding.t -> string -> Encoding.row list
 (** [eval enc path] parses and evaluates [path] with the document root as
     context node. The result is duplicate-free and in document order, as
@@ -44,6 +50,21 @@ val eval_scan : Encoding.t -> string -> Encoding.row list
 
 val eval_scan_ast : Encoding.t -> ast -> Encoding.row list
 
+val eval_scan_rows : Encoding.row list -> ast -> Encoding.row list
+(** The scan evaluator over an explicit row list in document order (head =
+    document element). Works on sparse ranks — the region predicates only
+    compare them — so a snapshot of the incremental index can be checked
+    without densification; the server's [--paranoid] mode re-runs every
+    served answer through this. *)
+
 val eval_indexed : Encoding.t -> Axis_index.t -> string -> Encoding.row list
 (** Evaluate against a prebuilt index — for callers issuing many queries
     over the same encoding. *)
+
+val eval_src : Axis_source.t -> string -> Encoding.row list
+(** Evaluate against an axis source (e.g. an {!Axis_inc} snapshot) with the
+    source's root as context node. Non-positional ['//'] steps are collapsed
+    onto the name index, so common paths cost O(occurrences), not
+    O(subtree). Raises {!Parse_error}. *)
+
+val eval_src_ast : Axis_source.t -> ast -> Encoding.row list

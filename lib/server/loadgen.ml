@@ -17,6 +17,10 @@ type config = {
   g_backoff : float;
   g_sock : Repro_io.Io.sock;
   g_resolve : (string -> string * int) option;
+  g_query_pct : int;
+      (** [-1] = the classic mixed workload; [0..100] = the read-heavy mix:
+          that percentage of ops are served Xpath/Twig queries, the rest
+          mutations ([95] is the canonical web-traffic ratio) *)
 }
 
 let default_config ~port =
@@ -35,6 +39,7 @@ let default_config ~port =
     g_backoff = 0.02;
     g_sock = Repro_io.Io.real_sock;
     g_resolve = None;
+    g_query_pct = -1;
   }
 
 type class_report = {
@@ -258,7 +263,49 @@ let worker cfg i tally =
       if Prng.bool rng then pool_add anchors l else pool_add victims l
     | _ -> ()
   in
+  (* the read-heavy mix's served queries: fixed shapes over the Docgen
+     vocabulary, so every answer exercises the incremental index without
+     depending on which random inserts this run happened to make *)
+  let xpath_queries =
+    [|
+      "//item";
+      "//section//field";
+      "//entry[field]";
+      "//group/@*";
+      "/*/*";
+      "//record[2]";
+      "//item/following-sibling::*";
+      "//list[count(item) > 0]";
+    |]
+  in
+  let twig_queries = [| "item[field]"; "section[//field]"; "entry[field][//meta]" |] in
+  let read_step () =
+    if Prng.int rng 4 = 0 then
+      let q = twig_queries.(Prng.int rng (Array.length twig_queries)) in
+      ignore (timed tally "twig" (fun () -> Server_client.twig c ~doc ~limit:32 q))
+    else
+      let q = xpath_queries.(Prng.int rng (Array.length xpath_queries)) in
+      ignore (timed tally "xpath" (fun () -> Server_client.xpath c ~doc ~limit:32 q))
+  in
+  let mutate_step () =
+    let r = Prng.int rng 100 in
+    if r < 60 then insert ()
+    else if r < 75 then
+      if victims.len = 0 then insert ()
+      else ignore (update "delete" (Oplog.Delete (pool_take rng victims)))
+    else if r < 90 then
+      ignore (update "rename" (Oplog.Rename (pool_pick rng anchors, fresh_name "r")))
+    else
+      ignore
+        (update "set-value"
+           (Oplog.Replace_value
+              ( pool_pick rng anchors,
+                if Prng.bool rng then Some (fresh_name "v") else None )))
+  in
   let step () =
+    if cfg.g_query_pct >= 0 then
+      if Prng.int rng 100 < min 100 cfg.g_query_pct then read_step () else mutate_step ()
+    else
     let r = Prng.int rng 100 in
     if r < 46 then insert ()
     else if r < 56 then
@@ -368,14 +415,17 @@ let fetch_server_gauges cfg =
             if
               List.exists
                 (fun prefix -> String.starts_with ~prefix m.P.m_key)
-                [ "commit/"; "loop/"; "cfg/"; "shed/"; "dedup/" ]
+                [ "commit/"; "loop/"; "cfg/"; "shed/"; "dedup/"; "query/" ]
             then
               (* gauges carry their sample in m_total_ns; the plain
                  counters in the family (commit/flush cycles, dedup hits,
                  shed refusals) carry theirs in m_count *)
               Some
                 ( m.P.m_key,
-                  if List.mem m.P.m_key [ "commit/flush"; "dedup/hit"; "shed/update" ]
+                  if
+                    List.mem m.P.m_key
+                      [ "commit/flush"; "dedup/hit"; "shed/update"; "query/eval";
+                        "query/paranoid" ]
                   then m.P.m_count
                   else m.P.m_total_ns )
             else None)

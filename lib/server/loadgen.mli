@@ -45,6 +45,12 @@ type config = {
       (** cluster mode: map a document name to the (host, port) of the
           shard primary owning it, consulted at connect time. [None]
           (the default) connects every client to [g_host:g_port]. *)
+  g_query_pct : int;
+      (** [-1] (default): the classic mixed workload. [0..100]: the
+          read-heavy mix — that percentage of ops are served Xpath/Twig
+          queries against the document's published index (classes
+          ["xpath"]/["twig"]), the rest structural mutations; [95] is the
+          canonical web-traffic ratio. *)
 }
 
 val default_config : port:int -> config
@@ -78,10 +84,11 @@ type report = {
           connections), sorted, only codes that occurred — empty on a
           healthy run *)
   r_server : (string * int) list;
-      (** the server's group-commit, event-loop and resilience gauges
-          (["commit/..."], ["loop/..."], ["cfg/..."], ["shed/..."],
-          ["dedup/..."]) scraped over one extra Metrics request after the
-          run; empty in cluster mode or when the server is unreachable *)
+      (** the server's group-commit, event-loop, resilience and query
+          gauges (["commit/..."], ["loop/..."], ["cfg/..."], ["shed/..."],
+          ["dedup/..."], ["query/..."]) scraped over one extra Metrics
+          request after the run; empty in cluster mode or when the server
+          is unreachable *)
 }
 
 val run : config -> report

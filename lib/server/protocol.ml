@@ -38,6 +38,8 @@ type req =
   | Ack of { ak_doc : string; ak_replica : string; ak_epoch : int; ak_offset : int }
   | Promote of string
   | Docs
+  | Xpath of { xq_doc : string; xq_src : string; xq_limit : int }
+  | Twig of { tq_doc : string; tq_src : string; tq_limit : int }
 
 type err =
   | Bad_frame
@@ -76,6 +78,15 @@ type metric = {
   m_max_ns : int;
 }
 
+type qrow = {
+  qr_kind : Repro_xml.Tree.kind;
+  qr_level : int;
+  qr_name : string;
+  qr_value : string option;
+}
+
+type query_reply = { qy_total : int; qy_rev : int; qy_rows : qrow list }
+
 type resp =
   | Pong of string
   | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
@@ -101,6 +112,8 @@ type resp =
   | Acked of { ac_lag : int }
   | Promoted of { pr_epoch : int; pr_offset : int }
   | Docs_r of (string * string * bool) list  (** doc, scheme, is-primary *)
+  | Query_r of query_reply
+  | Query_error of { qe_parse : bool; qe_pos : int; qe_msg : string }
   | Err of err * string
 
 let magic = "XSRV1"
@@ -156,6 +169,8 @@ let req_class = function
   | Ack _ -> "ack"
   | Promote _ -> "promote"
   | Docs -> "docs"
+  | Xpath _ -> "xpath"
+  | Twig _ -> "twig"
 
 (* ---- encoding ------------------------------------------------------
 
@@ -256,7 +271,17 @@ let encode_req req =
   | Promote doc ->
     Buffer.add_char buf '\011';
     add_str buf doc
-  | Docs -> Buffer.add_char buf '\012');
+  | Docs -> Buffer.add_char buf '\012'
+  | Xpath { xq_doc; xq_src; xq_limit } ->
+    Buffer.add_char buf '\013';
+    add_str buf xq_doc;
+    add_str buf xq_src;
+    add_varint buf xq_limit
+  | Twig { tq_doc; tq_src; tq_limit } ->
+    Buffer.add_char buf '\014';
+    add_str buf tq_doc;
+    add_str buf tq_src;
+    add_varint buf tq_limit);
   Buffer.contents buf
 
 let encode_resp resp =
@@ -361,6 +386,28 @@ let encode_resp resp =
         add_str buf scheme;
         add_bool buf primary)
       docs
+  | Query_r { qy_total; qy_rev; qy_rows } ->
+    Buffer.add_char buf '\013';
+    add_u64 buf qy_total;
+    add_u64 buf qy_rev;
+    add_varint buf (List.length qy_rows);
+    List.iter
+      (fun q ->
+        Buffer.add_char buf
+          (match q.qr_kind with Repro_xml.Tree.Element -> '\000' | Repro_xml.Tree.Attribute -> '\001');
+        add_varint buf q.qr_level;
+        add_str buf q.qr_name;
+        match q.qr_value with
+        | None -> add_bool buf false
+        | Some v ->
+          add_bool buf true;
+          add_str buf v)
+      qy_rows
+  | Query_error { qe_parse; qe_pos; qe_msg } ->
+    Buffer.add_char buf '\014';
+    add_bool buf qe_parse;
+    add_varint buf qe_pos;
+    add_str buf qe_msg
   | Err (e, msg) ->
     Buffer.add_char buf '\255';
     Buffer.add_char buf (Char.chr (err_code e));
@@ -514,6 +561,14 @@ let decode_req data =
         Ack { ak_doc; ak_replica; ak_epoch; ak_offset }
       | 11 -> Promote (rstr c)
       | 12 -> Docs
+      | 13 ->
+        let xq_doc = rstr c in
+        let xq_src = rstr c in
+        Xpath { xq_doc; xq_src; xq_limit = rvarint c }
+      | 14 ->
+        let tq_doc = rstr c in
+        let tq_src = rstr c in
+        Twig { tq_doc; tq_src; tq_limit = rvarint c }
       | t -> bad "unknown request tag %d" t)
 
 let decode_resp data =
@@ -617,6 +672,23 @@ let decode_resp data =
                let scheme = rstr c in
                let primary = rbool c in
                (doc, scheme, primary)))
+      | 13 ->
+        let qy_total = ru64 c in
+        let qy_rev = ru64 c in
+        let qy_rows =
+          rlist c (fun c ->
+              let qr_kind = rkind c in
+              let qr_level = rvarint c in
+              let qr_name = rstr c in
+              let qr_value = if rbool c then Some (rstr c) else None in
+              { qr_kind; qr_level; qr_name; qr_value })
+        in
+        Query_r { qy_total; qy_rev; qy_rows }
+      | 14 ->
+        let qe_parse = rbool c in
+        let qe_pos = rvarint c in
+        let qe_msg = rstr c in
+        Query_error { qe_parse; qe_pos; qe_msg }
       | 255 ->
         let code = rbyte c in
         let msg = rstr c in

@@ -73,6 +73,14 @@ type req =
           to this upstream position — feeds the primary's lag accounting *)
   | Promote of string  (** turn this server's follower of a doc into a primary *)
   | Docs  (** list the documents this server is serving *)
+  | Xpath of { xq_doc : string; xq_src : string; xq_limit : int }
+      (** evaluate the XPath expression [xq_src] against the document's
+          latest published snapshot+index pair; at most [xq_limit] rows
+          come back (the reply's total counts them all). Parsed and
+          evaluated server-side, never under the document's write path *)
+  | Twig of { tq_doc : string; tq_src : string; tq_limit : int }
+      (** match the twig pattern [tq_src] by structural semijoins over the
+          same published index *)
 
 (** Typed error replies; the carried string narrows the cause. *)
 type err =
@@ -121,6 +129,22 @@ type metric = {
   m_max_ns : int;
 }
 
+(** One query answer row. Ranks are deliberately absent: the incremental
+    index serves sparse ranks whose absolute values are meaningless off the
+    server, so a row travels as its rank-free content in document order. *)
+type qrow = {
+  qr_kind : Repro_xml.Tree.kind;
+  qr_level : int;
+  qr_name : string;
+  qr_value : string option;
+}
+
+type query_reply = {
+  qy_total : int;  (** full answer cardinality, before the limit *)
+  qy_rev : int;  (** {!Repro_xml.Tree.revision} of the snapshot served *)
+  qy_rows : qrow list;  (** first [limit] rows, document order *)
+}
+
 type resp =
   | Pong of string  (** carries {!magic} — the version handshake *)
   | Opened of { ok_scheme : string; ok_root : label; ok_nodes : int; ok_fresh : bool }
@@ -163,6 +187,12 @@ type resp =
           became a primary (its own journal position for an idempotent
           re-promotion) *)
   | Docs_r of (string * string * bool) list  (** doc, scheme, is-primary *)
+  | Query_r of query_reply
+  | Query_error of { qe_parse : bool; qe_pos : int; qe_msg : string }
+      (** the query text itself was rejected — [qe_parse] true for a syntax
+          error at offset [qe_pos], false for an unsupported construct.
+          Typed separately from {!Err} so clients can distinguish "your
+          query is wrong" from "the server failed" *)
   | Err of err * string
 
 val magic : string

@@ -1,0 +1,31 @@
+(** Wire-query ({!Protocol.req.Xpath} / {!Protocol.req.Twig}) evaluation,
+    shared by both server cores.
+
+    Queries run against an atomically published
+    ({!Repro_encoding.Axis_inc.snap}, revision) pair, entirely outside the
+    document's write path: no lock, no parking, no rebuild. Under
+    [paranoid] every answer is re-derived through the scan reference
+    evaluator over the same snapshot rows and any divergence is answered
+    as {!Protocol.err.Internal} instead of served. *)
+
+type query = Q_xpath of string | Q_twig of string
+
+val max_rows : int
+(** Server-side cap on rows per reply, whatever the client's limit. *)
+
+val serve :
+  Metrics.t ->
+  paranoid:bool ->
+  doc_rev:int ->
+  inc:Repro_encoding.Axis_inc.t ->
+  pub_time:float ->
+  snap:Repro_encoding.Axis_inc.snap ->
+  query ->
+  limit:int ->
+  Protocol.resp
+(** Evaluate, cross-check when [paranoid], and account under the
+    ["query/"] metric keys: [query/eval] (count + latency),
+    [query/paranoid], [query/rev_lag] (document revisions published after
+    [snap]), [query/pub_age_us] (snapshot age at serve time, against
+    [pub_time]), [query/maint_ops] and [query/maint_ns_per_op] (the
+    incremental index's maintenance bill). *)

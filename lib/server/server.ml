@@ -3,6 +3,7 @@ open Repro_io
 open Repro_journal
 module P = Protocol
 module Pool = Repro_parallel.Pool
+module Axis_inc = Repro_encoding.Axis_inc
 
 type config = {
   host : string;
@@ -31,6 +32,9 @@ type config = {
   replica_name : string;
   poll_interval : float;
   legacy_core : bool;
+  paranoid : bool;
+      (** re-derive every served query answer through the scan reference
+          evaluator; a divergence is answered as [Internal], never served *)
 }
 
 let default_config ~root =
@@ -71,6 +75,7 @@ let default_config ~root =
     replica_name = "replica";
     poll_interval = 0.02;
     legacy_core = false;
+    paranoid = false;
   }
 
 (* ---- plumbing ------------------------------------------------------ *)
@@ -115,6 +120,10 @@ type published = {
   p_pack : Core.Scheme.packed;
   p_root : P.label;
   p_stats : P.stats_reply;
+  p_qsnap : Axis_inc.snap;
+      (** the incremental index at the same revision as [p_stats] — queries
+          read this pair, never the live document *)
+  p_qtime : float;  (** publication wall-clock, for staleness gauges *)
 }
 
 type role = Primary | Follower
@@ -154,6 +163,9 @@ type doc = {
   d_durable : Durable_session.t;
   d_view : Core.Session.t;
   d_pack : Core.Scheme.packed;
+  d_inc : Axis_inc.t;
+      (** fed by the document's {!Tree} observer under [d_mu]; snapshotted
+          into [d_pub] on every publish *)
   mutable d_resolver : Journal.Resolver.t;
   d_pub : published Atomic.t;
   d_role : role Atomic.t;
@@ -175,10 +187,14 @@ let encoded_label (view : Core.Session.t) n =
   let l_bytes, l_bits = view.Core.Session.label_encoded n in
   { P.l_bytes; l_bits }
 
-let publish_of (view : Core.Session.t) pack durable =
+let monotonic_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let publish_of (view : Core.Session.t) pack durable inc =
   let st = view.Core.Session.stats () in
   let j = Durable_session.journal durable in
   {
+    p_qsnap = Axis_inc.snapshot inc;
+    p_qtime = Unix.gettimeofday ();
     p_scheme = view.Core.Session.scheme_name;
     p_pack = pack;
     p_root = encoded_label view (Tree.root view.Core.Session.doc);
@@ -199,7 +215,7 @@ let publish_of (view : Core.Session.t) pack durable =
       };
   }
 
-let publish d = Atomic.set d.d_pub (publish_of d.d_view d.d_pack d.d_durable)
+let publish d = Atomic.set d.d_pub (publish_of d.d_view d.d_pack d.d_durable d.d_inc)
 
 (* ---- the combining lock -------------------------------------------- *)
 
@@ -717,6 +733,7 @@ let register_doc t name ~durable ~role ~ship =
       reject P.Internal "journal scheme %S is not registered"
         view.Core.Session.scheme_name
   in
+  let inc = Axis_inc.create ~clock:monotonic_ns view.Core.Session.doc in
   let d =
     {
       d_name = name;
@@ -726,8 +743,9 @@ let register_doc t name ~durable ~role ~ship =
       d_durable = durable;
       d_view = view;
       d_pack = pack;
+      d_inc = inc;
       d_resolver = Journal.Resolver.create view;
-      d_pub = Atomic.make (publish_of view pack durable);
+      d_pub = Atomic.make (publish_of view pack durable inc);
       d_role = Atomic.make role;
       d_ship = ship;
       d_records = 0;
@@ -833,6 +851,8 @@ let doc_of_req = function
   | P.Open { o_doc = d; _ }
   | P.Update { u_doc = d; _ }
   | P.Query { q_doc = d; _ }
+  | P.Xpath { xq_doc = d; _ }
+  | P.Twig { tq_doc = d; _ }
   | P.Stats d
   | P.Labels { lb_doc = d; _ }
   | P.Checkpoint d
@@ -841,6 +861,18 @@ let doc_of_req = function
   | P.Ack { ak_doc = d; _ }
   | P.Promote d ->
     Some d
+
+(* Wire queries never enter the document's write path: they are evaluated
+   inline on the loop domain that read the frame, against whatever
+   snapshot+index pair the writer last published. *)
+let serve_wire_query t doc query limit =
+  match find_doc t doc with
+  | None -> P.Err (P.Unknown_doc, doc)
+  | Some d ->
+    let pub = Atomic.get d.d_pub in
+    Query_eval.serve t.metrics ~paranoid:t.cfg.paranoid
+      ~doc_rev:(Tree.revision d.d_view.Core.Session.doc)
+      ~inc:d.d_inc ~pub_time:pub.p_qtime ~snap:pub.p_qsnap query ~limit
 
 (* Lag of one acknowledged position against the published durable offset:
    same epoch, the plain byte gap; a past epoch, the whole current log
@@ -1051,6 +1083,10 @@ let dispatch_inline t req =
     match find_doc t q_doc with
     | None -> P.Err (P.Unknown_doc, q_doc)
     | Some d -> P.Answer (eval_query (Atomic.get d.d_pub).p_pack q_pred))
+  | P.Xpath { xq_doc; xq_src; xq_limit } ->
+    serve_wire_query t xq_doc (Query_eval.Q_xpath xq_src) xq_limit
+  | P.Twig { tq_doc; tq_src; tq_limit } ->
+    serve_wire_query t tq_doc (Query_eval.Q_twig tq_src) tq_limit
   | P.Stats doc -> (
     match find_doc t doc with
     | None -> P.Err (P.Unknown_doc, doc)
@@ -1091,7 +1127,8 @@ let handle_frame t conn payload =
     send_resp t conn (P.Err (P.Bad_frame, reason))
   | Ok req -> (
     match req with
-    | P.Ping | P.Metrics | P.Open _ | P.Query _ | P.Stats _ | P.Ack _ | P.Docs ->
+    | P.Ping | P.Metrics | P.Open _ | P.Query _ | P.Xpath _ | P.Twig _ | P.Stats _
+    | P.Ack _ | P.Docs ->
       let resp =
         try dispatch_inline t req with
         | Reject (e, msg) -> P.Err (e, msg)
@@ -1448,6 +1485,7 @@ let remove_follower t d =
   Mutex.unlock t.reg_mu;
   run_sync d (fun () ->
       d.d_closed <- true;
+      Axis_inc.detach d.d_inc;
       try Durable_session.close d.d_durable with Io.Io_error _ -> ())
 
 let bootstrap_follower t c doc =
@@ -1926,6 +1964,7 @@ let legacy_config cfg =
     replica_of = cfg.replica_of;
     replica_name = cfg.replica_name;
     poll_interval = cfg.poll_interval;
+    paranoid = cfg.paranoid;
   }
 
 let start cfg =

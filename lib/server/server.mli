@@ -117,6 +117,10 @@ type config = {
           ({!Server_legacy}) behind the same API — kept for same-build
           old-vs-new benchmarking. [fsync_every <= 0] is clamped to [1]
           there; the group-commit knobs are ignored. *)
+  paranoid : bool;
+      (** re-derive every served Xpath/Twig answer through the scan
+          reference evaluator over the same published snapshot; a
+          divergence is answered as [Internal], never served *)
 }
 
 val default_config : root:string -> config

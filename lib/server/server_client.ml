@@ -185,6 +185,15 @@ let update t ~doc ops =
   request t (P.Update { u_doc = doc; u_client = ""; u_seq = 0; u_ops = ops })
 
 let query t ~doc pred = request t (P.Query { q_doc = doc; q_pred = pred })
+
+(* Queries are read-only and idempotent, so unlike anonymous mutations
+   they resend freely through [request]'s retry loop. *)
+let xpath t ~doc ~limit src =
+  request t (P.Xpath { xq_doc = doc; xq_src = src; xq_limit = limit })
+
+let twig t ~doc ~limit src =
+  request t (P.Twig { tq_doc = doc; tq_src = src; tq_limit = limit })
+
 let stats t ~doc = request t (P.Stats doc)
 let labels t ~doc ~limit = request t (P.Labels { lb_doc = doc; lb_limit = limit })
 let checkpoint t ~doc = request t (P.Checkpoint doc)

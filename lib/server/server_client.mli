@@ -75,6 +75,17 @@ val update : t -> doc:string -> Repro_journal.Oplog.op list -> (Protocol.resp, s
     number automatically. *)
 
 val query : t -> doc:string -> Protocol.pred -> (Protocol.resp, string) result
+
+val xpath : t -> doc:string -> limit:int -> string -> (Protocol.resp, string) result
+(** Evaluate an XPath expression server-side against the document's
+    latest published snapshot+index pair ({!Protocol.resp.Query_r}).
+    Read-only and idempotent, so it resends freely under the retry
+    policy — unlike an anonymous mutation. *)
+
+val twig : t -> doc:string -> limit:int -> string -> (Protocol.resp, string) result
+(** Match a twig pattern by structural semijoins over the same published
+    index; same retry semantics as {!xpath}. *)
+
 val stats : t -> doc:string -> (Protocol.resp, string) result
 val labels : t -> doc:string -> limit:int -> (Protocol.resp, string) result
 val checkpoint : t -> doc:string -> (Protocol.resp, string) result

@@ -2,6 +2,7 @@ open Repro_xml
 open Repro_io
 open Repro_journal
 module P = Protocol
+module Axis_inc = Repro_encoding.Axis_inc
 
 type config = {
   host : string;
@@ -23,6 +24,9 @@ type config = {
   replica_of : (string * int) option;
   replica_name : string;
   poll_interval : float;
+  paranoid : bool;
+      (** re-derive every served query answer through the scan reference
+          evaluator; a divergence is answered as [Internal], never served *)
 }
 
 let default_config ~root =
@@ -51,6 +55,7 @@ let default_config ~root =
     replica_of = None;
     replica_name = "replica";
     poll_interval = 0.02;
+    paranoid = false;
   }
 
 (* ---- plumbing ------------------------------------------------------ *)
@@ -95,6 +100,10 @@ type published = {
   p_pack : Core.Scheme.packed;
   p_root : P.label;
   p_stats : P.stats_reply;
+  p_qsnap : Axis_inc.snap;
+      (** the incremental index at the same revision as [p_stats] — queries
+          read this pair, never the live document *)
+  p_qtime : float;  (** publication wall-clock, for staleness gauges *)
 }
 
 type role = Primary | Follower
@@ -131,6 +140,9 @@ type actor = {
   a_durable : Durable_session.t;
   a_view : Core.Session.t;
   a_pack : Core.Scheme.packed;
+  a_inc : Axis_inc.t;
+      (** fed by the document's {!Tree} observer on the actor thread;
+          snapshotted into [a_pub] after every job *)
   mutable a_resolver : Journal.Resolver.t;
   a_dedup : (string, dedup_entry) Hashtbl.t;
       (** client -> watermark; only the actor thread touches it *)
@@ -144,10 +156,14 @@ let encoded_label (view : Core.Session.t) n =
   let l_bytes, l_bits = view.Core.Session.label_encoded n in
   { P.l_bytes; l_bits }
 
-let publish_of (view : Core.Session.t) pack durable =
+let monotonic_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let publish_of (view : Core.Session.t) pack durable inc =
   let st = view.Core.Session.stats () in
   let j = Durable_session.journal durable in
   {
+    p_qsnap = Axis_inc.snapshot inc;
+    p_qtime = Unix.gettimeofday ();
     p_scheme = view.Core.Session.scheme_name;
     p_pack = pack;
     p_root = encoded_label view (Tree.root view.Core.Session.doc);
@@ -506,7 +522,7 @@ let actor_loop cfg metrics a =
         | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
         | e -> P.Err (P.Internal, Printexc.to_string e)
       in
-      Atomic.set a.a_pub (publish_of a.a_view a.a_pack a.a_durable);
+      Atomic.set a.a_pub (publish_of a.a_view a.a_pack a.a_durable a.a_inc);
       Mailbox.put mb resp;
       next ()
   in
@@ -621,6 +637,7 @@ let spawn_actor t name ~durable ~role ~ship ~rebuild =
     | None ->
       reject P.Internal "journal scheme %S is not registered" view.Core.Session.scheme_name
   in
+  let inc = Axis_inc.create ~clock:monotonic_ns view.Core.Session.doc in
   let a =
     {
       a_doc = name;
@@ -636,10 +653,11 @@ let spawn_actor t name ~durable ~role ~ship ~rebuild =
       a_durable = durable;
       a_view = view;
       a_pack = pack;
+      a_inc = inc;
       a_resolver = Journal.Resolver.create view;
       a_dedup = Hashtbl.create 16;
       a_dedup_tick = 0;
-      a_pub = Atomic.make (publish_of view pack durable);
+      a_pub = Atomic.make (publish_of view pack durable inc);
       a_role = Atomic.make role;
       a_ship = ship;
     }
@@ -740,6 +758,8 @@ let doc_of_req = function
   | P.Open { o_doc = d; _ }
   | P.Update { u_doc = d; _ }
   | P.Query { q_doc = d; _ }
+  | P.Xpath { xq_doc = d; _ }
+  | P.Twig { tq_doc = d; _ }
   | P.Stats d
   | P.Labels { lb_doc = d; _ }
   | P.Checkpoint d
@@ -777,12 +797,27 @@ let dispatch t req =
     | None -> P.Err (P.Unknown_doc, doc)
     | Some a -> submit t.cfg t.metrics a job
   in
+  (* wire queries run on the connection thread, against the published
+     snapshot+index pair — they never queue behind the actor *)
+  let with_query doc query limit =
+    match find_actor t doc with
+    | None -> P.Err (P.Unknown_doc, doc)
+    | Some a ->
+      let pub = Atomic.get a.a_pub in
+      Query_eval.serve t.metrics ~paranoid:t.cfg.paranoid
+        ~doc_rev:(Tree.revision a.a_view.Core.Session.doc)
+        ~inc:a.a_inc ~pub_time:pub.p_qtime ~snap:pub.p_qsnap query ~limit
+  in
   match req with
   | P.Ping -> P.Pong P.magic
   | P.Metrics -> P.Metrics_r (Metrics.snapshot t.metrics)
   | P.Open { o_doc; o_scheme; o_nodes; o_seed } -> open_doc t o_doc o_scheme o_nodes o_seed
   | P.Query { q_doc; q_pred } ->
     with_pub q_doc (fun pub -> P.Answer (eval_query pub.p_pack q_pred))
+  | P.Xpath { xq_doc; xq_src; xq_limit } ->
+    with_query xq_doc (Query_eval.Q_xpath xq_src) xq_limit
+  | P.Twig { tq_doc; tq_src; tq_limit } ->
+    with_query tq_doc (Query_eval.Q_twig tq_src) tq_limit
   | P.Stats doc ->
     with_pub doc (fun pub -> P.Stats_r { pub.p_stats with P.st_lag = doc_lags t doc pub })
   | P.Update { u_doc; u_client; u_seq; u_ops } ->
@@ -861,6 +896,7 @@ let remove_follower t a =
   Condition.broadcast a.a_slot;
   Mutex.unlock a.a_mu;
   Thread.join a.a_thread;
+  Axis_inc.detach a.a_inc;
   try Durable_session.close a.a_durable with Io.Io_error _ -> ()
 
 let bootstrap_follower t c doc =

@@ -67,6 +67,10 @@ type config = {
           and refuse updates with [Not_primary] until promoted. *)
   replica_name : string;  (** how this replica identifies itself upstream *)
   poll_interval : float;  (** replication manager idle poll, seconds *)
+  paranoid : bool;
+      (** re-derive every served Xpath/Twig answer through the scan
+          reference evaluator over the same published snapshot; a
+          divergence is answered as [Internal], never served *)
 }
 
 val default_config : root:string -> config

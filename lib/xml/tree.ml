@@ -9,11 +9,20 @@ type node = {
   mutable children : node list;
 }
 
+type observer = {
+  obs_insert : node -> unit;
+  obs_delete : node -> unit;
+  obs_rename : node -> string -> unit;
+  obs_value : node -> unit;
+}
+
 type doc = {
   mutable root_node : node;
   mutable next_id : int;
   index : (int, node) Hashtbl.t;
   mutable rev : int;
+  mutable observers : (int * observer) list;
+  mutable next_obs : int;
 }
 
 type frag = { f_kind : kind; f_name : string; f_value : string option; f_children : frag list }
@@ -58,6 +67,8 @@ let create f =
       next_id = 0;
       index = Hashtbl.create 64;
       rev = 0;
+      observers = [];
+      next_obs = 0;
     }
   in
   doc.root_node <- build doc f None;
@@ -155,6 +166,17 @@ let rec to_frag n =
 
 let touch doc = doc.rev <- doc.rev + 1
 
+let add_observer doc obs =
+  let id = doc.next_obs in
+  doc.next_obs <- id + 1;
+  doc.observers <- (id, obs) :: doc.observers;
+  id
+
+let remove_observer doc id =
+  doc.observers <- List.filter (fun (i, _) -> i <> id) doc.observers
+
+let notify doc f = List.iter (fun (_, obs) -> f obs) doc.observers
+
 let require_element n what =
   if n.kind <> Element then invalid_arg ("Tree: " ^ what ^ " requires an element parent")
 
@@ -163,6 +185,7 @@ let insert_first_child doc parent f =
   let n = build doc f (Some parent) in
   parent.children <- n :: parent.children;
   touch doc;
+  notify doc (fun o -> o.obs_insert n);
   n
 
 let insert_last_child doc parent f =
@@ -170,6 +193,7 @@ let insert_last_child doc parent f =
   let n = build doc f (Some parent) in
   parent.children <- parent.children @ [ n ];
   touch doc;
+  notify doc (fun o -> o.obs_insert n);
   n
 
 let insert_rel doc anchor f ~before =
@@ -185,6 +209,7 @@ let insert_rel doc anchor f ~before =
     in
     p.children <- place p.children;
     touch doc;
+    notify doc (fun o -> o.obs_insert n);
     n
 
 let insert_before doc anchor f = insert_rel doc anchor f ~before:true
@@ -194,22 +219,26 @@ let delete doc n =
   match n.parent with
   | None -> invalid_arg "Tree.delete: cannot delete the root"
   | Some p ->
+    touch doc;
+    notify doc (fun o -> o.obs_delete n);
     p.children <- List.filter (fun c -> c.id <> n.id) p.children;
     n.parent <- None;
     let rec unindex m =
       Hashtbl.remove doc.index m.id;
       List.iter unindex m.children
     in
-    unindex n;
-    touch doc
+    unindex n
 
 let set_value doc n v =
   n.value <- v;
-  touch doc
+  touch doc;
+  notify doc (fun o -> o.obs_value n)
 
 let rename doc n name =
+  let old = n.name in
   n.name <- name;
-  touch doc
+  touch doc;
+  notify doc (fun o -> o.obs_rename n old)
 
 let validate doc =
   let seen = Hashtbl.create 64 in

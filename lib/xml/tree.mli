@@ -126,6 +126,29 @@ val delete : doc -> node -> unit
 val set_value : doc -> node -> string option -> unit
 val rename : doc -> node -> string -> unit
 
+(** {1 Mutation observers}
+
+    A structural observer sees every mutation that goes through this module —
+    live updates, recovery replay and follower log application alike — which
+    is exactly the seam an incrementally-maintained index needs. *)
+
+type observer = {
+  obs_insert : node -> unit;
+      (** Fired after a fresh subtree is attached, with the subtree root. *)
+  obs_delete : node -> unit;
+      (** Fired with the subtree root {e before} it is detached, so the
+          observer can still walk the doomed subtree. *)
+  obs_rename : node -> string -> unit;
+      (** [obs_rename n old] fires after the rename; [old] is the previous
+          name. *)
+  obs_value : node -> unit;  (** Fired after the value change. *)
+}
+
+val add_observer : doc -> observer -> int
+(** Registers an observer and returns a handle for {!remove_observer}. *)
+
+val remove_observer : doc -> int -> unit
+
 (** {1 Invariant checking} *)
 
 val validate : doc -> (unit, string) result

@@ -211,3 +211,14 @@ The load generator can also spin its own in-process server:
 
   $ xmlrepro loadgen --self-serve --root srv2 --clients 2 --ops 60 --seed 9 --nodes 30 | tail -n 1
   RESULT ops=60 errors=0
+
+Wire queries: a --paranoid server re-verifies every served XPath/twig
+answer against the scan evaluator over the same snapshot rows, and the
+read-heavy mix (95% queries, the canonical web-traffic ratio) still
+completes with zero errors:
+
+  $ xmlrepro serve --root srv3 --port 0 --port-file srv3.port --paranoid >serve3.out 2>&1 & SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -s srv3.port ] && break; sleep 0.1; done
+  $ xmlrepro loadgen --port "$(cat srv3.port)" --clients 2 --ops 200 --seed 7 --nodes 40 --query-pct 95 | tail -n 1
+  RESULT ops=200 errors=0
+  $ kill -INT "$SERVE_PID" && wait "$SERVE_PID"

@@ -8,6 +8,7 @@ let () =
       ("encoding", Test_encoding.suite);
       ("update-lang", Test_update_lang.suite);
       ("axis-index", Test_axis_index.suite);
+      ("axis-inc", Test_axis_inc.suite);
       ("storage", Test_storage.suite);
       ("journal", Test_journal.suite);
       ("io", Test_io.suite);

@@ -43,6 +43,10 @@ let sample_reqs =
     P.Query { q_doc = "d"; q_pred = P.Parent (l0, l2) };
     P.Query { q_doc = "d"; q_pred = P.Sibling (l2, l1) };
     P.Query { q_doc = "d"; q_pred = P.Level l1 };
+    P.Xpath { xq_doc = "d"; xq_src = "//item[@id = 'x']/child::*"; xq_limit = 100 };
+    P.Xpath { xq_doc = "a-b.c_9"; xq_src = ""; xq_limit = 0 };
+    P.Twig { tq_doc = "d"; tq_src = "section[//field][item]"; tq_limit = 1 };
+    P.Twig { tq_doc = "d"; tq_src = ""; tq_limit = 1_000_000 };
     P.Stats "some-doc";
     P.Labels { lb_doc = "d"; lb_limit = 500 };
     P.Checkpoint "d";
@@ -114,6 +118,20 @@ let sample_resps =
         { m_key = "doc/d/query"; m_count = 0; m_errors = 0; m_total_ns = 0; m_max_ns = 0 };
       ];
     P.Metrics_r [];
+    P.Query_r
+      {
+        qy_total = 12_345;
+        qy_rev = 678;
+        qy_rows =
+          [
+            { P.qr_kind = Tree.Element; qr_level = 0; qr_name = "book"; qr_value = None };
+            { P.qr_kind = Tree.Attribute; qr_level = 3; qr_name = "id"; qr_value = Some "x\n\xff" };
+            { P.qr_kind = Tree.Element; qr_level = 9; qr_name = ""; qr_value = Some "" };
+          ];
+      };
+    P.Query_r { qy_total = 0; qy_rev = 0; qy_rows = [] };
+    P.Query_error { qe_parse = true; qe_pos = 17; qe_msg = "unexpected ']'" };
+    P.Query_error { qe_parse = false; qe_pos = 0; qe_msg = "" };
     P.Sub_ok { su_scheme = "QED"; su_epoch = 7; su_log_start = 9; su_offset = 120; su_snap_bytes = 4_000 };
     P.Sub_ok { su_scheme = ""; su_epoch = 1; su_log_start = 0; su_offset = 0; su_snap_bytes = 0 };
     P.Shipped { sh_epoch = 7; sh_offset = 9; sh_total = 120; sh_data = "\x00\xffraw record bytes" };

@@ -394,6 +394,42 @@ let retry_through_faults () =
       check Alcotest.int "a applied once" 1 (count_name c ~doc:"d" "a");
       check Alcotest.int "b applied once" 1 (count_name c ~doc:"d" "b"))
 
+(* ---- queries resend freely where anonymous mutations refuse ---------- *)
+
+let query_resends_freely ~legacy () =
+  with_core_server ~legacy (fun _cfg t _root ->
+      let ns, m = Netsim.wrap Io.unix_sock in
+      let sock = Io.pack_sock m in
+      (* anonymous on purpose: no dedup identity, so a mutation whose bytes
+         may have been sent refuses the resend — a read-only query retries *)
+      let c =
+        Client.connect ~sock ~timeout:1.0 ~retries:6 ~backoff:0.005
+          ~host:"127.0.0.1" ~port:(Server.port t) ()
+      in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Netsim.clear ns;
+      let lab = open_root c ~doc:"d" in
+      (* lose the reply: the query is resent and answered *)
+      Netsim.arm ns [ (Netsim.At 2, Netsim.Drop) ];
+      (match Client.xpath c ~doc:"d" ~limit:10 "/*" with
+      | Ok (P.Query_r { qy_rows = [ _ ]; _ }) -> ()
+      | Ok _ -> Alcotest.fail "unexpected xpath reply"
+      | Error e -> Alcotest.fail ("xpath through dropped reply failed: " ^ e));
+      check Alcotest.bool "query was resent" true
+        ((Client.counters c).Client.c_retries >= 1);
+      (* a twig read under the same fault also rides through *)
+      Netsim.arm ns [ (Netsim.At 2, Netsim.Drop) ];
+      (match Client.twig c ~doc:"d" ~limit:10 "item" with
+      | Ok (P.Query_r _) -> ()
+      | _ -> Alcotest.fail "twig through dropped reply failed");
+      (* the same fault on an anonymous mutation surfaces as an error
+         instead of risking double-application *)
+      Netsim.arm ns [ (Netsim.At 2, Netsim.Drop) ];
+      (match Client.update c ~doc:"d" [ Oplog.Insert_last (lab, Tree.elt "x" []) ] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "anonymous mutation resent after bytes were sent");
+      Netsim.clear ns)
+
 (* ---- nettorture, API smoke ------------------------------------------- *)
 
 let nettorture_smoke () =
@@ -431,5 +467,9 @@ let suite =
       (dedup_survives_recovery ~legacy:true);
     Alcotest.test_case "overload sheds typed errors" `Quick overload_sheds_typed;
     Alcotest.test_case "retries ride out injected faults" `Quick retry_through_faults;
+    Alcotest.test_case "queries resend freely, event core" `Quick
+      (query_resends_freely ~legacy:false);
+    Alcotest.test_case "queries resend freely, legacy core" `Quick
+      (query_resends_freely ~legacy:true);
     Alcotest.test_case "nettorture smoke" `Slow nettorture_smoke;
   ]

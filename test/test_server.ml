@@ -596,6 +596,92 @@ let shared_docs_soak () =
         (List.mem_assoc "cfg/fsync_every" report.Loadgen.r_server
         && List.mem_assoc "commit/batch_p50" report.Loadgen.r_server))
 
+(* ---- served queries under --paranoid, every registered scheme -------- *)
+
+(* Every wire answer is re-derived through the scan evaluator over the
+   same snapshot rows by the server itself; a divergence comes back as
+   Err (Internal, "paranoid divergence: ..."), so a clean soak plus a
+   zero-error [query/paranoid] metric is a byte-identical guarantee for
+   each answer served here. *)
+let paranoid_query_soak ~legacy () =
+  let root = fresh_root () in
+  let t =
+    Server.start
+      { (Server.default_config ~root) with fsync_every = 1; paranoid = true;
+        legacy_core = legacy }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Server.stop t);
+      rm_rf root)
+    (fun () ->
+      with_client t (fun c ->
+          let xpaths =
+            [ "//item"; "//section//field"; "//entry[field]"; "/*/*"; "//record[2]";
+              "//item/parent::*" ]
+          in
+          let twigs = [ "item"; "section[//field]"; "entry[field]" ] in
+          let queries = ref 0 in
+          List.iter
+            (fun pack ->
+              let scheme = Core.Scheme.name pack in
+              let doc =
+                "q-"
+                ^ String.map
+                    (fun ch ->
+                      match ch with
+                      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ch
+                      | _ -> '-')
+                    scheme
+              in
+              for round = 1 to 3 do
+                (* re-open each round: schemes that relabel on insert
+                   invalidate the previous root label *)
+                let o = open_doc c ~doc ~scheme ~nodes:60 ~seed:7 in
+                (match
+                   ok
+                     (Client.request c
+                        (P.Update
+                           { u_doc = doc; u_client = ""; u_seq = 0;
+                             u_ops =
+                               [ Oplog.Insert_last
+                                   (o.o_root, Tree.elt (Printf.sprintf "item%d" round) []) ] }))
+                 with
+                | P.Updated _ -> ()
+                | P.Err (e, m) -> Alcotest.failf "%s update: %s %s" scheme (P.err_name e) m
+                | _ -> Alcotest.fail "update did not answer Updated");
+                List.iter
+                  (fun q ->
+                    incr queries;
+                    match ok (Client.xpath c ~doc ~limit:50 q) with
+                    | P.Query_r _ -> ()
+                    | P.Err (e, m) ->
+                      Alcotest.failf "%s xpath %s: %s %s" scheme q (P.err_name e) m
+                    | _ -> Alcotest.fail "xpath did not answer Query_r")
+                  xpaths;
+                List.iter
+                  (fun q ->
+                    incr queries;
+                    match ok (Client.twig c ~doc ~limit:50 q) with
+                    | P.Query_r _ -> ()
+                    | P.Err (e, m) ->
+                      Alcotest.failf "%s twig %s: %s %s" scheme q (P.err_name e) m
+                    | _ -> Alcotest.fail "twig did not answer Query_r")
+                  twigs
+              done)
+            Repro_schemes.Registry.all;
+          match ok (Client.metrics c) with
+          | P.Metrics_r ms ->
+            let m =
+              List.find_opt (fun (m : P.metric) -> m.P.m_key = "query/paranoid") ms
+            in
+            (match m with
+            | Some m ->
+              check Alcotest.int "every served answer re-verified" !queries m.P.m_count;
+              check Alcotest.int "no paranoid divergence" 0 m.P.m_errors
+            | None -> Alcotest.fail "query/paranoid metric missing")
+          | _ -> Alcotest.fail "metrics fetch failed"))
+
 let suite =
   [
     Alcotest.test_case "happy path over loopback" `Quick happy_path;
@@ -611,4 +697,8 @@ let suite =
     Alcotest.test_case "abort mid-batch serves the acked prefix" `Quick
       abort_mid_batch_serves_acked_prefix;
     Alcotest.test_case "shared-document soak, zero errors" `Slow shared_docs_soak;
+    Alcotest.test_case "paranoid query soak, event core" `Slow
+      (paranoid_query_soak ~legacy:false);
+    Alcotest.test_case "paranoid query soak, legacy core" `Slow
+      (paranoid_query_soak ~legacy:true);
   ]
