@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke query-smoke check clean
+.PHONY: all build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke query-smoke migrate-smoke check clean
 
 all: build
 
@@ -78,7 +78,19 @@ query-smoke: build
 	  --root _build/query-smoke --clients 4 --docs 2 --ops 4000 --seed 3 \
 	  --nodes 60 --query-pct 95 --schemes QED,ORDPATH
 
-check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke query-smoke
+# Schema-migration smoke: the offline per-scheme storm (every operator
+# kind, oracle-replay verified on a byte-identical twin — any
+# disagreement exits non-zero), then migration batches over the wire: a
+# self-served load with every 25th step a wrap migration, proving the
+# migrate/* gauges move and the batch path serves cleanly under load.
+migrate-smoke: build
+	rm -rf _build/migrate-smoke
+	dune exec bin/xmlrepro.exe -- migrate --steps 24 --nodes 120
+	dune exec bin/xmlrepro.exe -- loadgen --self-serve \
+	  --root _build/migrate-smoke --clients 4 --ops 2000 --seed 4 \
+	  --nodes 60 --migrate-every 25 --schemes QED,ORDPATH
+
+check: build test bench-smoke bench-hotpath torture-smoke server-smoke failover-smoke cluster-smoke nettorture-smoke query-smoke migrate-smoke
 
 clean:
 	dune clean

@@ -6,7 +6,8 @@
           dune exec bench/main.exe -- figures   (one section)
           dune exec bench/main.exe -- matrix -j 4
           sections: figures, matrix, claims, parallel, hotpath, journal,
-                    torture, server, query, nettorture, cluster, micro
+                    torture, server, query, nettorture, cluster, migrate,
+                    micro
 
    [-j N | --jobs N] evaluates the matrix and claims sections on N domains
    (results are identical at any N). Machine-readable outputs:
@@ -22,7 +23,11 @@
    over a seeded 5% drop / 5% delay network: zero client-visible errors
    plus the retry/reconnect/dedup counters that absorbed the faults) and
    BENCH_cluster.json (3-shard replicated cluster: routed throughput,
-   replication lag p50/p99 and kill-to-first-request failover time). *)
+   replication lag p50/p99 and kill-to-first-request failover time) and
+   BENCH_migrate.json (schema-migration storms per labelling scheme:
+   blast radius per operator kind — nodes relabelled, label-size drift,
+   journal bytes, index maintenance — oracle-replay agreement and
+   standing-query survival). *)
 
 open Repro_xml
 open Repro_workload
@@ -1158,6 +1163,25 @@ let micro_tests () =
   in
   List.concat_map per_scheme schemes
 
+(* ------------------------------------------------------------------ *)
+(* Schema migration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_migrate () =
+  section "MIGRATE — schema-migration blast radius and standing-query survival";
+  let module M = Repro_migrate.Mig_run in
+  let cfg = { M.default_config with M.seed = 42 } in
+  let packs = Repro_schemes.Registry.well_behaved in
+  let rows, seconds = time (fun () -> M.run cfg packs) in
+  M.render Format.std_formatter cfg rows;
+  Format.pp_print_flush Format.std_formatter ();
+  Printf.printf "\n%d scheme(s) in %.2fs\n" (List.length rows) seconds;
+  let disagreements = M.total_disagreements rows in
+  if disagreements > 0 then
+    Printf.printf "ORACLE DISAGREEMENTS: %d (compiled plans diverged from replay)\n"
+      disagreements;
+  write_json "BENCH_migrate.json" (M.to_json cfg rows)
+
 let run_micro () =
   section "TIME — Bechamel micro-benchmarks (ns per operation)";
   let open Bechamel in
@@ -1222,4 +1246,5 @@ let () =
   if want "query" then run_query ();
   if want "nettorture" then run_nettorture ();
   if want "cluster" then run_cluster ();
+  if want "migrate" then run_migrate ();
   if want "micro" then run_micro ()

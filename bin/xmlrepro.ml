@@ -776,7 +776,7 @@ let serve_cmd =
 let loadgen_cmd =
   let run host port clients ops seed schemes nodes docs doc_prefix json self_serve root
       fsync_every commit_interval commit_max loop_domains cluster retries backoff
-      net_drop net_delay query_pct paranoid =
+      net_drop net_delay query_pct migrate_every paranoid =
     let g_sock =
       if net_drop > 0. || net_delay > 0. then begin
         (* every worker dials through one seeded fault injector: the
@@ -817,6 +817,7 @@ let loadgen_cmd =
           g_sock;
           g_resolve = resolve;
           g_query_pct = query_pct;
+          g_migrate_every = migrate_every;
         }
       in
       Repro_server.Loadgen.run cfg
@@ -977,6 +978,15 @@ let loadgen_cmd =
              the rest structural mutations (95 is the canonical web-traffic ratio). \
              -1 (the default) keeps the classic mixed workload.")
   in
+  let migrate_every =
+    Arg.(
+      value & opt int 0
+      & info [ "migrate-every" ] ~docv:"N"
+          ~doc:
+            "Every $(docv)th step per client runs the migrate drill (insert a \
+             fresh node, wrap it with a one-spec schema-migration batch), moving \
+             the server's migrate/* gauges. 0 (the default) disables it.")
+  in
   let loadgen_paranoid =
     Arg.(
       value & flag
@@ -998,7 +1008,7 @@ let loadgen_cmd =
       $ clients $ ops $ seed_arg $ schemes $ nodes $ docs $ doc_prefix $ json
       $ self_serve $ root $ fsync_every $ commit_interval $ commit_max $ loop_domains
       $ cluster $ retries $ backoff $ net_drop $ net_delay $ query_pct
-      $ loadgen_paranoid)
+      $ migrate_every $ loadgen_paranoid)
 
 (* ---- network torture --------------------------------------------- *)
 
@@ -1424,6 +1434,67 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Run every experiment and emit a Markdown report.")
     Term.(const run $ out)
 
+(* ---- migrate ----------------------------------------------------- *)
+
+let migrate_cmd =
+  let run schemes nodes steps queries seed json =
+    let packs =
+      match schemes with
+      | [] -> Repro_schemes.Registry.well_behaved
+      | names -> List.map find_scheme names
+    in
+    let cfg = { Repro_migrate.Mig_run.seed; nodes; steps; queries } in
+    let rows = Repro_migrate.Mig_run.run cfg packs in
+    Repro_migrate.Mig_run.render Format.std_formatter cfg rows;
+    (match json with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Repro_migrate.Mig_run.to_json cfg rows))
+    | None -> ());
+    if Repro_migrate.Mig_run.total_disagreements rows > 0 then exit 1
+  in
+  let schemes =
+    Arg.(
+      value & opt (list string) []
+      & info [ "schemes" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated scheme names to migrate under; the default is every \
+             well-behaved registered scheme.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 200
+      & info [ "nodes" ] ~docv:"N" ~doc:"Initial generated document size per scheme.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 48
+      & info [ "steps" ] ~docv:"N"
+          ~doc:"Migration operators per scheme, round-robin over the six kinds.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 24
+      & info [ "queries" ] ~docv:"N"
+          ~doc:
+            "Standing XPath/twig queries tracked through the storm and classified \
+             survived / answer-changed / broken.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the matrix as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Run a seeded schema-migration storm (wrap, unwrap, hoist, split, merge, \
+          bulk rename) per labelling scheme, account the blast radius of each \
+          operator kind, and verify every compiled plan against an oracle replay \
+          on a byte-identical twin. Exits nonzero on any oracle disagreement.")
+    Term.(const run $ schemes $ nodes $ steps $ queries $ seed_arg $ json)
+
 (* ---- schemes ----------------------------------------------------- *)
 
 let schemes_cmd =
@@ -1466,6 +1537,7 @@ let subcommand_table =
     ("cluster", "launch a replicated, sharded cluster with failover");
     ("failover", "replication failover torture over simulated file systems");
     ("report", "run every experiment and emit a Markdown report");
+    ("migrate", "schema-migration storm with blast-radius accounting");
     ("schemes", "list all registered labelling schemes");
   ]
 
@@ -1498,4 +1570,4 @@ let () =
           [ label_cmd; matrix_cmd; figures_cmd; workload_cmd; query_cmd; update_cmd;
             twig_cmd; store_cmd; restore_cmd; journal_cmd; torture_cmd; serve_cmd;
             loadgen_cmd; nettorture_cmd; cluster_cmd; failover_cmd; report_cmd;
-            schemes_cmd ]))
+            migrate_cmd; schemes_cmd ]))

@@ -1,0 +1,86 @@
+open Repro_xml
+module Prng = Repro_codes.Prng
+
+(* Seeded pickers over the live tree, one per operator kind. Each returns
+   [None] when the current document offers no valid target (e.g. no two
+   adjacent same-named siblings to merge) — the runner skips and moves on,
+   counting the skip, rather than forcing a degenerate rewrite. *)
+
+let wrapper_names = [| "wrapper"; "group"; "section"; "bundle"; "block" |]
+
+let elements_matching pred doc =
+  let arr = Tree.preorder_array doc in
+  let hits = ref [] in
+  Array.iter (fun n -> if n.Tree.kind = Tree.Element && pred n then hits := n :: !hits) arr;
+  Array.of_list (List.rev !hits)
+
+let pick_opt rng arr = if Array.length arr = 0 then None else Some (Prng.choose rng arr)
+
+let gen_wrap rng doc =
+  let parents = elements_matching (fun n -> n.Tree.children <> []) doc in
+  match pick_opt rng parents with
+  | None -> None
+  | Some p ->
+    let kids = Array.of_list p.Tree.children in
+    let len = Array.length kids in
+    let want = 1 + Prng.int rng (min 3 len) in
+    let start = Prng.int rng (len - want + 1) in
+    let targets = Array.to_list (Array.sub kids start want) in
+    Some (Migrate.Wrap (targets, Prng.choose rng wrapper_names))
+
+let gen_unwrap rng doc =
+  (* only wrappers with children: unwrapping a leaf is just a delete *)
+  let cands =
+    elements_matching (fun n -> n.Tree.parent <> None && n.Tree.children <> []) doc
+  in
+  Option.map (fun n -> Migrate.Unwrap n) (pick_opt rng cands)
+
+let gen_hoist rng doc =
+  let cands = elements_matching (fun n -> Tree.level n >= 2) doc in
+  match pick_opt rng cands with
+  | None -> None
+  | Some n ->
+    let k = 1 + Prng.int rng (min 2 (Tree.level n - 1)) in
+    Some (Migrate.Hoist (n, k))
+
+let gen_split rng doc =
+  let cands =
+    elements_matching (fun n -> n.Tree.parent <> None && List.length n.Tree.children >= 2) doc
+  in
+  match pick_opt rng cands with
+  | None -> None
+  | Some n ->
+    let len = List.length n.Tree.children in
+    Some (Migrate.Split (n, 1 + Prng.int rng (len - 1)))
+
+let gen_merge rng doc =
+  let mergeable n =
+    n.Tree.parent <> None
+    &&
+    match Tree.next_sibling n with
+    | Some m -> m.Tree.kind = Tree.Element && m.Tree.name = n.Tree.name
+    | None -> false
+  in
+  Option.map (fun n -> Migrate.Merge n) (pick_opt rng (elements_matching mergeable doc))
+
+let gen_rename rng doc =
+  let names = Mig_survival.element_names doc in
+  if Array.length names = 0 then None
+  else
+    let from_ = Prng.choose rng names in
+    let to_ = from_ ^ "_v2" in
+    Some (Migrate.Rename_all (Tree.root doc, from_, to_))
+
+let generators = [| gen_wrap; gen_unwrap; gen_hoist; gen_split; gen_merge; gen_rename |]
+
+(* Kinds rotate round-robin so a storm exercises all six evenly; when the
+   scheduled kind has no valid target the next kinds are tried in order so
+   a step is only skipped when the whole document is out of material. *)
+let next rng doc ~step =
+  let rec try_kind i =
+    if i = Migrate.kinds then None
+    else
+      let k = (step + i) mod Migrate.kinds in
+      match generators.(k) rng doc with Some op -> Some op | None -> try_kind (i + 1)
+  in
+  try_kind 0

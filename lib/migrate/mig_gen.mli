@@ -1,0 +1,17 @@
+(** Seeded migration-scenario generation.
+
+    One picker per operator kind, each drawing valid targets from the
+    live tree with a deterministic generator; a picker returns [None]
+    when the document offers no valid target for that kind (no adjacent
+    same-named siblings to merge, nothing deep enough to hoist, ...). *)
+
+val gen_wrap : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> Migrate.op option
+val gen_unwrap : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> Migrate.op option
+val gen_hoist : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> Migrate.op option
+val gen_split : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> Migrate.op option
+val gen_merge : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> Migrate.op option
+val gen_rename : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> Migrate.op option
+
+val next : Repro_codes.Prng.t -> Repro_xml.Tree.doc -> step:int -> Migrate.op option
+(** The storm schedule: kind [step mod 6] first, falling through the
+    remaining kinds in order, [None] only when no kind has a target. *)

@@ -1,0 +1,98 @@
+open Repro_xml
+open Repro_encoding
+
+(* A standing query doesn't care which labels its answer nodes carry —
+   ranks and levels shift under every structural rewrite by design — so
+   answers are compared as ordered (kind, name, value) sequences. *)
+
+type query = Q_xpath of string * Xpath.ast | Q_twig of string * Twig.t
+
+type verdict = Survived | Changed | Broken
+
+let query_text = function Q_xpath (s, _) -> s | Q_twig (s, _) -> s
+
+let parse_xpath s = Q_xpath (s, Xpath.parse s)
+let parse_twig s = Q_twig (s, Twig.parse s)
+
+type answer = (Encoding.kind * string * string option) list
+
+let answer src = function
+  | Q_xpath (_, ast) ->
+    List.map (fun r -> (r.Encoding.kind, r.Encoding.name, r.Encoding.value)) (Xpath.eval_src_ast src ast)
+  | Q_twig (_, t) ->
+    List.map (fun r -> (r.Encoding.kind, r.Encoding.name, r.Encoding.value)) (Twig.matches_src src t)
+
+let classify ~before ~after =
+  if before = after then Survived else if before <> [] && after = [] then Broken else Changed
+
+let verdict_name = function Survived -> "survived" | Changed -> "changed" | Broken -> "broken"
+
+(* ---- seeded pool generation -----------------------------------------
+
+   Drawn from the names actually present in the document, so every query
+   starts out non-trivial (most have non-empty answers at step 0) and its
+   later emptiness is informative. *)
+
+let element_names doc =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  Tree.iter_preorder
+    (fun n ->
+      if n.Tree.kind = Tree.Element && not (Hashtbl.mem seen n.Tree.name) then begin
+        Hashtbl.add seen n.Tree.name ();
+        acc := n.Tree.name :: !acc
+      end)
+    doc;
+  Array.of_list (List.rev !acc)
+
+let pool ~seed ~count doc =
+  let rng = Repro_codes.Prng.create seed in
+  let names = element_names doc in
+  let pick () = names.(Repro_codes.Prng.int rng (Array.length names)) in
+  let root_name = (Tree.root doc).Tree.name in
+  let mk i =
+    match i mod 6 with
+    | 0 -> parse_xpath (Printf.sprintf "//%s" (pick ()))
+    | 1 -> parse_xpath (Printf.sprintf "//%s//%s" (pick ()) (pick ()))
+    | 2 -> parse_xpath (Printf.sprintf "//%s/%s" (pick ()) (pick ()))
+    | 3 -> parse_xpath (Printf.sprintf "/%s//%s" root_name (pick ()))
+    | 4 -> parse_twig (Printf.sprintf "%s[%s]" (pick ()) (pick ()))
+    | _ -> parse_twig (Printf.sprintf "%s[%s//%s]" (pick ()) (pick ()) (pick ()))
+  in
+  List.init count mk
+
+type tracked = { tq : query; mutable t_answer : answer; mutable t_verdict : verdict }
+
+let track src qs = List.map (fun q -> { tq = q; t_answer = answer src q; t_verdict = Survived }) qs
+
+(* Re-evaluate the pool against a fresh snapshot; verdicts are sticky in
+   the worst direction (a query that broke once stays counted as broken
+   even if a later rewrite resurrects its answer), because the standing
+   subscriber already saw the damage. *)
+let step src tracked =
+  let stepped = ref (0, 0) in
+  List.iter
+    (fun t ->
+      let now = answer src t.tq in
+      (match classify ~before:t.t_answer ~after:now with
+      | Survived -> ()
+      | Changed ->
+        let c, b = !stepped in
+        stepped := (c + 1, b);
+        if t.t_verdict = Survived then t.t_verdict <- Changed
+      | Broken ->
+        let c, b = !stepped in
+        stepped := (c, b + 1);
+        t.t_verdict <- Broken);
+      t.t_answer <- now)
+    tracked;
+  !stepped
+
+let totals tracked =
+  List.fold_left
+    (fun (s, c, b) t ->
+      match t.t_verdict with
+      | Survived -> (s + 1, c, b)
+      | Changed -> (s, c + 1, b)
+      | Broken -> (s, c, b + 1))
+    (0, 0, 0) tracked

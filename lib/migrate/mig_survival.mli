@@ -1,0 +1,55 @@
+(** Standing-query survival under schema migration.
+
+    A seeded pool of XPath and twig queries is evaluated before and after
+    every migration step through the same engines the server's query path
+    uses ({!Repro_encoding.Xpath.eval_src} / {!Repro_encoding.Twig.matches_src}
+    over an {!Repro_encoding.Axis_inc} snapshot). Answers are compared as
+    ordered (kind, name, value) sequences — pre/post ranks and levels
+    shift under every structural rewrite by design and carry no signal.
+
+    Classification per step: {e survived} = identical answer; {e broken} =
+    the answer was non-empty and is now empty (the query's path shape no
+    longer exists — the schema change severed it); {e changed} = anything
+    else, including a previously-empty query lighting up. Per-query
+    verdicts are sticky in the worst direction across a storm. *)
+
+type query = Q_xpath of string * Repro_encoding.Xpath.ast | Q_twig of string * Repro_encoding.Twig.t
+
+type verdict = Survived | Changed | Broken
+
+val query_text : query -> string
+val verdict_name : verdict -> string
+
+val parse_xpath : string -> query
+(** Raises {!Repro_encoding.Xpath.Parse_error}. *)
+
+val parse_twig : string -> query
+(** Raises {!Repro_encoding.Twig.Parse_error}. *)
+
+type answer = (Repro_encoding.Encoding.kind * string * string option) list
+
+val answer : Repro_encoding.Axis_source.t -> query -> answer
+
+val classify : before:answer -> after:answer -> verdict
+
+val element_names : Repro_xml.Tree.doc -> string array
+(** Distinct element names in document order of first occurrence. *)
+
+val pool : seed:int -> count:int -> Repro_xml.Tree.doc -> query list
+(** A deterministic mixed pool ([//N], [//A//B], [//A/B], [/root//N]
+    XPaths and [A\[B\]], [A\[B//C\]] twigs) drawn from element names
+    present in [doc]. *)
+
+(** {1 Tracking across a storm} *)
+
+type tracked = { tq : query; mutable t_answer : answer; mutable t_verdict : verdict }
+
+val track : Repro_encoding.Axis_source.t -> query list -> tracked list
+(** Capture each query's baseline answer. *)
+
+val step : Repro_encoding.Axis_source.t -> tracked list -> int * int
+(** Re-evaluate after one migration step; updates stored answers and
+    sticky verdicts, returns [(changed, broken)] counts for this step. *)
+
+val totals : tracked list -> int * int * int
+(** Final [(survived, changed, broken)] tallies. *)

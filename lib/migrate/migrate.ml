@@ -1,0 +1,185 @@
+open Repro_xml
+module Oplog = Repro_journal.Oplog
+
+exception Migrate_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Migrate_error s)) fmt
+
+type op =
+  | Wrap of Tree.node list * string
+  | Unwrap of Tree.node
+  | Hoist of Tree.node * int
+  | Split of Tree.node * int
+  | Merge of Tree.node
+  | Rename_all of Tree.node * string * string
+
+type spec =
+  | S_wrap of Oplog.label list * string
+  | S_unwrap of Oplog.label
+  | S_hoist of Oplog.label * int
+  | S_split of Oplog.label * int
+  | S_merge of Oplog.label
+  | S_rename_all of Oplog.label * string * string
+
+let op_of_spec ~resolve = function
+  | S_wrap (ls, name) -> Wrap (List.map resolve ls, name)
+  | S_unwrap l -> Unwrap (resolve l)
+  | S_hoist (l, k) -> Hoist (resolve l, k)
+  | S_split (l, at) -> Split (resolve l, at)
+  | S_merge l -> Merge (resolve l)
+  | S_rename_all (l, f, t) -> Rename_all (resolve l, f, t)
+
+let kinds = 6
+let kind_names = [| "wrap"; "unwrap"; "hoist"; "split"; "merge"; "rename" |]
+
+let kind_of_op = function
+  | Wrap _ -> 0
+  | Unwrap _ -> 1
+  | Hoist _ -> 2
+  | Split _ -> 3
+  | Merge _ -> 4
+  | Rename_all _ -> 5
+
+let kind_name k = kind_names.(k)
+let op_name op = kind_names.(kind_of_op op)
+
+let spec_name = function
+  | S_wrap _ -> "wrap"
+  | S_unwrap _ -> "unwrap"
+  | S_hoist _ -> "hoist"
+  | S_split _ -> "split"
+  | S_merge _ -> "merge"
+  | S_rename_all _ -> "rename"
+
+type applier = {
+  ap_session : Core.Session.t;
+  ap_run : Oplog.op -> Tree.node option;
+}
+
+(* ---- validation ------------------------------------------------------
+
+   All of it structural, none of it scheme-dependent: a valid operator is
+   valid under every labelling scheme, because the compiled primitives
+   are exactly the update classes every scheme already supports. *)
+
+let require_parent n what =
+  match n.Tree.parent with
+  | None -> err "%s: cannot target the document root" what
+  | Some p -> p
+
+let validate = function
+  | Wrap ([], _) -> err "wrap: empty target set"
+  | Wrap ((t0 :: rest as ts), name) ->
+    if name = "" then err "wrap: empty wrapper name";
+    let p = require_parent t0 "wrap" in
+    List.iter
+      (fun t ->
+        match t.Tree.parent with
+        | Some q when q.Tree.id = p.Tree.id -> ()
+        | _ -> err "wrap: targets must share one parent")
+      rest;
+    let pos = Tree.sibling_position t0 in
+    List.iteri
+      (fun i t ->
+        if Tree.sibling_position t <> pos + i then
+          err "wrap: targets must be contiguous siblings in document order")
+      ts
+  | Unwrap n ->
+    ignore (require_parent n "unwrap");
+    if n.Tree.kind <> Tree.Element then err "unwrap: target must be an element"
+  | Hoist (n, k) ->
+    if k < 1 then err "hoist: must climb at least one level";
+    if Tree.level n < k + 1 then
+      err "hoist: only %d ancestor level(s) above the target, need %d" (Tree.level n) (k + 1)
+  | Split (n, at) ->
+    ignore (require_parent n "split");
+    if n.Tree.kind <> Tree.Element then err "split: target must be an element";
+    let len = List.length n.Tree.children in
+    if at < 1 || at >= len then
+      err "split: cut index %d outside [1, %d] for %d child(ren)" at (len - 1) len
+  | Merge n -> (
+    ignore (require_parent n "merge");
+    if n.Tree.kind <> Tree.Element then err "merge: target must be an element";
+    match Tree.next_sibling n with
+    | None -> err "merge: no next sibling to absorb"
+    | Some m ->
+      if m.Tree.kind <> Tree.Element then err "merge: next sibling is not an element";
+      if m.Tree.name <> n.Tree.name then
+        err "merge: adjacent siblings %S and %S differ in name" n.Tree.name m.Tree.name)
+  | Rename_all (_, from_, to_) ->
+    if from_ = "" then err "rename: empty source name";
+    if to_ = "" then err "rename: empty target name"
+
+(* ---- compilation-by-execution ---------------------------------------
+
+   Each primitive's target label is captured from the session immediately
+   before [ap_run] executes it — never earlier — because applying one
+   primitive may relabel arbitrary live nodes (code overflow, neighbour
+   reassignment) and a label captured any sooner could be stale by the
+   time it is journaled. This is the same discipline [Durable_session]
+   applies to single updates, extended over a whole plan. *)
+
+let apply ap op =
+  validate op;
+  let s = ap.ap_session in
+  let lab n =
+    let l_bytes, l_bits = s.Core.Session.label_encoded n in
+    { Oplog.l_bytes; l_bits }
+  in
+  let prims = ref 0 in
+  let run o =
+    incr prims;
+    ignore (ap.ap_run o)
+  in
+  let run_insert o =
+    incr prims;
+    match ap.ap_run o with
+    | Some n -> n
+    | None -> err "internal: insert primitive produced no node"
+  in
+  (* relocate one subtree to the end of [into]: capture, delete, re-insert
+     — [Tree.move_subtree] spelled in journalable primitives *)
+  let move_last ~into t =
+    let f = Tree.to_frag t in
+    run (Oplog.Delete (lab t));
+    ignore (run_insert (Oplog.Insert_last (lab into, f)))
+  in
+  (match op with
+  | Wrap (ts, name) ->
+    let first = List.hd ts in
+    let w = run_insert (Oplog.Insert_before (lab first, Tree.elt name [])) in
+    List.iter (fun t -> move_last ~into:w t) ts
+  | Unwrap n ->
+    (* copies go in front of the wrapper in order; one delete then drops
+       the wrapper with the originals still inside it *)
+    List.iter
+      (fun c -> ignore (run_insert (Oplog.Insert_before (lab n, Tree.to_frag c))))
+      n.Tree.children;
+    run (Oplog.Delete (lab n))
+  | Hoist (n, k) ->
+    let rec ancestor m i =
+      if i = 0 then m
+      else
+        match m.Tree.parent with
+        | Some p -> ancestor p (i - 1)
+        | None -> err "hoist: ancestor chain ended early"
+    in
+    let anc = ancestor n k in
+    let f = Tree.to_frag n in
+    run (Oplog.Delete (lab n));
+    ignore (run_insert (Oplog.Insert_after (lab anc, f)))
+  | Split (n, at) ->
+    let moved = List.filteri (fun i _ -> i >= at) n.Tree.children in
+    let fresh = run_insert (Oplog.Insert_after (lab n, Tree.elt n.Tree.name [])) in
+    List.iter (fun c -> move_last ~into:fresh c) moved
+  | Merge n ->
+    let m = Option.get (Tree.next_sibling n) in
+    List.iter (fun c -> move_last ~into:n c) m.Tree.children;
+    run (Oplog.Delete (lab m))
+  | Rename_all (scope, from_, to_) ->
+    let victims = ref [] in
+    let visit v = if v.Tree.name = from_ then victims := v :: !victims in
+    visit scope;
+    Tree.iter_descendants visit scope;
+    List.iter (fun v -> run (Oplog.Rename (lab v, to_))) (List.rev !victims));
+  !prims

@@ -1,0 +1,94 @@
+(** The schema-migration operator algebra.
+
+    Six structural rewrites — wrap, unwrap, hoist, split, merge, bulk
+    rename — each compiled to a plan of the existing oplog primitives
+    (insert/delete/rename, with subtree relocation spelled as
+    {!Repro_xml.Tree.to_frag} re-insertion, the same shape as
+    {!Repro_xml.Tree.move_subtree}). Compilation and application are
+    interleaved: every primitive's target label is captured immediately
+    before that primitive runs, exactly the discipline the durable
+    session journals under, so the emitted plan replays deterministically
+    on a twin document and a migration over the wire is just an oplog
+    batch as far as the journal, the dedup window and the group-commit
+    flusher are concerned.
+
+    Operator semantics (all targets are validated before any primitive
+    runs, so an operator applies wholly or not at all):
+
+    - [Wrap (targets, name)]: interpose a fresh element [name] above a
+      contiguous run of siblings; the targets move under it in order.
+    - [Unwrap n]: splice [n]'s children into its parent in [n]'s place;
+      [n] (and its own value/attributes, which belonged to the wrapper)
+      disappears.
+    - [Hoist (n, k)]: move the subtree at [n] up [k] levels, re-inserted
+      immediately after its [k]-th ancestor.
+    - [Split (n, at)]: a fresh element with [n]'s name appears after [n]
+      and receives [n]'s children from index [at] onward. The split-off
+      sibling carries no text value.
+    - [Merge n]: [n] absorbs the children of its same-named next sibling,
+      which is then deleted (the inverse of [Split]; the sibling's own
+      value is dropped with it).
+    - [Rename_all (scope, from, to)]: every node named [from] in the
+      subtree rooted at [scope] (inclusive) is renamed to [to]. *)
+
+open Repro_xml
+module Oplog = Repro_journal.Oplog
+
+exception Migrate_error of string
+(** A structurally invalid operator (bad targets); raised by {!apply}
+    before any primitive has run. *)
+
+(** Node-addressed operators — the form the scenario generator picks and
+    {!apply} executes. *)
+type op =
+  | Wrap of Tree.node list * string
+  | Unwrap of Tree.node
+  | Hoist of Tree.node * int
+  | Split of Tree.node * int
+  | Merge of Tree.node
+  | Rename_all of Tree.node * string * string
+
+(** Label-addressed operator descriptors — the wire form. Resolution
+    happens server-side, under the document lock, against the same
+    resolver the update path uses. *)
+type spec =
+  | S_wrap of Oplog.label list * string
+  | S_unwrap of Oplog.label
+  | S_hoist of Oplog.label * int
+  | S_split of Oplog.label * int
+  | S_merge of Oplog.label
+  | S_rename_all of Oplog.label * string * string
+
+val op_of_spec : resolve:(Oplog.label -> Tree.node) -> spec -> op
+
+val op_name : op -> string
+val spec_name : spec -> string
+
+(** {1 Operator accounting} *)
+
+val kinds : int
+(** Number of operator kinds (6). *)
+
+val kind_of_op : op -> int
+(** Stable index in [0, kinds): wrap=0, unwrap=1, hoist=2, split=3,
+    merge=4, rename=5. *)
+
+val kind_name : int -> string
+
+(** {1 Application} *)
+
+(** How compiled primitives reach the document. [ap_session] supplies
+    label capture and navigation over the live tree; [ap_run] performs
+    one primitive and returns the inserted fragment root for inserts
+    (typically {!Repro_journal.Journal.Resolver.apply}, optionally
+    wrapped to also collect the plan). *)
+type applier = {
+  ap_session : Core.Session.t;
+  ap_run : Oplog.op -> Tree.node option;
+}
+
+val apply : applier -> op -> int
+(** Validate, then compile-and-run the operator primitive by primitive.
+    Returns the number of primitives executed. Raises {!Migrate_error}
+    on invalid targets (before any primitive has run); exceptions from
+    [ap_run] pass through. *)

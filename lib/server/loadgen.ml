@@ -21,6 +21,10 @@ type config = {
       (** [-1] = the classic mixed workload; [0..100] = the read-heavy mix:
           that percentage of ops are served Xpath/Twig queries, the rest
           mutations ([95] is the canonical web-traffic ratio) *)
+  g_migrate_every : int;
+      (** [0] = no schema migrations; [n > 0] = every [n]th step runs the
+          migrate drill (insert a fresh node, wrap it) instead of a
+          regular step, so the server's migrate/* gauges move *)
 }
 
 let default_config ~port =
@@ -40,6 +44,7 @@ let default_config ~port =
     g_sock = Repro_io.Io.real_sock;
     g_resolve = None;
     g_query_pct = -1;
+    g_migrate_every = 0;
   }
 
 type class_report = {
@@ -232,8 +237,8 @@ let worker cfg i tally =
     | Ok (P.Labels_r ((l, _, _) :: _)) -> pool_add anchors l
     | _ -> ()
   in
-  let update cls op =
-    let r = timed tally cls (fun () -> Server_client.update c ~doc [ op ]) in
+  let mutation cls f =
+    let r = timed tally cls f in
     (match r with
     | Ok (P.Updated { up_relabelled = true; _ }) -> reseed_pools ()
     | Ok (P.Err (P.Unknown_label, _)) when shared ->
@@ -244,6 +249,7 @@ let worker cfg i tally =
     | _ -> ());
     r
   in
+  let update cls op = mutation cls (fun () -> Server_client.update c ~doc [ op ]) in
   let insert () =
     let payload = Repro_xml.Tree.elt (fresh_name "u") [] in
     let op =
@@ -302,8 +308,28 @@ let worker cfg i tally =
               ( pool_pick rng anchors,
                 if Prng.bool rng then Some (fresh_name "v") else None )))
   in
+  (* The migrate drill keeps the zero-errors-by-construction invariant:
+     it wraps a node inserted for that purpose alone, so the only label
+     the structural rewrite invalidates is one nothing else references. *)
+  let migrate_step () =
+    match
+      update "insert"
+        (Oplog.Insert_last
+           (anchors.items.(0), Repro_xml.Tree.elt (fresh_name "m") []))
+    with
+    | Ok (P.Updated { up_fresh = [ l ]; _ }) ->
+      ignore
+        (mutation "migrate" (fun () ->
+             Server_client.migrate c ~doc
+               [ Repro_migrate.Migrate.S_wrap ([ l ], fresh_name "w") ]))
+    | _ -> ()
+  in
+  let stepno = ref 0 in
   let step () =
-    if cfg.g_query_pct >= 0 then
+    incr stepno;
+    if cfg.g_migrate_every > 0 && !stepno mod cfg.g_migrate_every = 0 then
+      migrate_step ()
+    else if cfg.g_query_pct >= 0 then
       if Prng.int rng 100 < min 100 cfg.g_query_pct then read_step () else mutate_step ()
     else
     let r = Prng.int rng 100 in
@@ -415,7 +441,8 @@ let fetch_server_gauges cfg =
             if
               List.exists
                 (fun prefix -> String.starts_with ~prefix m.P.m_key)
-                [ "commit/"; "loop/"; "cfg/"; "shed/"; "dedup/"; "query/" ]
+                [ "commit/"; "loop/"; "cfg/"; "shed/"; "dedup/"; "query/";
+                  "migrate/" ]
             then
               (* gauges carry their sample in m_total_ns; the plain
                  counters in the family (commit/flush cycles, dedup hits,

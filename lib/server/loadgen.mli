@@ -51,6 +51,12 @@ type config = {
           queries against the document's published index (classes
           ["xpath"]/["twig"]), the rest structural mutations; [95] is the
           canonical web-traffic ratio. *)
+  g_migrate_every : int;
+      (** [0] (default): no schema migrations. [n > 0]: every [n]th step
+          runs the migrate drill — insert a fresh node, then wrap it with
+          a one-spec Migrate batch (class ["migrate"]) — so the server's
+          ["migrate/..."] gauges move without invalidating any label
+          another request still references. *)
 }
 
 val default_config : port:int -> config
@@ -84,9 +90,10 @@ type report = {
           connections), sorted, only codes that occurred — empty on a
           healthy run *)
   r_server : (string * int) list;
-      (** the server's group-commit, event-loop, resilience and query
-          gauges (["commit/..."], ["loop/..."], ["cfg/..."], ["shed/..."],
-          ["dedup/..."], ["query/..."]) scraped over one extra Metrics
+      (** the server's group-commit, event-loop, resilience, query and
+          migration gauges (["commit/..."], ["loop/..."], ["cfg/..."],
+          ["shed/..."], ["dedup/..."], ["query/..."], ["migrate/..."])
+          scraped over one extra Metrics
           request after the run; empty in cluster mode or when the server
           is unreachable *)
 }

@@ -40,6 +40,12 @@ type req =
   | Docs
   | Xpath of { xq_doc : string; xq_src : string; xq_limit : int }
   | Twig of { tq_doc : string; tq_src : string; tq_limit : int }
+  | Migrate of {
+      mg_doc : string;
+      mg_client : string;  (** same identity/dedup contract as [Update] *)
+      mg_seq : int;
+      mg_specs : Repro_migrate.Migrate.spec list;
+    }
 
 type err =
   | Bad_frame
@@ -171,6 +177,7 @@ let req_class = function
   | Docs -> "docs"
   | Xpath _ -> "xpath"
   | Twig _ -> "twig"
+  | Migrate _ -> "migrate"
 
 (* ---- encoding ------------------------------------------------------
 
@@ -281,7 +288,41 @@ let encode_req req =
     Buffer.add_char buf '\014';
     add_str buf tq_doc;
     add_str buf tq_src;
-    add_varint buf tq_limit);
+    add_varint buf tq_limit
+  | Migrate { mg_doc; mg_client; mg_seq; mg_specs } ->
+    Buffer.add_char buf '\015';
+    add_str buf mg_doc;
+    add_str buf mg_client;
+    add_u64 buf mg_seq;
+    add_varint buf (List.length mg_specs);
+    List.iter
+      (fun spec ->
+        match spec with
+        | Repro_migrate.Migrate.S_wrap (ls, name) ->
+          Buffer.add_char buf '\000';
+          add_varint buf (List.length ls);
+          List.iter (add_label buf) ls;
+          add_str buf name
+        | S_unwrap l ->
+          Buffer.add_char buf '\001';
+          add_label buf l
+        | S_hoist (l, k) ->
+          Buffer.add_char buf '\002';
+          add_label buf l;
+          add_varint buf k
+        | S_split (l, at) ->
+          Buffer.add_char buf '\003';
+          add_label buf l;
+          add_varint buf at
+        | S_merge l ->
+          Buffer.add_char buf '\004';
+          add_label buf l
+        | S_rename_all (l, from_, to_) ->
+          Buffer.add_char buf '\005';
+          add_label buf l;
+          add_str buf from_;
+          add_str buf to_)
+      mg_specs);
   Buffer.contents buf
 
 let encode_resp resp =
@@ -569,6 +610,31 @@ let decode_req data =
         let tq_doc = rstr c in
         let tq_src = rstr c in
         Twig { tq_doc; tq_src; tq_limit = rvarint c }
+      | 15 ->
+        let mg_doc = rstr c in
+        let mg_client = rstr c in
+        let mg_seq = ru64 c in
+        let mg_specs =
+          rlist c (fun c ->
+              match rbyte c with
+              | 0 ->
+                let ls = rlist c rlabel in
+                Repro_migrate.Migrate.S_wrap (ls, rstr c)
+              | 1 -> S_unwrap (rlabel c)
+              | 2 ->
+                let l = rlabel c in
+                S_hoist (l, rvarint c)
+              | 3 ->
+                let l = rlabel c in
+                S_split (l, rvarint c)
+              | 4 -> S_merge (rlabel c)
+              | 5 ->
+                let l = rlabel c in
+                let from_ = rstr c in
+                S_rename_all (l, from_, rstr c)
+              | s -> bad "bad migrate spec tag %d" s)
+        in
+        Migrate { mg_doc; mg_client; mg_seq; mg_specs }
       | t -> bad "unknown request tag %d" t)
 
 let decode_resp data =

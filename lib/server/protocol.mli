@@ -81,6 +81,18 @@ type req =
   | Twig of { tq_doc : string; tq_src : string; tq_limit : int }
       (** match the twig pattern [tq_src] by structural semijoins over the
           same published index *)
+  | Migrate of {
+      mg_doc : string;
+      mg_client : string;  (** same identity/dedup contract as {!Update} *)
+      mg_seq : int;
+      mg_specs : Repro_migrate.Migrate.spec list;
+    }
+      (** apply a batch of schema-migration operators, label-addressed;
+          each operator is resolved and compiled server-side under the
+          document lock into journal primitives, so the batch flows
+          through dedup, group commit and replication exactly as an
+          update does. The reply is {!Updated} with [up_applied] counting
+          primitives and [up_fresh] empty. *)
 
 (** Typed error replies; the carried string narrows the cause. *)
 type err =

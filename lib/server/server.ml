@@ -4,6 +4,8 @@ open Repro_journal
 module P = Protocol
 module Pool = Repro_parallel.Pool
 module Axis_inc = Repro_encoding.Axis_inc
+module Migrate = Repro_migrate.Migrate
+module Mig_survival = Repro_migrate.Mig_survival
 
 type config = {
   host : string;
@@ -174,6 +176,10 @@ type doc = {
       (** records journaled since the last checkpoint; under [d_mu] *)
   d_dedup : (string, dedup_entry) Hashtbl.t;  (** client -> watermark; under [d_mu] *)
   mutable d_dedup_tick : int;  (** under [d_mu] *)
+  mutable d_mpool : Repro_migrate.Mig_survival.tracked list option;
+      (** the document's standing-query pool for migration blast-radius
+          accounting; built lazily on the first migrate batch; under
+          [d_mu] *)
   mutable d_closed : bool;  (** under [d_mu] *)
   (* flusher-owned state, under [f_mu] *)
   d_parked : parked Queue.t;
@@ -447,6 +453,10 @@ type core = {
   acks_mu : Mutex.t;
   acks : (string * string, int * int) Hashtbl.t;
       (** (doc, replica) -> last acknowledged (epoch, offset) *)
+  (* cumulative migration blast radius, served as migrate/* gauges *)
+  mg_relabelled : int Atomic.t;
+  mg_journal_bytes : int Atomic.t;
+  mg_broken : int Atomic.t;
   mutable mgr_thread : Thread.t option;  (** the replication manager, on replicas *)
   (* ---- flusher state, under [f_mu] ---- *)
   f_mu : Mutex.t;
@@ -751,6 +761,7 @@ let register_doc t name ~durable ~role ~ship =
       d_records = 0;
       d_dedup = Hashtbl.create 16;
       d_dedup_tick = 0;
+      d_mpool = None;
       d_closed = false;
       d_parked = Queue.create ();
       d_ckpt_waiters = [];
@@ -850,6 +861,7 @@ let doc_of_req = function
   | P.Ping | P.Metrics | P.Docs -> None
   | P.Open { o_doc = d; _ }
   | P.Update { u_doc = d; _ }
+  | P.Migrate { mg_doc = d; _ }
   | P.Query { q_doc = d; _ }
   | P.Xpath { xq_doc = d; _ }
   | P.Twig { tq_doc = d; _ }
@@ -917,7 +929,7 @@ let shed_reason t conn =
                conn.c_inflight t.cfg.shed_conn_bytes)
         else None)
 
-let shed t conn d t0 =
+let shed t conn d ~cls t0 =
   match shed_reason t conn with
   | None -> false
   | Some why ->
@@ -926,19 +938,22 @@ let shed t conn d t0 =
       ~value:(Mutex.protect t.f_mu (fun () -> t.f_pending));
     Metrics.gauge t.metrics ~key:"shed/conn_bytes"
       ~value:(Mutex.protect t.f_mu (fun () -> conn.c_inflight));
-    respond t conn ~doc:d.d_name "update" t0 (P.Err (P.Overloaded, why));
+    respond t conn ~doc:d.d_name cls t0 (P.Err (P.Overloaded, why));
     true
 
-(* The update path: validate + apply + journal-append under the doc lock,
-   then either acknowledge immediately (the batch is already inside the
-   durable prefix and nothing is queued ahead of it) or park the reply
-   for the flusher. Error replies to partially applied batches are parked
-   too: they confirm a journaled prefix. *)
-let job_update t conn d ~client ~seq ops t0 =
+(* The mutation path — updates and migration batches share it verbatim:
+   validate + apply + journal-append under the doc lock, then either
+   acknowledge immediately (the batch is already inside the durable
+   prefix and nothing is queued ahead of it) or park the reply for the
+   flusher. Error replies to partially applied batches are parked too:
+   they confirm a journaled prefix. [exec] runs the batch and returns the
+   reply; [nreq] is the batch length, the fallback applied count when
+   [exec] errors out. *)
+let job_mutation t conn d ~cls ~client ~seq ~nreq exec t0 =
   if d.d_closed then
-    respond t conn ~doc:d.d_name "update" t0 (P.Err (P.Shutting_down, "document is closing"))
+    respond t conn ~doc:d.d_name cls t0 (P.Err (P.Shutting_down, "document is closing"))
   else if Atomic.get d.d_role = Follower then
-    respond t conn ~doc:d.d_name "update" t0
+    respond t conn ~doc:d.d_name cls t0
       (P.Err (P.Not_primary, d.d_name ^ " is a follower here"))
   else begin
     let j = journal_of d in
@@ -952,7 +967,7 @@ let job_update t conn d ~client ~seq ops t0 =
       Metrics.record t.metrics ~key:"dedup/hit" ~ok:true ~ns:0;
       let resp = flag_dedup e.de_resp in
       let ok = match resp with P.Err _ -> false | _ -> true in
-      record t ~doc:d.d_name "update" ~ok ~ns:(ns_since t0);
+      record t ~doc:d.d_name cls ~ok ~ns:(ns_since t0);
       let durable = Journal.durable_position j in
       let clear =
         Journal.covers ~durable e.de_pos
@@ -960,21 +975,21 @@ let job_update t conn d ~client ~seq ops t0 =
       in
       if clear then send_resp t conn resp else park ~pos:e.de_pos t d conn resp
     | Some e when dedup && seq < e.de_seq ->
-      respond t conn ~doc:d.d_name "update" t0
+      respond t conn ~doc:d.d_name cls t0
         (P.Err
            ( P.Bad_request,
              Printf.sprintf "stale sequence %d for client %S (last %d)" seq client
                e.de_seq ))
-    | _ when shed t conn d t0 -> ()
+    | _ when shed t conn d ~cls t0 -> ()
     | _ ->
       let appended0 = Journal.appended j in
       let resp =
-        try exec_update t.cfg d ops with
+        try exec () with
         | Io.Io_error { op; reason; _ } -> P.Err (P.Internal, op ^ ": " ^ reason)
         | e -> P.Err (P.Internal, Printexc.to_string e)
       in
       let applied =
-        match resp with P.Updated { up_applied; _ } -> up_applied | _ -> List.length ops
+        match resp with P.Updated { up_applied; _ } -> up_applied | _ -> nreq
       in
       let delta0 = Journal.appended j - appended0 in
       (if dedup then begin
@@ -1002,7 +1017,7 @@ let job_update t conn d ~client ~seq ops t0 =
       d.d_records <- d.d_records + delta;
       publish d;
       let ok = match resp with P.Err _ -> false | _ -> true in
-      record t ~doc:d.d_name "update" ~ok ~ns:(ns_since t0);
+      record t ~doc:d.d_name cls ~ok ~ns:(ns_since t0);
       (if delta = 0 then send_resp t conn resp
        else begin
          let durable = Journal.durable_position j in
@@ -1020,6 +1035,123 @@ let job_update t conn d ~client ~seq ops t0 =
             enroll t d;
             wake_flusher t)
   end
+
+let job_update t conn d ~client ~seq ops t0 =
+  job_mutation t conn d ~cls:"update" ~client ~seq ~nreq:(List.length ops)
+    (fun () -> exec_update t.cfg d ops)
+    t0
+
+(* ---- migration batches ----------------------------------------------
+
+   A migrate request is label-addressed operator descriptors; resolution
+   and compilation both happen here, under the document lock, against the
+   same resolver the update path uses — so the journal records exactly
+   the primitives that ran, and recovery/replication replay them without
+   knowing migrations exist. *)
+
+let max_migrate_specs = 64
+let max_wrap_targets = 32
+let mpool_queries = 16
+
+(* The document's standing-query pool, built lazily from the names the
+   document had when migrations started — which is the point: the pool
+   represents queries written against the old schema. *)
+let doc_mpool d =
+  match d.d_mpool with
+  | Some tracked -> tracked
+  | None ->
+    let doc = d.d_view.Core.Session.doc in
+    let seed = Hashtbl.hash d.d_name in
+    let src = Axis_inc.source (Axis_inc.snapshot d.d_inc) in
+    let tracked = Mig_survival.track src (Mig_survival.pool ~seed ~count:mpool_queries doc) in
+    d.d_mpool <- Some tracked;
+    tracked
+
+(* batch bounds are checked before anything resolves or journals, so a
+   refused batch is always safe to resend smaller *)
+let migrate_precheck specs =
+  if List.length specs > max_migrate_specs then
+    Some
+      (Printf.sprintf "%d operators exceed the %d-per-batch limit" (List.length specs)
+         max_migrate_specs)
+  else
+    List.find_map
+      (function
+        | Migrate.S_wrap (ls, _) when List.length ls > max_wrap_targets ->
+          Some
+            (Printf.sprintf "wrap of %d targets exceeds the %d-target limit"
+               (List.length ls) max_wrap_targets)
+        | _ -> None)
+      specs
+
+let exec_migrate_checked t d specs =
+  let tracked = doc_mpool d in
+  let resolve l =
+    try Journal.Resolver.resolve d.d_resolver l
+    with Journal.Replay_error msg -> raise (Reject (P.Unknown_label, msg))
+  in
+  let applier =
+    {
+      Migrate.ap_session = d.d_view;
+      ap_run =
+        (fun o ->
+          check_op t.cfg d.d_resolver o;
+          Journal.Resolver.apply d.d_resolver o);
+    }
+  in
+  let before = d.d_view.Core.Session.stats () in
+  let j = journal_of d in
+  let bytes0 = Journal.log_size j in
+  let prims = ref 0 in
+  let opno = ref 0 in
+  let resp =
+    try
+      List.iter
+        (fun spec ->
+          incr opno;
+          prims := !prims + Migrate.apply applier (Migrate.op_of_spec ~resolve spec))
+        specs;
+      let now = d.d_view.Core.Session.stats () in
+      let up_relabelled =
+        now.Core.Stats.s_relabelled > before.Core.Stats.s_relabelled
+        || now.Core.Stats.s_overflow > before.Core.Stats.s_overflow
+      in
+      P.Updated { up_applied = !prims; up_fresh = []; up_relabelled; up_dedup = false }
+    with
+    | Migrate.Migrate_error msg ->
+      (* operators before [opno] are applied and journaled; same prefix
+         contract as a partially applied update batch *)
+      P.Err (P.Bad_request, Printf.sprintf "operator %d: %s" !opno msg)
+    | Reject (e, msg) -> P.Err (e, Printf.sprintf "operator %d: %s" !opno msg)
+    | Journal.Replay_error msg ->
+      d.d_resolver <- Journal.Resolver.create d.d_view;
+      P.Err (P.Unknown_label, msg)
+  in
+  (* blast-radius accounting covers whatever prefix actually ran *)
+  let now = d.d_view.Core.Session.stats () in
+  let _, broken =
+    Mig_survival.step (Axis_inc.source (Axis_inc.snapshot d.d_inc)) tracked
+  in
+  let bump counter v =
+    ignore (Atomic.fetch_and_add counter v);
+    Atomic.get counter
+  in
+  Metrics.gauge t.metrics ~key:"migrate/relabelled"
+    ~value:(bump t.mg_relabelled (now.Core.Stats.s_relabelled - before.Core.Stats.s_relabelled));
+  Metrics.gauge t.metrics ~key:"migrate/journal_bytes"
+    ~value:(bump t.mg_journal_bytes (Journal.log_size j - bytes0));
+  Metrics.gauge t.metrics ~key:"migrate/queries_broken" ~value:(bump t.mg_broken broken);
+  resp
+
+let exec_migrate t d specs =
+  match migrate_precheck specs with
+  | Some msg -> P.Err (P.Bad_request, msg)
+  | None -> exec_migrate_checked t d specs
+
+let job_migrate t conn d ~client ~seq specs t0 =
+  job_mutation t conn d ~cls:"migrate" ~client ~seq ~nreq:(List.length specs)
+    (fun () -> exec_migrate t d specs)
+    t0
 
 (* Explicit checkpoints are debounced: below [checkpoint_min_records]
    fresh records the reply is an immediate no-op naming the current
@@ -1054,6 +1186,8 @@ let dispatch_doc t conn d req t0 =
   match req with
   | P.Update { u_client; u_seq; u_ops; _ } ->
     run_or_defer d (fun () -> job_update t conn d ~client:u_client ~seq:u_seq u_ops t0)
+  | P.Migrate { mg_client; mg_seq; mg_specs; _ } ->
+    run_or_defer d (fun () -> job_migrate t conn d ~client:mg_client ~seq:mg_seq mg_specs t0)
   | P.Labels { lb_limit; _ } -> direct "labels" (fun () -> exec_labels d lb_limit)
   | P.Checkpoint _ -> run_or_defer d (fun () -> job_checkpoint t conn d t0)
   | P.Subscribe { sb_replica; _ } ->
@@ -1113,8 +1247,8 @@ let dispatch_inline t req =
     in
     Mutex.unlock t.reg_mu;
     P.Docs_r (List.sort compare docs)
-  | P.Update _ | P.Labels _ | P.Checkpoint _ | P.Subscribe _ | P.Replicate _ | P.Promote _
-    ->
+  | P.Update _ | P.Migrate _ | P.Labels _ | P.Checkpoint _ | P.Subscribe _ | P.Replicate _
+  | P.Promote _ ->
     assert false
 
 let handle_frame t conn payload =
@@ -1136,7 +1270,7 @@ let handle_frame t conn payload =
         | e -> P.Err (P.Internal, Printexc.to_string e)
       in
       respond t conn ?doc:(doc_of_req req) (P.req_class req) t0 resp
-    | P.Update _ | P.Labels _ | P.Checkpoint _ | P.Subscribe _ | P.Replicate _
+    | P.Update _ | P.Migrate _ | P.Labels _ | P.Checkpoint _ | P.Subscribe _ | P.Replicate _
     | P.Promote _ -> (
       let doc = Option.get (doc_of_req req) in
       match find_doc t doc with
@@ -1775,6 +1909,9 @@ let start_core cfg =
       stopped = false;
       acks_mu = Mutex.create ();
       acks = Hashtbl.create 8;
+      mg_relabelled = Atomic.make 0;
+      mg_journal_bytes = Atomic.make 0;
+      mg_broken = Atomic.make 0;
       mgr_thread = None;
       f_mu = Mutex.create ();
       f_pending = 0;

@@ -101,6 +101,11 @@ let stamp t req =
   | P.Update { u_doc; u_client = ""; u_seq = _; u_ops } when t.client <> "" ->
     t.seq <- t.seq + 1;
     P.Update { u_doc; u_client = t.client; u_seq = t.seq; u_ops }
+  | P.Migrate { mg_doc; mg_client = ""; mg_seq = _; mg_specs } when t.client <> "" ->
+    (* migration batches draw from the same sequence space as updates, so
+       one dedup watermark per client covers both *)
+    t.seq <- t.seq + 1;
+    P.Migrate { mg_doc; mg_client = t.client; mg_seq = t.seq; mg_specs }
   | _ -> req
 
 let request t req =
@@ -111,7 +116,9 @@ let request t req =
        have reached the server, resending risks double-application, so
        only connect-phase failures are retried for it. *)
     let anon_mutation =
-      match req with P.Update { u_client = ""; _ } -> true | _ -> false
+      match req with
+      | P.Update { u_client = ""; _ } | P.Migrate { mg_client = ""; _ } -> true
+      | _ -> false
     in
     let rec go n =
       let retry ~sent reason =
@@ -183,6 +190,9 @@ let open_doc t ~doc ~scheme ~nodes ~seed =
 
 let update t ~doc ops =
   request t (P.Update { u_doc = doc; u_client = ""; u_seq = 0; u_ops = ops })
+
+let migrate t ~doc specs =
+  request t (P.Migrate { mg_doc = doc; mg_client = ""; mg_seq = 0; mg_specs = specs })
 
 let query t ~doc pred = request t (P.Query { q_doc = doc; q_pred = pred })
 

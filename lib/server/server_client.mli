@@ -74,6 +74,12 @@ val update : t -> doc:string -> Repro_journal.Oplog.op list -> (Protocol.resp, s
     with a [client] identity, {!request} stamps it and the next sequence
     number automatically. *)
 
+val migrate :
+  t -> doc:string -> Repro_migrate.Migrate.spec list -> (Protocol.resp, string) result
+(** Builds the Migrate batch with [mg_client = ""]; an identified client
+    gets stamped from the same sequence space as {!update}, so the
+    server's dedup window makes migration retries exactly-once too. *)
+
 val query : t -> doc:string -> Protocol.pred -> (Protocol.resp, string) result
 
 val xpath : t -> doc:string -> limit:int -> string -> (Protocol.resp, string) result

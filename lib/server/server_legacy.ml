@@ -3,6 +3,8 @@ open Repro_io
 open Repro_journal
 module P = Protocol
 module Axis_inc = Repro_encoding.Axis_inc
+module Migrate = Repro_migrate.Migrate
+module Mig_survival = Repro_migrate.Mig_survival
 
 type config = {
   host : string;
@@ -110,6 +112,7 @@ type role = Primary | Follower
 
 type job =
   | J_update of { uj_client : string; uj_seq : int; uj_ops : Oplog.op list }
+  | J_migrate of { mj_client : string; mj_seq : int; mj_specs : Migrate.spec list }
   | J_labels of int
   | J_checkpoint
   | J_subscribe
@@ -125,6 +128,17 @@ type dedup_entry = {
   mutable de_applied : int;  (** journalled op-prefix length, for the Mark *)
   mutable de_tick : int;  (** LRU clock for window eviction *)
 }
+
+(* server-wide cumulative migration blast radius, shared by all actors
+   of one server and served as migrate/* gauges *)
+type mig_counters = {
+  mc_relabelled : int Atomic.t;
+  mc_journal_bytes : int Atomic.t;
+  mc_broken : int Atomic.t;
+}
+
+let mig_counters () =
+  { mc_relabelled = Atomic.make 0; mc_journal_bytes = Atomic.make 0; mc_broken = Atomic.make 0 }
 
 type actor = {
   a_doc : string;
@@ -150,6 +164,11 @@ type actor = {
   a_pub : published Atomic.t;
   a_role : role Atomic.t;
   a_ship : Ship.t option;  (** [Some] iff this doc was created as a follower *)
+  a_migc : mig_counters;  (** shared with every other actor of this server *)
+  mutable a_mpool : Mig_survival.tracked list option;
+      (** the document's standing-query pool for migration blast-radius
+          accounting; built lazily on the first migrate batch; only the
+          actor thread touches it *)
 }
 
 let encoded_label (view : Core.Session.t) n =
@@ -338,10 +357,10 @@ let dedup_rebuild cfg a ~base =
           | _ -> ())
         ops
 
-(* The update path the actor runs: answer retries from the window, shed
-   stale sequence numbers, and journal a Mark behind every fresh batch
-   that appended anything. *)
-let exec_update_dedup cfg metrics a ~client ~seq ops =
+(* The mutation path the actor runs — updates and migration batches share
+   it: answer retries from the window, shed stale sequence numbers, and
+   journal a Mark behind every fresh batch that appended anything. *)
+let exec_mutation cfg metrics a ~client ~seq exec =
   let dedup = client <> "" && cfg.dedup_window > 0 in
   match (if dedup then Hashtbl.find_opt a.a_dedup client else None) with
   | Some e when seq = e.de_seq ->
@@ -355,7 +374,7 @@ let exec_update_dedup cfg metrics a ~client ~seq ops =
   | _ ->
     let j = Durable_session.journal a.a_durable in
     let appended0 = Journal.appended j and epoch0 = Journal.epoch j in
-    let resp = exec_update cfg a ops in
+    let resp = exec () in
     if dedup then begin
       (* for an errored batch the journalled prefix is what replays, so
          that is the applied count the Mark must carry *)
@@ -378,6 +397,115 @@ let exec_update_dedup cfg metrics a ~client ~seq ops =
       with Io.Io_error { op; reason; _ } -> cfg.log ("journal mark: " ^ op ^ ": " ^ reason)
     end;
     resp
+
+let exec_update_dedup cfg metrics a ~client ~seq ops =
+  exec_mutation cfg metrics a ~client ~seq (fun () -> exec_update cfg a ops)
+
+(* ---- migration batches ----------------------------------------------
+
+   The legacy twin of the event core's migrate path: resolve and compile
+   the label-addressed operators on the actor thread, against the same
+   resolver updates use, so the journal records exactly the primitives
+   that ran. *)
+
+let max_migrate_specs = 64
+let max_wrap_targets = 32
+let mpool_queries = 16
+
+let doc_mpool a =
+  match a.a_mpool with
+  | Some tracked -> tracked
+  | None ->
+    let doc = a.a_view.Core.Session.doc in
+    let seed = Hashtbl.hash a.a_doc in
+    let src = Axis_inc.source (Axis_inc.snapshot a.a_inc) in
+    let tracked = Mig_survival.track src (Mig_survival.pool ~seed ~count:mpool_queries doc) in
+    a.a_mpool <- Some tracked;
+    tracked
+
+(* batch bounds are checked before anything resolves or journals, so a
+   refused batch is always safe to resend smaller *)
+let migrate_precheck specs =
+  if List.length specs > max_migrate_specs then
+    Some
+      (Printf.sprintf "%d operators exceed the %d-per-batch limit" (List.length specs)
+         max_migrate_specs)
+  else
+    List.find_map
+      (function
+        | Migrate.S_wrap (ls, _) when List.length ls > max_wrap_targets ->
+          Some
+            (Printf.sprintf "wrap of %d targets exceeds the %d-target limit"
+               (List.length ls) max_wrap_targets)
+        | _ -> None)
+      specs
+
+let exec_migrate_checked cfg metrics a specs =
+  let tracked = doc_mpool a in
+  let resolve l =
+    try Journal.Resolver.resolve a.a_resolver l
+    with Journal.Replay_error msg -> raise (Reject (P.Unknown_label, msg))
+  in
+  let applier =
+    {
+      Migrate.ap_session = a.a_view;
+      ap_run =
+        (fun o ->
+          check_op cfg a.a_resolver o;
+          Journal.Resolver.apply a.a_resolver o);
+    }
+  in
+  let before = a.a_view.Core.Session.stats () in
+  let j = Durable_session.journal a.a_durable in
+  let bytes0 = Journal.log_size j in
+  let prims = ref 0 in
+  let opno = ref 0 in
+  let resp =
+    try
+      List.iter
+        (fun spec ->
+          incr opno;
+          prims := !prims + Migrate.apply applier (Migrate.op_of_spec ~resolve spec))
+        specs;
+      let now = a.a_view.Core.Session.stats () in
+      let up_relabelled =
+        now.Core.Stats.s_relabelled > before.Core.Stats.s_relabelled
+        || now.Core.Stats.s_overflow > before.Core.Stats.s_overflow
+      in
+      P.Updated { up_applied = !prims; up_fresh = []; up_relabelled; up_dedup = false }
+    with
+    | Migrate.Migrate_error msg ->
+      (* operators before [opno] are applied and journaled; same prefix
+         contract as a partially applied update batch *)
+      P.Err (P.Bad_request, Printf.sprintf "operator %d: %s" !opno msg)
+    | Reject (e, msg) -> P.Err (e, Printf.sprintf "operator %d: %s" !opno msg)
+    | Journal.Replay_error msg ->
+      a.a_resolver <- Journal.Resolver.create a.a_view;
+      P.Err (P.Unknown_label, msg)
+  in
+  (* blast-radius accounting covers whatever prefix actually ran *)
+  let now = a.a_view.Core.Session.stats () in
+  let _, broken = Mig_survival.step (Axis_inc.source (Axis_inc.snapshot a.a_inc)) tracked in
+  let bump counter v =
+    ignore (Atomic.fetch_and_add counter v);
+    Atomic.get counter
+  in
+  Metrics.gauge metrics ~key:"migrate/relabelled"
+    ~value:
+      (bump a.a_migc.mc_relabelled
+         (now.Core.Stats.s_relabelled - before.Core.Stats.s_relabelled));
+  Metrics.gauge metrics ~key:"migrate/journal_bytes"
+    ~value:(bump a.a_migc.mc_journal_bytes (Journal.log_size j - bytes0));
+  Metrics.gauge metrics ~key:"migrate/queries_broken" ~value:(bump a.a_migc.mc_broken broken);
+  resp
+
+let exec_migrate cfg metrics a specs =
+  match migrate_precheck specs with
+  | Some msg -> P.Err (P.Bad_request, msg)
+  | None -> exec_migrate_checked cfg metrics a specs
+
+let exec_migrate_dedup cfg metrics a ~client ~seq specs =
+  exec_mutation cfg metrics a ~client ~seq (fun () -> exec_migrate cfg metrics a specs)
 
 let exec_labels a limit =
   let limit = max 0 (min limit 20_000) in
@@ -510,6 +638,10 @@ let actor_loop cfg metrics a =
             if Atomic.get a.a_role = Follower then
               P.Err (P.Not_primary, a.a_doc ^ " is a follower here")
             else exec_update_dedup cfg metrics a ~client:uj_client ~seq:uj_seq uj_ops
+          | J_migrate { mj_client; mj_seq; mj_specs } ->
+            if Atomic.get a.a_role = Follower then
+              P.Err (P.Not_primary, a.a_doc ^ " is a follower here")
+            else exec_migrate_dedup cfg metrics a ~client:mj_client ~seq:mj_seq mj_specs
           | J_labels limit -> exec_labels a limit
           | J_checkpoint -> exec_checkpoint cfg a
           | J_subscribe -> exec_subscribe a
@@ -536,7 +668,7 @@ let actor_loop cfg metrics a =
    so a shed request is always safe to retry. *)
 let submit cfg metrics a job =
   let mb = Mailbox.create () in
-  let sheddable = match job with J_update _ -> true | _ -> false in
+  let sheddable = match job with J_update _ | J_migrate _ -> true | _ -> false in
   Mutex.lock a.a_mu;
   let rec push () =
     if a.a_closed || a.a_abandoned then begin
@@ -594,6 +726,7 @@ type t = {
   acks_mu : Mutex.t;
   acks : (string * string, int * int) Hashtbl.t;
       (** (doc, replica) -> last acknowledged (epoch, offset) *)
+  migc : mig_counters;  (** cumulative migration blast radius, all docs *)
   mutable mgr_thread : Thread.t option;  (** the replication manager, on replicas *)
 }
 
@@ -660,6 +793,8 @@ let spawn_actor t name ~durable ~role ~ship ~rebuild =
       a_pub = Atomic.make (publish_of view pack durable inc);
       a_role = Atomic.make role;
       a_ship = ship;
+      a_migc = t.migc;
+      a_mpool = None;
     }
   in
   if rebuild then
@@ -757,6 +892,7 @@ let doc_of_req = function
   | P.Ping | P.Metrics | P.Docs -> None
   | P.Open { o_doc = d; _ }
   | P.Update { u_doc = d; _ }
+  | P.Migrate { mg_doc = d; _ }
   | P.Query { q_doc = d; _ }
   | P.Xpath { xq_doc = d; _ }
   | P.Twig { tq_doc = d; _ }
@@ -822,6 +958,8 @@ let dispatch t req =
     with_pub doc (fun pub -> P.Stats_r { pub.p_stats with P.st_lag = doc_lags t doc pub })
   | P.Update { u_doc; u_client; u_seq; u_ops } ->
     with_actor u_doc (J_update { uj_client = u_client; uj_seq = u_seq; uj_ops = u_ops })
+  | P.Migrate { mg_doc; mg_client; mg_seq; mg_specs } ->
+    with_actor mg_doc (J_migrate { mj_client = mg_client; mj_seq = mg_seq; mj_specs = mg_specs })
   | P.Labels { lb_doc; lb_limit } -> with_actor lb_doc (J_labels lb_limit)
   | P.Checkpoint doc -> with_actor doc J_checkpoint
   | P.Subscribe { sb_doc; sb_replica } -> (
@@ -1217,6 +1355,7 @@ let start cfg =
       stopped = false;
       acks_mu = Mutex.create ();
       acks = Hashtbl.create 8;
+      migc = mig_counters ();
       mgr_thread = None;
     }
   in

@@ -240,6 +240,44 @@ let rename doc n name =
   touch doc;
   notify doc (fun o -> o.obs_rename n old)
 
+(* ---- subtree moves --------------------------------------------------
+
+   Delete + [to_frag] re-insert, the only way to relocate a subtree in a
+   model where node identity is tied to tree position at insertion time.
+   Factored here so higher layers (the migration operators, tests) don't
+   hand-roll the copy/guard/delete dance — and so the containment guard
+   lives next to the mutators it protects. *)
+
+type dest = Into_first of node | Into_last of node | Before of node | After of node
+
+let contains ~root n =
+  let rec up = function
+    | None -> false
+    | Some m -> m.id = root.id || up m.parent
+  in
+  root.id = n.id || up n.parent
+
+let move_subtree doc n dest =
+  (match n.parent with
+  | None -> invalid_arg "Tree.move_subtree: cannot move the root"
+  | Some _ -> ());
+  let anchor = match dest with Into_first a | Into_last a | Before a | After a -> a in
+  if contains ~root:n anchor then
+    invalid_arg "Tree.move_subtree: destination lies inside the moved subtree";
+  (match dest with
+  | Before a | After a -> (
+    match a.parent with
+    | None -> invalid_arg "Tree.move_subtree: cannot place a sibling of the root"
+    | Some _ -> ())
+  | Into_first a | Into_last a -> require_element a "move_subtree");
+  let f = to_frag n in
+  delete doc n;
+  match dest with
+  | Into_first a -> insert_first_child doc a f
+  | Into_last a -> insert_last_child doc a f
+  | Before a -> insert_before doc a f
+  | After a -> insert_after doc a f
+
 let validate doc =
   let seen = Hashtbl.create 64 in
   let error = ref None in

@@ -121,6 +121,26 @@ val delete : doc -> node -> unit
 (** Detaches the node and its whole subtree and drops them from the index.
     Raises [Invalid_argument] on the root. *)
 
+(** {1 Subtree moves}
+
+    A move is delete + {!to_frag} re-insert: values and attributes are
+    preserved, node ids are not (the moved subtree is rebuilt at the
+    destination, which is what every labelling scheme expects — observers
+    see one delete and one insert). *)
+
+type dest = Into_first of node | Into_last of node | Before of node | After of node
+
+val contains : root:node -> node -> bool
+(** [contains ~root n]: is [n] inside the subtree rooted at [root]
+    (including [root] itself)? *)
+
+val move_subtree : doc -> node -> dest -> node
+(** [move_subtree doc n dest] relocates the subtree rooted at [n] and
+    returns the rebuilt root. Raises [Invalid_argument] when [n] is the
+    document root, when the destination anchor lies inside the moved
+    subtree, when a [Before]/[After] anchor is the root, or when an
+    [Into_*] anchor is not an element. *)
+
 (** {1 Content updates (paper §3.1)} *)
 
 val set_value : doc -> node -> string option -> unit

@@ -172,10 +172,11 @@ A bare invocation lists every subcommand with a one-line description:
     workload   run an update workload and print label metrics
     query      evaluate an XPath expression over a document
   $ xmlrepro | grep -c '^  '
-  18
-  $ xmlrepro | grep -E 'cluster|failover'
+  19
+  $ xmlrepro | grep -E 'cluster|failover|migrate'
     cluster    launch a replicated, sharded cluster with failover
     failover   replication failover torture over simulated file systems
+    migrate    schema-migration storm with blast-radius accounting
 
 An unknown subcommand gets the same table on stderr and exit code 124:
 
@@ -211,6 +212,13 @@ The load generator can also spin its own in-process server:
 
   $ xmlrepro loadgen --self-serve --root srv2 --clients 2 --ops 60 --seed 9 --nodes 30 | tail -n 1
   RESULT ops=60 errors=0
+
+A schema-migration storm compiles every operator to journal primitives
+and verifies each compiled plan against an oracle replay on a
+byte-identical twin — any disagreement is a nonzero exit:
+
+  $ xmlrepro migrate --schemes QED,ORDPATH --steps 12 --nodes 80 | tail -n 1
+  total: 2 scheme(s), 0 oracle disagreement(s), 0 error(s)
 
 Wire queries: a --paranoid server re-verifies every served XPath/twig
 answer against the scan evaluator over the same snapshot rows, and the

@@ -27,4 +27,5 @@ let () =
       ("framework", Test_framework.suite);
       ("xml", Test_xml.suite);
       ("resilience", Test_resilience.suite);
+      ("migrate", Test_migrate.suite);
     ]

@@ -1,0 +1,315 @@
+(* Schema migration: the six-operator algebra compiles to the existing
+   journal primitives, so every structural rewrite rides the same
+   journal / incremental-stats / index-maintenance path as a plain
+   update. Covered here: the Tree.move_subtree helper it leans on,
+   per-operator shapes against handcrafted documents, validation
+   refusals, oracle-replay agreement across every well-behaved scheme
+   (a byte-identical twin replays each compiled plan), incremental
+   index equivalence under a migration storm, and the wire path on
+   both server cores including an exactly-once retry through a lost
+   reply. *)
+
+open Repro_xml
+open Repro_journal
+module M = Repro_migrate.Migrate
+module Gen = Repro_migrate.Mig_gen
+module Run = Repro_migrate.Mig_run
+module P = Repro_server.Protocol
+module Server = Repro_server.Server
+module Client = Repro_server.Server_client
+module Netsim = Repro_io.Netsim
+module Io = Repro_io.Io
+
+let check = Alcotest.check
+
+let xml doc = Serializer.to_string doc
+let same_xml msg want doc = check Alcotest.string msg (xml (Parser.parse want)) (xml doc)
+
+(* first preorder element named [name] — handcrafted docs keep names unique *)
+let find doc name =
+  match
+    List.find_opt
+      (fun n -> n.Tree.name = name)
+      (Array.to_list (Tree.preorder_array doc))
+  with
+  | Some n -> n
+  | None -> Alcotest.failf "no element %S" name
+
+let session_of doc =
+  match Repro_schemes.Registry.find "QED" with
+  | Some pack -> Core.Session.make pack doc
+  | None -> Alcotest.fail "QED not registered"
+
+let applier doc =
+  let session = session_of doc in
+  let r = Journal.Resolver.create session in
+  { M.ap_session = session; ap_run = (fun o -> Journal.Resolver.apply r o) }
+
+(* ---- the move helper ------------------------------------------------- *)
+
+let move_subtree_roundtrip () =
+  let doc = Parser.parse "<r><a><x><k/></x><y/></a><b/></r>" in
+  let before = xml doc in
+  let b = find doc "b" in
+  let moved = Tree.move_subtree doc (find doc "x") (Tree.Into_last b) in
+  check Alcotest.string "moved node keeps its name" "x" moved.Tree.name;
+  same_xml "subtree relocated whole" "<r><a><y/></a><b><x><k/></x></b></r>" doc;
+  (match Tree.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid after move: %s" e);
+  ignore (Tree.move_subtree doc moved (Tree.Into_first (find doc "a")));
+  check Alcotest.string "round-trip restores the document" before (xml doc)
+
+let move_subtree_guards () =
+  let doc = Parser.parse "<r><a><x/></a></r>" in
+  let refuses what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s was not refused" what
+  in
+  refuses "moving the root" (fun () ->
+      Tree.move_subtree doc (Tree.root doc) (Tree.Into_last (find doc "a")));
+  refuses "moving into the moved subtree" (fun () ->
+      Tree.move_subtree doc (find doc "a") (Tree.Into_last (find doc "x")));
+  refuses "placing a sibling of the root" (fun () ->
+      Tree.move_subtree doc (find doc "x") (Tree.After (Tree.root doc)))
+
+(* ---- operator shapes -------------------------------------------------- *)
+
+let wrap_then_unwrap () =
+  let doc = Parser.parse "<r><a/><b/><c/></r>" in
+  let ap = applier doc in
+  let prims = M.apply ap (M.Wrap ([ find doc "a"; find doc "b" ], "g")) in
+  check Alcotest.int "wrap of 2 targets = 1 insert + 2 moves" 5 prims;
+  same_xml "wrap groups a contiguous run" "<r><g><a/><b/></g><c/></r>" doc;
+  ignore (M.apply ap (M.Unwrap (find doc "g")));
+  same_xml "unwrap is wrap's inverse" "<r><a/><b/><c/></r>" doc
+
+let hoist_shapes () =
+  let doc = Parser.parse "<r><p><q><x><k/></x></q></p></r>" in
+  let ap = applier doc in
+  ignore (M.apply ap (M.Hoist (find doc "x", 1)));
+  same_xml "hoist by one level" "<r><p><q/><x><k/></x></p></r>" doc;
+  ignore (M.apply ap (M.Hoist (find doc "k", 2)));
+  same_xml "hoist by two levels" "<r><p><q/><x/></p><k/></r>" doc
+
+let split_then_merge () =
+  let doc = Parser.parse "<r><p><a/><b/><c/></p></r>" in
+  let ap = applier doc in
+  ignore (M.apply ap (M.Split (find doc "p", 1)));
+  same_xml "split at 1" "<r><p><a/></p><p><b/><c/></p></r>" doc;
+  ignore (M.apply ap (M.Merge (find doc "p")));
+  same_xml "merge is split's inverse" "<r><p><a/><b/><c/></p></r>" doc
+
+let rename_all_scoped () =
+  let doc = Parser.parse "<r><a><i/></a><b><i/><j/></b><i/></r>" in
+  let ap = applier doc in
+  let prims = M.apply ap (M.Rename_all (find doc "b", "i", "z")) in
+  check Alcotest.int "renames only in scope" 1 prims;
+  same_xml "scoped bulk rename" "<r><a><i/></a><b><z/><j/></b><i/></r>" doc;
+  let prims = M.apply ap (M.Rename_all (Tree.root doc, "i", "z")) in
+  check Alcotest.int "root scope reaches the rest" 2 prims;
+  same_xml "document-wide rename" "<r><a><z/></a><b><z/><j/></b><z/></r>" doc
+
+let validation_refusals () =
+  let doc = Parser.parse "<r><a/><b/><c/></r>" in
+  let ap = applier doc in
+  let before = xml doc in
+  let refuses what op =
+    match M.apply ap op with
+    | exception M.Migrate_error _ -> ()
+    | _ -> Alcotest.failf "%s was not refused" what
+  in
+  refuses "wrap of non-contiguous siblings" (M.Wrap ([ find doc "a"; find doc "c" ], "g"));
+  refuses "wrap of the root" (M.Wrap ([ Tree.root doc ], "g"));
+  refuses "unwrap of the root" (M.Unwrap (Tree.root doc));
+  refuses "hoist past the root" (M.Hoist (find doc "a", 2));
+  refuses "split outside the child range" (M.Split (find doc "a", 1));
+  refuses "merge without a same-named sibling" (M.Merge (find doc "a"));
+  refuses "rename to the empty name" (M.Rename_all (Tree.root doc, "a", ""));
+  check Alcotest.string "refused operators left no partial edits" before (xml doc)
+
+(* ---- oracle replay across schemes ------------------------------------ *)
+
+let oracle_agrees_everywhere () =
+  let cfg = { Run.seed = 11; nodes = 120; steps = 24; queries = 12 } in
+  let rows = Run.run cfg Repro_schemes.Registry.well_behaved in
+  check Alcotest.bool "ran every well-behaved scheme" true (List.length rows >= 8);
+  List.iter
+    (fun (r : Run.row) ->
+      (match r.Run.r_error with
+      | None -> ()
+      | Some e -> Alcotest.failf "%s: storm died: %s" r.Run.r_scheme e);
+      check Alcotest.int (r.Run.r_scheme ^ ": oracle replay agrees") 0
+        r.Run.r_disagreements;
+      check Alcotest.bool (r.Run.r_scheme ^ ": incremental index verifies") true
+        r.Run.r_axis_ok;
+      check Alcotest.bool (r.Run.r_scheme ^ ": storm made progress") true
+        (r.Run.r_steps - r.Run.r_skipped > 0);
+      check Alcotest.int (r.Run.r_scheme ^ ": verdicts cover the pool")
+        r.Run.r_queries
+        (r.Run.r_survived + r.Run.r_changed + r.Run.r_broken))
+    rows
+
+(* ---- incremental index equivalence under a storm ---------------------- *)
+
+let axis_inc_survives_storm () =
+  let doc = Repro_workload.Docgen.generate ~seed:23 Repro_workload.Docgen.default_shape in
+  let ap = applier doc in
+  let inc = Repro_encoding.Axis_inc.create doc in
+  let rng = Repro_codes.Prng.create 0xA51 in
+  let applied = ref 0 in
+  for step = 0 to 39 do
+    match Gen.next rng doc ~step with
+    | None -> ()
+    | Some op ->
+      incr applied;
+      ignore (M.apply ap op)
+  done;
+  check Alcotest.bool "storm applied operators" true (!applied > 20);
+  (match Repro_encoding.Axis_inc.verify inc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "incremental index diverged from rebuild: %s" e);
+  Repro_encoding.Axis_inc.detach inc
+
+(* ---- the wire path ---------------------------------------------------- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let fresh_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmig-test-%d-%d" (Unix.getpid ()) !n)
+
+let with_core_server ~legacy f =
+  let root = fresh_root () in
+  let cfg =
+    { (Server.default_config ~root) with fsync_every = 1; legacy_core = legacy }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Server.stop t);
+      rm_rf root)
+    (fun () -> f t)
+
+let count_name c ~doc name =
+  match Client.labels c ~doc ~limit:10_000 with
+  | Ok (P.Labels_r l) -> List.length (List.filter (fun (_, _, nm) -> nm = name) l)
+  | _ -> Alcotest.fail "labels failed"
+
+let insert_child c ~doc lab name =
+  match Client.update c ~doc [ Oplog.Insert_last (lab, Tree.elt name []) ] with
+  | Ok (P.Updated { up_fresh = [ l ]; _ }) -> l
+  | _ -> Alcotest.fail "insert failed"
+
+let migrate_over_the_wire ~legacy () =
+  with_core_server ~legacy (fun t ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port t) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let root_lab =
+        match Client.open_doc c ~doc:"d" ~scheme:"QED" ~nodes:2 ~seed:5 with
+        | Ok (P.Opened { ok_root; _ }) -> ok_root
+        | _ -> Alcotest.fail "open failed"
+      in
+      let l = insert_child c ~doc:"d" root_lab "a" in
+      (match Client.migrate c ~doc:"d" [ M.S_wrap ([ l ], "w") ] with
+      | Ok (P.Updated { up_applied = 3; up_fresh = []; up_dedup = false; _ }) -> ()
+      | Ok _ -> Alcotest.fail "unexpected migrate reply"
+      | Error e -> Alcotest.fail ("migrate failed: " ^ e));
+      check Alcotest.int "wrapper applied once" 1 (count_name c ~doc:"d" "w");
+      check Alcotest.int "target moved, not duplicated" 1 (count_name c ~doc:"d" "a");
+      (* an unresolvable label is a typed protocol error *)
+      (match
+         Client.migrate c ~doc:"d" [ M.S_unwrap { P.l_bytes = "\xff\xff"; l_bits = 16 } ]
+       with
+      | Ok (P.Err (P.Unknown_label, _)) -> ()
+      | _ -> Alcotest.fail "bogus label was not refused");
+      (* an invalid operator mid-batch: typed error naming the operator,
+         with the batch prefix before it applied and journaled *)
+      let l2 = insert_child c ~doc:"d" root_lab "b" in
+      (match
+         Client.migrate c ~doc:"d"
+           [ M.S_wrap ([ l2 ], "w2"); M.S_hoist (root_lab, 1) ]
+       with
+      | Ok (P.Err (P.Bad_request, msg)) ->
+        check Alcotest.bool "error names the failing operator" true
+          (String.length msg >= 10 && String.sub msg 0 9 = "operator ")
+      | _ -> Alcotest.fail "hoisting the root was not refused"))
+
+let oversized_batch_refused () =
+  with_core_server ~legacy:false (fun t ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port t) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let root_lab =
+        match Client.open_doc c ~doc:"d" ~scheme:"QED" ~nodes:2 ~seed:5 with
+        | Ok (P.Opened { ok_root; _ }) -> ok_root
+        | _ -> Alcotest.fail "open failed"
+      in
+      match
+        Client.migrate c ~doc:"d"
+          (List.init 65 (fun _ -> M.S_rename_all (root_lab, "never", "mind")))
+      with
+      | Ok (P.Err (P.Bad_request, _)) -> ()
+      | _ -> Alcotest.fail "oversized batch was not refused")
+
+(* the PR 8 contract, transitively: an identified client's migrate retry
+   after a lost reply is answered from the dedup window, not re-applied *)
+let migrate_retry_exactly_once () =
+  with_core_server ~legacy:false (fun t ->
+      let ns, m = Netsim.wrap Io.unix_sock in
+      let sock = Io.pack_sock m in
+      let c =
+        Client.connect ~sock ~timeout:1.0 ~client:"mig" ~retries:6 ~backoff:0.005
+          ~host:"127.0.0.1" ~port:(Server.port t) ()
+      in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Netsim.clear ns;
+      let root_lab =
+        match Client.open_doc c ~doc:"d" ~scheme:"QED" ~nodes:2 ~seed:5 with
+        | Ok (P.Opened { ok_root; _ }) -> ok_root
+        | _ -> Alcotest.fail "open failed"
+      in
+      let l = insert_child c ~doc:"d" root_lab "a" in
+      (* the connection dies under the reply: the stamped resend must be
+         a dedup hit, and the wrap must have run exactly once *)
+      Netsim.arm ns [ (Netsim.At 2, Netsim.Drop) ];
+      (match Client.migrate c ~doc:"d" [ M.S_wrap ([ l ], "w") ] with
+      | Ok (P.Updated { up_applied = 3; up_dedup; _ }) ->
+        check Alcotest.bool "resend hit the dedup window" true up_dedup
+      | Ok _ -> Alcotest.fail "unexpected reply"
+      | Error e -> Alcotest.fail ("migrate through dropped reply failed: " ^ e));
+      Netsim.clear ns;
+      check Alcotest.int "wrapper applied exactly once" 1 (count_name c ~doc:"d" "w");
+      check Alcotest.int "target wrapped exactly once" 1 (count_name c ~doc:"d" "a");
+      check Alcotest.bool "the retry actually happened" true
+        ((Client.counters c).Client.c_retries >= 1))
+
+let suite =
+  [
+    Alcotest.test_case "move_subtree round-trips" `Quick move_subtree_roundtrip;
+    Alcotest.test_case "move_subtree refuses bad moves" `Quick move_subtree_guards;
+    Alcotest.test_case "wrap then unwrap" `Quick wrap_then_unwrap;
+    Alcotest.test_case "hoist shapes" `Quick hoist_shapes;
+    Alcotest.test_case "split then merge" `Quick split_then_merge;
+    Alcotest.test_case "rename_all respects scope" `Quick rename_all_scoped;
+    Alcotest.test_case "invalid operators are refused whole" `Quick validation_refusals;
+    Alcotest.test_case "oracle replay agrees on every scheme" `Quick
+      oracle_agrees_everywhere;
+    Alcotest.test_case "incremental index survives a storm" `Quick
+      axis_inc_survives_storm;
+    Alcotest.test_case "migrate over the wire, event core" `Quick
+      (migrate_over_the_wire ~legacy:false);
+    Alcotest.test_case "migrate over the wire, legacy core" `Quick
+      (migrate_over_the_wire ~legacy:true);
+    Alcotest.test_case "oversized batch refused" `Quick oversized_batch_refused;
+    Alcotest.test_case "migrate retry is exactly-once" `Quick migrate_retry_exactly_once;
+  ]

@@ -63,6 +63,24 @@ let sample_reqs =
     P.Ack { ak_doc = "d"; ak_replica = ""; ak_epoch = 0; ak_offset = 0 };
     P.Promote "d";
     P.Docs;
+    (* migration specs carry only labels, strings and ints — no tree
+       fragments — so structural equality covers them *)
+    P.Migrate
+      {
+        mg_doc = "d";
+        mg_client = "c-42";
+        mg_seq = 9_000_000_000;
+        mg_specs =
+          [
+            Repro_migrate.Migrate.S_wrap ([ l0; l1 ], "wrapper");
+            Repro_migrate.Migrate.S_unwrap l1;
+            Repro_migrate.Migrate.S_hoist (l0, 2);
+            Repro_migrate.Migrate.S_split (l1, 3);
+            Repro_migrate.Migrate.S_merge l2;
+            Repro_migrate.Migrate.S_rename_all (l0, "old-name", "new-name");
+          ];
+      };
+    P.Migrate { mg_doc = "d"; mg_client = ""; mg_seq = 0; mg_specs = [] };
   ]
 
 let sample_resps =
